@@ -1,0 +1,73 @@
+"""Benchmarks: ablations of F-CAD's three design choices (see DESIGN.md).
+
+Not in the paper's evaluation — these isolate the mechanisms the paper
+credits for its wins: 3-D parallelism, the stochastic cross-branch search,
+and the branch-variance fitness penalty.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+from repro.experiments.ablations import (
+    run_ablation_alpha,
+    run_ablation_batch,
+    run_ablation_parallelism,
+    run_ablation_search,
+)
+
+from conftest import emit
+
+
+def test_ablation_3d_parallelism(benchmark):
+    run = partial(run_ablation_parallelism, iterations=10, population=80)
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("Ablation: 3-D vs 2-D parallelism", result.render())
+
+    # Without the H-partition the thin HD texture convs cap the decoder —
+    # the mechanism behind the paper's 4x win over DNNBuilder.
+    assert result.texture_speedup >= 2.0
+    assert result.full_3d.fps > result.two_level.fps
+    assert (
+        result.full_3d.overall_efficiency
+        > result.two_level.overall_efficiency
+    )
+
+
+def test_ablation_search_strategy(benchmark):
+    run = partial(run_ablation_search, iterations=8, population=60)
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("Ablation: search strategy", result.render())
+
+    pso = result.fitness["PSO (Algorithm 1)"]
+    rand = result.fitness["random sampling"]
+    heuristic = result.fitness["heuristic split only"]
+    # Evolution refines what sampling finds; one heuristic guess trails both.
+    assert pso >= rand
+    assert pso > heuristic
+
+
+def test_ablation_variance_penalty(benchmark):
+    run = partial(run_ablation_alpha, iterations=8, population=60)
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("Ablation: variance penalty", result.render())
+
+    # Variance falls monotonically as alpha grows...
+    variances = [result.variance(i) for i in range(len(result.alphas))]
+    assert all(b <= a for a, b in zip(variances, variances[1:]))
+    # ...and alpha = 0 degenerates into starving the critical branch.
+    assert min(result.branch_fps(0)) < min(result.branch_fps(1))
+
+
+def test_ablation_batch_scheme(benchmark):
+    run = partial(run_ablation_batch, iterations=8, population=60)
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("Ablation: batch scheme", result.render())
+
+    # Replication and parallelism are fungible on this architecture: the
+    # differentiated scheme matches (never loses to) both uniform schemes
+    # at a comparable budget.
+    rates = {name: result.effective_eye_rate(name) for name in result.schemes}
+    assert rates["differentiated {1,2,2}"] >= 0.95 * max(rates.values())
+    dsps = [perf.total_dsp for perf in result.schemes.values()]
+    assert max(dsps) <= 1.1 * min(dsps)

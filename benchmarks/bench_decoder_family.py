@@ -1,0 +1,26 @@
+"""Benchmark: decoder-family generality study (extension experiment)."""
+
+from __future__ import annotations
+
+from functools import partial
+
+from repro.experiments.family import run_decoder_family
+
+from conftest import emit
+
+RUN = partial(run_decoder_family, iterations=10, population=80, seed=0)
+
+
+def test_decoder_family(benchmark):
+    result = benchmark.pedantic(RUN, rounds=1, iterations=1)
+    emit("Decoder family study", result.render())
+
+    for name, flow_result in result.results.items():
+        perf = flow_result.dse.best_perf
+        # Every family explores to a working design within budget.
+        assert perf.fps > 0, name
+        assert perf.total_dsp <= 2520, name
+        # Every branch receives real resources (no starved module).
+        for branch in perf.branches:
+            assert branch.dsp > 0, (name, branch.index)
+            assert branch.fps > 1.0, (name, branch.index)

@@ -1,0 +1,27 @@
+"""Benchmark: the energy study (extension experiment)."""
+
+from __future__ import annotations
+
+from functools import partial
+
+from repro.experiments.energy import run_energy_study
+
+from conftest import emit
+
+RUN = partial(run_energy_study, iterations=8, population=60, seed=0)
+
+
+def test_energy_study(benchmark):
+    result = benchmark.pedantic(RUN, rounds=1, iterations=1)
+    emit("Energy study", result.render())
+
+    for name, report in result.cases.items():
+        # Headset-class accelerators: single-digit watts.
+        assert 0.05 < report.total_w < 15.0, name
+        assert report.fps_per_watt > 1.0, name
+    # Per-frame energy is precision-bound: 16-bit costs more than 8-bit
+    # on the same device.
+    for device in ("Z7045", "ZU17EG", "ZU9CG"):
+        mj8 = result.cases[f"{device}/int8"].dynamic_mj_per_frame
+        mj16 = result.cases[f"{device}/int16"].dynamic_mj_per_frame
+        assert mj16 > mj8

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Fig. 3 (DNNBuilder per-layer latency saturation)."""
+
+from __future__ import annotations
+
+from repro.experiments.fig3 import run_fig3
+
+from conftest import emit
+
+
+def test_fig3_dnnbuilder_latency(benchmark):
+    result = benchmark.pedantic(run_fig3, rounds=3, iterations=1)
+    emit("Fig. 3", result.render())
+
+    # The circled behaviour: thin HD layers stop scaling...
+    assert "texture" in result.saturated
+    # ...while the others keep improving with bigger FPGAs.
+    schemes = sorted(result.latencies)
+    for layer in result.layer_names:
+        series = [result.latencies[s][layer] for s in schemes]
+        if layer in result.saturated:
+            assert series[0] == series[-1]
+        else:
+            assert series[-1] < series[0]

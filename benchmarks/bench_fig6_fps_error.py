@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Fig. 6 (FPS estimation error on eight benchmarks).
+
+The paper's board-level KU115 measurements are replaced by the
+cycle-accurate simulator; the error compares Eq. 4/5 estimates against the
+simulated end-to-end frame rate (paper: max 2.89 %, avg 2.02 %).
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+from repro.experiments.fig67 import run_fig67
+
+from conftest import emit
+
+RUN = partial(run_fig67, iterations=6, population=40, frames=64, seed=0)
+
+
+def test_fig6_fps_estimation_error(benchmark):
+    result = benchmark.pedantic(RUN, rounds=1, iterations=1)
+    emit("Fig. 6 (FPS estimation error)", result.render())
+
+    assert len(result.cases) == 8
+    # Same single-digit band as the paper.
+    assert result.max_fps_error_pct < 8.0
+    assert result.avg_fps_error_pct < 6.0
+    # The model is optimistic: it ignores fill, so estimates sit above the
+    # end-to-end measurement.
+    for case in result.cases:
+        assert case.estimated_fps >= case.measured_fps * 0.99

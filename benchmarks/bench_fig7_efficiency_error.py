@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Fig. 7 (efficiency estimation error).
+
+Measured efficiency derives from the simulator's steady-state sustained
+GOPS (the counters a board exposes), so its error is decoupled from the
+end-to-end FPS accounting of Fig. 6 (paper: max 3.96 %, avg 1.91 %).
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+from repro.experiments.fig67 import run_fig67
+
+from conftest import emit
+
+RUN = partial(run_fig67, iterations=6, population=40, frames=64, seed=1)
+
+
+def test_fig7_efficiency_estimation_error(benchmark):
+    result = benchmark.pedantic(RUN, rounds=1, iterations=1)
+    emit("Fig. 7 (efficiency estimation error)", result.render())
+
+    assert len(result.cases) == 8
+    assert result.max_efficiency_error_pct < 8.0
+    assert result.avg_efficiency_error_pct < 6.0
+    for case in result.cases:
+        assert 0.0 < case.measured_efficiency <= 1.0

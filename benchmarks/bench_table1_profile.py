@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Table I (decoder profile)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table1 import run_table1
+
+from conftest import emit
+
+
+def test_table1_profile(benchmark):
+    result = benchmark.pedantic(run_table1, rounds=3, iterations=1)
+    emit("Table I", result.render())
+    # Shape assertions: per-branch GOP within 5% of the paper.
+    for row in result.rows:
+        assert row.gop == pytest.approx(row.paper_gop, rel=0.05)
+    assert result.unique_gop == pytest.approx(13.6, rel=0.05)

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Table II (mimic decoder on existing accelerators)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table2 import run_table2
+
+from conftest import emit
+
+
+def test_table2_baselines(benchmark):
+    result = benchmark.pedantic(run_table2, rounds=3, iterations=1)
+    emit("Table II", result.render())
+
+    # The SoC lands in the paper's band.
+    assert result.soc.fps == pytest.approx(35.8, rel=0.15)
+    assert result.soc.efficiency == pytest.approx(0.169, abs=0.03)
+    # DNNBuilder: flat FPS, collapsing efficiency.
+    fps = [result.dnnbuilder[s].fps for s in (1, 2, 3)]
+    assert max(fps) - min(fps) < 0.02 * fps[0]
+    eff = [result.dnnbuilder[s].efficiency for s in (1, 2, 3)]
+    assert eff[0] > eff[1] > eff[2]
+    # HybridDNN: scales once, then the BRAM wall.
+    assert result.hybriddnn[2].dsp == result.hybriddnn[3].dsp == 1024
+    assert result.hybriddnn[1].fps == pytest.approx(12.1, rel=0.15)
+    assert result.hybriddnn[2].fps == pytest.approx(22.0, rel=0.15)

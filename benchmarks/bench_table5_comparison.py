@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Table V (F-CAD vs DNNBuilder vs HybridDNN, ZU9CG)."""
+
+from __future__ import annotations
+
+from functools import partial
+
+from repro.experiments.table5 import run_table5
+
+from conftest import emit
+
+RUN = partial(run_table5, iterations=20, population=200, seed=0)
+
+
+def test_table5_comparison(benchmark):
+    result = benchmark.pedantic(RUN, rounds=1, iterations=1)
+    emit("Table V", result.render())
+
+    # The paper's headline shape: F-CAD wins by integer factors (4.0x and
+    # 2.8x there) with far higher efficiency.
+    assert result.speedup_vs_dnnbuilder > 2.0
+    assert result.speedup_vs_hybriddnn > 1.5
+    assert result.fcad_int8.efficiency > result.dnnbuilder.efficiency + 0.30
+    assert result.fcad_int16.efficiency > result.hybriddnn.efficiency
+    # Every design targets the same FPGA budget.
+    for dsp in (
+        result.dnnbuilder.dsp,
+        result.hybriddnn.dsp,
+        result.fcad_int8.dse.best_perf.total_dsp,
+        result.fcad_int16.dse.best_perf.total_dsp,
+    ):
+        assert dsp <= 2520

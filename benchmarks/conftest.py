@@ -1,0 +1,17 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one table/figure of the paper at the paper's
+own search sizes (N = 20 iterations, P = 200 candidates for DSE runs) and
+prints the reproduced rows next to the published numbers. Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+
+def emit(title: str, text: str) -> None:
+    """Print a reproduced table (visible with -s, kept in captured logs)."""
+    print()
+    print(f"### {title}")
+    print(text)

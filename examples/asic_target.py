@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Target an ASIC budget and validate the design with the simulator.
+
+The paper notes F-CAD "can also target ASIC designs with the resource
+budgets {Cmax, Mmax, BWmax} associating to ... the available MAC units, the
+on-chip buffer size, and the external memory bandwidth". This example
+explores a decoder accelerator for a headset-class NPU budget, then runs
+the chosen design through the cycle-accurate simulator and compares the
+measured frame rate against the analytical estimate.
+
+Usage:  python examples/asic_target.py [--macs 2048] [--sram-kb 4096]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import AsicSpec, Customization, FCad, build_codec_avatar_decoder, simulate
+from repro.sim.timeline import render_timeline
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--macs", type=int, default=2048)
+    parser.add_argument("--sram-kb", type=int, default=4096)
+    parser.add_argument("--bandwidth-gbps", type=float, default=25.6)
+    parser.add_argument("--frequency-mhz", type=float, default=800.0)
+    parser.add_argument("--iterations", type=int, default=8)
+    parser.add_argument("--population", type=int, default=60)
+    parser.add_argument("--frames", type=int, default=8)
+    args = parser.parse_args()
+
+    npu = AsicSpec(
+        name="hmd-npu",
+        mac_units=args.macs,
+        onchip_buffer_kb=args.sram_kb,
+        bandwidth_gbps=args.bandwidth_gbps,
+        default_frequency_mhz=args.frequency_mhz,
+    )
+    result = FCad(
+        network=build_codec_avatar_decoder(),
+        device=npu,
+        quant="int8",
+        customization=Customization(
+            batch_sizes=(1, 2, 2), priorities=(1.0, 1.0, 1.0)
+        ),
+    ).run(iterations=args.iterations, population=args.population, seed=0)
+    print(result.render())
+
+    report = simulate(
+        plan=result.plan,
+        config=result.dse.best_config,
+        quant=result.quant,
+        bandwidth_gbps=args.bandwidth_gbps,
+        frequency_mhz=args.frequency_mhz,
+        frames=args.frames,
+        warmup=2,
+    )
+    estimated = result.dse.best_perf
+    print("\ncycle-accurate validation (per-branch FPS):")
+    for branch, measured in zip(estimated.branches, report.branch_fps):
+        gap = 100.0 * (branch.fps - measured) / measured if measured else 0.0
+        print(
+            f"  Br.{branch.index + 1}: estimated {branch.fps:8.1f}  "
+            f"simulated {measured:8.1f}  gap {gap:+.1f}%"
+        )
+    print(
+        f"  end-to-end (incl. pipeline fill over {args.frames} frames): "
+        f"{report.end_to_end_fps:.1f} FPS"
+    )
+    print("\nper-stage utilization timeline:")
+    print(render_timeline(report.stats, width=64))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""How much FPGA does 90 FPS avatar decoding need?
+
+Sweeps scaled-down ZU9CG budgets through the DSE engine and prints the
+budget/throughput Pareto frontier, then answers the sizing question a
+headset architect actually asks: the cheapest explored design that meets
+the VR refresh target. Finishes by exporting the chosen configuration to
+JSON (the handle a downstream RTL/HLS generator would consume).
+
+Usage:  python examples/pareto_frontier.py [--fps-target 90]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import Customization, build_codec_avatar_decoder, build_pipeline_plan, get_device
+from repro.arch.serialize import config_to_json
+from repro.dse.engine import DseEngine
+from repro.dse.pareto import explore_budget_frontier
+from repro.quant.schemes import INT8
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fps-target", type=float, default=90.0)
+    parser.add_argument("--iterations", type=int, default=8)
+    parser.add_argument("--population", type=int, default=60)
+    args = parser.parse_args()
+
+    plan = build_pipeline_plan(build_codec_avatar_decoder())
+    device = get_device("ZU9CG")
+    customization = Customization(
+        batch_sizes=(1, 2, 2), priorities=(1.0, 1.0, 1.0)
+    )
+
+    frontier = explore_budget_frontier(
+        plan,
+        device.budget(),
+        INT8,
+        customization=customization,
+        fractions=(0.25, 0.4, 0.55, 0.7, 0.85, 1.0),
+        iterations=args.iterations,
+        population=args.population,
+    )
+    print(frontier.render(fps_target=args.fps_target))
+
+    chosen = frontier.smallest_meeting(args.fps_target)
+    if chosen is None:
+        return
+    # Re-run the DSE at the chosen budget to obtain the exportable config.
+    engine = DseEngine(
+        plan=plan,
+        budget=chosen.budget,
+        customization=customization,
+        quant=INT8,
+    )
+    result = engine.search(
+        iterations=args.iterations, population=args.population, seed=0
+    )
+    payload = config_to_json(result.best_config)
+    print(f"\nexported configuration ({len(payload)} bytes of JSON):")
+    print(payload[:400] + (" ..." if len(payload) > 400 else ""))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Quickstart: explore an accelerator for the codec-avatar decoder.
+
+Runs the full F-CAD flow (Analysis -> Construction -> Optimization) for the
+paper's targeted decoder on a ZU9CG FPGA with the VR customization (one
+geometry per frame, two HD textures — one per eye), then prints the profile,
+the optimized design, and the elastic-architecture unit grid.
+
+Usage:  python examples/quickstart.py [--device ZU9CG] [--quant int8]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import Customization, FCad, build_codec_avatar_decoder, get_device
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--device", default="ZU9CG")
+    parser.add_argument("--quant", default="int8", choices=["int8", "int16"])
+    parser.add_argument("--iterations", type=int, default=10)
+    parser.add_argument("--population", type=int, default=80)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    decoder = build_codec_avatar_decoder()
+    result = FCad(
+        network=decoder,
+        device=get_device(args.device),
+        quant=args.quant,
+        customization=Customization(
+            batch_sizes=(1, 2, 2), priorities=(1.0, 1.0, 1.0)
+        ),
+    ).run(iterations=args.iterations, population=args.population, seed=args.seed)
+
+    print(result.render())
+    print()
+    print(result.accelerator().describe())
+    print()
+    perf = result.dse.best_perf
+    verdict = "meets" if perf.fps >= 90.0 else "misses"
+    print(
+        f"Decoder frame rate {perf.fps:.1f} FPS -> {verdict} the 90 FPS VR "
+        f"requirement on {args.device} ({args.quant})."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The offline environment has setuptools but not the ``wheel`` package, so
+``pip install -e .`` falls back to the legacy (non-PEP-517) editable path,
+which needs this file. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,5 @@
+"""The paper's Analysis step (Fig. 4, Step 1)."""
+
+from repro.analysis.analyzer import BranchInfo, NetworkAnalysis, analyze_network
+
+__all__ = ["BranchInfo", "NetworkAnalysis", "analyze_network"]

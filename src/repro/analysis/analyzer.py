@@ -1,0 +1,111 @@
+"""Network analysis — the first step of the F-CAD flow.
+
+F-CAD "starts analyzing the targeted network by extracting not only
+layer-wise information (e.g., layer types, layer configurations), but also
+branch-wise information (e.g., branch number, number of layers in each
+branch, and layer dependencies). Then, the profiler begins to calculate the
+compute and memory demands of each layer and provides statistics on
+branch-wise demands."
+
+:func:`analyze_network` bundles those products into one object the
+Construction and Optimization steps (and user reports) consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.graph import NetworkGraph
+from repro.profiler.network import NetworkProfile, profile_network
+from repro.profiler.report import render_branch_table, render_layer_table
+from repro.utils.units import GIGA, format_count
+
+
+@dataclass(frozen=True)
+class BranchInfo:
+    """Branch-wise structure: the paper's 'branch number, number of layers
+    in each branch, and layer dependencies'."""
+
+    index: int
+    output_name: str
+    num_layers: int
+    num_shared_layers: int
+    depends_on_inputs: tuple[str, ...]
+
+    @property
+    def has_shared_part(self) -> bool:
+        return self.num_shared_layers > 0
+
+
+@dataclass(frozen=True)
+class NetworkAnalysis:
+    """Everything Step 1 extracts from the targeted network."""
+
+    graph_name: str
+    num_branches: int
+    branch_info: tuple[BranchInfo, ...]
+    profile: NetworkProfile
+
+    @property
+    def total_gop(self) -> float:
+        return self.profile.total_ops / GIGA
+
+    @property
+    def total_params(self) -> int:
+        return self.profile.total_params
+
+    def render(self) -> str:
+        lines = [
+            f"Analysis of {self.graph_name!r}: {self.num_branches} branches, "
+            f"{self.total_gop:.1f} GOP, {format_count(self.total_params)} params",
+        ]
+        for info in self.branch_info:
+            shared = (
+                f", {info.num_shared_layers} shared"
+                if info.has_shared_part
+                else ""
+            )
+            lines.append(
+                f"  Br.{info.index + 1} ({info.output_name}): "
+                f"{info.num_layers} layers{shared}; "
+                f"inputs: {', '.join(info.depends_on_inputs)}"
+            )
+        lines.append("")
+        lines.append(render_branch_table(self.profile))
+        lines.append("")
+        lines.append(render_layer_table(self.profile))
+        return "\n".join(lines)
+
+
+def analyze_network(graph: NetworkGraph) -> NetworkAnalysis:
+    """Run the Analysis step on a validated network graph."""
+    graph.validate()
+    profile = profile_network(graph)
+    membership = graph.branch_membership()
+    inputs = set(graph.input_names())
+
+    branch_info = []
+    for branch in profile.branches:
+        members = set(branch.node_names)
+        # Input nodes are data sources, not layers.
+        layers = [name for name in branch.node_names if name not in inputs]
+        shared = [name for name in layers if len(membership[name]) > 1]
+        branch_inputs = tuple(
+            name for name in graph.input_names() if name in members
+        )
+        branch_info.append(
+            BranchInfo(
+                index=branch.index,
+                output_name=branch.output_name,
+                num_layers=len(layers),
+                num_shared_layers=len(shared),
+                depends_on_inputs=branch_inputs,
+            )
+        )
+
+    return NetworkAnalysis(
+        graph_name=graph.name,
+        num_branches=len(profile.branches),
+        branch_info=tuple(branch_info),
+        profile=profile,
+    )

@@ -1,0 +1,18 @@
+"""The elastic accelerator architecture (paper Sec. V)."""
+
+from repro.arch.config import (
+    AcceleratorConfig,
+    BranchConfig,
+    ConfigError,
+    StageConfig,
+)
+from repro.arch.elastic import ArchitectureUnit, ElasticAccelerator
+
+__all__ = [
+    "AcceleratorConfig",
+    "ArchitectureUnit",
+    "BranchConfig",
+    "ConfigError",
+    "ElasticAccelerator",
+    "StageConfig",
+]

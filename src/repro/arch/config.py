@@ -1,0 +1,121 @@
+"""Hardware configuration types — the paper's Table III design space.
+
+A full accelerator configuration is, per branch, a batch size (number of
+pipeline replicas) plus one ``(cpf, kpf, h)`` triple per stage:
+
+- ``cpf`` — channel parallelism factor: MACs per PE, unrolling input
+  channels;
+- ``kpf`` — kernel parallelism factor: PEs per compute engine, unrolling
+  output channels;
+- ``h``   — H-partition: compute engines per unit, partitioning the output
+  feature map along its height.
+
+``pf = cpf x kpf x h`` is the stage's total parallelism (MACs per cycle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.construction.reorg import PipelinePlan, PlannedStage
+
+
+class ConfigError(ValueError):
+    """Raised when a configuration is illegal for its pipeline plan."""
+
+
+@dataclass(frozen=True)
+class StageConfig:
+    """3-D parallelism of one basic architecture unit."""
+
+    cpf: int = 1
+    kpf: int = 1
+    h: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.cpf, self.kpf, self.h) < 1:
+            raise ConfigError(f"parallelism factors must be >= 1: {self}")
+
+    @property
+    def pf(self) -> int:
+        """Total parallel MACs per cycle of the unit."""
+        return self.cpf * self.kpf * self.h
+
+    def validate_for(self, planned: PlannedStage) -> None:
+        """Check the factors against the stage's natural bounds."""
+        stage = planned.stage
+        if self.cpf > stage.cpf_max:
+            raise ConfigError(
+                f"stage {stage.name!r}: cpf={self.cpf} exceeds "
+                f"input channels {stage.cpf_max}"
+            )
+        if self.kpf > stage.kpf_max:
+            raise ConfigError(
+                f"stage {stage.name!r}: kpf={self.kpf} exceeds "
+                f"output channels {stage.kpf_max}"
+            )
+        if self.h > stage.h_max:
+            raise ConfigError(
+                f"stage {stage.name!r}: h={self.h} exceeds "
+                f"feature-map height {stage.h_max}"
+            )
+
+
+@dataclass(frozen=True)
+class BranchConfig:
+    """Configuration of one branch pipeline: replicas + per-stage factors."""
+
+    batch_size: int
+    stages: tuple[StageConfig, ...]
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 0:
+            raise ConfigError(f"batch size must be >= 0: {self.batch_size}")
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """Full multi-branch configuration (one ``config_j`` file per branch)."""
+
+    branches: tuple[BranchConfig, ...]
+
+    @property
+    def num_branches(self) -> int:
+        return len(self.branches)
+
+    def stage(self, branch: int, index: int) -> StageConfig:
+        return self.branches[branch].stages[index]
+
+    def validate_for(self, plan: PipelinePlan) -> None:
+        """Check shape compatibility and per-stage bounds against a plan."""
+        if self.num_branches != plan.num_branches:
+            raise ConfigError(
+                f"config has {self.num_branches} branches, "
+                f"plan has {plan.num_branches}"
+            )
+        for branch_cfg, pipeline in zip(self.branches, plan.branches):
+            if branch_cfg.num_stages != pipeline.num_stages:
+                raise ConfigError(
+                    f"branch {pipeline.index}: config has "
+                    f"{branch_cfg.num_stages} stages, plan has "
+                    f"{pipeline.num_stages}"
+                )
+            for stage_cfg, planned in zip(branch_cfg.stages, pipeline.stages):
+                stage_cfg.validate_for(planned)
+
+    @staticmethod
+    def uniform(plan: PipelinePlan, batch_size: int = 1) -> "AcceleratorConfig":
+        """The minimal legal configuration: every factor 1."""
+        return AcceleratorConfig(
+            branches=tuple(
+                BranchConfig(
+                    batch_size=batch_size,
+                    stages=tuple(StageConfig() for _ in pipeline.stages),
+                )
+                for pipeline in plan.branches
+            )
+        )

@@ -1,0 +1,108 @@
+"""The elastic architecture: a 2-D grid of basic architecture units.
+
+Expansion along the X axis adds pipeline stages within a branch; expansion
+along the Y axis adds branches (paper Fig. 5 (b)). Each unit hosts ``h``
+compute engines of ``kpf`` PEs, each PE performing ``cpf`` MACs per cycle,
+plus its weight/input buffers. This class is the structural model the
+cycle-accurate simulator executes and the report renderer draws; the
+numbers themselves come from :mod:`repro.perf`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import AcceleratorConfig, StageConfig
+from repro.construction.reorg import PipelinePlan, PlannedStage
+from repro.perf.resources import StageResources, stage_resources
+from repro.quant.schemes import QuantScheme
+from repro.utils.tables import render_table
+
+
+@dataclass(frozen=True)
+class ArchitectureUnit:
+    """One basic architecture unit: unit instance (y, x) of the grid."""
+
+    planned: PlannedStage
+    config: StageConfig
+    resources: StageResources
+
+    @property
+    def position(self) -> tuple[int, int]:
+        """(branch, stage) — the paper's (Y, X) unit coordinates."""
+        return (self.planned.branch, self.planned.index)
+
+    @property
+    def num_engines(self) -> int:
+        return self.config.h
+
+    @property
+    def pes_per_engine(self) -> int:
+        return self.config.kpf
+
+    @property
+    def macs_per_pe(self) -> int:
+        return self.config.cpf
+
+
+class ElasticAccelerator:
+    """A fully instantiated multi-pipeline accelerator."""
+
+    def __init__(
+        self,
+        plan: PipelinePlan,
+        config: AcceleratorConfig,
+        quant: QuantScheme,
+        frequency_mhz: float = 200.0,
+    ) -> None:
+        config.validate_for(plan)
+        self.plan = plan
+        self.config = config
+        self.quant = quant
+        self.frequency_mhz = frequency_mhz
+        self.rows: list[list[ArchitectureUnit]] = []
+        for pipeline, branch_cfg in zip(plan.branches, config.branches):
+            row = [
+                ArchitectureUnit(
+                    planned=planned,
+                    config=stage_cfg,
+                    resources=stage_resources(planned.stage, stage_cfg, quant),
+                )
+                for planned, stage_cfg in zip(pipeline.stages, branch_cfg.stages)
+            ]
+            self.rows.append(row)
+
+    def unit(self, branch: int, index: int) -> ArchitectureUnit:
+        return self.rows[branch][index]
+
+    def units(self) -> list[ArchitectureUnit]:
+        return [unit for row in self.rows for unit in row]
+
+    @property
+    def num_branches(self) -> int:
+        return len(self.rows)
+
+    def describe(self) -> str:
+        """Render the 2-D unit grid with per-unit configuration."""
+        rows = []
+        for branch_idx, row in enumerate(self.rows):
+            batch = self.config.branches[branch_idx].batch_size
+            for unit in row:
+                rows.append(
+                    [
+                        f"({branch_idx + 1},{unit.planned.index + 1})",
+                        unit.planned.name,
+                        "yes" if unit.planned.shared else "",
+                        batch,
+                        unit.config.cpf,
+                        unit.config.kpf,
+                        unit.config.h,
+                        unit.resources.dsp,
+                        unit.resources.bram,
+                    ]
+                )
+        return render_table(
+            ["unit", "stage", "shared", "batch", "cpf", "kpf", "h", "DSP", "BRAM"],
+            rows,
+            title=f"Elastic architecture: {self.plan.graph_name} ({self.quant.name})",
+        )

@@ -1,0 +1,63 @@
+"""(De)serialization of accelerator configurations.
+
+A found configuration is a design artifact worth persisting: the DSE takes
+seconds, but a downstream RTL/HLS generation step wants a stable on-disk
+handle. The format is deliberately plain JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.arch.config import AcceleratorConfig, BranchConfig, ConfigError, StageConfig
+
+FORMAT_VERSION = 1
+
+
+def config_to_dict(config: AcceleratorConfig) -> dict[str, Any]:
+    """Serialize a configuration to plain dicts/lists."""
+    return {
+        "version": FORMAT_VERSION,
+        "branches": [
+            {
+                "batch_size": branch.batch_size,
+                "stages": [
+                    {"cpf": s.cpf, "kpf": s.kpf, "h": s.h}
+                    for s in branch.stages
+                ],
+            }
+            for branch in config.branches
+        ],
+    }
+
+
+def config_from_dict(data: dict[str, Any]) -> AcceleratorConfig:
+    """Rebuild a configuration serialized by :func:`config_to_dict`."""
+    version = data.get("version", FORMAT_VERSION)
+    if version != FORMAT_VERSION:
+        raise ConfigError(f"unsupported config format version {version}")
+    try:
+        branches = tuple(
+            BranchConfig(
+                batch_size=entry["batch_size"],
+                stages=tuple(
+                    StageConfig(cpf=s["cpf"], kpf=s["kpf"], h=s["h"])
+                    for s in entry["stages"]
+                ),
+            )
+            for entry in data["branches"]
+        )
+    except (KeyError, TypeError) as exc:
+        raise ConfigError(f"malformed config payload: {exc}") from exc
+    return AcceleratorConfig(branches=branches)
+
+
+def config_to_json(config: AcceleratorConfig, indent: int | None = 2) -> str:
+    """Serialize a configuration to a JSON string."""
+    return json.dumps(config_to_dict(config), indent=indent)
+
+
+def config_from_json(text: str) -> AcceleratorConfig:
+    """Rebuild a configuration from its JSON string form."""
+    return config_from_dict(json.loads(text))

@@ -1,0 +1,26 @@
+"""Baseline accelerator models the paper compares against (Sec. III).
+
+These are analytical reimplementations of the published architecture
+templates — the same granularity at which the paper itself evaluates them:
+
+- :mod:`repro.baselines.dnnbuilder` — unfolded per-layer pipeline with
+  two-level parallelism capped at ``InCh x OutCh`` per layer;
+- :mod:`repro.baselines.hybriddnn` — folded single-engine design that
+  scales by doubling the whole instance (coarse-grained);
+- :mod:`repro.baselines.soc` — a mobile-SoC roofline (MAC array + cache-
+  capacity-driven DDR traffic), standing in for the Snapdragon 865.
+"""
+
+from repro.baselines.base import BaselineDesign
+from repro.baselines.dnnbuilder import DnnBuilderModel
+from repro.baselines.hybriddnn import HybridDnnModel
+from repro.baselines.soc import SNAPDRAGON_865, SocModel, SocSpec
+
+__all__ = [
+    "BaselineDesign",
+    "DnnBuilderModel",
+    "HybridDnnModel",
+    "SNAPDRAGON_865",
+    "SocModel",
+    "SocSpec",
+]

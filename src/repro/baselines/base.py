@@ -1,0 +1,24 @@
+"""Common result type for baseline accelerator designs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class BaselineDesign:
+    """One baseline accelerator evaluated on one network/device pair."""
+
+    name: str
+    target: str
+    quant_name: str
+    fps: float
+    efficiency: float  # Eq. 3, in [0, 1]
+    dsp: int
+    bram: int
+    layer_latency_ms: dict[str, float] = field(default_factory=dict)
+    notes: str = ""
+
+    @property
+    def latency_ms(self) -> float:
+        return 1000.0 / self.fps if self.fps > 0 else float("inf")

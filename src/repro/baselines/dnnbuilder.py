@@ -1,0 +1,146 @@
+"""DNNBuilder-style accelerator model (Zhang et al., ICCAD 2018).
+
+As characterized by the F-CAD paper (Sec. III):
+
+- an *unfolded* architecture — one dedicated engine per layer, pipelined,
+  so throughput is set by the slowest layer (high design specificity, high
+  efficiency at small budgets);
+- *two-level parallelism only* — each layer's parallel factor is
+  ``cpf x kpf`` and cannot exceed ``InCh x OutCh``. A layer with few
+  channels (the paper circles the thin high-resolution convs of Br. 2 in
+  Fig. 3) saturates that cap and becomes a hard throughput floor that more
+  resources cannot move: FPS stays flat across growing FPGAs while the
+  allocator keeps spending DSPs on the other layers — exactly the
+  deteriorating-efficiency behaviour of Table II.
+
+The allocator mirrors that behaviour: repeatedly double the parallelism of
+the currently slowest layer that still fits the budget (power-of-two
+ladder), including layers already behind the capped bottleneck.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.arch.config import StageConfig
+from repro.baselines.base import BaselineDesign
+from repro.construction.fusion import FusedStage
+from repro.construction.reorg import PipelinePlan, build_pipeline_plan
+from repro.devices.budget import ResourceBudget
+from repro.dse.space import get_pf
+from repro.ir.graph import NetworkGraph
+from repro.perf.analytical import efficiency
+from repro.perf.resources import stage_resources
+from repro.quant.schemes import QuantScheme
+from repro.utils.units import GIGA
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+class DnnBuilderModel:
+    """Design generator for the DNNBuilder architecture template."""
+
+    name = "DNNBuilder"
+
+    def __init__(self, frequency_mhz: float = 200.0) -> None:
+        self.frequency_mhz = frequency_mhz
+
+    # ------------------------------------------------------------------
+    def _latency_cycles(self, stage: FusedStage, pf: int) -> int:
+        """Latency with two-level (channel-only) parallelism."""
+        cfg = get_pf(stage, pf)
+        # No H-partition: fold any h the ladder produced back to 1.
+        return (
+            _ceil_div(stage.out_channels, cfg.kpf)
+            * _ceil_div(stage.in_channels, cfg.cpf)
+            * stage.conv_height
+            * stage.conv_width
+            * stage.kernel
+            * stage.kernel
+        )
+
+    def _dsp(self, stage: FusedStage, pf: int, quant: QuantScheme) -> int:
+        cfg = get_pf(stage, pf)
+        return _ceil_div(cfg.cpf * cfg.kpf, quant.macs_per_multiplier)
+
+    def _bram(self, stage: FusedStage, pf: int, quant: QuantScheme) -> int:
+        cfg = get_pf(stage, pf)
+        flat = StageConfig(cpf=cfg.cpf, kpf=cfg.kpf, h=1)
+        return stage_resources(stage, flat, quant).bram
+
+    # ------------------------------------------------------------------
+    def design(
+        self,
+        network: NetworkGraph | PipelinePlan,
+        budget: ResourceBudget,
+        quant: QuantScheme,
+        target: str = "",
+    ) -> BaselineDesign:
+        """Allocate the budget over an unfolded per-layer pipeline."""
+        plan = (
+            network
+            if isinstance(network, PipelinePlan)
+            else build_pipeline_plan(network)
+        )
+        stages = [planned.stage for planned in plan.all_stages()]
+        # Two-level parallelism cap: pf <= InCh x OutCh (no H-partition).
+        caps = [stage.in_channels * stage.out_channels for stage in stages]
+
+        def totals(pf_list: list[int]) -> tuple[int, int]:
+            dsp = sum(
+                self._dsp(stage, pf, quant)
+                for stage, pf in zip(stages, pf_list)
+            )
+            bram = sum(
+                self._bram(stage, pf, quant)
+                for stage, pf in zip(stages, pf_list)
+            )
+            return dsp, bram
+
+        def allocation(beat_cycles: float) -> list[int]:
+            """pf per layer for a uniform latency target, capped."""
+            return [
+                min(cap, max(1, math.ceil(stage.macs / beat_cycles)))
+                for stage, cap in zip(stages, caps)
+            ]
+
+        # DNNBuilder allocates resources proportional to each layer's
+        # compute so all stages aim at one common beat; the power-of-two
+        # parallelism ladder makes usage jump in coarse steps, which is why
+        # the generated designs leave part of large budgets unused (644 /
+        # 1044 / 1820 DSPs in the paper's schemes 1-3). Binary-search the
+        # smallest feasible beat.
+        lo, hi = 1.0, float(max(stage.macs for stage in stages))
+        for _ in range(64):
+            mid = (lo * hi) ** 0.5
+            dsp, bram = totals(allocation(mid))
+            if dsp <= budget.compute and bram <= budget.memory:
+                hi = mid
+            else:
+                lo = mid
+        pfs = allocation(hi)
+
+        latencies = [
+            self._latency_cycles(stage, pf) for stage, pf in zip(stages, pfs)
+        ]
+        dsp, bram = totals(pfs)
+        bottleneck = max(latencies)
+        fps = self.frequency_mhz * 1e6 / bottleneck
+        gops = sum(stage.ops for stage in stages) / GIGA * fps
+        layer_latency_ms = {
+            stage.name: cycles / (self.frequency_mhz * 1e3)
+            for stage, cycles in zip(stages, latencies)
+        }
+        return BaselineDesign(
+            name=self.name,
+            target=target,
+            quant_name=quant.name,
+            fps=fps,
+            efficiency=efficiency(gops, quant.beta, dsp, self.frequency_mhz),
+            dsp=dsp,
+            bram=bram,
+            layer_latency_ms=layer_latency_ms,
+            notes="unfolded pipeline, pf <= InCh x OutCh",
+        )

@@ -1,0 +1,293 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands cover the framework's whole surface:
+
+- ``models`` / ``devices``      — list what the zoo and device DB offer;
+- ``profile <model>``           — the Analysis step's tables;
+- ``explore <model>``           — run the F-CAD flow, optionally saving a
+  markdown design report and the found configuration as JSON;
+- ``simulate <model>``          — cycle-accurate validation of a saved (or
+  freshly explored) configuration, with an optional utilization timeline;
+- ``experiment <name>``         — regenerate one of the paper's tables or
+  figures (or the ablations).
+
+``<model>`` is a zoo name (``repro models``) or a path to a network JSON
+file produced by :func:`repro.ir.graph_to_json`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.analyzer import analyze_network
+from repro.arch.serialize import config_from_json, config_to_json
+from repro.devices.asic import AsicSpec
+from repro.devices.fpga import get_device, list_devices
+from repro.dse.space import Customization
+from repro.fcad.flow import FCad
+from repro.fcad.report import render_markdown_report
+from repro.ir.graph import NetworkGraph
+from repro.ir.serialize import graph_from_json
+from repro.models.zoo import get_model, list_models
+from repro.quant.schemes import get_scheme
+from repro.sim.runner import simulate
+from repro.sim.timeline import render_timeline
+
+
+def _load_network(spec: str) -> NetworkGraph:
+    """A zoo model name or a path to a serialized graph."""
+    path = Path(spec)
+    if path.suffix == ".json" and path.exists():
+        return graph_from_json(path.read_text())
+    return get_model(spec)
+
+
+def _parse_numbers(text: str, cast) -> tuple:
+    return tuple(cast(part) for part in text.split(","))
+
+
+def _customization(args: argparse.Namespace, num_branches: int) -> Customization:
+    batches = (
+        _parse_numbers(args.batch, int)
+        if args.batch
+        else tuple([1] * num_branches)
+    )
+    priorities = (
+        _parse_numbers(args.priority, float)
+        if args.priority
+        else tuple([1.0] * num_branches)
+    )
+    return Customization(batch_sizes=batches, priorities=priorities)
+
+
+def _add_target_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--device", default="ZU9CG", help="FPGA name (see `devices`)")
+    parser.add_argument("--quant", default="int8", choices=["int8", "int16"])
+    parser.add_argument("--batch", help="per-branch batch sizes, e.g. 1,2,2")
+    parser.add_argument("--priority", help="per-branch priorities, e.g. 1,1,2")
+    parser.add_argument("--iterations", type=int, default=10)
+    parser.add_argument("--population", type=int, default=80)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--asic-macs",
+        type=int,
+        help="target an ASIC with this many MAC units instead of an FPGA",
+    )
+    parser.add_argument("--asic-sram-kb", type=int, default=4096)
+    parser.add_argument("--asic-bandwidth-gbps", type=float, default=25.6)
+
+
+def _target(args: argparse.Namespace):
+    if args.asic_macs:
+        return AsicSpec(
+            name="cli-asic",
+            mac_units=args.asic_macs,
+            onchip_buffer_kb=args.asic_sram_kb,
+            bandwidth_gbps=args.asic_bandwidth_gbps,
+        )
+    return get_device(args.device)
+
+
+# ---------------------------------------------------------------------------
+# subcommands
+# ---------------------------------------------------------------------------
+def cmd_models(args: argparse.Namespace) -> int:
+    """List every model in the zoo."""
+    for name in list_models():
+        print(name)
+    return 0
+
+
+def cmd_devices(args: argparse.Namespace) -> int:
+    """List the FPGA device database."""
+    for device in list_devices():
+        print(
+            f"{device.name:8s} {device.family:18s} {device.dsp:5d} DSP  "
+            f"{device.bram_18k:5d} BRAM18K  {device.bandwidth_gbps:.1f} GB/s"
+        )
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Run the Analysis step and print its tables."""
+    network = _load_network(args.model)
+    print(analyze_network(network).render())
+    return 0
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    """Run the full F-CAD flow; optionally save config/report artifacts."""
+    network = _load_network(args.model)
+    flow = FCad(
+        network=network,
+        device=_target(args),
+        quant=args.quant,
+        customization=_customization(
+            args, len(network.output_names())
+        ),
+    )
+    result = flow.run(
+        iterations=args.iterations,
+        population=args.population,
+        seed=args.seed,
+    )
+    print(result.render())
+    if args.save_config:
+        Path(args.save_config).write_text(config_to_json(result.dse.best_config))
+        print(f"\nconfiguration written to {args.save_config}")
+    if args.report:
+        Path(args.report).write_text(render_markdown_report(result))
+        print(f"design report written to {args.report}")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """Validate a configuration with the cycle-accurate simulator."""
+    network = _load_network(args.model)
+    from repro.construction.reorg import build_pipeline_plan
+
+    plan = build_pipeline_plan(network)
+    quant = get_scheme(args.quant)
+    target = _target(args)
+    if args.config:
+        config = config_from_json(Path(args.config).read_text())
+    else:
+        result = FCad(
+            network=network,
+            device=target,
+            quant=quant,
+            customization=_customization(args, plan.num_branches),
+        ).run(
+            iterations=args.iterations,
+            population=args.population,
+            seed=args.seed,
+        )
+        config = result.dse.best_config
+    report = simulate(
+        plan=plan,
+        config=config,
+        quant=quant,
+        bandwidth_gbps=target.budget().bandwidth_gbps,
+        frequency_mhz=target.default_frequency_mhz,
+        frames=args.frames,
+        warmup=max(1, args.frames // 4),
+    )
+    for idx, fps in enumerate(report.branch_fps):
+        print(f"Br.{idx + 1}: {fps:.1f} FPS (steady state)")
+    print(f"end-to-end over {args.frames} frames: {report.end_to_end_fps:.1f} FPS")
+    print(f"whole-run efficiency: {100 * report.efficiency:.1f}%")
+    if args.timeline:
+        print()
+        print(render_timeline(report.stats, width=args.timeline_width))
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    """Explore a design and emit the HLS project skeleton."""
+    network = _load_network(args.model)
+    flow = FCad(
+        network=network,
+        device=_target(args),
+        quant=args.quant,
+        customization=_customization(args, len(network.output_names())),
+    )
+    result = flow.run(
+        iterations=args.iterations,
+        population=args.population,
+        seed=args.seed,
+    )
+    from repro.codegen.hls import generate_project
+
+    written = generate_project(result.accelerator(), args.output)
+    print(f"explored design: {result.fps:.1f} FPS, "
+          f"{100 * result.efficiency:.1f}% efficiency")
+    for path in written:
+        print(f"  wrote {path}")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    """Regenerate one of the paper's tables/figures or an ablation."""
+    from repro import experiments
+
+    runners = {
+        "table1": experiments.run_table1,
+        "table2": experiments.run_table2,
+        "fig3": experiments.run_fig3,
+        "fig67": experiments.run_fig67,
+        "table4": experiments.run_table4,
+        "table5": experiments.run_table5,
+        "convergence": experiments.run_convergence,
+        "family": experiments.run_decoder_family,
+        "energy": experiments.run_energy_study,
+        "ablation-parallelism": experiments.run_ablation_parallelism,
+        "ablation-search": experiments.run_ablation_search,
+        "ablation-alpha": experiments.run_ablation_alpha,
+        "ablation-batch": experiments.run_ablation_batch,
+    }
+    result = runners[args.name]()
+    print(result.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for every subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="F-CAD: explore hardware accelerators for codec avatar decoding",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list zoo models").set_defaults(func=cmd_models)
+    sub.add_parser("devices", help="list FPGA devices").set_defaults(func=cmd_devices)
+
+    p = sub.add_parser("profile", help="profile a network (Analysis step)")
+    p.add_argument("model")
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser("explore", help="run the F-CAD flow")
+    p.add_argument("model")
+    _add_target_args(p)
+    p.add_argument("--save-config", help="write the found config JSON here")
+    p.add_argument("--report", help="write a markdown design report here")
+    p.set_defaults(func=cmd_explore)
+
+    p = sub.add_parser("simulate", help="cycle-accurate validation")
+    p.add_argument("model")
+    _add_target_args(p)
+    p.add_argument("--config", help="configuration JSON (default: explore first)")
+    p.add_argument("--frames", type=int, default=8)
+    p.add_argument("--timeline", action="store_true", help="print a Gantt timeline")
+    p.add_argument("--timeline-width", type=int, default=72)
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("generate", help="explore, then emit an HLS project")
+    p.add_argument("model")
+    _add_target_args(p)
+    p.add_argument("--output", default="fcad_design", help="output directory")
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p.add_argument(
+        "name",
+        choices=[
+            "table1", "table2", "fig3", "fig67", "table4", "table5",
+            "convergence", "family", "energy", "ablation-parallelism",
+            "ablation-search", "ablation-alpha", "ablation-batch",
+        ],
+    )
+    p.set_defaults(func=cmd_experiment)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""HLS code generation from explored accelerator configurations."""
+
+from repro.codegen.hls import (
+    generate_project,
+    generate_top_source,
+    generate_unit_source,
+)
+
+__all__ = [
+    "generate_project",
+    "generate_top_source",
+    "generate_unit_source",
+]

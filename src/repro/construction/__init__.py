@@ -1,0 +1,19 @@
+"""The paper's Construction step: fusion, reorganization, instantiation."""
+
+from repro.construction.fusion import FusedStage, FusionError, fuse_graph
+from repro.construction.reorg import (
+    BranchPipeline,
+    PipelinePlan,
+    PlannedStage,
+    build_pipeline_plan,
+)
+
+__all__ = [
+    "BranchPipeline",
+    "FusedStage",
+    "FusionError",
+    "PipelinePlan",
+    "PlannedStage",
+    "build_pipeline_plan",
+    "fuse_graph",
+]

@@ -1,0 +1,247 @@
+"""Layer fusion (paper Fig. 4, Construction step).
+
+Lightweight layers are aggregated into neighbouring *major* layers so each
+pipeline stage is one Conv-like computation:
+
+- **backward fusion** — activations and max-pools attach to the conv/linear
+  that produces their input (the PE array applies the nonlinearity and
+  pooling on the way out);
+- **forward fusion** — nearest upsampling, reshape, flatten and concat
+  attach to the conv/linear that consumes them. Folding a 2x upsample
+  forward means the consumer reads each input row/column twice (an
+  addressing transform), so no intermediate upsampled tensor is ever
+  materialized — this is what keeps the 16x1024x1024 feature map of the
+  decoder off the external memory.
+
+After fusion the network is a set of :class:`FusedStage` objects wired by
+``sources`` references; every [C,A,U] block of the decoder becomes exactly
+one stage, matching the latency model of Eq. 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.graph import NetworkGraph
+from repro.ir.layer import (
+    Activation,
+    BiasMode,
+    Concat,
+    Conv2d,
+    Flatten,
+    Input,
+    Layer,
+    Linear,
+    MaxPool,
+    Reshape,
+    TensorShape,
+    Upsample,
+)
+
+
+class FusionError(ValueError):
+    """Raised when a graph cannot be decomposed into fused stages."""
+
+
+_BACKWARD_MINOR = (Activation, MaxPool)
+_FORWARD_MINOR = (Upsample, Reshape, Flatten, Concat)
+
+
+def _is_anchor(layer: Layer) -> bool:
+    return isinstance(layer, (Conv2d, Linear))
+
+
+@dataclass(frozen=True)
+class FusedStage:
+    """One pipeline stage: a conv-like anchor plus its fused neighbours."""
+
+    name: str
+    kind: str  # "conv" or "linear"
+    in_channels: int
+    out_channels: int
+    kernel: int
+    stride: int
+    conv_height: int  # compute grid of the anchor (pre-pool)
+    conv_width: int
+    out_height: int  # stage output (post-pool)
+    out_width: int
+    upsample_in: int  # folded input upsample factor (1 = none)
+    macs: int
+    weight_params: int
+    bias_params: int
+    untied_bias: bool
+    activation: str | None
+    input_elements: int  # elements actually read from producers
+    external_input_elements: int  # subset arriving from graph inputs (DRAM)
+    output_elements: int  # elements actually written downstream
+    sources: tuple[str, ...]  # producer stage anchors or graph inputs
+    nodes: tuple[str, ...]  # every graph node folded into this stage
+
+    @property
+    def ops(self) -> int:
+        """Arithmetic ops (2 per MAC), the GOP numerator of Eq. 3."""
+        return 2 * self.macs
+
+    @property
+    def params(self) -> int:
+        return self.weight_params + self.bias_params
+
+    @property
+    def cpf_max(self) -> int:
+        return self.in_channels
+
+    @property
+    def kpf_max(self) -> int:
+        return self.out_channels
+
+    @property
+    def h_max(self) -> int:
+        return self.conv_height
+
+    @property
+    def max_parallelism(self) -> int:
+        """Upper bound of the 3-D parallelism (cpf x kpf x h)."""
+        return self.cpf_max * self.kpf_max * self.h_max
+
+
+def _walk_back(
+    graph: NetworkGraph, name: str
+) -> tuple[list[str], int, list[str]]:
+    """Walk backward through forward-minor nodes from an anchor's input.
+
+    Returns (source names, accumulated upsample factor, traversed nodes).
+    Sources are anchor names or graph-input names.
+    """
+    sources: list[str] = []
+    traversed: list[str] = []
+    upsample = 1
+
+    def visit(current: str, factor_slot: list[int]) -> None:
+        node = graph.node(current)
+        layer = node.layer
+        if _is_anchor(layer) or isinstance(layer, Input):
+            sources.append(current)
+            return
+        if isinstance(layer, _FORWARD_MINOR):
+            traversed.append(current)
+            if isinstance(layer, Upsample):
+                factor_slot[0] *= layer.scale
+            for parent in node.inputs:
+                visit(parent, factor_slot)
+            return
+        if isinstance(layer, _BACKWARD_MINOR):
+            # An activation/pool output is the *stage output* of the anchor
+            # that produced it; resolve to that anchor.
+            visit(node.inputs[0], factor_slot)
+            return
+        raise FusionError(f"cannot fuse through node {current!r} ({layer.kind})")
+
+    slot = [1]
+    visit(name, slot)
+    upsample = slot[0]
+    return sources, upsample, traversed
+
+
+def _walk_forward(graph: NetworkGraph, anchor: str) -> tuple[list[str], str | None]:
+    """Collect the chain of backward-minor nodes following an anchor.
+
+    Returns (attached node names, terminal node name) where the terminal
+    node produces the stage's output tensor.
+    """
+    succ = graph.successors()
+    attached: list[str] = []
+    current = anchor
+    while True:
+        children = succ[current]
+        if len(children) != 1:
+            break
+        child = children[0]
+        if not isinstance(graph.node(child).layer, _BACKWARD_MINOR):
+            break
+        attached.append(child)
+        current = child
+    return attached, current
+
+
+def fuse_graph(graph: NetworkGraph) -> list[FusedStage]:
+    """Decompose ``graph`` into fused pipeline stages (topological order)."""
+    graph.validate()
+    shapes = graph.infer_shapes()
+    stages: list[FusedStage] = []
+
+    for name in graph.topo_order():
+        node = graph.node(name)
+        layer = node.layer
+        if not _is_anchor(layer):
+            continue
+
+        # Input side: fold upsample/reshape/flatten/concat, find producers.
+        sources, upsample_in, folded_in = _walk_back(graph, node.inputs[0])
+        input_elements = 0
+        external_input_elements = 0
+        for source in sources:
+            source_node = graph.node(source)
+            if _is_anchor(source_node.layer):
+                # The producer stage's output is its terminal node's tensor.
+                _, terminal = _walk_forward(graph, source)
+                input_elements += shapes[terminal].numel
+            else:
+                input_elements += shapes[source].numel
+                external_input_elements += shapes[source].numel
+
+        # Output side: fold activation / pooling.
+        attached_out, terminal = _walk_forward(graph, name)
+        out_shape: TensorShape = shapes[terminal]
+        conv_shape: TensorShape = shapes[name]
+        activation = None
+        for child in attached_out:
+            child_layer = graph.node(child).layer
+            if isinstance(child_layer, Activation):
+                activation = child_layer.fn
+
+        if isinstance(layer, Conv2d):
+            kind = "conv"
+            in_channels = layer.in_channels
+            out_channels = layer.out_channels
+            kernel = layer.kernel
+            stride = layer.stride
+            untied = layer.bias is BiasMode.UNTIED
+        else:
+            assert isinstance(layer, Linear)
+            kind = "linear"
+            in_channels = layer.in_features
+            out_channels = layer.out_features
+            kernel = 1
+            stride = 1
+            untied = False
+
+        in_shapes = tuple(shapes[p] for p in node.inputs)
+        stages.append(
+            FusedStage(
+                name=name,
+                kind=kind,
+                in_channels=in_channels,
+                out_channels=out_channels,
+                kernel=kernel,
+                stride=stride,
+                conv_height=conv_shape.height,
+                conv_width=conv_shape.width,
+                out_height=out_shape.height,
+                out_width=out_shape.width,
+                upsample_in=upsample_in,
+                macs=layer.macs(in_shapes, conv_shape),
+                weight_params=layer.weight_params(),
+                bias_params=layer.bias_params(conv_shape),
+                untied_bias=untied,
+                activation=activation,
+                input_elements=input_elements,
+                external_input_elements=external_input_elements,
+                output_elements=out_shape.numel,
+                sources=tuple(sources),
+                nodes=tuple([name, *folded_in, *attached_out]),
+            )
+        )
+
+    if not stages:
+        raise FusionError(f"graph {graph.name!r} has no conv/linear stages")
+    return stages

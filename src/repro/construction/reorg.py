@@ -1,0 +1,140 @@
+"""Branch separation and layer reorganization (paper Fig. 4, Construction).
+
+Branches with shared parts are separated into individual dataflows and the
+shared stages are assigned to the flow with the highest computation demand
+— for the targeted decoder that is Br. 2, exactly as in the paper ("layers
+from this part will be assigned to Br. 2 as it is more critical"). This
+avoids hardware redundancy (no duplicated units) and creates a clear
+critical flow for the Optimization step.
+
+The result is a :class:`PipelinePlan`: one ordered stage pipeline per
+branch, plus the fork bookkeeping (which stage's output feeds which other
+branch's head).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.construction.fusion import FusedStage, FusionError, fuse_graph
+from repro.ir.graph import NetworkGraph
+
+
+@dataclass(frozen=True)
+class PlannedStage:
+    """A fused stage placed at (branch, index) in the elastic architecture."""
+
+    stage: FusedStage
+    branch: int
+    index: int
+    shared: bool  # originally common to several branches
+
+    @property
+    def name(self) -> str:
+        return self.stage.name
+
+
+@dataclass(frozen=True)
+class BranchPipeline:
+    """The ordered pipeline of one branch."""
+
+    index: int
+    output_name: str
+    stages: tuple[PlannedStage, ...]
+
+    @property
+    def ops(self) -> int:
+        return sum(s.stage.ops for s in self.stages)
+
+    @property
+    def macs(self) -> int:
+        return sum(s.stage.macs for s in self.stages)
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+
+@dataclass(frozen=True)
+class PipelinePlan:
+    """All branch pipelines of a network, ready for architecture search."""
+
+    graph_name: str
+    branches: tuple[BranchPipeline, ...]
+
+    @property
+    def num_branches(self) -> int:
+        return len(self.branches)
+
+    def all_stages(self) -> list[PlannedStage]:
+        return [s for b in self.branches for s in b.stages]
+
+    def stage_by_name(self, name: str) -> PlannedStage:
+        for planned in self.all_stages():
+            if planned.name == name:
+                return planned
+        raise KeyError(f"no stage named {name!r}")
+
+    def consumers(self, name: str) -> list[PlannedStage]:
+        """Stages that read the named stage's output (incl. cross-branch)."""
+        return [
+            planned
+            for planned in self.all_stages()
+            if name in planned.stage.sources
+        ]
+
+    @property
+    def total_ops(self) -> int:
+        return sum(b.ops for b in self.branches)
+
+
+def build_pipeline_plan(graph: NetworkGraph) -> PipelinePlan:
+    """Fuse ``graph`` and organize its stages into branch pipelines."""
+    stages = fuse_graph(graph)
+    by_name = {stage.name: stage for stage in stages}
+    membership = graph.branch_membership()
+    outputs = graph.output_names()
+
+    # Inclusive compute demand per branch decides where shared stages go.
+    branch_ops = [0] * len(outputs)
+    for stage in stages:
+        for branch_idx in membership[stage.name]:
+            branch_ops[branch_idx] += stage.ops
+
+    assignment: dict[str, int] = {}
+    shared_flags: dict[str, bool] = {}
+    for stage in stages:
+        owners = membership[stage.name]
+        if not owners:
+            raise FusionError(
+                f"stage {stage.name!r} does not reach any output"
+            )
+        # Highest-demand branch wins; ties break toward the lower index.
+        best = max(sorted(owners), key=lambda idx: branch_ops[idx])
+        assignment[stage.name] = best
+        shared_flags[stage.name] = len(owners) > 1
+
+    pipelines: list[BranchPipeline] = []
+    for branch_idx, output in enumerate(outputs):
+        names = [s.name for s in stages if assignment[s.name] == branch_idx]
+        planned = tuple(
+            PlannedStage(
+                stage=by_name[name],
+                branch=branch_idx,
+                index=position,
+                shared=shared_flags[name],
+            )
+            for position, name in enumerate(names)
+        )
+        if not planned:
+            raise FusionError(
+                f"branch {branch_idx} ({output!r}) received no stages; "
+                "its work was fully absorbed by a higher-demand branch"
+            )
+        pipelines.append(
+            BranchPipeline(
+                index=branch_idx, output_name=output, stages=planned
+            )
+        )
+
+    return PipelinePlan(graph_name=graph.name, branches=tuple(pipelines))

@@ -1,0 +1,25 @@
+"""Hardware target database: FPGA devices and ASIC budget specifications."""
+
+from repro.devices.asic import AsicSpec
+from repro.devices.budget import ResourceBudget
+from repro.devices.fpga import (
+    FpgaDevice,
+    KU115,
+    Z7045,
+    ZU17EG,
+    ZU9CG,
+    get_device,
+    list_devices,
+)
+
+__all__ = [
+    "AsicSpec",
+    "FpgaDevice",
+    "KU115",
+    "ResourceBudget",
+    "Z7045",
+    "ZU17EG",
+    "ZU9CG",
+    "get_device",
+    "list_devices",
+]

@@ -1,0 +1,39 @@
+"""ASIC targets.
+
+The paper notes (Sec. VII) that F-CAD "can also target ASIC designs with the
+resource budgets {Cmax, Mmax, BWmax} associating to ... the available MAC
+units, the on-chip buffer size, and the external memory bandwidth". An
+:class:`AsicSpec` captures exactly that triple and converts it to the common
+:class:`~repro.devices.budget.ResourceBudget` currency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.budget import ResourceBudget
+from repro.utils.units import BRAM18K_BITS
+
+
+@dataclass(frozen=True)
+class AsicSpec:
+    """An ASIC accelerator budget: MAC array size, SRAM bytes, DRAM GB/s."""
+
+    name: str
+    mac_units: int
+    onchip_buffer_kb: int
+    bandwidth_gbps: float
+    default_frequency_mhz: float = 800.0
+
+    def budget(self) -> ResourceBudget:
+        """Express the ASIC budget in the common resource currency.
+
+        On-chip SRAM is converted to BRAM18K-block equivalents so the same
+        memory model serves both target kinds.
+        """
+        bits = self.onchip_buffer_kb * 1024 * 8
+        return ResourceBudget(
+            compute=self.mac_units,
+            memory=bits // BRAM18K_BITS,
+            bandwidth_gbps=self.bandwidth_gbps,
+        )

@@ -1,0 +1,71 @@
+"""FPGA device specifications used throughout the paper's evaluation.
+
+DSP and BRAM totals match the budgets the paper quotes in Table IV
+(Z7045: 900 DSP / 1090 BRAM18K; ZU17EG: 1590 / 1592; ZU9CG: 2520 / 1824).
+KU115 is the board used for the estimation-accuracy study (Figs. 6-7).
+External bandwidth defaults to a 64-bit DDR3-1600 channel (12.8 GB/s), the
+"DDR3 memory bandwidth" the paper uses as ``BWmax``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.budget import ResourceBudget
+
+#: Peak bandwidth of one 64-bit DDR3-1600 channel, in GB/s.
+DDR3_BANDWIDTH_GBPS = 12.8
+
+
+@dataclass(frozen=True)
+class FpgaDevice:
+    """Resource inventory of one FPGA part at a fixed working frequency."""
+
+    name: str
+    family: str
+    dsp: int
+    bram_18k: int
+    bandwidth_gbps: float = DDR3_BANDWIDTH_GBPS
+    default_frequency_mhz: float = 200.0
+
+    def budget(self) -> ResourceBudget:
+        """The full device expressed as a resource budget."""
+        return ResourceBudget(
+            compute=self.dsp,
+            memory=self.bram_18k,
+            bandwidth_gbps=self.bandwidth_gbps,
+        )
+
+
+Z7045 = FpgaDevice(name="Z7045", family="Zynq-7000", dsp=900, bram_18k=1090)
+ZU17EG = FpgaDevice(
+    name="ZU17EG", family="Zynq UltraScale+", dsp=1590, bram_18k=1592
+)
+ZU9CG = FpgaDevice(
+    name="ZU9CG", family="Zynq UltraScale+", dsp=2520, bram_18k=1824
+)
+KU115 = FpgaDevice(
+    name="KU115",
+    family="Kintex UltraScale",
+    dsp=5520,
+    bram_18k=4320,
+    # KU115 boards pair the part with two DDR4 channels; keep one channel to
+    # stay consistent with the embedded-platform bandwidth model.
+    bandwidth_gbps=19.2,
+)
+
+_DEVICES = {dev.name: dev for dev in (Z7045, ZU17EG, ZU9CG, KU115)}
+
+
+def get_device(name: str) -> FpgaDevice:
+    """Look up a device by name (case-insensitive)."""
+    try:
+        return _DEVICES[name.upper()]
+    except KeyError:
+        known = ", ".join(sorted(_DEVICES))
+        raise KeyError(f"unknown device {name!r}; known devices: {known}") from None
+
+
+def list_devices() -> list[FpgaDevice]:
+    """All known FPGA devices, in ascending DSP count."""
+    return sorted(_DEVICES.values(), key=lambda dev: dev.dsp)

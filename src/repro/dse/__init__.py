@@ -1,0 +1,21 @@
+"""Multi-branch design space exploration (paper Sec. VI)."""
+
+from repro.dse.crossbranch import CrossBranchOptimizer, Particle
+from repro.dse.engine import DseEngine
+from repro.dse.fitness import fitness_score
+from repro.dse.inbranch import BranchSolution, optimize_branch
+from repro.dse.result import DseResult
+from repro.dse.space import Customization, DesignSpace, get_pf
+
+__all__ = [
+    "BranchSolution",
+    "CrossBranchOptimizer",
+    "Customization",
+    "DesignSpace",
+    "DseEngine",
+    "DseResult",
+    "Particle",
+    "fitness_score",
+    "get_pf",
+    "optimize_branch",
+]

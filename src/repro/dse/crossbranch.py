@@ -1,0 +1,264 @@
+"""Cross-branch stochastic optimization — the paper's Algorithm 1.
+
+A particle-swarm search over *resource distributions*: each candidate
+``rd`` splits the compute / memory / bandwidth budgets across branches
+(fractions per resource summing to one). Every candidate is completed into
+a full hardware configuration by the in-branch greedy search (Algorithm 2),
+scored by the priority-weighted fitness, and evolved toward its local best
+and the global best by a random distance — exactly the
+``Evolve(rd, rd_best_i, rd_best_global, budget)`` update of the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.arch.config import AcceleratorConfig
+from repro.construction.reorg import PipelinePlan
+from repro.devices.budget import ResourceBudget
+from repro.dse.fitness import fitness_score
+from repro.dse.inbranch import BranchSolution, optimize_branch
+from repro.dse.space import Customization
+from repro.quant.schemes import QuantScheme
+from repro.utils.rng import make_rng
+
+#: Quantization grid for the in-branch cache (see _quantize_rd).
+_COMPUTE_GRID = 4
+_MEMORY_GRID = 4
+_BANDWIDTH_GRID = 0.05
+
+#: Fraction floor so no branch is starved to exactly zero.
+_FRACTION_FLOOR = 0.01
+
+
+@dataclass
+class Particle:
+    """One resource-distribution candidate with PSO state."""
+
+    position: list[float]  # 3 x B fractions: [C..., M..., BW...]
+    velocity: list[float]
+    best_position: list[float] = field(default_factory=list)
+    best_fitness: float = float("-inf")
+
+
+def _normalize_block(values: list[float]) -> list[float]:
+    """Clip to the floor and normalize a block of fractions to sum 1."""
+    clipped = [max(_FRACTION_FLOOR, v) for v in values]
+    total = sum(clipped)
+    return [v / total for v in clipped]
+
+
+def _quantize_rd(rd: ResourceBudget) -> tuple[int, int, float]:
+    return (
+        rd.compute // _COMPUTE_GRID,
+        rd.memory // _MEMORY_GRID,
+        round(rd.bandwidth_gbps / _BANDWIDTH_GRID),
+    )
+
+
+class CrossBranchOptimizer:
+    """Algorithm 1: stochastic search over cross-branch distributions."""
+
+    def __init__(
+        self,
+        plan: PipelinePlan,
+        budget: ResourceBudget,
+        customization: Customization,
+        quant: QuantScheme,
+        frequency_mhz: float = 200.0,
+        alpha: float = 0.05,
+        inertia: float = 0.5,
+        c_local: float = 1.2,
+        c_global: float = 1.2,
+    ) -> None:
+        customization.validate_for(plan)
+        self.plan = plan
+        self.budget = budget
+        self.customization = customization
+        self.quant = quant
+        self.frequency_mhz = frequency_mhz
+        self.alpha = alpha
+        self.inertia = inertia
+        self.c_local = c_local
+        self.c_global = c_global
+        self.num_branches = plan.num_branches
+        self._cache: dict[
+            tuple[int, tuple[int, int, float]], BranchSolution
+        ] = {}
+        self.evaluations = 0
+        self.cache_hits = 0
+
+    # ------------------------------------------------------------------
+    def _split_budget(self, position: list[float]) -> list[ResourceBudget]:
+        B = self.num_branches
+        compute = position[0:B]
+        memory = position[B : 2 * B]
+        bandwidth = position[2 * B : 3 * B]
+        return [
+            ResourceBudget(
+                compute=int(self.budget.compute * compute[j]),
+                memory=int(self.budget.memory * memory[j]),
+                bandwidth_gbps=self.budget.bandwidth_gbps * bandwidth[j],
+            )
+            for j in range(B)
+        ]
+
+    def _solve_branch(self, branch: int, rd: ResourceBudget) -> BranchSolution:
+        key = (branch, _quantize_rd(rd))
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        solution = optimize_branch(
+            self.plan.branches[branch],
+            rd,
+            self.customization.batch_sizes[branch],
+            self.quant,
+            self.frequency_mhz,
+            max_h=self.customization.max_h,
+            max_pf=self.customization.max_pf,
+        )
+        self._cache[key] = solution
+        self.evaluations += 1
+        return solution
+
+    def evaluate(
+        self, position: list[float]
+    ) -> tuple[float, list[BranchSolution]]:
+        """Complete a distribution into configs and compute its fitness."""
+        distributions = self._split_budget(position)
+        solutions = [
+            self._solve_branch(j, rd) for j, rd in enumerate(distributions)
+        ]
+        fps = [s.fps for s in solutions]
+        score = fitness_score(
+            fps, self.customization.priorities, self.alpha
+        )
+        # A distribution that cannot honour the requested batch sizes is
+        # strictly worse than any that can.
+        shortfall = sum(
+            1 for s in solutions if not s.meets_batch_target
+        )
+        score -= 1e6 * shortfall
+        return score, solutions
+
+    # ------------------------------------------------------------------
+    def _heuristic_position(self) -> list[float]:
+        """A seed distribution proportional to each branch's demands.
+
+        Compute and bandwidth follow the branch's total ops (times its
+        requested batch size); the swarm then refines from this sensible
+        starting point instead of only from random corners.
+        """
+        demands = [
+            max(1.0, pipeline.ops * batch)
+            for pipeline, batch in zip(
+                self.plan.branches, self.customization.batch_sizes
+            )
+        ]
+        fractions = _normalize_block([d / sum(demands) for d in demands])
+        return fractions * 3
+
+    def init_population(
+        self,
+        population: int,
+        rng: random.Random,
+        heuristic_seed: bool = True,
+    ) -> list[Particle]:
+        B = self.num_branches
+        particles = []
+        if heuristic_seed:
+            particles.append(
+                Particle(
+                    position=self._heuristic_position(),
+                    velocity=[0.0] * (3 * B),
+                )
+            )
+        while len(particles) < population:
+            position: list[float] = []
+            for _block in range(3):
+                # Exponent < 1 spreads mass toward the corners, so extreme
+                # splits (one branch taking ~80% of a resource) are explored.
+                weights = [rng.random() ** 2.5 + 1e-3 for _ in range(B)]
+                position.extend(_normalize_block(weights))
+            particles.append(
+                Particle(
+                    position=position,
+                    velocity=[0.0] * (3 * B),
+                )
+            )
+        return particles
+
+    def evolve(
+        self,
+        particle: Particle,
+        global_best: list[float],
+        rng: random.Random,
+    ) -> None:
+        """One PSO velocity/position update, then re-normalize."""
+        B = self.num_branches
+        for i in range(3 * B):
+            r_local = rng.random()
+            r_global = rng.random()
+            particle.velocity[i] = (
+                self.inertia * particle.velocity[i]
+                + self.c_local * r_local * (particle.best_position[i] - particle.position[i])
+                + self.c_global * r_global * (global_best[i] - particle.position[i])
+            )
+            particle.position[i] += particle.velocity[i]
+        for block in range(3):
+            start, end = block * B, (block + 1) * B
+            particle.position[start:end] = _normalize_block(
+                particle.position[start:end]
+            )
+
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        iterations: int = 20,
+        population: int = 200,
+        seed: int | random.Random | None = 0,
+        improvement_tolerance: float = 1e-9,
+        heuristic_seed: bool = True,
+    ) -> tuple[float, AcceleratorConfig, list[float], int]:
+        """Run the full Algorithm 1 loop.
+
+        ``heuristic_seed`` plants one demand-proportional particle in the
+        initial population (disable it to measure the convergence of the
+        pure stochastic search, as the Sec.-VII study does).
+
+        Returns (best fitness, best config, fitness history per iteration,
+        iteration at which the global best last improved).
+        """
+        rng = make_rng(seed)
+        particles = self.init_population(
+            population, rng, heuristic_seed=heuristic_seed
+        )
+        global_best_fitness = float("-inf")
+        global_best_position: list[float] | None = None
+        global_best_solutions: list[BranchSolution] | None = None
+        history: list[float] = []
+        convergence_iteration = 0
+
+        for iteration in range(iterations):
+            for particle in particles:
+                score, solutions = self.evaluate(particle.position)
+                if score > particle.best_fitness:
+                    particle.best_fitness = score
+                    particle.best_position = list(particle.position)
+                if score > global_best_fitness + improvement_tolerance:
+                    global_best_fitness = score
+                    global_best_position = list(particle.position)
+                    global_best_solutions = solutions
+                    convergence_iteration = iteration + 1
+            history.append(global_best_fitness)
+            assert global_best_position is not None
+            for particle in particles:
+                self.evolve(particle, global_best_position, rng)
+
+        assert global_best_solutions is not None
+        config = AcceleratorConfig(
+            branches=tuple(s.config for s in global_best_solutions)
+        )
+        return global_best_fitness, config, history, convergence_iteration

@@ -1,0 +1,78 @@
+"""The DSE engine facade (paper Fig. 4, Optimization step)."""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.construction.reorg import PipelinePlan
+from repro.devices.budget import ResourceBudget
+from repro.dse.crossbranch import CrossBranchOptimizer
+from repro.dse.result import DseResult
+from repro.dse.space import Customization
+from repro.perf.estimator import evaluate
+from repro.quant.schemes import QuantScheme
+
+
+class DseEngine:
+    """Two-step DSE: cross-branch stochastic + in-branch greedy search."""
+
+    def __init__(
+        self,
+        plan: PipelinePlan,
+        budget: ResourceBudget,
+        customization: Customization | None = None,
+        quant: QuantScheme | None = None,
+        frequency_mhz: float = 200.0,
+        alpha: float = 0.05,
+    ) -> None:
+        if quant is None:
+            raise ValueError("a quantization scheme is required")
+        if customization is None:
+            customization = Customization.uniform(plan.num_branches)
+        self.plan = plan
+        self.budget = budget
+        self.customization = customization
+        self.quant = quant
+        self.frequency_mhz = frequency_mhz
+        self.alpha = alpha
+
+    def search(
+        self,
+        iterations: int = 20,
+        population: int = 200,
+        seed: int | random.Random | None = 0,
+        heuristic_seed: bool = True,
+    ) -> DseResult:
+        """Run Algorithm 1 (which invokes Algorithm 2 per candidate).
+
+        The paper's default search size is N = 20 iterations over a
+        population of P = 200 resource distributions.
+        """
+        optimizer = CrossBranchOptimizer(
+            plan=self.plan,
+            budget=self.budget,
+            customization=self.customization,
+            quant=self.quant,
+            frequency_mhz=self.frequency_mhz,
+            alpha=self.alpha,
+        )
+        started = time.perf_counter()
+        fitness, config, history, convergence = optimizer.search(
+            iterations=iterations,
+            population=population,
+            seed=seed,
+            heuristic_seed=heuristic_seed,
+        )
+        runtime = time.perf_counter() - started
+        perf = evaluate(self.plan, config, self.quant, self.frequency_mhz)
+        return DseResult(
+            best_config=config,
+            best_perf=perf,
+            best_fitness=fitness,
+            history=tuple(history),
+            convergence_iteration=convergence,
+            runtime_seconds=runtime,
+            evaluations=optimizer.evaluations,
+            cache_hits=optimizer.cache_hits,
+        )

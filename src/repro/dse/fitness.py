@@ -1,0 +1,27 @@
+"""Fitness scoring for the cross-branch search (paper Sec. VI-B1).
+
+``fitness = S(Perf, U) - P(Perf)`` where
+
+- ``S`` is the priority-weighted performance ``sum_j perf_j x P_j``;
+- ``P`` is the variance penalty ``alpha x sigma^2(Perf)`` that discourages
+  starving one branch to fatten another (branch FPS should stay balanced —
+  an avatar whose geometry updates at 120 FPS but whose texture crawls at
+  10 FPS is useless).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+
+def fitness_score(
+    fps: list[float],
+    priorities: tuple[float, ...],
+    alpha: float = 0.05,
+) -> float:
+    """Weighted score minus the branch-variance penalty."""
+    if len(fps) != len(priorities):
+        raise ValueError("fps and priorities must have the same length")
+    weighted = sum(f * p for f, p in zip(fps, priorities))
+    variance = statistics.pvariance(fps) if len(fps) > 1 else 0.0
+    return weighted - alpha * variance

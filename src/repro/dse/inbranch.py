@@ -1,0 +1,182 @@
+"""In-branch greedy optimization — the paper's Algorithm 2.
+
+Given one branch pipeline and a resource distribution ``rd = {C, M, BW}``:
+
+1. compute per-stage compute demands ``op_k`` and data-reuse statistics
+   (``GetReuse``), and derive *optimistic* parallelism targets proportional
+   to ``op_k`` — this load-balances the pipeline, which maximizes Eq. 5's
+   throughput since the slowest stage sets the beat;
+2. realize the targets as ``(cpf, kpf, h)`` triples via ``GetPF``;
+3. compute the replica count the distribution supports
+   (``batchsize = min(C/Σc, M/Σm, BW/Σbw)``); while it falls short of the
+   requested batch size, halve all targets (a smaller pipeline fits more
+   replicas) and retry — the greedy search converges when the parallelism
+   stops growing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arch.config import BranchConfig, StageConfig
+from repro.construction.reorg import BranchPipeline
+from repro.devices.budget import ResourceBudget
+from repro.dse.space import get_pf
+from repro.perf.analytical import stage_latency_cycles
+from repro.perf.estimator import BranchPerf, evaluate_branch
+from repro.perf.resources import stage_resources, stage_stream_bytes
+from repro.quant.schemes import QuantScheme
+
+#: Planning margin on external bandwidth: designs are sized against 90 % of
+#: the nominal budget because sustained DDR throughput never reaches peak
+#: (the cycle-accurate simulator models ~93 % efficiency).
+BW_PLANNING_MARGIN = 0.90
+
+
+@dataclass(frozen=True)
+class BranchSolution:
+    """Best configuration Algorithm 2 found for one resource distribution."""
+
+    config: BranchConfig
+    perf: BranchPerf
+    meets_batch_target: bool
+
+    @property
+    def fps(self) -> float:
+        return self.perf.fps
+
+
+def _stage_dram_bytes(stage, quant: QuantScheme, is_terminal: bool) -> float:
+    """Per-frame external-memory bytes a stage moves at full speed."""
+    bytes_per_frame = stage_stream_bytes(stage, quant)
+    bytes_per_frame += quant.activation_bytes(stage.external_input_elements)
+    if is_terminal:
+        bytes_per_frame += quant.activation_bytes(stage.output_elements)
+    return bytes_per_frame
+
+
+def _stage_reuse(stage, quant: QuantScheme, is_terminal: bool) -> float:
+    """GetReuse: external bytes moved per op — the data-reuse statistic.
+
+    A stage with high reuse (many ops per byte) leaves bandwidth for the
+    rest of the pipeline; a low-reuse stage (streamed weights, untied
+    biases) is the one that exhausts ``BW`` first.
+    """
+    return _stage_dram_bytes(stage, quant, is_terminal) / max(1, stage.ops)
+
+
+def optimize_branch(
+    pipeline: BranchPipeline,
+    rd: ResourceBudget,
+    batch_target: int,
+    quant: QuantScheme,
+    frequency_mhz: float = 200.0,
+    max_h: int | None = None,
+    max_pf: int | None = None,
+) -> BranchSolution:
+    """Algorithm 2: the best branch configuration under ``rd``.
+
+    ``max_h`` / ``max_pf`` apply the customization's maximum-parallelism
+    constraints per stage (``max_h = 1`` degrades the architecture to
+    two-level parallelism).
+    """
+
+    def realize(stage, target: int) -> StageConfig:
+        return get_pf(stage, target, max_h=max_h, max_pf=max_pf)
+
+    stages = [planned.stage for planned in pipeline.stages]
+    ops = [max(1, stage.ops) for stage in stages]
+    op_min = min(ops)
+
+    # Lines 8-12: optimistic parallelism targets from the allocated
+    # bandwidth, proportional to each stage's compute demand. With every
+    # stage at pf_k = S x (op_k / op_min) the pipeline is load-balanced and
+    # consumes norm_bw x S bytes/s; exhausting the allocation gives the
+    # largest (most optimistic) S.
+    norm_bw = sum(
+        (op / op_min) * _stage_reuse(stage, quant, idx == len(stages) - 1)
+        for idx, (op, stage) in enumerate(zip(ops, stages))
+    ) * (frequency_mhz * 1e6)
+    bw_bytes_per_s = rd.bandwidth_gbps * BW_PLANNING_MARGIN * 1e9
+    if norm_bw > 0 and bw_bytes_per_s > 0:
+        scale = bw_bytes_per_s / norm_bw
+    else:
+        scale = 0.0
+    pf_targets = [max(1, math.ceil(scale * (op / op_min))) for op in ops]
+    # Never ask for more than the architecture can provide.
+    pf_targets = [
+        min(target, stage.max_parallelism)
+        for target, stage in zip(pf_targets, stages)
+    ]
+
+    dram_bytes = sum(
+        _stage_dram_bytes(stage, quant, idx == len(stages) - 1)
+        for idx, stage in enumerate(stages)
+    )
+
+    def replicas_supported(configs: list[StageConfig]) -> int:
+        """Lines 16-18: batchsize = min(C/Σc, M/Σm, BW/Σbw)."""
+        resources = [
+            stage_resources(stage, cfg, quant)
+            for stage, cfg in zip(stages, configs)
+        ]
+        c_sum = sum(r.dsp for r in resources)
+        m_sum = sum(r.bram for r in resources)
+        latencies = [
+            stage_latency_cycles(stage, cfg)
+            for stage, cfg in zip(stages, configs)
+        ]
+        fps_single = frequency_mhz * 1e6 / max(latencies)
+        bw_replica = dram_bytes * fps_single / 1e9
+        return min(
+            rd.compute // c_sum if c_sum else batch_target,
+            rd.memory // m_sum if m_sum else batch_target,
+            int(rd.bandwidth_gbps * BW_PLANNING_MARGIN / bw_replica)
+            if bw_replica > 0
+            else batch_target,
+        )
+
+    # Lines 13-24: greedy shrink until the requested replicas fit.
+    batch = 0
+    configs: list[StageConfig] = [StageConfig() for _ in stages]
+    while True:
+        configs = [
+            realize(stage, target) for stage, target in zip(stages, pf_targets)
+        ]
+        batch = replicas_supported(configs)
+        if batch >= batch_target:
+            batch = batch_target
+            break
+        if all(target <= 1 for target in pf_targets):
+            batch = max(0, batch)
+            break
+        pf_targets = [max(1, target // 2) for target in pf_targets]
+
+    # Growth phase: the halving above lands on a power-of-two ladder, which
+    # can leave up to half the distribution unused. Keep doubling the
+    # *bottleneck* stage (the only move that improves Eq. 5) while the
+    # requested replicas still fit; converge "once the parallelism fails to
+    # grow".
+    if batch >= 1:
+        while True:
+            latencies = [
+                stage_latency_cycles(stage, cfg)
+                for stage, cfg in zip(stages, configs)
+            ]
+            bottleneck = latencies.index(max(latencies))
+            stage = stages[bottleneck]
+            grown = realize(stage, configs[bottleneck].pf * 2)
+            if grown == configs[bottleneck]:
+                break  # saturated: no parallelism left in this stage
+            trial = list(configs)
+            trial[bottleneck] = grown
+            if replicas_supported(trial) < batch:
+                break  # the distribution cannot pay for more parallelism
+            configs = trial
+
+    config = BranchConfig(batch_size=batch, stages=tuple(configs))
+    perf = evaluate_branch(pipeline, config, quant, frequency_mhz)
+    return BranchSolution(
+        config=config, perf=perf, meets_batch_target=batch >= batch_target
+    )

@@ -1,0 +1,126 @@
+"""Budget/throughput Pareto exploration.
+
+F-CAD answers "what is the best design for *this* budget"; a system
+architect usually asks the dual question — "how much FPGA do I need for
+90 FPS?". This module sweeps scaled-down budgets of a device through the
+DSE engine and extracts the non-dominated (resource, throughput) frontier.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.construction.reorg import PipelinePlan
+from repro.devices.budget import ResourceBudget
+from repro.dse.engine import DseEngine
+from repro.dse.space import Customization
+from repro.perf.estimator import AcceleratorPerf
+from repro.quant.schemes import QuantScheme
+from repro.utils.tables import render_table
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One explored budget and the best design found under it."""
+
+    fraction: float
+    budget: ResourceBudget
+    perf: AcceleratorPerf
+
+    @property
+    def fps(self) -> float:
+        return self.perf.fps
+
+    @property
+    def dsp(self) -> int:
+        return self.perf.total_dsp
+
+
+@dataclass(frozen=True)
+class ParetoFrontier:
+    """All explored points plus the non-dominated subset."""
+
+    points: tuple[ParetoPoint, ...]
+
+    def frontier(self) -> list[ParetoPoint]:
+        """Points not dominated in (fewer DSPs, more FPS)."""
+        chosen: list[ParetoPoint] = []
+        for point in sorted(self.points, key=lambda p: (p.dsp, -p.fps)):
+            if not chosen or point.fps > chosen[-1].fps:
+                chosen.append(point)
+        return chosen
+
+    def smallest_meeting(self, fps_target: float) -> ParetoPoint | None:
+        """The cheapest explored design reaching ``fps_target``."""
+        candidates = [p for p in self.points if p.fps >= fps_target]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda p: p.dsp)
+
+    def render(self, fps_target: float | None = None) -> str:
+        frontier = {id(p) for p in self.frontier()}
+        rows = []
+        for point in sorted(self.points, key=lambda p: p.fraction):
+            rows.append(
+                [
+                    f"{100 * point.fraction:.0f}%",
+                    point.budget.compute,
+                    point.dsp,
+                    f"{point.fps:.1f}",
+                    f"{100 * point.perf.overall_efficiency:.1f}",
+                    "*" if id(point) in frontier else "",
+                ]
+            )
+        table = render_table(
+            ["budget", "DSP budget", "DSP used", "FPS", "eff %", "frontier"],
+            rows,
+            title="Budget/throughput Pareto sweep",
+        )
+        if fps_target is not None:
+            best = self.smallest_meeting(fps_target)
+            if best is None:
+                table += f"\nno explored budget reaches {fps_target:.0f} FPS"
+            else:
+                table += (
+                    f"\ncheapest design meeting {fps_target:.0f} FPS: "
+                    f"{best.dsp} DSPs ({100 * best.fraction:.0f}% budget, "
+                    f"{best.fps:.1f} FPS)"
+                )
+        return table
+
+
+def explore_budget_frontier(
+    plan: PipelinePlan,
+    budget: ResourceBudget,
+    quant: QuantScheme,
+    customization: Customization | None = None,
+    fractions: tuple[float, ...] = (0.25, 0.4, 0.55, 0.7, 0.85, 1.0),
+    frequency_mhz: float = 200.0,
+    iterations: int = 8,
+    population: int = 60,
+    seed: int | random.Random | None = 0,
+) -> ParetoFrontier:
+    """Run the DSE at each scaled budget and collect the frontier."""
+    if customization is None:
+        customization = Customization.uniform(plan.num_branches)
+    points = []
+    for fraction in fractions:
+        engine = DseEngine(
+            plan=plan,
+            budget=budget.scaled(fraction),
+            customization=customization,
+            quant=quant,
+            frequency_mhz=frequency_mhz,
+        )
+        result = engine.search(
+            iterations=iterations, population=population, seed=seed
+        )
+        points.append(
+            ParetoPoint(
+                fraction=fraction,
+                budget=budget.scaled(fraction),
+                perf=result.best_perf,
+            )
+        )
+    return ParetoFrontier(points=tuple(points))

@@ -1,0 +1,60 @@
+"""DSE result container and rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import AcceleratorConfig
+from repro.perf.estimator import AcceleratorPerf
+from repro.utils.tables import render_table
+
+
+@dataclass(frozen=True)
+class DseResult:
+    """Outcome of one design-space exploration run."""
+
+    best_config: AcceleratorConfig
+    best_perf: AcceleratorPerf
+    best_fitness: float
+    history: tuple[float, ...]
+    convergence_iteration: int
+    runtime_seconds: float
+    evaluations: int
+    cache_hits: int
+
+    @property
+    def iterations(self) -> int:
+        return len(self.history)
+
+    def render(self) -> str:
+        """Table IV-style per-branch report."""
+        rows = []
+        for branch in self.best_perf.branches:
+            rows.append(
+                [
+                    f"Br.{branch.index + 1}",
+                    branch.batch_size,
+                    branch.dsp,
+                    branch.bram,
+                    f"{branch.fps:.1f}",
+                    f"{100 * branch.efficiency:.1f}",
+                    branch.bottleneck_stage,
+                ]
+            )
+        rows.append(
+            [
+                "total",
+                "-",
+                self.best_perf.total_dsp,
+                self.best_perf.total_bram,
+                f"{self.best_perf.fps:.1f}",
+                f"{100 * self.best_perf.overall_efficiency:.1f}",
+                f"DSE {self.runtime_seconds:.1f}s "
+                f"(converged @ iter {self.convergence_iteration})",
+            ]
+        )
+        return render_table(
+            ["branch", "batch", "DSP", "BRAM", "FPS", "eff %", "note"],
+            rows,
+            title="F-CAD generated accelerator",
+        )

@@ -1,0 +1,39 @@
+"""Experiment drivers — one per table/figure of the paper's evaluation.
+
+Each driver returns a structured result object with a ``render()`` method;
+the benchmark harnesses under ``benchmarks/`` time these drivers and print
+the reproduced tables next to the paper's published numbers
+(:mod:`repro.experiments.paper_constants`).
+"""
+
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig67 import run_fig67
+from repro.experiments.table4 import run_table4
+from repro.experiments.table5 import run_table5
+from repro.experiments.convergence import run_convergence
+from repro.experiments.energy import run_energy_study
+from repro.experiments.family import run_decoder_family
+from repro.experiments.ablations import (
+    run_ablation_alpha,
+    run_ablation_batch,
+    run_ablation_parallelism,
+    run_ablation_search,
+)
+
+__all__ = [
+    "run_ablation_alpha",
+    "run_ablation_batch",
+    "run_ablation_parallelism",
+    "run_ablation_search",
+    "run_convergence",
+    "run_decoder_family",
+    "run_energy_study",
+    "run_fig3",
+    "run_fig67",
+    "run_table1",
+    "run_table2",
+    "run_table4",
+    "run_table5",
+]

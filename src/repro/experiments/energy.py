@@ -1,0 +1,75 @@
+"""Energy study (extension): what does each Table-IV design cost in watts?
+
+The paper motivates F-CAD with headsets' "limited computation, memory, and
+power budgets" but reports no power numbers. This study attaches the
+energy model to the Table-IV sweep: per-frame energy split
+(compute / SRAM / DRAM) and sustained power for the decoder accelerator on
+each device/precision, plus the FPS-per-watt figure of merit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.fpga import get_device
+from repro.dse.space import Customization
+from repro.experiments import paper_constants as paper
+from repro.fcad.flow import FCad
+from repro.models.codec_avatar import build_codec_avatar_decoder
+from repro.perf.energy import EnergyReport, estimate_energy
+from repro.utils.tables import render_table
+
+
+@dataclass(frozen=True)
+class EnergyStudyResult:
+    cases: dict[str, EnergyReport]  # "device/quant" -> report
+
+    def render(self) -> str:
+        rows = []
+        for name, report in self.cases.items():
+            rows.append(
+                [
+                    name,
+                    f"{report.fps:.1f}",
+                    f"{report.dynamic_mj_per_frame:.1f}",
+                    f"{report.dynamic_w:.2f}",
+                    f"{report.static_w:.2f}",
+                    f"{report.total_w:.2f}",
+                    f"{report.fps_per_watt:.1f}",
+                ]
+            )
+        return render_table(
+            ["case", "FPS", "mJ/frame", "dyn W", "static W", "total W", "FPS/W"],
+            rows,
+            title="Energy study: decoder accelerators across devices",
+        )
+
+
+def run_energy_study(
+    iterations: int = 8,
+    population: int = 60,
+    seed: int = 0,
+    devices: tuple[str, ...] = ("Z7045", "ZU17EG", "ZU9CG"),
+    quants: tuple[str, ...] = ("int8", "int16"),
+) -> EnergyStudyResult:
+    """Explore the decoder per device/precision and estimate power."""
+    network = build_codec_avatar_decoder()
+    customization = Customization(
+        batch_sizes=paper.TABLE4_BATCH_SIZES, priorities=(1.0, 1.0, 1.0)
+    )
+    cases = {}
+    for device_name in devices:
+        for quant_name in quants:
+            result = FCad(
+                network=network,
+                device=get_device(device_name),
+                quant=quant_name,
+                customization=customization,
+            ).run(iterations=iterations, population=population, seed=seed)
+            cases[f"{device_name}/{quant_name}"] = estimate_energy(
+                result.plan,
+                result.dse.best_config,
+                result.quant,
+                result.dse.best_perf,
+            )
+    return EnergyStudyResult(cases=cases)

@@ -1,0 +1,76 @@
+"""Fig. 3: latency of the last five Br. 2 conv layers under DNNBuilder.
+
+The paper circles the layers whose latency stops improving as the FPGA
+grows — the ones that hit DNNBuilder's two-level parallelism cap
+(``pf <= InCh x OutCh``). This experiment extracts exactly those series
+from the DNNBuilder model across schemes 1-3 and marks the saturated
+layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.dnnbuilder import DnnBuilderModel
+from repro.construction.reorg import build_pipeline_plan
+from repro.devices.fpga import get_device
+from repro.experiments import paper_constants as paper
+from repro.models.mimic import build_mimic_decoder
+from repro.quant.schemes import INT8
+from repro.utils.tables import render_table
+
+
+@dataclass(frozen=True)
+class Fig3Result:
+    layer_names: tuple[str, ...]
+    # scheme -> {layer -> latency ms}
+    latencies: dict[int, dict[str, float]]
+    saturated: tuple[str, ...]  # the paper's "circled" layers
+
+    def render(self) -> str:
+        rows = []
+        for layer in self.layer_names:
+            mark = " (capped)" if layer in self.saturated else ""
+            rows.append(
+                [layer + mark]
+                + [f"{self.latencies[s][layer]:.2f}" for s in sorted(self.latencies)]
+            )
+        headers = ["layer"] + [
+            f"scheme {s} ({paper.SCHEME_DEVICES[s]}) ms"
+            for s in sorted(self.latencies)
+        ]
+        return render_table(
+            headers,
+            rows,
+            title="Fig. 3: last five Br.2 conv latencies under DNNBuilder",
+        )
+
+
+def run_fig3() -> Fig3Result:
+    """DNNBuilder per-layer latency of Br.2's last five convs, schemes 1-3."""
+    plan = build_pipeline_plan(build_mimic_decoder())
+    texture_branch = max(plan.branches, key=lambda b: b.ops)
+    last_five = [s.name for s in texture_branch.stages[-5:]]
+
+    model = DnnBuilderModel()
+    latencies: dict[int, dict[str, float]] = {}
+    for scheme, device_name in paper.SCHEME_DEVICES.items():
+        design = model.design(
+            plan, get_device(device_name).budget(), INT8, target=device_name
+        )
+        latencies[scheme] = {
+            name: design.layer_latency_ms[name] for name in last_five
+        }
+
+    first, last = min(latencies), max(latencies)
+    saturated = tuple(
+        name
+        for name in last_five
+        if abs(latencies[first][name] - latencies[last][name])
+        < 1e-9 + 0.01 * latencies[first][name]
+    )
+    return Fig3Result(
+        layer_names=tuple(last_five),
+        latencies=latencies,
+        saturated=saturated,
+    )

@@ -1,0 +1,121 @@
+"""Published numbers from the paper, for side-by-side comparison.
+
+Source: Zhang et al., "F-CAD: A Framework to Explore Hardware Accelerators
+for Codec Avatar Decoding", DAC 2021 (arXiv:2103.04958).
+"""
+
+from __future__ import annotations
+
+# --- Table I: the targeted decoder -----------------------------------------
+TABLE1_BRANCH_GOP = (1.9, 11.3, 4.9)
+TABLE1_BRANCH_GOP_SHARE = (0.105, 0.624, 0.271)
+TABLE1_BRANCH_PARAMS_M = (1.1, 6.1, 1.9)
+TABLE1_BRANCH_PARAM_SHARE = (0.121, 0.670, 0.209)
+TABLE1_UNIQUE_GOP = 13.6
+TABLE1_UNIQUE_PARAMS_M = 7.2
+
+# --- Table II: existing accelerators on the mimic decoder ------------------
+TABLE2_SOC = {"fps": 35.8, "efficiency": 0.169}
+TABLE2_DNNBUILDER = {
+    # scheme -> (DSP, BRAM, FPS, efficiency)
+    1: (644, 723, 30.5, 0.816),
+    2: (1044, 861, 30.5, 0.504),
+    3: (1820, 1197, 30.5, 0.288),
+}
+TABLE2_HYBRIDDNN = {
+    1: (512, 576, 12.1, 0.775),
+    2: (1024, 1120, 22.0, 0.704),
+    3: (1024, 1120, 22.0, 0.704),
+}
+SCHEME_DEVICES = {1: "Z7045", 2: "ZU17EG", 3: "ZU9CG"}
+
+# --- Figs. 6-7: estimation accuracy on KU115 --------------------------------
+FIG6_MAX_ERROR_PCT = 2.89
+FIG6_AVG_ERROR_PCT = 2.02
+FIG7_MAX_ERROR_PCT = 3.96
+FIG7_AVG_ERROR_PCT = 1.91
+FIG67_BENCHMARKS = ("alexnet", "zfnet", "vgg16", "tiny_yolo")
+
+# --- Table IV: F-CAD generated accelerators ---------------------------------
+# case -> device, quant, per-branch (DSP, BRAM, FPS, efficiency %), DSE s
+TABLE4_CASES = {
+    1: {
+        "device": "Z7045",
+        "quant": "int8",
+        "branches": [
+            (199, 221, 61.0, 76.6),
+            (500, 551, 30.5, 86.6),
+            (38, 112, 61.0, 84.2),
+        ],
+        "total_dsp": 737,
+        "total_bram": 884,
+        "dse_seconds": 101.8,
+    },
+    2: {
+        "device": "ZU17EG",
+        "quant": "int8",
+        "branches": [
+            (351, 280, 122.1, 86.8),
+            (936, 642, 61.0, 92.6),
+            (70, 102, 122.1, 91.4),
+        ],
+        "total_dsp": 1357,
+        "total_bram": 1024,
+        "dse_seconds": 77.3,
+    },
+    3: {
+        "device": "ZU17EG",
+        "quant": "int16",
+        "branches": [
+            (351, 382, 61.0, 86.8),
+            (928, 983, 30.5, 93.4),
+            (22, 208, 15.3, 72.7),
+        ],
+        "total_dsp": 1301,
+        "total_bram": 1573,
+        "dse_seconds": 82.8,
+    },
+    4: {
+        "device": "ZU9CG",
+        "quant": "int8",
+        "branches": [
+            (351, 280, 122.1, 86.8),
+            (1808, 786, 122.1, 95.8),
+            (70, 102, 122.1, 91.4),
+        ],
+        "total_dsp": 2229,
+        "total_bram": 1168,
+        "dse_seconds": 56.9,
+    },
+    5: {
+        "device": "ZU9CG",
+        "quant": "int16",
+        "branches": [
+            (351, 382, 61.0, 86.8),
+            (1792, 1183, 61.0, 96.7),
+            (70, 188, 61.0, 91.4),
+        ],
+        "total_dsp": 2213,
+        "total_bram": 1735,
+        "dse_seconds": 67.6,
+    },
+}
+TABLE4_BATCH_SIZES = (1, 2, 2)
+
+# --- Table V: comparison on ZU9CG -------------------------------------------
+TABLE5 = {
+    "DNNBuilder": {"quant": "int8", "dsp": 1820, "bram": 1197, "fps": 30.5, "eff": 0.288},
+    "HybridDNN": {"quant": "int16", "dsp": 1024, "bram": 1120, "fps": 22.0, "eff": 0.704},
+    "F-CAD (8-bit)": {"quant": "int8", "dsp": 2229, "bram": 1168, "fps": 122.1, "eff": 0.913},
+    "F-CAD (16-bit)": {"quant": "int16", "dsp": 2213, "bram": 1735, "fps": 61.0, "eff": 0.916},
+}
+TABLE5_SPEEDUP_VS_DNNBUILDER = 4.0
+TABLE5_SPEEDUP_VS_HYBRIDDNN = 2.8
+
+# --- Sec. VII: DSE convergence ----------------------------------------------
+CONVERGENCE_SEARCHES = 10
+CONVERGENCE_ITERATIONS = 20  # N
+CONVERGENCE_POPULATION = 200  # P
+CONVERGENCE_AVG_ITER = 9.2
+CONVERGENCE_MIN_ITER = 6.8
+CONVERGENCE_MAX_ITER = 13.6

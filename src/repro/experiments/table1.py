@@ -1,0 +1,82 @@
+"""Table I: network architecture and profile of the targeted decoder."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments import paper_constants as paper
+from repro.models.codec_avatar import build_codec_avatar_decoder
+from repro.profiler.network import NetworkProfile, profile_network
+from repro.utils.tables import render_table
+from repro.utils.units import GIGA
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    branch: int
+    gop: float
+    gop_share: float
+    params_m: float
+    param_share: float
+    paper_gop: float
+    paper_params_m: float
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    rows: tuple[Table1Row, ...]
+    unique_gop: float
+    unique_params_m: float
+    profile: NetworkProfile
+
+    def render(self) -> str:
+        table_rows = []
+        for row in self.rows:
+            table_rows.append(
+                [
+                    f"Br.{row.branch}",
+                    f"{row.gop:.1f} ({100 * row.gop_share:.1f}%)",
+                    f"{row.paper_gop:.1f}",
+                    f"{row.params_m:.1f}M ({100 * row.param_share:.1f}%)",
+                    f"{row.paper_params_m:.1f}M",
+                ]
+            )
+        table_rows.append(
+            [
+                "unique",
+                f"{self.unique_gop:.1f}",
+                f"{paper.TABLE1_UNIQUE_GOP:.1f}",
+                f"{self.unique_params_m:.1f}M",
+                f"{paper.TABLE1_UNIQUE_PARAMS_M:.1f}M",
+            ]
+        )
+        return render_table(
+            ["branch", "GOP (measured)", "GOP (paper)", "params (measured)", "params (paper)"],
+            table_rows,
+            title="Table I: targeted codec-avatar decoder profile",
+        )
+
+
+def run_table1() -> Table1Result:
+    """Profile the reference decoder and compare with Table I."""
+    profile = profile_network(build_codec_avatar_decoder())
+    ops_total = profile.sum_of_branch_ops or 1
+    params_total = sum(b.params for b in profile.branches) or 1
+    rows = tuple(
+        Table1Row(
+            branch=branch.index + 1,
+            gop=branch.ops / GIGA,
+            gop_share=branch.ops / ops_total,
+            params_m=branch.params / 1e6,
+            param_share=branch.params / params_total,
+            paper_gop=paper.TABLE1_BRANCH_GOP[branch.index],
+            paper_params_m=paper.TABLE1_BRANCH_PARAMS_M[branch.index],
+        )
+        for branch in profile.branches
+    )
+    return Table1Result(
+        rows=rows,
+        unique_gop=profile.total_ops / GIGA,
+        unique_params_m=profile.total_params / 1e6,
+        profile=profile,
+    )

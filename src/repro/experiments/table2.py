@@ -1,0 +1,92 @@
+"""Table II: the mimic decoder on existing accelerators.
+
+Evaluates the Snapdragon-865-style SoC model plus DNNBuilder and HybridDNN
+on three FPGAs of increasing size (the paper's schemes 1-3) and reproduces
+the headline behaviours: the SoC is cache-bound in the teens of percent
+efficiency; DNNBuilder's throughput is flat across schemes while its
+efficiency collapses; HybridDNN scales once, then sticks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.base import BaselineDesign
+from repro.baselines.dnnbuilder import DnnBuilderModel
+from repro.baselines.hybriddnn import HybridDnnModel
+from repro.baselines.soc import SocModel
+from repro.construction.reorg import build_pipeline_plan
+from repro.devices.fpga import get_device
+from repro.experiments import paper_constants as paper
+from repro.models.mimic import build_mimic_decoder
+from repro.quant.schemes import INT8, INT16
+from repro.utils.tables import render_table
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    soc: BaselineDesign
+    dnnbuilder: dict[int, BaselineDesign]
+    hybriddnn: dict[int, BaselineDesign]
+
+    def render(self) -> str:
+        rows = [
+            [
+                "865 SoC (8-bit)",
+                "-",
+                "-",
+                f"{self.soc.fps:.1f}",
+                f"{100 * self.soc.efficiency:.1f}",
+                f"{paper.TABLE2_SOC['fps']:.1f}",
+                f"{100 * paper.TABLE2_SOC['efficiency']:.1f}",
+            ]
+        ]
+        for scheme, design in sorted(self.dnnbuilder.items()):
+            ref = paper.TABLE2_DNNBUILDER[scheme]
+            rows.append(
+                [
+                    f"DNNBuilder (8-bit) s{scheme}",
+                    design.dsp,
+                    design.bram,
+                    f"{design.fps:.1f}",
+                    f"{100 * design.efficiency:.1f}",
+                    f"{ref[2]:.1f}",
+                    f"{100 * ref[3]:.1f}",
+                ]
+            )
+        for scheme, design in sorted(self.hybriddnn.items()):
+            ref = paper.TABLE2_HYBRIDDNN[scheme]
+            rows.append(
+                [
+                    f"HybridDNN (16-bit) s{scheme}",
+                    design.dsp,
+                    design.bram,
+                    f"{design.fps:.1f}",
+                    f"{100 * design.efficiency:.1f}",
+                    f"{ref[2]:.1f}",
+                    f"{100 * ref[3]:.1f}",
+                ]
+            )
+        return render_table(
+            ["scheme", "DSP", "BRAM", "FPS", "eff %", "paper FPS", "paper eff %"],
+            rows,
+            title="Table II: mimic decoder on existing accelerators",
+        )
+
+
+def run_table2() -> Table2Result:
+    """Evaluate all three baselines across the paper's schemes."""
+    mimic = build_mimic_decoder()
+    plan = build_pipeline_plan(mimic)
+    soc = SocModel().design(mimic, INT8)
+    dnnbuilder = {}
+    hybriddnn = {}
+    for scheme, device_name in paper.SCHEME_DEVICES.items():
+        budget = get_device(device_name).budget()
+        dnnbuilder[scheme] = DnnBuilderModel().design(
+            plan, budget, INT8, target=device_name
+        )
+        hybriddnn[scheme] = HybridDnnModel().design(
+            plan, budget, INT16, target=device_name
+        )
+    return Table2Result(soc=soc, dnnbuilder=dnnbuilder, hybriddnn=hybriddnn)

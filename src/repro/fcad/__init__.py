@@ -1,0 +1,5 @@
+"""The F-CAD automation flow (paper Fig. 4)."""
+
+from repro.fcad.flow import FCad, FcadResult
+
+__all__ = ["FCad", "FcadResult"]

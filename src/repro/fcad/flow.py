@@ -1,0 +1,156 @@
+"""F-CAD: the three-step automation design flow.
+
+1. **Analysis** — profile the network layer- and branch-wise
+   (:mod:`repro.profiler`);
+2. **Construction** — fuse layers, separate shared branches, instantiate
+   the elastic architecture (:mod:`repro.construction`, :mod:`repro.arch`);
+3. **Optimization** — explore the multi-branch design space with the DSE
+   engine under the budget and customization (:mod:`repro.dse`).
+
+Usage::
+
+    from repro import FCad, get_device, INT8, Customization
+
+    result = FCad(
+        network=build_codec_avatar_decoder(),
+        device=get_device("ZU9CG"),
+        quant=INT8,
+        customization=Customization(batch_sizes=(1, 2, 2),
+                                    priorities=(1.0, 1.0, 1.0)),
+    ).run()
+    print(result.render())
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.analysis.analyzer import NetworkAnalysis, analyze_network
+from repro.arch.elastic import ElasticAccelerator
+from repro.construction.reorg import PipelinePlan, build_pipeline_plan
+from repro.devices.asic import AsicSpec
+from repro.devices.budget import ResourceBudget
+from repro.devices.fpga import FpgaDevice
+from repro.dse.engine import DseEngine
+from repro.dse.result import DseResult
+from repro.dse.space import Customization
+from repro.ir.graph import NetworkGraph
+from repro.profiler.network import NetworkProfile
+from repro.profiler.report import render_branch_table
+from repro.quant.schemes import QuantScheme, get_scheme
+
+
+@dataclass(frozen=True)
+class FcadResult:
+    """Everything the flow produced, from analysis to the optimized design."""
+
+    network_name: str
+    analysis: NetworkAnalysis
+    plan: PipelinePlan
+    dse: DseResult
+    budget: ResourceBudget
+    quant: QuantScheme
+    frequency_mhz: float
+
+    @property
+    def profile(self) -> NetworkProfile:
+        return self.analysis.profile
+
+    @property
+    def fps(self) -> float:
+        return self.dse.best_perf.fps
+
+    @property
+    def efficiency(self) -> float:
+        return self.dse.best_perf.overall_efficiency
+
+    def accelerator(self) -> ElasticAccelerator:
+        """Instantiate the optimized elastic architecture."""
+        return ElasticAccelerator(
+            plan=self.plan,
+            config=self.dse.best_config,
+            quant=self.quant,
+            frequency_mhz=self.frequency_mhz,
+        )
+
+    def render(self) -> str:
+        parts = [
+            render_branch_table(self.profile),
+            "",
+            self.dse.render(),
+            "",
+            (
+                f"budget: {self.budget.compute} DSP, {self.budget.memory} BRAM, "
+                f"{self.budget.bandwidth_gbps:.1f} GB/s @ {self.frequency_mhz:.0f} MHz "
+                f"({self.quant.name})"
+            ),
+        ]
+        return "\n".join(parts)
+
+
+class FCad:
+    """The end-to-end automation tool."""
+
+    def __init__(
+        self,
+        network: NetworkGraph,
+        device: FpgaDevice | AsicSpec | None = None,
+        budget: ResourceBudget | None = None,
+        quant: QuantScheme | str = "int8",
+        customization: Customization | None = None,
+        frequency_mhz: float | None = None,
+        alpha: float = 0.05,
+    ) -> None:
+        if (device is None) == (budget is None):
+            raise ValueError("provide exactly one of device or budget")
+        if isinstance(quant, str):
+            quant = get_scheme(quant)
+        self.network = network
+        self.budget = budget if budget is not None else device.budget()
+        self.quant = quant
+        if frequency_mhz is None:
+            frequency_mhz = (
+                device.default_frequency_mhz if device is not None else 200.0
+            )
+        self.frequency_mhz = frequency_mhz
+        self.customization = customization
+        self.alpha = alpha
+
+    def run(
+        self,
+        iterations: int = 20,
+        population: int = 200,
+        seed: int | random.Random | None = 0,
+    ) -> FcadResult:
+        """Execute Analysis, Construction and Optimization."""
+        # Step 1: Analysis.
+        analysis = analyze_network(self.network)
+        # Step 2: Construction.
+        plan = build_pipeline_plan(self.network)
+        customization = (
+            self.customization
+            if self.customization is not None
+            else Customization.uniform(plan.num_branches)
+        )
+        # Step 3: Optimization.
+        engine = DseEngine(
+            plan=plan,
+            budget=self.budget,
+            customization=customization,
+            quant=self.quant,
+            frequency_mhz=self.frequency_mhz,
+            alpha=self.alpha,
+        )
+        dse = engine.search(
+            iterations=iterations, population=population, seed=seed
+        )
+        return FcadResult(
+            network_name=self.network.name,
+            analysis=analysis,
+            plan=plan,
+            dse=dse,
+            budget=self.budget,
+            quant=self.quant,
+            frequency_mhz=self.frequency_mhz,
+        )

@@ -1,0 +1,130 @@
+"""Markdown design-report generation.
+
+``render_markdown_report`` turns an :class:`~repro.fcad.flow.FcadResult`
+into a self-contained markdown document: network summary, branch profile,
+the optimized configuration (including every unit's ``(cpf, kpf, h)``),
+resource usage against the budget, and the DSE trace — the artifact a
+hardware team would attach to a design review.
+"""
+
+from __future__ import annotations
+
+from repro.fcad.flow import FcadResult
+from repro.perf.energy import estimate_energy
+from repro.utils.units import GIGA, format_count
+
+
+def _pct(part: float, whole: float) -> str:
+    if whole <= 0:
+        return "-"
+    return f"{100.0 * part / whole:.1f}%"
+
+
+def render_markdown_report(result: FcadResult) -> str:
+    """A full design report as a markdown string."""
+    perf = result.dse.best_perf
+    budget = result.budget
+    lines: list[str] = []
+    add = lines.append
+
+    add(f"# F-CAD design report: {result.network_name}")
+    add("")
+    add(
+        f"- target budget: **{budget.compute}** compute units, "
+        f"**{budget.memory}** BRAM18K, **{budget.bandwidth_gbps:.1f} GB/s** "
+        f"@ {result.frequency_mhz:.0f} MHz"
+    )
+    add(f"- quantization: **{result.quant.name}**")
+    add(
+        f"- decoder frame rate: **{perf.fps:.1f} FPS** "
+        f"({'meets' if perf.fps >= 90 else 'below'} the 90 FPS VR target)"
+    )
+    add(f"- overall efficiency (Eq. 3): **{100 * perf.overall_efficiency:.1f}%**")
+    add(
+        f"- DSE: {result.dse.iterations} iterations, best fitness "
+        f"{result.dse.best_fitness:.1f}, converged at iteration "
+        f"{result.dse.convergence_iteration}, "
+        f"{result.dse.runtime_seconds:.1f} s wall clock"
+    )
+    add("")
+
+    add("## Network")
+    add("")
+    profile = result.profile
+    add(
+        f"{len(profile.layers)} layers in {len(profile.branches)} branches; "
+        f"{profile.total_ops / GIGA:.1f} GOP and "
+        f"{format_count(profile.total_params)} parameters per frame "
+        f"(shared parts counted once)."
+    )
+    add("")
+    add("| branch | output | GOP | params | shared GOP |")
+    add("|---|---|---|---|---|")
+    for branch in profile.branches:
+        add(
+            f"| Br.{branch.index + 1} | {branch.output_name} "
+            f"| {branch.ops / GIGA:.2f} | {format_count(branch.params)} "
+            f"| {branch.shared_ops / GIGA:.2f} |"
+        )
+    add("")
+
+    add("## Optimized accelerator")
+    add("")
+    add("| branch | batch | DSP | BRAM | FPS | eff % | bottleneck |")
+    add("|---|---|---|---|---|---|---|")
+    for branch in perf.branches:
+        add(
+            f"| Br.{branch.index + 1} | {branch.batch_size} | {branch.dsp} "
+            f"| {branch.bram} | {branch.fps:.1f} "
+            f"| {100 * branch.efficiency:.1f} | {branch.bottleneck_stage} |"
+        )
+    add(
+        f"| **total** |  | {perf.total_dsp} ({_pct(perf.total_dsp, budget.compute)}) "
+        f"| {perf.total_bram} ({_pct(perf.total_bram, budget.memory)}) "
+        f"| {perf.fps:.1f} | {100 * perf.overall_efficiency:.1f} |  |"
+    )
+    add("")
+
+    add("## Unit configurations (cpf x kpf x h per stage)")
+    add("")
+    add("| unit | stage | cpf | kpf | h | pf | latency (cycles) |")
+    add("|---|---|---|---|---|---|---|")
+    for branch_perf, branch_cfg, pipeline in zip(
+        perf.branches, result.dse.best_config.branches, result.plan.branches
+    ):
+        for planned, cfg, stage_perf in zip(
+            pipeline.stages, branch_cfg.stages, branch_perf.stages
+        ):
+            add(
+                f"| ({pipeline.index + 1},{planned.index + 1}) "
+                f"| {planned.name} | {cfg.cpf} | {cfg.kpf} | {cfg.h} "
+                f"| {cfg.pf} | {stage_perf.latency_cycles:,} |"
+            )
+    add("")
+
+    add("## Energy estimate")
+    add("")
+    energy = estimate_energy(
+        result.plan, result.dse.best_config, result.quant, perf
+    )
+    add(
+        f"- {energy.dynamic_mj_per_frame:.2f} mJ per decoded frame "
+        f"(compute {sum(b.compute_mj for b in energy.branches):.2f}, "
+        f"SRAM {sum(b.sram_mj for b in energy.branches):.2f}, "
+        f"DRAM {sum(b.dram_mj for b in energy.branches):.2f})"
+    )
+    add(
+        f"- at {energy.fps:.1f} FPS: {energy.dynamic_w:.2f} W dynamic + "
+        f"{energy.static_w:.2f} W static = **{energy.total_w:.2f} W** "
+        f"({energy.fps_per_watt:.1f} FPS/W)"
+    )
+    add("")
+
+    add("## DSE fitness trace")
+    add("")
+    add("| iteration | best fitness |")
+    add("|---|---|")
+    for idx, fitness in enumerate(result.dse.history, start=1):
+        add(f"| {idx} | {fitness:.1f} |")
+    add("")
+    return "\n".join(lines)

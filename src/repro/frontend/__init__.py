@@ -1,0 +1,43 @@
+"""Frontends that import models into the IR.
+
+- :mod:`repro.frontend.torchlike` — a miniature ``nn.Module``-style API with
+  a tracer, so decoders can be authored the way they are in popular ML
+  frameworks and imported into F-CAD;
+- :mod:`repro.frontend.spec` — a declarative dict/JSON network description.
+"""
+
+from repro.frontend.spec import graph_from_spec
+from repro.frontend.torchlike import (
+    Concat,
+    Conv2d,
+    Flatten,
+    LeakyReLU,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Reshape,
+    Sequential,
+    Tanh,
+    TraceTensor,
+    UpsamplingNearest2d,
+    trace,
+)
+
+__all__ = [
+    "Concat",
+    "Conv2d",
+    "Flatten",
+    "LeakyReLU",
+    "Linear",
+    "MaxPool2d",
+    "Module",
+    "ReLU",
+    "Reshape",
+    "Sequential",
+    "Tanh",
+    "TraceTensor",
+    "UpsamplingNearest2d",
+    "graph_from_spec",
+    "trace",
+]

@@ -1,0 +1,128 @@
+"""Declarative network descriptions.
+
+A *spec* is a plain dict (usually loaded from JSON/YAML by the caller) that
+lists nodes in order — convenient for configuration-driven experiments::
+
+    spec = {
+        "name": "tiny",
+        "nodes": [
+            {"name": "x", "op": "input", "shape": [3, 32, 32]},
+            {"name": "c1", "op": "conv", "inputs": ["x"],
+             "out_channels": 16, "kernel": 3},
+            {"name": "a1", "op": "act", "inputs": ["c1"], "fn": "relu"},
+        ],
+    }
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.ir.graph import GraphError, NetworkGraph
+from repro.ir.layer import (
+    Activation,
+    BiasMode,
+    Concat,
+    Conv2d,
+    Flatten,
+    Input,
+    Linear,
+    MaxPool,
+    Reshape,
+    TensorShape,
+    Upsample,
+)
+
+
+def _shape(raw: Any) -> TensorShape:
+    c, h, w = raw
+    return TensorShape(channels=c, height=h, width=w)
+
+
+def _build_input(entry: dict[str, Any], graph: NetworkGraph) -> Input:
+    return Input(shape=_shape(entry["shape"]))
+
+
+def _build_conv(entry: dict[str, Any], graph: NetworkGraph) -> Conv2d:
+    inputs = entry["inputs"]
+    in_channels = entry.get("in_channels")
+    if in_channels is None:
+        in_channels = graph.infer_shapes()[inputs[0]].channels
+    return Conv2d(
+        in_channels=in_channels,
+        out_channels=entry["out_channels"],
+        kernel=entry["kernel"],
+        stride=entry.get("stride", 1),
+        padding=entry.get("padding", "same"),
+        bias=BiasMode(entry.get("bias", "tied")),
+    )
+
+
+def _build_act(entry: dict[str, Any], graph: NetworkGraph) -> Activation:
+    return Activation(
+        fn=entry.get("fn", "relu"),
+        negative_slope=entry.get("negative_slope", 0.2),
+    )
+
+
+def _build_upsample(entry: dict[str, Any], graph: NetworkGraph) -> Upsample:
+    return Upsample(scale=entry.get("scale", 2))
+
+
+def _build_pool(entry: dict[str, Any], graph: NetworkGraph) -> MaxPool:
+    return MaxPool(
+        kernel=entry.get("kernel", 2),
+        stride=entry.get("stride"),
+        padding=entry.get("padding", "valid"),
+    )
+
+
+def _build_linear(entry: dict[str, Any], graph: NetworkGraph) -> Linear:
+    inputs = entry["inputs"]
+    in_features = entry.get("in_features")
+    if in_features is None:
+        in_features = graph.infer_shapes()[inputs[0]].numel
+    return Linear(
+        in_features=in_features,
+        out_features=entry["out_features"],
+        bias=BiasMode(entry.get("bias", "tied")),
+    )
+
+
+def _build_reshape(entry: dict[str, Any], graph: NetworkGraph) -> Reshape:
+    return Reshape(target=_shape(entry["shape"]))
+
+
+def _build_flatten(entry: dict[str, Any], graph: NetworkGraph) -> Flatten:
+    return Flatten()
+
+
+def _build_concat(entry: dict[str, Any], graph: NetworkGraph) -> Concat:
+    return Concat(num_inputs=len(entry["inputs"]))
+
+
+_BUILDERS = {
+    "input": _build_input,
+    "conv": _build_conv,
+    "act": _build_act,
+    "upsample": _build_upsample,
+    "pool": _build_pool,
+    "linear": _build_linear,
+    "reshape": _build_reshape,
+    "flatten": _build_flatten,
+    "concat": _build_concat,
+}
+
+
+def graph_from_spec(spec: dict[str, Any]) -> NetworkGraph:
+    """Build a validated graph from a declarative spec dict."""
+    graph = NetworkGraph(spec.get("name", "network"))
+    for entry in spec["nodes"]:
+        op = entry.get("op")
+        if op not in _BUILDERS:
+            known = ", ".join(sorted(_BUILDERS))
+            raise GraphError(f"unknown op {op!r} in spec; known ops: {known}")
+        layer = _BUILDERS[op](entry, graph)
+        graph.add(entry["name"], layer, tuple(entry.get("inputs", ())))
+    graph.validate()
+    return graph

@@ -1,0 +1,256 @@
+"""A miniature torch-style module API with an IR tracer.
+
+The paper's flow "directly connects to popular machine learning frameworks
+and takes the developed decoder models as inputs". This module provides that
+ingestion path without a PyTorch dependency: users author models with
+``Module``/``Sequential`` and layer objects whose constructors mirror
+``torch.nn``, and :func:`trace` runs the model once on symbolic tensors to
+record the IR graph.
+
+Example::
+
+    class TextureBranch(Module):
+        def __init__(self):
+            super().__init__()
+            self.block = Sequential(
+                Conv2d(7, 256, kernel_size=4, padding="same"),
+                LeakyReLU(0.2),
+                UpsamplingNearest2d(scale_factor=2),
+            )
+
+        def forward(self, x):
+            return self.block(x)
+
+    graph = trace(TextureBranch(), {"zv": TensorShape(7, 8, 8)})
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir import layer as ir
+from repro.ir.graph import NetworkGraph
+from repro.ir.layer import BiasMode, TensorShape
+
+
+@dataclass(frozen=True)
+class TraceTensor:
+    """A symbolic tensor flowing through a traced model."""
+
+    node: str
+    shape: TensorShape
+    graph: NetworkGraph
+
+    def reshape(self, channels: int, height: int, width: int) -> "TraceTensor":
+        target = TensorShape(channels, height, width)
+        name = _fresh_name(self.graph, "reshape")
+        self.graph.add(name, ir.Reshape(target=target), (self.node,))
+        return TraceTensor(node=name, shape=target, graph=self.graph)
+
+    def flatten(self) -> "TraceTensor":
+        name = _fresh_name(self.graph, "flatten")
+        self.graph.add(name, ir.Flatten(), (self.node,))
+        return TraceTensor(
+            node=name,
+            shape=TensorShape(self.shape.numel, 1, 1),
+            graph=self.graph,
+        )
+
+
+def _fresh_name(graph: NetworkGraph, prefix: str) -> str:
+    index = 1
+    while f"{prefix}{index}" in graph:
+        index += 1
+    return f"{prefix}{index}"
+
+
+def cat(tensors: list[TraceTensor]) -> TraceTensor:
+    """Concatenate symbolic tensors along channels (``torch.cat`` analogue)."""
+    if len(tensors) < 2:
+        raise ValueError("cat needs at least two tensors")
+    graph = tensors[0].graph
+    layer = ir.Concat(num_inputs=len(tensors))
+    name = _fresh_name(graph, "concat")
+    graph.add(name, layer, tuple(t.node for t in tensors))
+    shape = layer.infer_shape(tuple(t.shape for t in tensors))
+    return TraceTensor(node=name, shape=shape, graph=graph)
+
+
+class Module:
+    """Base class for traceable models — subclass and define ``forward``."""
+
+    def forward(self, *inputs: TraceTensor) -> TraceTensor:
+        raise NotImplementedError
+
+    def __call__(self, *inputs: TraceTensor) -> TraceTensor:
+        return self.forward(*inputs)
+
+
+class Sequential(Module):
+    """Apply child modules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        self.modules = modules
+
+    def forward(self, x: TraceTensor) -> TraceTensor:
+        for module in self.modules:
+            x = module(x)
+        return x
+
+
+class _LayerModule(Module):
+    """A module that appends one IR layer when called."""
+
+    prefix = "node"
+
+    def build_layer(self, in_shape: TensorShape) -> ir.Layer:
+        raise NotImplementedError
+
+    def forward(self, x: TraceTensor) -> TraceTensor:
+        layer = self.build_layer(x.shape)
+        name = _fresh_name(x.graph, self.prefix)
+        x.graph.add(name, layer, (x.node,))
+        shape = layer.infer_shape((x.shape,))
+        return TraceTensor(node=name, shape=shape, graph=x.graph)
+
+
+class Conv2d(_LayerModule):
+    """Mirror of ``torch.nn.Conv2d`` plus the untied-bias extension."""
+
+    prefix = "conv"
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int | str = "same",
+        bias: bool | BiasMode = True,
+    ) -> None:
+        if isinstance(bias, bool):
+            bias = BiasMode.TIED if bias else BiasMode.NONE
+        self.args = dict(
+            in_channels=in_channels,
+            out_channels=out_channels,
+            kernel=kernel_size,
+            stride=stride,
+            padding=padding,
+            bias=bias,
+        )
+
+    def build_layer(self, in_shape: TensorShape) -> ir.Layer:
+        return ir.Conv2d(**self.args)
+
+
+class Linear(_LayerModule):
+    prefix = "fc"
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True) -> None:
+        self.in_features = in_features
+        self.out_features = out_features
+        self.bias = BiasMode.TIED if bias else BiasMode.NONE
+
+    def build_layer(self, in_shape: TensorShape) -> ir.Layer:
+        return ir.Linear(
+            in_features=self.in_features,
+            out_features=self.out_features,
+            bias=self.bias,
+        )
+
+
+class ReLU(_LayerModule):
+    prefix = "act"
+
+    def build_layer(self, in_shape: TensorShape) -> ir.Layer:
+        return ir.Activation(fn="relu")
+
+
+class LeakyReLU(_LayerModule):
+    prefix = "act"
+
+    def __init__(self, negative_slope: float = 0.01) -> None:
+        self.negative_slope = negative_slope
+
+    def build_layer(self, in_shape: TensorShape) -> ir.Layer:
+        return ir.Activation(fn="leaky_relu", negative_slope=self.negative_slope)
+
+
+class Tanh(_LayerModule):
+    prefix = "act"
+
+    def build_layer(self, in_shape: TensorShape) -> ir.Layer:
+        return ir.Activation(fn="tanh")
+
+
+class UpsamplingNearest2d(_LayerModule):
+    prefix = "up"
+
+    def __init__(self, scale_factor: int = 2) -> None:
+        self.scale_factor = scale_factor
+
+    def build_layer(self, in_shape: TensorShape) -> ir.Layer:
+        return ir.Upsample(scale=self.scale_factor)
+
+
+class MaxPool2d(_LayerModule):
+    prefix = "pool"
+
+    def __init__(
+        self,
+        kernel_size: int,
+        stride: int | None = None,
+        padding: int | str = "valid",
+    ) -> None:
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+
+    def build_layer(self, in_shape: TensorShape) -> ir.Layer:
+        return ir.MaxPool(
+            kernel=self.kernel_size, stride=self.stride, padding=self.padding
+        )
+
+
+class Flatten(_LayerModule):
+    prefix = "flatten"
+
+    def build_layer(self, in_shape: TensorShape) -> ir.Layer:
+        return ir.Flatten()
+
+
+class Reshape(_LayerModule):
+    prefix = "reshape"
+
+    def __init__(self, channels: int, height: int, width: int) -> None:
+        self.target = TensorShape(channels, height, width)
+
+    def build_layer(self, in_shape: TensorShape) -> ir.Layer:
+        return ir.Reshape(target=self.target)
+
+
+class Concat(Module):
+    """Concatenation as a module (multi-input)."""
+
+    def forward(self, *inputs: TraceTensor) -> TraceTensor:
+        return cat(list(inputs))
+
+
+def trace(
+    module: Module,
+    input_shapes: dict[str, TensorShape],
+    name: str = "traced",
+) -> NetworkGraph:
+    """Run ``module`` once on symbolic tensors and return the recorded graph.
+
+    ``input_shapes`` maps input names to shapes; inputs are passed to
+    ``module.forward`` in dict order.
+    """
+    graph = NetworkGraph(name)
+    tensors = []
+    for input_name, shape in input_shapes.items():
+        graph.add(input_name, ir.Input(shape=shape))
+        tensors.append(TraceTensor(node=input_name, shape=shape, graph=graph))
+    module(*tensors)
+    graph.validate()
+    return graph

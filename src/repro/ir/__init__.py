@@ -1,0 +1,54 @@
+"""Multi-branch DNN intermediate representation.
+
+The IR is the contract between the model zoo / frontend (which produce
+networks), the profiler and construction steps (which analyse them), and the
+runtime (which executes them).
+"""
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import GraphError, NetworkGraph, Node
+from repro.ir.layer import (
+    Activation,
+    BiasMode,
+    Concat,
+    Conv2d,
+    Flatten,
+    Input,
+    Layer,
+    Linear,
+    MaxPool,
+    Reshape,
+    ShapeError,
+    TensorShape,
+    Upsample,
+)
+from repro.ir.serialize import (
+    graph_from_dict,
+    graph_from_json,
+    graph_to_dict,
+    graph_to_json,
+)
+
+__all__ = [
+    "Activation",
+    "BiasMode",
+    "Concat",
+    "Conv2d",
+    "Flatten",
+    "GraphBuilder",
+    "GraphError",
+    "Input",
+    "Layer",
+    "Linear",
+    "MaxPool",
+    "NetworkGraph",
+    "Node",
+    "Reshape",
+    "ShapeError",
+    "TensorShape",
+    "Upsample",
+    "graph_from_dict",
+    "graph_from_json",
+    "graph_to_dict",
+    "graph_to_json",
+]

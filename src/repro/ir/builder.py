@@ -1,0 +1,144 @@
+"""A fluent helper for assembling graphs.
+
+The model zoo uses this builder so network definitions read like the
+architecture tables in papers::
+
+    b = GraphBuilder("decoder")
+    x = b.input("z", TensorShape(4, 8, 8))
+    x = b.conv(x, out_channels=128, kernel=4)
+    x = b.act(x)
+    x = b.upsample(x)
+    ...
+    graph = b.graph
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.ir.graph import NetworkGraph
+from repro.ir.layer import (
+    Activation,
+    BiasMode,
+    Concat,
+    Conv2d,
+    Flatten,
+    Input,
+    Linear,
+    MaxPool,
+    Reshape,
+    TensorShape,
+    Upsample,
+)
+
+
+class GraphBuilder:
+    """Incrementally builds a :class:`NetworkGraph` with auto-named nodes."""
+
+    def __init__(self, name: str = "network") -> None:
+        self.graph = NetworkGraph(name)
+        self._counters: Counter[str] = Counter()
+
+    def _auto_name(self, prefix: str, name: str | None) -> str:
+        if name is not None:
+            return name
+        self._counters[prefix] += 1
+        return f"{prefix}{self._counters[prefix]}"
+
+    # ------------------------------------------------------------------
+    def input(self, name: str, shape: TensorShape) -> str:
+        return self.graph.add(name, Input(shape=shape))
+
+    def conv(
+        self,
+        x: str,
+        out_channels: int,
+        kernel: int,
+        stride: int = 1,
+        padding: int | str = "same",
+        bias: BiasMode = BiasMode.UNTIED,
+        name: str | None = None,
+    ) -> str:
+        in_channels = self._channels_of(x)
+        layer = Conv2d(
+            in_channels=in_channels,
+            out_channels=out_channels,
+            kernel=kernel,
+            stride=stride,
+            padding=padding,
+            bias=bias,
+        )
+        return self.graph.add(self._auto_name("conv", name), layer, (x,))
+
+    def act(
+        self,
+        x: str,
+        fn: str = "leaky_relu",
+        negative_slope: float = 0.2,
+        name: str | None = None,
+    ) -> str:
+        layer = Activation(fn=fn, negative_slope=negative_slope)
+        return self.graph.add(self._auto_name("act", name), layer, (x,))
+
+    def upsample(self, x: str, scale: int = 2, name: str | None = None) -> str:
+        return self.graph.add(
+            self._auto_name("up", name), Upsample(scale=scale), (x,)
+        )
+
+    def pool(
+        self,
+        x: str,
+        kernel: int = 2,
+        stride: int | None = None,
+        padding: int | str = "valid",
+        name: str | None = None,
+    ) -> str:
+        layer = MaxPool(kernel=kernel, stride=stride, padding=padding)
+        return self.graph.add(self._auto_name("pool", name), layer, (x,))
+
+    def linear(
+        self,
+        x: str,
+        out_features: int,
+        bias: BiasMode = BiasMode.TIED,
+        name: str | None = None,
+    ) -> str:
+        shape = self._shape_of(x)
+        layer = Linear(
+            in_features=shape.numel, out_features=out_features, bias=bias
+        )
+        return self.graph.add(self._auto_name("fc", name), layer, (x,))
+
+    def reshape(self, x: str, target: TensorShape, name: str | None = None) -> str:
+        return self.graph.add(
+            self._auto_name("reshape", name), Reshape(target=target), (x,)
+        )
+
+    def flatten(self, x: str, name: str | None = None) -> str:
+        return self.graph.add(self._auto_name("flatten", name), Flatten(), (x,))
+
+    def concat(self, xs: list[str], name: str | None = None) -> str:
+        layer = Concat(num_inputs=len(xs))
+        return self.graph.add(self._auto_name("concat", name), layer, tuple(xs))
+
+    # ------------------------------------------------------------------
+    def cau_block(
+        self,
+        x: str,
+        out_channels: int,
+        kernel: int = 4,
+        bias: BiasMode = BiasMode.UNTIED,
+        upsample: int = 2,
+        negative_slope: float = 0.2,
+    ) -> str:
+        """The decoder's [C, A, U] block: conv, LeakyReLU, 2x upsample."""
+        x = self.conv(x, out_channels=out_channels, kernel=kernel, bias=bias)
+        x = self.act(x, fn="leaky_relu", negative_slope=negative_slope)
+        return self.upsample(x, scale=upsample)
+
+    # ------------------------------------------------------------------
+    def _shape_of(self, name: str) -> TensorShape:
+        return self.graph.infer_shapes()[name]
+
+    def _channels_of(self, name: str) -> int:
+        return self._shape_of(name).channels

@@ -1,0 +1,179 @@
+"""The network graph: a DAG of named layer nodes.
+
+A *branch* (the paper's ``Br.``) corresponds to one graph output; nodes on
+which several outputs depend form the *shared part*. Branch decomposition
+and shared-part reassignment live in :mod:`repro.construction.reorg`; this
+module only provides the structural queries they need.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.ir.layer import Input, Layer, ShapeError, TensorShape
+
+
+class GraphError(ValueError):
+    """Raised for structural problems: cycles, bad wiring, duplicate names."""
+
+
+@dataclass(frozen=True)
+class Node:
+    """One layer instance in the graph."""
+
+    name: str
+    layer: Layer
+    inputs: tuple[str, ...]
+
+
+class NetworkGraph:
+    """A directed acyclic graph of layers with named nodes.
+
+    Nodes keep insertion order, which makes topological sorts and generated
+    reports deterministic.
+    """
+
+    def __init__(self, name: str = "network") -> None:
+        self.name = name
+        self._nodes: dict[str, Node] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add(self, name: str, layer: Layer, inputs: tuple[str, ...] | list[str] = ()) -> str:
+        """Add a node and return its name."""
+        if name in self._nodes:
+            raise GraphError(f"duplicate node name {name!r}")
+        inputs = tuple(inputs)
+        for parent in inputs:
+            if parent not in self._nodes:
+                raise GraphError(f"node {name!r} references unknown input {parent!r}")
+        if len(inputs) != layer.arity:
+            raise GraphError(
+                f"node {name!r} ({layer.kind}) expects {layer.arity} inputs, "
+                f"got {len(inputs)}"
+            )
+        self._nodes[name] = Node(name=name, layer=layer, inputs=inputs)
+        return name
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def node(self, name: str) -> Node:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise GraphError(f"unknown node {name!r}") from None
+
+    def nodes(self) -> list[Node]:
+        """All nodes in insertion order."""
+        return list(self._nodes.values())
+
+    def node_names(self) -> list[str]:
+        return list(self._nodes)
+
+    def input_names(self) -> list[str]:
+        """Names of :class:`~repro.ir.layer.Input` nodes, in insertion order."""
+        return [n.name for n in self._nodes.values() if isinstance(n.layer, Input)]
+
+    def output_names(self) -> list[str]:
+        """Names of nodes without successors — one per branch."""
+        consumed: set[str] = set()
+        for node in self._nodes.values():
+            consumed.update(node.inputs)
+        return [name for name in self._nodes if name not in consumed]
+
+    def successors(self) -> dict[str, list[str]]:
+        """Adjacency map node -> consumers (insertion order)."""
+        succ: dict[str, list[str]] = {name: [] for name in self._nodes}
+        for node in self._nodes.values():
+            for parent in node.inputs:
+                succ[parent].append(node.name)
+        return succ
+
+    def topo_order(self) -> list[str]:
+        """Kahn topological order, stable w.r.t. insertion order."""
+        in_degree = {name: len(node.inputs) for name, node in self._nodes.items()}
+        succ = self.successors()
+        ready = deque(name for name, deg in in_degree.items() if deg == 0)
+        order: list[str] = []
+        while ready:
+            name = ready.popleft()
+            order.append(name)
+            for child in succ[name]:
+                in_degree[child] -= 1
+                if in_degree[child] == 0:
+                    ready.append(child)
+        if len(order) != len(self._nodes):
+            raise GraphError(f"graph {self.name!r} contains a cycle")
+        return order
+
+    def ancestors(self, name: str) -> set[str]:
+        """All nodes the given node transitively depends on (exclusive)."""
+        seen: set[str] = set()
+        frontier = list(self.node(name).inputs)
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(self.node(current).inputs)
+        return seen
+
+    def branch_membership(self) -> dict[str, frozenset[int]]:
+        """Map node -> indices of the output branches that depend on it.
+
+        Branch indices follow :meth:`output_names` order (0-based). A node
+        whose set has more than one element belongs to a shared part.
+        """
+        outputs = self.output_names()
+        membership: dict[str, set[int]] = {name: set() for name in self._nodes}
+        for branch_idx, output in enumerate(outputs):
+            membership[output].add(branch_idx)
+            for anc in self.ancestors(output):
+                membership[anc].add(branch_idx)
+        return {name: frozenset(mem) for name, mem in membership.items()}
+
+    # ------------------------------------------------------------------
+    # shape inference and validation
+    # ------------------------------------------------------------------
+    def infer_shapes(self) -> dict[str, TensorShape]:
+        """Shapes of every node output, keyed by node name."""
+        shapes: dict[str, TensorShape] = {}
+        for name in self.topo_order():
+            node = self._nodes[name]
+            in_shapes = tuple(shapes[parent] for parent in node.inputs)
+            try:
+                shapes[name] = node.layer.infer_shape(in_shapes)
+            except ShapeError as exc:
+                raise ShapeError(f"at node {name!r}: {exc}") from exc
+        return shapes
+
+    def validate(self) -> None:
+        """Check structure and shapes; raises GraphError/ShapeError."""
+        if not self._nodes:
+            raise GraphError(f"graph {self.name!r} is empty")
+        if not self.input_names():
+            raise GraphError(f"graph {self.name!r} has no Input nodes")
+        dangling = [
+            n.name
+            for n in self._nodes.values()
+            if isinstance(n.layer, Input) and n.name in self.output_names()
+        ]
+        if dangling:
+            raise GraphError(f"inputs without consumers: {dangling}")
+        self.topo_order()
+        self.infer_shapes()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"NetworkGraph(name={self.name!r}, nodes={len(self)}, "
+            f"outputs={self.output_names()})"
+        )

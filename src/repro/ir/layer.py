@@ -1,0 +1,398 @@
+"""Layer definitions for the multi-branch DNN IR.
+
+Every layer is an immutable dataclass that knows how to
+
+- infer its output shape from input shapes (``infer_shape``),
+- count its multiply-accumulates (``macs``),
+- count its parameters split into weights and biases (``weight_params`` /
+  ``bias_params``).
+
+Shapes are channel-height-width (:class:`TensorShape`); vectors are
+represented as ``(features, 1, 1)``.
+
+The *customized Conv* of the paper — per-output-pixel ("untied") biases —
+is :class:`Conv2d` with ``bias=BiasMode.UNTIED``; its bias parameter count
+then grows with the output resolution, which is exactly the property that
+makes the codec-avatar decoder memory-hungry.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ShapeError(ValueError):
+    """Raised when shapes do not line up with a layer's expectations."""
+
+
+@dataclass(frozen=True, order=True)
+class TensorShape:
+    """A channels-height-width tensor shape."""
+
+    channels: int
+    height: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if min(self.channels, self.height, self.width) <= 0:
+            raise ShapeError(f"all dimensions must be positive: {self}")
+
+    @property
+    def numel(self) -> int:
+        return self.channels * self.height * self.width
+
+    def as_tuple(self) -> tuple[int, int, int]:
+        return (self.channels, self.height, self.width)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.channels},{self.height},{self.width}]"
+
+
+class BiasMode(str, enum.Enum):
+    """Bias flavour of a compute layer.
+
+    ``UNTIED`` is the paper's customized Conv: one bias per output *pixel*
+    rather than one per output channel.
+    """
+
+    NONE = "none"
+    TIED = "tied"
+    UNTIED = "untied"
+
+
+def _same_padding(size: int, kernel: int, stride: int) -> tuple[int, int]:
+    """TensorFlow-style SAME padding (supports even kernels asymmetrically)."""
+    out = -(-size // stride)
+    total = max((out - 1) * stride + kernel - size, 0)
+    low = total // 2
+    return low, total - low
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int | str) -> int:
+    """Output spatial size of a conv/pool window sweep."""
+    if isinstance(padding, str):
+        if padding == "same":
+            return -(-size // stride)
+        if padding == "valid":
+            pad_total = 0
+        else:
+            raise ShapeError(f"padding must be 'same', 'valid' or an int: {padding!r}")
+    else:
+        pad_total = 2 * padding
+    if size + pad_total < kernel:
+        raise ShapeError(
+            f"window of {kernel} does not fit input of {size} with padding {padding}"
+        )
+    return (size + pad_total - kernel) // stride + 1
+
+
+def explicit_padding(
+    size: int, kernel: int, stride: int, padding: int | str
+) -> tuple[int, int]:
+    """(low, high) zero padding realizing ``padding`` on one spatial axis."""
+    if padding == "same":
+        return _same_padding(size, kernel, stride)
+    if padding == "valid":
+        return (0, 0)
+    if isinstance(padding, int):
+        return (padding, padding)
+    raise ShapeError(f"padding must be 'same', 'valid' or an int: {padding!r}")
+
+
+@dataclass(frozen=True)
+class Layer:
+    """Base class; concrete layers override the hooks below."""
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__.lower()
+
+    @property
+    def arity(self) -> int:
+        """Number of graph inputs the layer consumes."""
+        return 1
+
+    @property
+    def is_major(self) -> bool:
+        """Major layers anchor pipeline stages; minor layers fuse into them."""
+        return False
+
+    def infer_shape(self, in_shapes: tuple[TensorShape, ...]) -> TensorShape:
+        raise NotImplementedError
+
+    def macs(self, in_shapes: tuple[TensorShape, ...], out_shape: TensorShape) -> int:
+        """Multiply-accumulates to produce one output tensor."""
+        return 0
+
+    def weight_params(self) -> int:
+        return 0
+
+    def bias_params(self, out_shape: TensorShape) -> int:
+        return 0
+
+    def elementwise_ops(
+        self, in_shapes: tuple[TensorShape, ...], out_shape: TensorShape
+    ) -> int:
+        """Non-MAC arithmetic (bias adds, activations, comparisons)."""
+        return 0
+
+    def _expect_arity(self, in_shapes: tuple[TensorShape, ...]) -> None:
+        if len(in_shapes) != self.arity:
+            raise ShapeError(
+                f"{self.kind} expects {self.arity} input(s), got {len(in_shapes)}"
+            )
+
+
+@dataclass(frozen=True)
+class Input(Layer):
+    """A network input with a fixed shape."""
+
+    shape: TensorShape
+
+    @property
+    def arity(self) -> int:
+        return 0
+
+    def infer_shape(self, in_shapes: tuple[TensorShape, ...]) -> TensorShape:
+        self._expect_arity(in_shapes)
+        return self.shape
+
+
+@dataclass(frozen=True)
+class Conv2d(Layer):
+    """2-D convolution, optionally with the paper's untied (per-pixel) bias."""
+
+    in_channels: int
+    out_channels: int
+    kernel: int
+    stride: int = 1
+    padding: int | str = "same"
+    bias: BiasMode = BiasMode.UNTIED
+
+    def __post_init__(self) -> None:
+        if self.in_channels <= 0 or self.out_channels <= 0:
+            raise ShapeError(f"channel counts must be positive: {self}")
+        if self.kernel <= 0 or self.stride <= 0:
+            raise ShapeError(f"kernel and stride must be positive: {self}")
+
+    @property
+    def is_major(self) -> bool:
+        return True
+
+    def infer_shape(self, in_shapes: tuple[TensorShape, ...]) -> TensorShape:
+        self._expect_arity(in_shapes)
+        (shape,) = in_shapes
+        if shape.channels != self.in_channels:
+            raise ShapeError(
+                f"conv expects {self.in_channels} input channels, got {shape}"
+            )
+        return TensorShape(
+            channels=self.out_channels,
+            height=conv_output_size(shape.height, self.kernel, self.stride, self.padding),
+            width=conv_output_size(shape.width, self.kernel, self.stride, self.padding),
+        )
+
+    def macs(self, in_shapes: tuple[TensorShape, ...], out_shape: TensorShape) -> int:
+        return (
+            out_shape.numel * self.in_channels * self.kernel * self.kernel
+        )
+
+    def weight_params(self) -> int:
+        return self.in_channels * self.out_channels * self.kernel * self.kernel
+
+    def bias_params(self, out_shape: TensorShape) -> int:
+        if self.bias is BiasMode.NONE:
+            return 0
+        if self.bias is BiasMode.TIED:
+            return self.out_channels
+        return out_shape.numel
+
+    def elementwise_ops(
+        self, in_shapes: tuple[TensorShape, ...], out_shape: TensorShape
+    ) -> int:
+        return 0 if self.bias is BiasMode.NONE else out_shape.numel
+
+
+@dataclass(frozen=True)
+class Activation(Layer):
+    """Elementwise nonlinearity."""
+
+    fn: str = "leaky_relu"
+    negative_slope: float = 0.2
+
+    _SUPPORTED = ("relu", "leaky_relu", "tanh", "sigmoid", "identity")
+
+    def __post_init__(self) -> None:
+        if self.fn not in self._SUPPORTED:
+            raise ShapeError(
+                f"unsupported activation {self.fn!r}; choose from {self._SUPPORTED}"
+            )
+
+    def infer_shape(self, in_shapes: tuple[TensorShape, ...]) -> TensorShape:
+        self._expect_arity(in_shapes)
+        return in_shapes[0]
+
+    def elementwise_ops(
+        self, in_shapes: tuple[TensorShape, ...], out_shape: TensorShape
+    ) -> int:
+        return out_shape.numel
+
+
+@dataclass(frozen=True)
+class Upsample(Layer):
+    """Nearest-neighbour spatial upsampling by an integer factor."""
+
+    scale: int = 2
+    mode: str = "nearest"
+
+    def __post_init__(self) -> None:
+        if self.scale < 1:
+            raise ShapeError(f"scale must be >= 1: {self}")
+        if self.mode != "nearest":
+            raise ShapeError(f"only nearest upsampling is supported: {self.mode!r}")
+
+    @property
+    def is_major(self) -> bool:
+        return True
+
+    def infer_shape(self, in_shapes: tuple[TensorShape, ...]) -> TensorShape:
+        self._expect_arity(in_shapes)
+        (shape,) = in_shapes
+        return TensorShape(
+            channels=shape.channels,
+            height=shape.height * self.scale,
+            width=shape.width * self.scale,
+        )
+
+
+@dataclass(frozen=True)
+class MaxPool(Layer):
+    """Max pooling."""
+
+    kernel: int = 2
+    stride: int | None = None
+    padding: int | str = "valid"
+
+    def __post_init__(self) -> None:
+        if self.kernel <= 0:
+            raise ShapeError(f"kernel must be positive: {self}")
+        if self.stride is not None and self.stride <= 0:
+            raise ShapeError(f"stride must be positive: {self}")
+
+    @property
+    def effective_stride(self) -> int:
+        return self.kernel if self.stride is None else self.stride
+
+    def infer_shape(self, in_shapes: tuple[TensorShape, ...]) -> TensorShape:
+        self._expect_arity(in_shapes)
+        (shape,) = in_shapes
+        stride = self.effective_stride
+        return TensorShape(
+            channels=shape.channels,
+            height=conv_output_size(shape.height, self.kernel, stride, self.padding),
+            width=conv_output_size(shape.width, self.kernel, stride, self.padding),
+        )
+
+    def elementwise_ops(
+        self, in_shapes: tuple[TensorShape, ...], out_shape: TensorShape
+    ) -> int:
+        # One comparison per pooled element in every window position.
+        return out_shape.numel * self.kernel * self.kernel
+
+
+@dataclass(frozen=True)
+class Linear(Layer):
+    """Fully connected layer over a flattened vector input."""
+
+    in_features: int
+    out_features: int
+    bias: BiasMode = BiasMode.TIED
+
+    def __post_init__(self) -> None:
+        if self.in_features <= 0 or self.out_features <= 0:
+            raise ShapeError(f"feature counts must be positive: {self}")
+
+    @property
+    def is_major(self) -> bool:
+        return True
+
+    def infer_shape(self, in_shapes: tuple[TensorShape, ...]) -> TensorShape:
+        self._expect_arity(in_shapes)
+        (shape,) = in_shapes
+        if shape.numel != self.in_features:
+            raise ShapeError(
+                f"linear expects {self.in_features} features, got {shape} "
+                f"({shape.numel} elements)"
+            )
+        return TensorShape(channels=self.out_features, height=1, width=1)
+
+    def macs(self, in_shapes: tuple[TensorShape, ...], out_shape: TensorShape) -> int:
+        return self.in_features * self.out_features
+
+    def weight_params(self) -> int:
+        return self.in_features * self.out_features
+
+    def bias_params(self, out_shape: TensorShape) -> int:
+        if self.bias is BiasMode.NONE:
+            return 0
+        return self.out_features
+
+    def elementwise_ops(
+        self, in_shapes: tuple[TensorShape, ...], out_shape: TensorShape
+    ) -> int:
+        return 0 if self.bias is BiasMode.NONE else self.out_features
+
+
+@dataclass(frozen=True)
+class Reshape(Layer):
+    """Reinterpret a tensor as a new CHW shape with the same element count."""
+
+    target: TensorShape
+
+    def infer_shape(self, in_shapes: tuple[TensorShape, ...]) -> TensorShape:
+        self._expect_arity(in_shapes)
+        (shape,) = in_shapes
+        if shape.numel != self.target.numel:
+            raise ShapeError(
+                f"cannot reshape {shape} ({shape.numel} elements) "
+                f"to {self.target} ({self.target.numel} elements)"
+            )
+        return self.target
+
+
+@dataclass(frozen=True)
+class Flatten(Layer):
+    """Flatten to a feature vector ``(C*H*W, 1, 1)``."""
+
+    def infer_shape(self, in_shapes: tuple[TensorShape, ...]) -> TensorShape:
+        self._expect_arity(in_shapes)
+        (shape,) = in_shapes
+        return TensorShape(channels=shape.numel, height=1, width=1)
+
+
+@dataclass(frozen=True)
+class Concat(Layer):
+    """Concatenate along channels; spatial dims must agree."""
+
+    num_inputs: int = 2
+
+    def __post_init__(self) -> None:
+        if self.num_inputs < 2:
+            raise ShapeError(f"concat needs at least two inputs: {self}")
+
+    @property
+    def arity(self) -> int:
+        return self.num_inputs
+
+    def infer_shape(self, in_shapes: tuple[TensorShape, ...]) -> TensorShape:
+        self._expect_arity(in_shapes)
+        first = in_shapes[0]
+        for shape in in_shapes[1:]:
+            if (shape.height, shape.width) != (first.height, first.width):
+                raise ShapeError(f"concat inputs disagree spatially: {in_shapes}")
+        return TensorShape(
+            channels=sum(shape.channels for shape in in_shapes),
+            height=first.height,
+            width=first.width,
+        )

@@ -1,0 +1,121 @@
+"""JSON (de)serialization of network graphs.
+
+This is the on-disk exchange format of the framework: a decoder authored in
+the torch-like frontend (or by hand) round-trips through
+``graph_to_json`` / ``graph_from_json`` without loss.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any
+
+from repro.ir.graph import GraphError, NetworkGraph
+from repro.ir.layer import (
+    Activation,
+    BiasMode,
+    Concat,
+    Conv2d,
+    Flatten,
+    Input,
+    Layer,
+    Linear,
+    MaxPool,
+    Reshape,
+    TensorShape,
+    Upsample,
+)
+
+_LAYER_TYPES: dict[str, type[Layer]] = {
+    cls.__name__: cls
+    for cls in (
+        Input,
+        Conv2d,
+        Activation,
+        Upsample,
+        MaxPool,
+        Linear,
+        Reshape,
+        Flatten,
+        Concat,
+    )
+}
+
+FORMAT_VERSION = 1
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, TensorShape):
+        return {"__shape__": value.as_tuple()}
+    if isinstance(value, BiasMode):
+        return value.value
+    return value
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict) and "__shape__" in value:
+        c, h, w = value["__shape__"]
+        return TensorShape(channels=c, height=h, width=w)
+    return value
+
+
+def _layer_to_dict(layer: Layer) -> dict[str, Any]:
+    payload = {
+        f.name: _encode_value(getattr(layer, f.name))
+        for f in dataclasses.fields(layer)
+    }
+    return {"type": type(layer).__name__, **payload}
+
+
+def _layer_from_dict(data: dict[str, Any]) -> Layer:
+    data = dict(data)
+    type_name = data.pop("type", None)
+    if type_name not in _LAYER_TYPES:
+        raise GraphError(f"unknown layer type {type_name!r}")
+    cls = _LAYER_TYPES[type_name]
+    kwargs = {key: _decode_value(val) for key, val in data.items()}
+    if "bias" in kwargs and isinstance(kwargs["bias"], str):
+        kwargs["bias"] = BiasMode(kwargs["bias"])
+    if "target" in kwargs and isinstance(kwargs["target"], (list, tuple)):
+        c, h, w = kwargs["target"]
+        kwargs["target"] = TensorShape(channels=c, height=h, width=w)
+    return cls(**kwargs)
+
+
+def graph_to_dict(graph: NetworkGraph) -> dict[str, Any]:
+    """Serialize a graph to plain dicts/lists (JSON-compatible)."""
+    return {
+        "version": FORMAT_VERSION,
+        "name": graph.name,
+        "nodes": [
+            {
+                "name": node.name,
+                "inputs": list(node.inputs),
+                "layer": _layer_to_dict(node.layer),
+            }
+            for node in graph.nodes()
+        ],
+    }
+
+
+def graph_from_dict(data: dict[str, Any]) -> NetworkGraph:
+    """Reconstruct a graph serialized by :func:`graph_to_dict`."""
+    version = data.get("version", FORMAT_VERSION)
+    if version != FORMAT_VERSION:
+        raise GraphError(f"unsupported graph format version {version}")
+    graph = NetworkGraph(data.get("name", "network"))
+    for entry in data["nodes"]:
+        layer = _layer_from_dict(entry["layer"])
+        graph.add(entry["name"], layer, tuple(entry["inputs"]))
+    return graph
+
+
+def graph_to_json(graph: NetworkGraph, indent: int | None = 2) -> str:
+    """Serialize a graph to a JSON string."""
+    return json.dumps(graph_to_dict(graph), indent=indent)
+
+
+def graph_from_json(text: str) -> NetworkGraph:
+    """Rebuild a graph from its JSON string form."""
+    return graph_from_dict(json.loads(text))

@@ -1,0 +1,31 @@
+"""Model zoo: the codec-avatar decoder, its mimic, and benchmark DNNs."""
+
+from repro.models.codec_avatar import (
+    DecoderPlan,
+    REFERENCE_PLAN,
+    build_codec_avatar_decoder,
+)
+from repro.models.mimic import build_mimic_decoder
+from repro.models.benchmarks import (
+    build_alexnet,
+    build_tiny_yolo,
+    build_vgg16,
+    build_zfnet,
+)
+from repro.models.variants import build_gan_decoder, build_modular_decoder
+from repro.models.zoo import get_model, list_models
+
+__all__ = [
+    "DecoderPlan",
+    "REFERENCE_PLAN",
+    "build_alexnet",
+    "build_codec_avatar_decoder",
+    "build_gan_decoder",
+    "build_mimic_decoder",
+    "build_modular_decoder",
+    "build_tiny_yolo",
+    "build_vgg16",
+    "build_zfnet",
+    "get_model",
+    "list_models",
+]

@@ -1,0 +1,116 @@
+"""Benchmark DNNs used in the estimation-accuracy study (Figs. 6-7).
+
+The paper validates its analytical models on AlexNet, ZFNet, VGG16 and
+Tiny-YOLO at 16-bit and 8-bit quantization on a KU115. These are
+single-branch feed-forward networks built from conventional layers; their
+role here is identical — exercising the performance models on workloads that
+look nothing like the decoder.
+
+Channel/shape configurations follow the standard (ungrouped) variants.
+Exact top-1 fidelity is irrelevant: only layer shapes drive the experiment.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import NetworkGraph
+from repro.ir.layer import BiasMode, TensorShape
+
+
+def build_alexnet(name: str = "alexnet") -> NetworkGraph:
+    """AlexNet (ungrouped), 227x227 input."""
+    b = GraphBuilder(name)
+    x = b.input("image", TensorShape(3, 227, 227))
+    x = b.conv(x, 96, kernel=11, stride=4, padding="valid", bias=BiasMode.TIED)
+    x = b.act(x, fn="relu")
+    x = b.pool(x, kernel=3, stride=2)
+    x = b.conv(x, 256, kernel=5, bias=BiasMode.TIED)
+    x = b.act(x, fn="relu")
+    x = b.pool(x, kernel=3, stride=2)
+    x = b.conv(x, 384, kernel=3, bias=BiasMode.TIED)
+    x = b.act(x, fn="relu")
+    x = b.conv(x, 384, kernel=3, bias=BiasMode.TIED)
+    x = b.act(x, fn="relu")
+    x = b.conv(x, 256, kernel=3, bias=BiasMode.TIED)
+    x = b.act(x, fn="relu")
+    x = b.pool(x, kernel=3, stride=2)
+    x = b.flatten(x)
+    x = b.linear(x, 4096)
+    x = b.act(x, fn="relu")
+    x = b.linear(x, 4096)
+    x = b.act(x, fn="relu")
+    b.linear(x, 1000, name="logits")
+    graph = b.graph
+    graph.validate()
+    return graph
+
+
+def build_zfnet(name: str = "zfnet") -> NetworkGraph:
+    """ZFNet, 224x224 input."""
+    b = GraphBuilder(name)
+    x = b.input("image", TensorShape(3, 224, 224))
+    x = b.conv(x, 96, kernel=7, stride=2, padding="same", bias=BiasMode.TIED)
+    x = b.act(x, fn="relu")
+    x = b.pool(x, kernel=3, stride=2)
+    x = b.conv(x, 256, kernel=5, stride=2, padding="valid", bias=BiasMode.TIED)
+    x = b.act(x, fn="relu")
+    x = b.pool(x, kernel=3, stride=2)
+    x = b.conv(x, 384, kernel=3, bias=BiasMode.TIED)
+    x = b.act(x, fn="relu")
+    x = b.conv(x, 384, kernel=3, bias=BiasMode.TIED)
+    x = b.act(x, fn="relu")
+    x = b.conv(x, 256, kernel=3, bias=BiasMode.TIED)
+    x = b.act(x, fn="relu")
+    x = b.pool(x, kernel=3, stride=2)
+    x = b.flatten(x)
+    x = b.linear(x, 4096)
+    x = b.act(x, fn="relu")
+    x = b.linear(x, 4096)
+    x = b.act(x, fn="relu")
+    b.linear(x, 1000, name="logits")
+    graph = b.graph
+    graph.validate()
+    return graph
+
+
+def build_vgg16(name: str = "vgg16") -> NetworkGraph:
+    """VGG-16, 224x224 input."""
+    b = GraphBuilder(name)
+    x = b.input("image", TensorShape(3, 224, 224))
+    for block, (repeats, channels) in enumerate(
+        [(2, 64), (2, 128), (3, 256), (3, 512), (3, 512)]
+    ):
+        for _ in range(repeats):
+            x = b.conv(x, channels, kernel=3, bias=BiasMode.TIED)
+            x = b.act(x, fn="relu")
+        x = b.pool(x, kernel=2, stride=2)
+    x = b.flatten(x)
+    x = b.linear(x, 4096)
+    x = b.act(x, fn="relu")
+    x = b.linear(x, 4096)
+    x = b.act(x, fn="relu")
+    b.linear(x, 1000, name="logits")
+    graph = b.graph
+    graph.validate()
+    return graph
+
+
+def build_tiny_yolo(name: str = "tiny_yolo") -> NetworkGraph:
+    """Tiny-YOLO (v2-style backbone), 416x416 input."""
+    b = GraphBuilder(name)
+    x = b.input("image", TensorShape(3, 416, 416))
+    for channels in (16, 32, 64, 128, 256):
+        x = b.conv(x, channels, kernel=3, bias=BiasMode.TIED)
+        x = b.act(x, fn="leaky_relu", negative_slope=0.1)
+        x = b.pool(x, kernel=2, stride=2)
+    x = b.conv(x, 512, kernel=3, bias=BiasMode.TIED)
+    x = b.act(x, fn="leaky_relu", negative_slope=0.1)
+    x = b.pool(x, kernel=2, stride=1, padding="same")
+    x = b.conv(x, 1024, kernel=3, bias=BiasMode.TIED)
+    x = b.act(x, fn="leaky_relu", negative_slope=0.1)
+    x = b.conv(x, 1024, kernel=3, bias=BiasMode.TIED)
+    x = b.act(x, fn="leaky_relu", negative_slope=0.1)
+    b.conv(x, 125, kernel=1, bias=BiasMode.TIED, name="detections")
+    graph = b.graph
+    graph.validate()
+    return graph

@@ -1,0 +1,22 @@
+"""The *mimic* decoder (paper Sec. III).
+
+DNNBuilder and HybridDNN do not support the customized untied-bias Conv, so
+the paper evaluates them on a mimic decoder: the same network with the
+customized Conv replaced by a conventional one. Structure and feature-map
+sizes are identical; only the per-pixel biases disappear.
+"""
+
+from __future__ import annotations
+
+from repro.ir.graph import NetworkGraph
+from repro.ir.layer import BiasMode
+from repro.models.codec_avatar import DecoderPlan, REFERENCE_PLAN, build_codec_avatar_decoder
+
+
+def build_mimic_decoder(
+    plan: DecoderPlan = REFERENCE_PLAN, name: str = "mimic_decoder"
+) -> NetworkGraph:
+    """The decoder with conventional (tied-bias) convolutions."""
+    return build_codec_avatar_decoder(
+        plan=plan, name=name, bias_override=BiasMode.TIED
+    )

@@ -1,0 +1,90 @@
+"""Decoder variants from the codec-avatar literature the paper cites.
+
+The paper positions F-CAD as a general tool for multi-branch DNNs and
+cites several decoder families in its related work; these variants give
+the framework workloads with different branch structures:
+
+- :func:`build_gan_decoder` — a GAN-style decoder in the spirit of Wei et
+  al., "VR facial animation via multiview image translation" (TOG 2019):
+  two branches, a deeper single texture tower with tanh image output and
+  conventional (tied-bias) convolutions;
+- :func:`build_modular_decoder` — a modular codec avatar in the spirit of
+  Chu et al. (ECCV 2020): one geometry branch plus *per-facial-region*
+  texture branches (face / eyes / mouth) hanging off a shared trunk —
+  four branches with very uneven demands, the stress case for cross-branch
+  resource distribution.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import NetworkGraph
+from repro.ir.layer import BiasMode, TensorShape
+
+
+def build_gan_decoder(name: str = "gan_decoder") -> NetworkGraph:
+    """A two-branch GAN-style avatar decoder (geometry + 1024^2 texture)."""
+    b = GraphBuilder(name)
+    z = b.input("z", TensorShape(256, 1, 1))
+
+    # Geometry tower: 8x8 -> 256x256 position map.
+    g = b.reshape(z, TensorShape(4, 8, 8), name="z_geo")
+    for out_ch in (96, 96, 64, 32, 16):
+        g = b.cau_block(g, out_channels=out_ch, kernel=4, bias=BiasMode.TIED)
+    b.conv(g, out_channels=3, kernel=4, bias=BiasMode.TIED, name="geometry")
+
+    # Texture tower: 8x8 -> 1024x1024 RGB, tanh image head.
+    t = b.reshape(z, TensorShape(4, 8, 8), name="z_tex")
+    for out_ch in (256, 192, 128, 96, 64, 32, 16):
+        t = b.cau_block(t, out_channels=out_ch, kernel=4, bias=BiasMode.TIED)
+    t = b.conv(t, out_channels=3, kernel=4, bias=BiasMode.TIED)
+    b.act(t, fn="tanh", name="texture")
+
+    graph = b.graph
+    graph.validate()
+    return graph
+
+
+def build_modular_decoder(name: str = "modular_decoder") -> NetworkGraph:
+    """A four-branch modular decoder: geometry + 3 per-region textures.
+
+    The shared trunk upsamples to 64x64; the face region continues to
+    512x512 while the eye/mouth modules are small 128x128 crops, giving
+    branches whose compute demands differ by more than an order of
+    magnitude.
+    """
+    b = GraphBuilder(name)
+    z = b.input("z", TensorShape(256, 1, 1))
+    view = b.input("view", TensorShape(3, 8, 8))
+
+    g = b.reshape(z, TensorShape(4, 8, 8), name="z_geo")
+    for out_ch in (96, 64, 32, 16, 8):
+        g = b.cau_block(g, out_channels=out_ch, kernel=4, bias=BiasMode.UNTIED)
+    b.conv(g, out_channels=3, kernel=4, bias=BiasMode.UNTIED, name="geometry")
+
+    # Shared trunk: 8x8 -> 64x64.
+    t = b.reshape(z, TensorShape(4, 8, 8), name="z_tex")
+    t = b.concat([t, view], name="zv")
+    for out_ch in (192, 128, 64):
+        t = b.cau_block(t, out_channels=out_ch, kernel=4, bias=BiasMode.UNTIED)
+
+    # Face region: 64x64 -> 512x512.
+    face = t
+    for out_ch in (32, 16, 8):
+        face = b.cau_block(face, out_channels=out_ch, kernel=4, bias=BiasMode.UNTIED)
+    b.conv(face, out_channels=3, kernel=4, bias=BiasMode.UNTIED, name="face_texture")
+
+    # Eye / mouth modules: 64x64 -> 128x128 crops.
+    for region in ("eye", "mouth"):
+        m = b.cau_block(t, out_channels=24, kernel=3, bias=BiasMode.UNTIED)
+        b.conv(
+            m,
+            out_channels=3,
+            kernel=3,
+            bias=BiasMode.UNTIED,
+            name=f"{region}_texture",
+        )
+
+    graph = b.graph
+    graph.validate()
+    return graph

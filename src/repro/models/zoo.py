@@ -1,0 +1,42 @@
+"""Named registry over the model zoo."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.ir.graph import NetworkGraph
+from repro.models.benchmarks import (
+    build_alexnet,
+    build_tiny_yolo,
+    build_vgg16,
+    build_zfnet,
+)
+from repro.models.codec_avatar import build_codec_avatar_decoder
+from repro.models.mimic import build_mimic_decoder
+from repro.models.variants import build_gan_decoder, build_modular_decoder
+
+_REGISTRY: dict[str, Callable[[], NetworkGraph]] = {
+    "codec_avatar_decoder": build_codec_avatar_decoder,
+    "mimic_decoder": build_mimic_decoder,
+    "gan_decoder": build_gan_decoder,
+    "modular_decoder": build_modular_decoder,
+    "alexnet": build_alexnet,
+    "zfnet": build_zfnet,
+    "vgg16": build_vgg16,
+    "tiny_yolo": build_tiny_yolo,
+}
+
+
+def list_models() -> list[str]:
+    """Names of every model in the zoo."""
+    return sorted(_REGISTRY)
+
+
+def get_model(name: str) -> NetworkGraph:
+    """Build a zoo model by name."""
+    try:
+        builder = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(list_models())
+        raise KeyError(f"unknown model {name!r}; known models: {known}") from None
+    return builder()

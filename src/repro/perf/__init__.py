@@ -1,0 +1,22 @@
+"""Analytical performance and resource models (paper Sec. VI-B3)."""
+
+from repro.perf.analytical import branch_fps, efficiency, stage_latency_cycles
+from repro.perf.estimator import (
+    AcceleratorPerf,
+    BranchPerf,
+    StagePerf,
+    evaluate,
+)
+from repro.perf.resources import StageResources, stage_resources
+
+__all__ = [
+    "AcceleratorPerf",
+    "BranchPerf",
+    "StagePerf",
+    "StageResources",
+    "branch_fps",
+    "efficiency",
+    "evaluate",
+    "stage_latency_cycles",
+    "stage_resources",
+]

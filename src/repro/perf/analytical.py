@@ -1,0 +1,71 @@
+"""The paper's analytical performance models.
+
+- Eq. 4 — stage latency:
+  ``Lat_i = OutCh x InCh x H x W x K^2 / (cpf x kpf x h x f)``
+  (we use per-dimension ceilings so non-power-of-two channel counts are
+  handled exactly);
+- Eq. 5 — branch throughput: ``FPS = BatchSize / max_i(Lat_i)``;
+- Eq. 3 — hardware efficiency:
+  ``EFFI = GOPS / (beta x #multipliers x FREQ)``.
+
+These models are validated against the cycle-accurate simulator in the
+Fig. 6/7 experiments (the paper validates them against board-level runs).
+"""
+
+from __future__ import annotations
+
+from repro.arch.config import StageConfig
+from repro.construction.fusion import FusedStage
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def stage_latency_cycles(stage: FusedStage, cfg: StageConfig) -> int:
+    """Eq. 4: cycles for one frame through one basic architecture unit.
+
+    The unit iterates output channels in groups of ``kpf``, input channels
+    in groups of ``cpf``, and the ``h`` engines split the output rows; every
+    engine sweeps the full output width and the K x K window.
+    """
+    return (
+        _ceil_div(stage.out_channels, cfg.kpf)
+        * _ceil_div(stage.in_channels, cfg.cpf)
+        * _ceil_div(stage.conv_height, cfg.h)
+        * stage.conv_width
+        * stage.kernel
+        * stage.kernel
+    )
+
+
+def stage_latency_seconds(
+    stage: FusedStage, cfg: StageConfig, frequency_mhz: float
+) -> float:
+    """Eq. 4 in seconds at the given clock."""
+    return stage_latency_cycles(stage, cfg) / (frequency_mhz * 1e6)
+
+
+def branch_fps(
+    latencies_cycles: list[int], batch_size: int, frequency_mhz: float
+) -> float:
+    """Eq. 5 with ``batch_size`` pipeline replicas."""
+    if batch_size == 0 or not latencies_cycles:
+        return 0.0
+    bottleneck = max(latencies_cycles)
+    if bottleneck == 0:
+        return 0.0
+    return batch_size * frequency_mhz * 1e6 / bottleneck
+
+
+def efficiency(
+    gops_per_second: float,
+    beta: int,
+    multipliers: int,
+    frequency_mhz: float,
+) -> float:
+    """Eq. 3: achieved over peak throughput, in [0, 1]."""
+    if multipliers == 0:
+        return 0.0
+    peak = beta * multipliers * frequency_mhz * 1e6
+    return gops_per_second * 1e9 / peak

@@ -1,0 +1,162 @@
+"""Energy and power estimation for explored designs.
+
+Untethered headsets live on battery power, and the paper motivates F-CAD
+with exactly those "limited computation, memory, and power budgets". This
+model assigns representative per-operation energies (16-nm-class FPGA
+fabric) to the three activity sources the resource model already tracks:
+
+- MAC operations on DSP slices,
+- on-chip buffer traffic (each MAC reads one weight and one activation),
+- external memory traffic (the dominant per-byte cost, ~two orders of
+  magnitude above SRAM).
+
+Numbers are representative class constants (Horowitz, ISSCC'14 scaling to
+a 16-nm FPGA), not measurements of a specific part — the *relative*
+comparisons (devices, precisions, configurations) are what the model is
+for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import AcceleratorConfig
+from repro.construction.reorg import PipelinePlan
+from repro.perf.estimator import AcceleratorPerf
+from repro.perf.resources import stage_stream_bytes
+from repro.quant.schemes import QuantScheme
+from repro.utils.tables import render_table
+
+#: Energy per 8-bit MAC on a DSP slice, picojoules.
+MAC_ENERGY_PJ_INT8 = 0.35
+#: Energy per 16-bit MAC, picojoules.
+MAC_ENERGY_PJ_INT16 = 1.1
+#: On-chip (BRAM) access energy per bit, picojoules.
+SRAM_ENERGY_PJ_PER_BIT = 0.012
+#: External DDR energy per byte, picojoules.
+DRAM_ENERGY_PJ_PER_BYTE = 120.0
+#: Static power per allocated DSP slice, milliwatts.
+DSP_STATIC_MW = 0.08
+#: Static power per allocated BRAM18K block, milliwatts.
+BRAM_STATIC_MW = 0.05
+
+
+def _mac_energy_pj(quant: QuantScheme) -> float:
+    if quant.weight_bits <= 8 and quant.activation_bits <= 8:
+        return MAC_ENERGY_PJ_INT8
+    return MAC_ENERGY_PJ_INT16
+
+
+@dataclass(frozen=True)
+class BranchEnergy:
+    """Per-frame energy of one branch pipeline."""
+
+    index: int
+    compute_mj: float
+    sram_mj: float
+    dram_mj: float
+
+    @property
+    def total_mj(self) -> float:
+        return self.compute_mj + self.sram_mj + self.dram_mj
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy per frame and power at the achieved frame rate."""
+
+    branches: tuple[BranchEnergy, ...]
+    static_w: float
+    fps: float
+
+    @property
+    def dynamic_mj_per_frame(self) -> float:
+        return sum(b.total_mj for b in self.branches)
+
+    @property
+    def dynamic_w(self) -> float:
+        return self.dynamic_mj_per_frame * 1e-3 * self.fps
+
+    @property
+    def total_w(self) -> float:
+        return self.dynamic_w + self.static_w
+
+    @property
+    def fps_per_watt(self) -> float:
+        return self.fps / self.total_w if self.total_w > 0 else 0.0
+
+    def render(self) -> str:
+        rows = []
+        for branch in self.branches:
+            rows.append(
+                [
+                    f"Br.{branch.index + 1}",
+                    f"{branch.compute_mj:.2f}",
+                    f"{branch.sram_mj:.2f}",
+                    f"{branch.dram_mj:.2f}",
+                    f"{branch.total_mj:.2f}",
+                ]
+            )
+        rows.append(
+            [
+                "total",
+                "-",
+                "-",
+                "-",
+                f"{self.dynamic_mj_per_frame:.2f}",
+            ]
+        )
+        table = render_table(
+            ["branch", "compute mJ", "SRAM mJ", "DRAM mJ", "total mJ"],
+            rows,
+            title="Energy per decoded frame",
+        )
+        return (
+            table
+            + f"\nat {self.fps:.1f} FPS: {self.dynamic_w:.2f} W dynamic + "
+            f"{self.static_w:.2f} W static = {self.total_w:.2f} W "
+            f"({self.fps_per_watt:.1f} FPS/W)"
+        )
+
+
+def estimate_energy(
+    plan: PipelinePlan,
+    config: AcceleratorConfig,
+    quant: QuantScheme,
+    perf: AcceleratorPerf,
+) -> EnergyReport:
+    """Estimate per-frame energy and sustained power for a design."""
+    config.validate_for(plan)
+    mac_pj = _mac_energy_pj(quant)
+    bits_per_mac = quant.weight_bits + quant.activation_bits
+
+    branches = []
+    for pipeline in plan.branches:
+        macs = sum(s.stage.macs for s in pipeline.stages)
+        compute_pj = macs * mac_pj
+        sram_pj = macs * bits_per_mac * SRAM_ENERGY_PJ_PER_BIT
+        dram_bytes = sum(
+            stage_stream_bytes(s.stage, quant) for s in pipeline.stages
+        )
+        dram_bytes += quant.activation_bytes(
+            sum(s.stage.external_input_elements for s in pipeline.stages)
+        )
+        dram_bytes += quant.activation_bytes(
+            pipeline.stages[-1].stage.output_elements
+        )
+        dram_pj = dram_bytes * DRAM_ENERGY_PJ_PER_BYTE
+        branches.append(
+            BranchEnergy(
+                index=pipeline.index,
+                compute_mj=compute_pj * 1e-9,
+                sram_mj=sram_pj * 1e-9,
+                dram_mj=dram_pj * 1e-9,
+            )
+        )
+
+    static_w = (
+        perf.total_dsp * DSP_STATIC_MW + perf.total_bram * BRAM_STATIC_MW
+    ) * 1e-3
+    return EnergyReport(
+        branches=tuple(branches), static_w=static_w, fps=perf.fps
+    )

@@ -1,0 +1,146 @@
+"""Resource models of the basic architecture unit (paper Fig. 5 (b)).
+
+Every unit holds three kinds of resources:
+
+- **computation** — ``h`` compute engines x ``kpf`` PEs x ``cpf`` MACs;
+  DSP slices follow the quantization packing (two 8-bit MACs per DSP);
+- **on-chip memory** — a weight buffer (whole-layer resident when the layer
+  is small enough, double-buffered tiles otherwise) and an input line
+  buffer holding the rows the kernel window needs, both constrained by
+  capacity *and* by port width (a BRAM18K serves 36 bits per cycle);
+- **external memory** — streaming traffic per frame: non-resident weights,
+  untied biases (too large to keep on chip at high resolutions), plus the
+  branch-boundary input/output tensors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import StageConfig
+from repro.construction.fusion import FusedStage
+from repro.quant.schemes import QuantScheme
+from repro.utils.units import BRAM18K_BITS, BRAM18K_PORT_BITS
+
+#: Per-stage cap for keeping weights resident on chip (64 BRAM18K blocks).
+#: Heavier layers double-buffer weight tiles and re-stream from DRAM every
+#: frame — the streaming traffic is negligible next to the untied biases,
+#: while pinning multi-megabit weight layers in BRAM would starve the
+#: multi-replica (batch > 1) configurations the decoder customization asks
+#: for.
+WEIGHT_RESIDENT_CAP_BITS = 64 * BRAM18K_BITS
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+@dataclass(frozen=True)
+class StageResources:
+    """Resources one configured basic architecture unit consumes."""
+
+    dsp: int
+    bram: int
+    stream_bytes_per_frame: float  # weights/bias traffic, excl. branch I/O
+    weights_resident: bool
+
+    def scaled(self, replicas: int) -> "StageResources":
+        return StageResources(
+            dsp=self.dsp * replicas,
+            bram=self.bram * replicas,
+            stream_bytes_per_frame=self.stream_bytes_per_frame,
+            weights_resident=self.weights_resident,
+        )
+
+
+def dsp_usage(cfg: StageConfig, quant: QuantScheme) -> int:
+    """DSP slices for ``pf`` parallel MACs under the packing of ``quant``."""
+    return _ceil_div(cfg.pf, quant.macs_per_multiplier)
+
+
+def weight_buffer_brams(
+    stage: FusedStage, cfg: StageConfig, quant: QuantScheme
+) -> tuple[int, bool]:
+    """(BRAM blocks, resident?) for the stage's weight buffer.
+
+    The ``h`` engines work on different output rows of the *same* output
+    channels, so weights are broadcast across engines and the port only
+    needs ``cpf x kpf`` weights per cycle.
+    """
+    tied_bias = 0 if stage.untied_bias else stage.bias_params
+    total_bits = int((stage.weight_params + tied_bias) * quant.weight_bits)
+    resident = weights_resident(stage, quant)
+    if resident:
+        capacity_bits = total_bits
+    else:
+        # Double-buffered tile: one kernel slice per (cpf, kpf) group.
+        capacity_bits = 2 * cfg.cpf * cfg.kpf * stage.kernel**2 * quant.weight_bits
+    port_bits = cfg.cpf * cfg.kpf * quant.weight_bits
+    blocks = max(
+        _ceil_div(capacity_bits, BRAM18K_BITS),
+        _ceil_div(port_bits, BRAM18K_PORT_BITS),
+    )
+    return blocks, resident
+
+
+def input_buffer_brams(
+    stage: FusedStage, cfg: StageConfig, quant: QuantScheme
+) -> int:
+    """BRAM blocks for the input line buffer.
+
+    The buffer holds the (pre-upsample) input rows covered by the kernel
+    window, double-buffered; with a folded 2x upsample each stored row is
+    read twice, halving the rows that must be kept.
+    """
+    rows_needed = _ceil_div(stage.kernel, stage.upsample_in) + 1
+    input_rows = max(
+        1, stage.conv_height * stage.stride // stage.upsample_in
+    )
+    line_elements = _ceil_div(stage.input_elements, input_rows)
+    capacity_bits = 2 * rows_needed * line_elements * quant.activation_bits
+    port_bits = cfg.cpf * cfg.h * quant.activation_bits
+    return max(
+        _ceil_div(capacity_bits, BRAM18K_BITS),
+        _ceil_div(port_bits, BRAM18K_PORT_BITS),
+    )
+
+
+def weights_resident(stage: FusedStage, quant: QuantScheme) -> bool:
+    """Whether the stage's weights (+ tied bias) stay on chip."""
+    tied_bias = 0 if stage.untied_bias else stage.bias_params
+    total_bits = int((stage.weight_params + tied_bias) * quant.weight_bits)
+    return total_bits <= WEIGHT_RESIDENT_CAP_BITS
+
+
+def stage_stream_bytes(stage: FusedStage, quant: QuantScheme) -> float:
+    """Per-frame DRAM streaming traffic of a stage (config-independent).
+
+    Non-resident weights re-stream every frame; untied biases are consumed
+    once per frame in raster order, so they are streamed from DRAM rather
+    than wasting on-chip memory.
+    """
+    stream_bytes = 0.0
+    if not weights_resident(stage, quant):
+        stream_bytes += quant.weight_bytes(stage.weight_params)
+        if not stage.untied_bias:
+            stream_bytes += quant.weight_bytes(stage.bias_params)
+    if stage.untied_bias:
+        stream_bytes += quant.weight_bytes(stage.bias_params)
+    return stream_bytes
+
+
+def stage_resources(
+    stage: FusedStage, cfg: StageConfig, quant: QuantScheme
+) -> StageResources:
+    """Full resource usage of one configured unit (one pipeline replica)."""
+    weight_blocks, resident = weight_buffer_brams(stage, cfg, quant)
+    input_blocks = input_buffer_brams(stage, cfg, quant)
+    bias_fifo_blocks = 1 if stage.untied_bias else 0
+    stream_bytes = stage_stream_bytes(stage, quant)
+
+    return StageResources(
+        dsp=dsp_usage(cfg, quant),
+        bram=weight_blocks + input_blocks + bias_fifo_blocks,
+        stream_bytes_per_frame=stream_bytes,
+        weights_resident=resident,
+    )

@@ -1,0 +1,19 @@
+"""Network profiling: per-layer and per-branch compute / memory demands."""
+
+from repro.profiler.metrics import LayerProfile, profile_layer
+from repro.profiler.network import (
+    BranchProfile,
+    NetworkProfile,
+    profile_network,
+)
+from repro.profiler.report import render_branch_table, render_layer_table
+
+__all__ = [
+    "BranchProfile",
+    "LayerProfile",
+    "NetworkProfile",
+    "profile_layer",
+    "profile_network",
+    "render_branch_table",
+    "render_layer_table",
+]

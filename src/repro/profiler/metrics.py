@@ -1,0 +1,74 @@
+"""Per-layer cost metrics.
+
+``ops`` follows the paper's GOP convention: two operations per MAC plus the
+elementwise work (bias adds, activations, pool comparisons). Parameter
+counts split weights from biases because the untied bias of the customized
+Conv dominates the decoder's memory footprint at high resolutions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.graph import Node
+from repro.ir.layer import Layer, TensorShape
+
+
+@dataclass(frozen=True)
+class LayerProfile:
+    """Static cost profile of one layer instance."""
+
+    name: str
+    kind: str
+    in_shapes: tuple[TensorShape, ...]
+    out_shape: TensorShape
+    macs: int
+    elementwise_ops: int
+    weight_params: int
+    bias_params: int
+
+    @property
+    def ops(self) -> int:
+        """Total arithmetic operations (the paper's GOP numerator)."""
+        return 2 * self.macs + self.elementwise_ops
+
+    @property
+    def params(self) -> int:
+        return self.weight_params + self.bias_params
+
+    @property
+    def input_elements(self) -> int:
+        return sum(shape.numel for shape in self.in_shapes)
+
+    @property
+    def output_elements(self) -> int:
+        return self.out_shape.numel
+
+    @property
+    def reuse(self) -> float:
+        """Arithmetic intensity: ops per element moved (in + out + params).
+
+        This is the ``norm_param``/``GetReuse`` quantity of Algorithm 2 —
+        layers with low reuse are bandwidth-hungry.
+        """
+        moved = self.input_elements + self.output_elements + self.params
+        return self.ops / moved if moved else 0.0
+
+
+def profile_layer(
+    node: Node,
+    in_shapes: tuple[TensorShape, ...],
+    out_shape: TensorShape,
+) -> LayerProfile:
+    """Compute the cost profile of one graph node."""
+    layer: Layer = node.layer
+    return LayerProfile(
+        name=node.name,
+        kind=layer.kind,
+        in_shapes=in_shapes,
+        out_shape=out_shape,
+        macs=layer.macs(in_shapes, out_shape),
+        elementwise_ops=layer.elementwise_ops(in_shapes, out_shape),
+        weight_params=layer.weight_params(),
+        bias_params=layer.bias_params(out_shape),
+    )

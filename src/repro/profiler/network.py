@@ -1,0 +1,119 @@
+"""Whole-network profiling with branch-wise statistics.
+
+Branch semantics follow the paper's Table I: the profile of branch *j*
+includes every node that branch *j*'s output depends on — so branches with a
+common front part both count the shared nodes, while the network-level
+*unique* totals count every node exactly once ("without repeatedly counting
+the shared part").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.graph import NetworkGraph
+from repro.profiler.metrics import LayerProfile, profile_layer
+
+
+@dataclass(frozen=True)
+class BranchProfile:
+    """Aggregate cost of one branch (inclusive of shared ancestors)."""
+
+    index: int
+    output_name: str
+    node_names: tuple[str, ...]
+    macs: int
+    ops: int
+    weight_params: int
+    bias_params: int
+    shared_macs: int
+    shared_ops: int
+    shared_params: int
+
+    @property
+    def params(self) -> int:
+        return self.weight_params + self.bias_params
+
+    @property
+    def own_ops(self) -> int:
+        """Ops exclusive to this branch (shared front part excluded)."""
+        return self.ops - self.shared_ops
+
+    @property
+    def own_macs(self) -> int:
+        return self.macs - self.shared_macs
+
+
+@dataclass(frozen=True)
+class NetworkProfile:
+    """Full profile: per-layer, per-branch, and unique network totals."""
+
+    graph_name: str
+    layers: tuple[LayerProfile, ...]
+    branches: tuple[BranchProfile, ...]
+
+    @property
+    def by_name(self) -> dict[str, LayerProfile]:
+        return {p.name: p for p in self.layers}
+
+    @property
+    def total_macs(self) -> int:
+        """MACs with shared parts counted once."""
+        return sum(p.macs for p in self.layers)
+
+    @property
+    def total_ops(self) -> int:
+        """Ops with shared parts counted once (the paper's 13.6 GOP)."""
+        return sum(p.ops for p in self.layers)
+
+    @property
+    def total_params(self) -> int:
+        """Parameters with shared parts counted once (the paper's 7.2 M)."""
+        return sum(p.params for p in self.layers)
+
+    @property
+    def sum_of_branch_ops(self) -> int:
+        """Ops summed over branch rows (shared parts counted per branch)."""
+        return sum(b.ops for b in self.branches)
+
+    def branch(self, index: int) -> BranchProfile:
+        return self.branches[index]
+
+
+def profile_network(graph: NetworkGraph) -> NetworkProfile:
+    """Profile every layer and every branch of ``graph``."""
+    shapes = graph.infer_shapes()
+    order = graph.topo_order()
+    profiles: dict[str, LayerProfile] = {}
+    for name in order:
+        node = graph.node(name)
+        in_shapes = tuple(shapes[parent] for parent in node.inputs)
+        profiles[name] = profile_layer(node, in_shapes, shapes[name])
+
+    membership = graph.branch_membership()
+    branch_profiles: list[BranchProfile] = []
+    for idx, output in enumerate(graph.output_names()):
+        members = [
+            name for name in order if idx in membership[name]
+        ]
+        shared = [name for name in members if len(membership[name]) > 1]
+        branch_profiles.append(
+            BranchProfile(
+                index=idx,
+                output_name=output,
+                node_names=tuple(members),
+                macs=sum(profiles[n].macs for n in members),
+                ops=sum(profiles[n].ops for n in members),
+                weight_params=sum(profiles[n].weight_params for n in members),
+                bias_params=sum(profiles[n].bias_params for n in members),
+                shared_macs=sum(profiles[n].macs for n in shared),
+                shared_ops=sum(profiles[n].ops for n in shared),
+                shared_params=sum(profiles[n].params for n in shared),
+            )
+        )
+
+    return NetworkProfile(
+        graph_name=graph.name,
+        layers=tuple(profiles[name] for name in order),
+        branches=tuple(branch_profiles),
+    )

@@ -1,0 +1,65 @@
+"""Human-readable rendering of network profiles."""
+
+from __future__ import annotations
+
+from repro.profiler.network import NetworkProfile
+from repro.utils.tables import render_table
+from repro.utils.units import GIGA, format_count
+
+
+def render_layer_table(profile: NetworkProfile, compute_only: bool = True) -> str:
+    """Per-layer table (optionally only layers that perform MACs)."""
+    rows = []
+    for layer in profile.layers:
+        if compute_only and layer.macs == 0:
+            continue
+        rows.append(
+            [
+                layer.name,
+                layer.kind,
+                "+".join(str(s) for s in layer.in_shapes) or "-",
+                str(layer.out_shape),
+                f"{layer.ops / GIGA:.3f}",
+                format_count(layer.params),
+                f"{layer.reuse:.1f}",
+            ]
+        )
+    return render_table(
+        ["layer", "kind", "in", "out", "GOP", "params", "reuse"],
+        rows,
+        title=f"Layer profile: {profile.graph_name}",
+    )
+
+
+def render_branch_table(profile: NetworkProfile) -> str:
+    """Per-branch table in the style of the paper's Table I."""
+    row_total_ops = profile.sum_of_branch_ops or 1
+    row_total_params = sum(b.params for b in profile.branches) or 1
+    rows = []
+    for branch in profile.branches:
+        rows.append(
+            [
+                f"Br.{branch.index + 1}",
+                branch.output_name,
+                f"{branch.ops / GIGA:.1f} ({100 * branch.ops / row_total_ops:.1f}%)",
+                (
+                    f"{format_count(branch.params)} "
+                    f"({100 * branch.params / row_total_params:.1f}%)"
+                ),
+                f"{branch.shared_ops / GIGA:.1f}",
+            ]
+        )
+    rows.append(
+        [
+            "unique",
+            "-",
+            f"{profile.total_ops / GIGA:.1f}",
+            format_count(profile.total_params),
+            "-",
+        ]
+    )
+    return render_table(
+        ["branch", "output", "GOP (share)", "params (share)", "shared GOP"],
+        rows,
+        title=f"Branch profile: {profile.graph_name}",
+    )

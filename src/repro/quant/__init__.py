@@ -1,0 +1,20 @@
+"""Quantization schemes and tensor quantizers."""
+
+from repro.quant.quantize import (
+    QuantizedTensor,
+    dequantize,
+    quantize_tensor,
+    quantization_error,
+)
+from repro.quant.schemes import INT8, INT16, QuantScheme, get_scheme
+
+__all__ = [
+    "INT8",
+    "INT16",
+    "QuantScheme",
+    "QuantizedTensor",
+    "dequantize",
+    "get_scheme",
+    "quantization_error",
+    "quantize_tensor",
+]

@@ -1,0 +1,64 @@
+"""Quantization schemes and their hardware cost factors.
+
+The paper's efficiency metric (Eq. 3) divides achieved GOP/s by
+``beta x #multipliers x FREQ`` where ``beta`` is "the number of operations
+handled by one multiplier in one clock cycle". On Xilinx DSP48 slices:
+
+- 16-bit operands: one MAC per DSP per cycle  -> beta = 2 (mul + add);
+- 8-bit operands: two MACs packed per DSP     -> beta = 4.
+
+These two values reproduce the paper's published efficiency numbers exactly
+(e.g. HybridDNN scheme 2: 13.1 GOP x 22.0 FPS / (2 x 1024 x 0.2 GHz) = 70.4%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class QuantScheme:
+    """Fixed-point quantization of weights and activations."""
+
+    name: str
+    weight_bits: int
+    activation_bits: int
+
+    def __post_init__(self) -> None:
+        if self.weight_bits <= 0 or self.activation_bits <= 0:
+            raise ValueError(f"bit widths must be positive: {self}")
+
+    @property
+    def macs_per_multiplier(self) -> int:
+        """MACs one DSP/MAC unit sustains per cycle (2 when 8-bit packs)."""
+        if self.weight_bits <= 8 and self.activation_bits <= 8:
+            return 2
+        return 1
+
+    @property
+    def beta(self) -> int:
+        """Operations per multiplier per cycle — Eq. 3's beta."""
+        return 2 * self.macs_per_multiplier
+
+    def weight_bytes(self, count: float) -> float:
+        """Bytes occupied by ``count`` weights under this scheme."""
+        return count * self.weight_bits / 8.0
+
+    def activation_bytes(self, count: float) -> float:
+        """Bytes occupied by ``count`` activations under this scheme."""
+        return count * self.activation_bits / 8.0
+
+
+INT8 = QuantScheme(name="int8", weight_bits=8, activation_bits=8)
+INT16 = QuantScheme(name="int16", weight_bits=16, activation_bits=16)
+
+_SCHEMES = {scheme.name: scheme for scheme in (INT8, INT16)}
+
+
+def get_scheme(name: str) -> QuantScheme:
+    """Look up a scheme by name (``"int8"`` or ``"int16"``)."""
+    try:
+        return _SCHEMES[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_SCHEMES))
+        raise KeyError(f"unknown scheme {name!r}; known schemes: {known}") from None

@@ -1,0 +1,27 @@
+"""Functional (numpy) execution of IR graphs.
+
+F-CAD's exploration is purely analytical, but a framework for decoder
+accelerators should also *decode*: this package initializes synthetic
+parameters for a graph and runs it forward, optionally with 8-/16-bit
+quantized weights and activations.
+"""
+
+from repro.runtime.executor import Executor, init_parameters, run_graph
+from repro.runtime.ops import (
+    apply_activation,
+    conv2d,
+    linear,
+    maxpool2d,
+    upsample_nearest,
+)
+
+__all__ = [
+    "Executor",
+    "apply_activation",
+    "conv2d",
+    "init_parameters",
+    "linear",
+    "maxpool2d",
+    "run_graph",
+    "upsample_nearest",
+]

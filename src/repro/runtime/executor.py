@@ -1,0 +1,179 @@
+"""Graph execution: synthetic parameter init and forward passes.
+
+The avatar decoder's trained weights are proprietary; :func:`init_parameters`
+creates He-scaled synthetic weights with the published topology, which is
+sufficient for every code path here (F-CAD never inspects weight values —
+only shapes and counts — and the functional examples only need a decoder
+that produces well-scaled geometry/texture tensors).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir.graph import NetworkGraph
+from repro.ir.layer import (
+    Activation,
+    BiasMode,
+    Concat,
+    Conv2d,
+    Flatten,
+    Input,
+    Linear,
+    MaxPool,
+    Reshape,
+    Upsample,
+)
+from repro.quant.quantize import quantize_tensor
+from repro.quant.schemes import QuantScheme
+from repro.runtime import ops
+
+
+def init_parameters(
+    graph: NetworkGraph, seed: int | None = 0
+) -> dict[str, dict[str, np.ndarray]]:
+    """Synthetic parameters for every parametric node of ``graph``.
+
+    Weights are He-normal; biases start at zero (untied biases get their
+    full per-pixel shape).
+    """
+    rng = np.random.default_rng(seed)
+    shapes = graph.infer_shapes()
+    params: dict[str, dict[str, np.ndarray]] = {}
+    for node in graph.nodes():
+        layer = node.layer
+        if isinstance(layer, Conv2d):
+            fan_in = layer.in_channels * layer.kernel * layer.kernel
+            weight = rng.normal(
+                0.0,
+                np.sqrt(2.0 / fan_in),
+                size=(layer.out_channels, layer.in_channels, layer.kernel, layer.kernel),
+            )
+            entry = {"weight": weight}
+            out_shape = shapes[node.name]
+            if layer.bias is BiasMode.TIED:
+                entry["bias"] = np.zeros(layer.out_channels)
+            elif layer.bias is BiasMode.UNTIED:
+                entry["bias"] = np.zeros(out_shape.as_tuple())
+            params[node.name] = entry
+        elif isinstance(layer, Linear):
+            weight = rng.normal(
+                0.0,
+                np.sqrt(2.0 / layer.in_features),
+                size=(layer.out_features, layer.in_features),
+            )
+            entry = {"weight": weight}
+            if layer.bias is not BiasMode.NONE:
+                entry["bias"] = np.zeros(layer.out_features)
+            params[node.name] = entry
+    return params
+
+
+def _quantize_params(
+    params: dict[str, dict[str, np.ndarray]], scheme: QuantScheme
+) -> dict[str, dict[str, np.ndarray]]:
+    """Round-trip every parameter through the scheme's weight width."""
+    out: dict[str, dict[str, np.ndarray]] = {}
+    for node, entry in params.items():
+        out[node] = {
+            key: quantize_tensor(value, scheme.weight_bits).dequantized()
+            for key, value in entry.items()
+        }
+    return out
+
+
+class Executor:
+    """Runs a graph forward, optionally with quantized arithmetic.
+
+    With a :class:`~repro.quant.schemes.QuantScheme`, weights are quantized
+    once up front and every layer output is re-quantized to the activation
+    width — a simple model of fixed-point inference.
+    """
+
+    def __init__(
+        self,
+        graph: NetworkGraph,
+        params: dict[str, dict[str, np.ndarray]] | None = None,
+        quant: QuantScheme | None = None,
+        seed: int | None = 0,
+    ) -> None:
+        graph.validate()
+        self.graph = graph
+        self.quant = quant
+        self.params = params if params is not None else init_parameters(graph, seed)
+        if quant is not None:
+            self.params = _quantize_params(self.params, quant)
+
+    def run(self, inputs: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        """Forward pass; returns activations of every node."""
+        missing = [name for name in self.graph.input_names() if name not in inputs]
+        if missing:
+            raise KeyError(f"missing inputs: {missing}")
+        values: dict[str, np.ndarray] = {}
+        for name in self.graph.topo_order():
+            node = self.graph.node(name)
+            layer = node.layer
+            args = [values[parent] for parent in node.inputs]
+            if isinstance(layer, Input):
+                x = np.asarray(inputs[name], dtype=np.float64)
+                if x.shape != layer.shape.as_tuple():
+                    raise ValueError(
+                        f"input {name!r} has shape {x.shape}, "
+                        f"expected {layer.shape.as_tuple()}"
+                    )
+                result = x
+            elif isinstance(layer, Conv2d):
+                entry = self.params[name]
+                result = ops.conv2d(
+                    args[0],
+                    entry["weight"],
+                    entry.get("bias"),
+                    stride=layer.stride,
+                    padding=layer.padding,
+                )
+            elif isinstance(layer, Linear):
+                entry = self.params[name]
+                result = ops.linear(args[0], entry["weight"], entry.get("bias"))
+            elif isinstance(layer, Activation):
+                result = ops.apply_activation(
+                    args[0], layer.fn, layer.negative_slope
+                )
+            elif isinstance(layer, Upsample):
+                result = ops.upsample_nearest(args[0], layer.scale)
+            elif isinstance(layer, MaxPool):
+                result = ops.maxpool2d(
+                    args[0],
+                    layer.kernel,
+                    layer.effective_stride,
+                    layer.padding,
+                )
+            elif isinstance(layer, Reshape):
+                result = args[0].reshape(layer.target.as_tuple())
+            elif isinstance(layer, Flatten):
+                result = args[0].reshape(-1, 1, 1)
+            elif isinstance(layer, Concat):
+                result = np.concatenate(args, axis=0)
+            else:
+                raise TypeError(f"no kernel for layer kind {layer.kind!r}")
+            if self.quant is not None and not isinstance(layer, Input):
+                result = quantize_tensor(
+                    result, self.quant.activation_bits
+                ).dequantized()
+            values[name] = result
+        return values
+
+    def run_outputs(self, inputs: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        """Forward pass; returns only the branch outputs."""
+        values = self.run(inputs)
+        return {name: values[name] for name in self.graph.output_names()}
+
+
+def run_graph(
+    graph: NetworkGraph,
+    inputs: dict[str, np.ndarray],
+    params: dict[str, dict[str, np.ndarray]] | None = None,
+    quant: QuantScheme | None = None,
+    seed: int | None = 0,
+) -> dict[str, np.ndarray]:
+    """One-shot convenience wrapper around :class:`Executor`."""
+    return Executor(graph, params=params, quant=quant, seed=seed).run_outputs(inputs)

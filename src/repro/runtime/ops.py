@@ -1,0 +1,132 @@
+"""Numpy kernels for the IR layers.
+
+Tensors are channel-height-width ``float64`` arrays. The convolution
+supports the paper's customized Conv: an *untied* bias shaped like the whole
+output tensor, added per pixel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir.layer import explicit_padding
+
+
+def _pad_spatial(
+    x: np.ndarray,
+    kernel: int,
+    stride: int,
+    padding: int | str,
+    fill: float = 0.0,
+) -> np.ndarray:
+    """Zero-pad (or fill-pad) the two spatial axes of a CHW tensor."""
+    top, bottom = explicit_padding(x.shape[1], kernel, stride, padding)
+    left, right = explicit_padding(x.shape[2], kernel, stride, padding)
+    if top == bottom == left == right == 0:
+        return x
+    return np.pad(
+        x,
+        ((0, 0), (top, bottom), (left, right)),
+        mode="constant",
+        constant_values=fill,
+    )
+
+
+def conv2d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None = None,
+    stride: int = 1,
+    padding: int | str = "same",
+) -> np.ndarray:
+    """2-D convolution (cross-correlation) over a CHW tensor.
+
+    ``weight`` is ``(out_channels, in_channels, k, k)``. ``bias`` may be
+    ``None``, per-channel ``(out_channels,)``, or untied
+    ``(out_channels, out_h, out_w)``.
+    """
+    out_channels, in_channels, kernel, kernel_w = weight.shape
+    if kernel != kernel_w:
+        raise ValueError(f"only square kernels are supported: {weight.shape}")
+    if x.shape[0] != in_channels:
+        raise ValueError(
+            f"input has {x.shape[0]} channels, weight expects {in_channels}"
+        )
+    padded = _pad_spatial(x, kernel, stride, padding)
+    out_h = (padded.shape[1] - kernel) // stride + 1
+    out_w = (padded.shape[2] - kernel) // stride + 1
+    out = np.zeros((out_channels, out_h, out_w), dtype=np.float64)
+    for ky in range(kernel):
+        for kx in range(kernel):
+            patch = padded[
+                :,
+                ky : ky + out_h * stride : stride,
+                kx : kx + out_w * stride : stride,
+            ]
+            # (out_c, in_c) x (in_c, H, W) -> (out_c, H, W)
+            out += np.tensordot(weight[:, :, ky, kx], patch, axes=1)
+    if bias is not None:
+        if bias.ndim == 1:
+            out += bias[:, None, None]
+        else:
+            if bias.shape != out.shape:
+                raise ValueError(
+                    f"untied bias shape {bias.shape} does not match output {out.shape}"
+                )
+            out += bias
+    return out
+
+
+def maxpool2d(
+    x: np.ndarray,
+    kernel: int,
+    stride: int,
+    padding: int | str = "valid",
+) -> np.ndarray:
+    """Max pooling over a CHW tensor."""
+    padded = _pad_spatial(x, kernel, stride, padding, fill=-np.inf)
+    out_h = (padded.shape[1] - kernel) // stride + 1
+    out_w = (padded.shape[2] - kernel) // stride + 1
+    out = np.full((x.shape[0], out_h, out_w), -np.inf)
+    for ky in range(kernel):
+        for kx in range(kernel):
+            patch = padded[
+                :,
+                ky : ky + out_h * stride : stride,
+                kx : kx + out_w * stride : stride,
+            ]
+            np.maximum(out, patch, out=out)
+    return out
+
+
+def upsample_nearest(x: np.ndarray, scale: int) -> np.ndarray:
+    """Nearest-neighbour upsampling of a CHW tensor."""
+    return np.repeat(np.repeat(x, scale, axis=1), scale, axis=2)
+
+
+def linear(
+    x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None
+) -> np.ndarray:
+    """Fully connected layer: ``weight @ flatten(x)`` as a (F,1,1) tensor."""
+    flat = x.reshape(-1)
+    out = weight @ flat
+    if bias is not None:
+        out = out + bias
+    return out.reshape(-1, 1, 1)
+
+
+def apply_activation(
+    x: np.ndarray, fn: str, negative_slope: float = 0.2
+) -> np.ndarray:
+    """Elementwise nonlinearity by name."""
+    if fn == "relu":
+        return np.maximum(x, 0.0)
+    if fn == "leaky_relu":
+        return np.where(x >= 0.0, x, negative_slope * x)
+    if fn == "tanh":
+        return np.tanh(x)
+    if fn == "sigmoid":
+        return 1.0 / (1.0 + np.exp(-x))
+    if fn == "identity":
+        return x
+    raise ValueError(f"unsupported activation {fn!r}")

@@ -1,0 +1,155 @@
+"""Dataflow-faithful tiled execution.
+
+The elastic architecture's two structural tricks are *H-partitioning*
+(``h`` engines compute disjoint output-row slices in parallel) and
+*upsample folding* (a 2x nearest upsample is absorbed into the consumer's
+input addressing, so the upsampled tensor never exists). Both are purely
+architectural claims — they must not change the mathematics.
+
+This module computes convolutions exactly the way the hardware would:
+
+- :func:`conv2d_h_partitioned` splits the output rows into ``h`` slices,
+  gives each engine its halo of input rows, and concatenates;
+- :func:`conv2d_folded_upsample` reads the *pre-upsample* tensor with
+  replicated row/column addressing.
+
+Property tests assert bit-exact agreement with the reference kernels in
+:mod:`repro.runtime.ops`, which functionally validates the fusion and
+H-partition transformations of the Construction step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir.layer import explicit_padding
+from repro.runtime.ops import conv2d, upsample_nearest
+
+
+def _partition_bounds(total: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``total`` rows into ``parts`` near-equal contiguous slices."""
+    bounds = []
+    base, extra = divmod(total, parts)
+    start = 0
+    for index in range(parts):
+        size = base + (1 if index < extra else 0)
+        if size == 0:
+            continue
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+def conv2d_h_partitioned(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None = None,
+    stride: int = 1,
+    padding: int | str = "same",
+    h: int = 2,
+) -> np.ndarray:
+    """Convolution computed as ``h`` independent output-row slices.
+
+    Each engine receives only the input rows its output slice touches
+    (slice rows x stride plus the kernel halo), mirroring the input-buffer
+    partitioning of the basic architecture unit.
+    """
+    if h < 1:
+        raise ValueError(f"h must be >= 1: {h}")
+    kernel = weight.shape[2]
+    pad_top, pad_bottom = explicit_padding(x.shape[1], kernel, stride, padding)
+    pad_left, pad_right = explicit_padding(x.shape[2], kernel, stride, padding)
+    padded = np.pad(
+        x, ((0, 0), (pad_top, pad_bottom), (pad_left, pad_right))
+    )
+    out_h = (padded.shape[1] - kernel) // stride + 1
+    out_w = (padded.shape[2] - kernel) // stride + 1
+    out_c = weight.shape[0]
+
+    out = np.empty((out_c, out_h, out_w))
+    for row_start, row_end in _partition_bounds(out_h, min(h, out_h)):
+        in_start = row_start * stride
+        in_end = (row_end - 1) * stride + kernel
+        slab = padded[:, in_start:in_end, :]
+        piece = conv2d(slab, weight, bias=None, stride=stride, padding="valid")
+        out[:, row_start:row_end, :] = piece
+    if bias is not None:
+        if bias.ndim == 1:
+            out += bias[:, None, None]
+        else:
+            out += bias
+    return out
+
+
+def conv2d_folded_upsample(
+    x_pre: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None = None,
+    stride: int = 1,
+    padding: int | str = "same",
+    scale: int = 2,
+) -> np.ndarray:
+    """Convolution over a nearest-upsampled input, without materializing it.
+
+    Each (post-upsample) input pixel ``(i, j)`` is the pre-upsample pixel
+    ``(i // scale, j // scale)``; the kernel sweep reads through that
+    address mapping. Equivalent to
+    ``conv2d(upsample_nearest(x_pre, scale), ...)`` while touching only the
+    small tensor — this is how the fused [C,A,U] stage keeps the decoder's
+    16x1024x1024 map virtual.
+    """
+    if scale < 1:
+        raise ValueError(f"scale must be >= 1: {scale}")
+    channels, pre_h, pre_w = x_pre.shape
+    up_h, up_w = pre_h * scale, pre_w * scale
+    kernel = weight.shape[2]
+    pad_top, _ = explicit_padding(up_h, kernel, stride, padding)
+    pad_left, _ = explicit_padding(up_w, kernel, stride, padding)
+    out_h = _conv_out(up_h, kernel, stride, padding)
+    out_w = _conv_out(up_w, kernel, stride, padding)
+    out_c = weight.shape[0]
+
+    out = np.zeros((out_c, out_h, out_w))
+    row_idx = np.arange(out_h) * stride
+    col_idx = np.arange(out_w) * stride
+    for ky in range(kernel):
+        y = row_idx + ky - pad_top
+        y_valid = (y >= 0) & (y < up_h)
+        y_src = np.clip(y, 0, up_h - 1) // scale
+        for kx in range(kernel):
+            xx = col_idx + kx - pad_left
+            x_valid = (xx >= 0) & (xx < up_w)
+            x_src = np.clip(xx, 0, up_w - 1) // scale
+            patch = x_pre[:, y_src[:, None], x_src[None, :]]
+            mask = (y_valid[:, None] & x_valid[None, :]).astype(patch.dtype)
+            out += np.tensordot(weight[:, :, ky, kx], patch * mask, axes=1)
+    if bias is not None:
+        if bias.ndim == 1:
+            out += bias[:, None, None]
+        else:
+            out += bias
+    return out
+
+
+def _conv_out(size: int, kernel: int, stride: int, padding: int | str) -> int:
+    from repro.ir.layer import conv_output_size
+
+    return conv_output_size(size, kernel, stride, padding)
+
+
+def reference_folded_upsample(
+    x_pre: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None = None,
+    stride: int = 1,
+    padding: int | str = "same",
+    scale: int = 2,
+) -> np.ndarray:
+    """The materializing equivalent, for validation."""
+    return conv2d(
+        upsample_nearest(x_pre, scale),
+        weight,
+        bias=bias,
+        stride=stride,
+        padding=padding,
+    )

@@ -1,0 +1,31 @@
+"""Cycle-accurate simulation of the elastic multi-pipeline accelerator.
+
+The paper validates its analytical models against board-level FPGA
+implementations; this simulator is the stand-in. It executes an
+:class:`~repro.arch.elastic.ElasticAccelerator` at row-tile granularity and
+models the second-order effects the analytical models ignore:
+
+- pipeline fill/drain across stages and frames,
+- per-row control overhead in each compute engine,
+- a shared DRAM channel with bounded efficiency arbitrating weight/bias
+  streams and branch I/O,
+- credit-based backpressure over the bounded inter-stage line buffers
+  (including cross-branch forks, where the slower consumer throttles the
+  shared producer).
+"""
+
+from repro.sim.dram import DramChannel
+from repro.sim.pipeline import PipelineSimulator
+from repro.sim.runner import SimulationReport, simulate
+from repro.sim.stats import SimStats, StageStats
+from repro.sim.timeline import render_timeline
+
+__all__ = [
+    "DramChannel",
+    "PipelineSimulator",
+    "SimStats",
+    "SimulationReport",
+    "render_timeline",
+    "StageStats",
+    "simulate",
+]

@@ -1,0 +1,180 @@
+"""Event-driven execution of the whole multi-pipeline accelerator."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+from repro.arch.config import AcceleratorConfig
+from repro.construction.reorg import PipelinePlan
+from repro.quant.schemes import QuantScheme
+from repro.sim.dram import DramChannel
+from repro.sim.stage import StageSim
+from repro.sim.stats import SimStats, StageStats
+
+
+class PipelineSimulator:
+    """Simulates one replica of every branch pipeline of a plan.
+
+    Multi-replica (batch > 1) branches process independent frames on
+    identical copies; the runner scales their frame rate by the replica
+    count (replica DRAM contention is second-order next to the modeled
+    streams and is noted in EXPERIMENTS.md).
+    """
+
+    def __init__(
+        self,
+        plan: PipelinePlan,
+        config: AcceleratorConfig,
+        quant: QuantScheme,
+        bandwidth_gbps: float,
+        frequency_mhz: float = 200.0,
+    ) -> None:
+        config.validate_for(plan)
+        self.plan = plan
+        self.config = config
+        self.quant = quant
+        self.frequency_mhz = frequency_mhz
+        self.dram = DramChannel(
+            bandwidth_gbps=bandwidth_gbps, frequency_mhz=frequency_mhz
+        )
+
+        terminal_names = {
+            pipeline.stages[-1].name for pipeline in plan.branches
+        }
+        self.stages: dict[str, StageSim] = {}
+        for pipeline, branch_cfg in zip(plan.branches, config.branches):
+            for planned, stage_cfg in zip(pipeline.stages, branch_cfg.stages):
+                self.stages[planned.name] = StageSim(
+                    stage=planned.stage,
+                    cfg=stage_cfg,
+                    quant=quant,
+                    is_terminal=planned.name in terminal_names,
+                    branch=pipeline.index,
+                )
+        self._wire()
+        self.dram.register_flows(
+            {
+                name: sim.dram_bytes_per_step * sim.steps_per_frame
+                for name, sim in self.stages.items()
+            }
+        )
+
+    def _wire(self) -> None:
+        from repro.sim.stage import LinkState
+
+        for sim in self.stages.values():
+            for source in sim.stage.sources:
+                producer = self.stages.get(source)
+                if producer is None:
+                    continue  # external input
+                sim.producers.append(producer)
+                # Line-buffer capacity: the window a step needs, doubled,
+                # plus slack — enough to never deadlock, small enough to
+                # exert real backpressure. A highly H-partitioned producer
+                # emits a whole row burst atomically, so the buffer must
+                # also absorb one full producer step.
+                need = sim.producer_rows_needed(0)
+                burst = producer.rows_after_step(0)
+                capacity = max(
+                    2 * (need + sim.window_overlap_rows() + 1),
+                    burst + need + 1,
+                )
+                producer.out_links.append(
+                    LinkState(consumer=sim, capacity_rows=capacity)
+                )
+
+    # ------------------------------------------------------------------
+    def run(self, frames: int = 8) -> SimStats:
+        """Simulate ``frames`` frames through every pipeline."""
+        if frames < 1:
+            raise ValueError("need at least one frame")
+        stats = SimStats(frames_requested=frames)
+        for name, sim in self.stages.items():
+            sim.frames_target = frames
+            sim.frame = 0
+            sim.step = 0
+            sim.emitted_rows = 0
+            sim.busy = False
+            stats.stages[name] = StageStats(name=name)
+
+        # Startup: resident weights load once through DRAM, then the first
+        # step's streamed data is prefetched on the stage's own flow.
+        ready_at: dict[str, float] = {}
+        dram_ready: dict[str, float] = {}
+        for name, sim in self.stages.items():
+            loaded = self.dram.request("", sim.resident_weight_bytes, 0.0)
+            ready_at[name] = loaded
+            dram_ready[name] = self.dram.request(
+                name, sim.dram_bytes_per_step, loaded
+            )
+            sim.idle_since = loaded
+
+        counter = itertools.count()
+        events: list[tuple[float, int, str]] = []
+        now = 0.0
+
+        def try_start(sim: StageSim) -> bool:
+            if sim.busy or sim.done():
+                return False
+            if ready_at[sim.name] > now:
+                return False
+            if not sim.inputs_available():
+                return False
+            if not sim.credits_available():
+                return False
+            st = stats.stages[sim.name]
+            st.input_stall_cycles += now - sim.idle_since
+            # This step waits for the data prefetched one step earlier;
+            # the next step's transfer starts now (double buffering).
+            dram_done = dram_ready[sim.name]
+            dram_ready[sim.name] = self.dram.request(
+                sim.name, sim.dram_bytes_per_step, now
+            )
+            compute_done = now + sim.compute_cycles_per_step
+            finish = max(compute_done, dram_done)
+            st.busy_cycles += sim.compute_cycles_per_step
+            st.dram_stall_cycles += finish - compute_done
+            st.record_interval(now, finish)
+            sim.busy = True
+            heapq.heappush(events, (finish, next(counter), sim.name))
+            return True
+
+        def try_start_all() -> None:
+            started = True
+            while started:
+                started = False
+                for sim in self.stages.values():
+                    if try_start(sim):
+                        started = True
+
+        # Kick off anything that can start at the ready times.
+        for t in sorted(set(ready_at.values())):
+            now = t
+            try_start_all()
+
+        while events:
+            now, _, name = heapq.heappop(events)
+            sim = self.stages[name]
+            st = stats.stages[name]
+            was_last_step = sim.step >= sim.steps_per_frame - 1
+            sim.complete_step()
+            sim.busy = False
+            sim.idle_since = now
+            st.steps_done += 1
+            if was_last_step:
+                st.frames_done += 1
+                st.frame_finish_times.append(now)
+            try_start_all()
+
+        stats.total_cycles = now
+        stats.dram_busy_cycles = self.dram.busy_cycles
+        stats.dram_bytes = self.dram.bytes_moved
+        unfinished = [
+            s.name for s in self.stages.values() if not s.done()
+        ]
+        if unfinished:
+            raise RuntimeError(
+                f"simulation deadlocked; unfinished stages: {unfinished}"
+            )
+        return stats

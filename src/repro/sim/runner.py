@@ -1,0 +1,127 @@
+"""High-level simulation entry point and measurement report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import AcceleratorConfig
+from repro.construction.reorg import PipelinePlan
+from repro.perf.analytical import efficiency
+from repro.perf.estimator import evaluate
+from repro.quant.schemes import QuantScheme
+from repro.sim.pipeline import PipelineSimulator
+from repro.sim.stats import SimStats
+from repro.utils.units import GIGA
+
+
+@dataclass(frozen=True)
+class SimulationReport:
+    """Measured ("board-level") performance of an accelerator config.
+
+    ``branch_fps`` is the steady-state rate (inter-frame spacing after
+    warmup); ``end_to_end_fps`` divides the frame count by the whole run
+    including pipeline fill and weight-load startup — the number a
+    host-side timer reports, and the one the estimation-error experiments
+    (Figs. 6-7) compare against.
+    """
+
+    branch_fps: tuple[float, ...]
+    end_to_end_fps: float
+    efficiency: float  # whole-run accounting (includes fill and startup)
+    steady_efficiency: float  # Eq. 3 from the steady-state throughput
+    total_cycles: float
+    frames: int
+    stats: SimStats
+
+    @property
+    def fps(self) -> float:
+        return min(self.branch_fps) if self.branch_fps else 0.0
+
+
+def _steady_state_fps(
+    finish_times: list[float], frequency_mhz: float, warmup: int
+) -> float:
+    """Frame rate from inter-frame spacing after discarding warmup frames."""
+    if len(finish_times) < 2:
+        return 0.0
+    warmup = min(warmup, len(finish_times) - 2)
+    window = finish_times[warmup:]
+    cycles = window[-1] - window[0]
+    if cycles <= 0:
+        return 0.0
+    return (len(window) - 1) * frequency_mhz * 1e6 / cycles
+
+
+def simulate(
+    plan: PipelinePlan,
+    config: AcceleratorConfig,
+    quant: QuantScheme,
+    bandwidth_gbps: float,
+    frequency_mhz: float = 200.0,
+    frames: int = 8,
+    warmup: int = 2,
+) -> SimulationReport:
+    """Run the cycle-accurate simulator and measure throughput/efficiency.
+
+    Throughput is the steady-state rate of each branch's terminal stage
+    (scaled by the branch's replica count); efficiency is Eq. 3 over the
+    whole run *including* pipeline fill — the same accounting a board
+    measurement with a host-side timer would produce.
+    """
+    simulator = PipelineSimulator(
+        plan=plan,
+        config=config,
+        quant=quant,
+        bandwidth_gbps=bandwidth_gbps,
+        frequency_mhz=frequency_mhz,
+    )
+    stats = simulator.run(frames=frames)
+
+    branch_fps = []
+    for pipeline, branch_cfg in zip(plan.branches, config.branches):
+        terminal = pipeline.stages[-1].name
+        fps_one = _steady_state_fps(
+            stats.stages[terminal].frame_finish_times, frequency_mhz, warmup
+        )
+        branch_fps.append(fps_one * max(1, branch_cfg.batch_size))
+
+    slowest_batch = max(
+        1,
+        min(
+            (cfg.batch_size for cfg in config.branches),
+            default=1,
+        ),
+    )
+    end_to_end_fps = (
+        frames * slowest_batch * frequency_mhz * 1e6 / stats.total_cycles
+        if stats.total_cycles > 0
+        else 0.0
+    )
+
+    # Whole-run efficiency: ops completed over peak ops in the elapsed time.
+    perf = evaluate(plan, config, quant, frequency_mhz)
+    total_dsp = perf.total_dsp
+    seconds = stats.total_cycles / (frequency_mhz * 1e6)
+    gops_done = sum(
+        pipeline.ops / GIGA * frames for pipeline in plan.branches
+    )
+    measured_eff = efficiency(
+        gops_done / seconds if seconds > 0 else 0.0,
+        quant.beta,
+        total_dsp,
+        frequency_mhz,
+    )
+    steady_gops = sum(
+        pipeline.ops / GIGA * fps
+        for pipeline, fps in zip(plan.branches, branch_fps)
+    )
+    steady_eff = efficiency(steady_gops, quant.beta, total_dsp, frequency_mhz)
+    return SimulationReport(
+        branch_fps=tuple(branch_fps),
+        end_to_end_fps=end_to_end_fps,
+        efficiency=measured_eff,
+        steady_efficiency=steady_eff,
+        total_cycles=stats.total_cycles,
+        frames=frames,
+        stats=stats,
+    )

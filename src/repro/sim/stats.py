@@ -1,0 +1,57 @@
+"""Statistics collected during simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+#: Per-stage cap on recorded busy intervals (timeline rendering only; the
+#: aggregate counters keep accumulating past the cap).
+MAX_RECORDED_INTERVALS = 4096
+
+
+@dataclass
+class StageStats:
+    """Accumulated behaviour of one simulated stage."""
+
+    name: str
+    steps_done: int = 0
+    frames_done: int = 0
+    busy_cycles: float = 0.0
+    input_stall_cycles: float = 0.0
+    credit_stall_cycles: float = 0.0
+    dram_stall_cycles: float = 0.0
+    frame_finish_times: list[float] = field(default_factory=list)
+    busy_intervals: list[tuple[float, float]] = field(default_factory=list)
+
+    def record_interval(self, start: float, end: float) -> None:
+        if len(self.busy_intervals) < MAX_RECORDED_INTERVALS:
+            self.busy_intervals.append((start, end))
+
+    @property
+    def utilization(self) -> float:
+        """Busy fraction of the stage over the recorded lifetime."""
+        total = self.busy_cycles + self.stall_cycles
+        return self.busy_cycles / total if total > 0 else 0.0
+
+    @property
+    def stall_cycles(self) -> float:
+        return (
+            self.input_stall_cycles
+            + self.credit_stall_cycles
+            + self.dram_stall_cycles
+        )
+
+
+@dataclass
+class SimStats:
+    """Whole-run statistics."""
+
+    total_cycles: float = 0.0
+    frames_requested: int = 0
+    stages: dict[str, StageStats] = field(default_factory=dict)
+    dram_busy_cycles: float = 0.0
+    dram_bytes: float = 0.0
+
+    def stage(self, name: str) -> StageStats:
+        return self.stages[name]

@@ -1,0 +1,25 @@
+"""Shared utilities: unit conversion, ASCII tables, seeded RNG helpers."""
+
+from repro.utils.rng import make_rng
+from repro.utils.tables import render_table
+from repro.utils.units import (
+    GIGA,
+    KIBI,
+    MEBI,
+    bits_to_bram18k,
+    format_count,
+    format_engineering,
+    gop,
+)
+
+__all__ = [
+    "GIGA",
+    "KIBI",
+    "MEBI",
+    "bits_to_bram18k",
+    "format_count",
+    "format_engineering",
+    "gop",
+    "make_rng",
+    "render_table",
+]

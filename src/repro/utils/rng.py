@@ -1,0 +1,20 @@
+"""Seeded random number generation.
+
+All stochastic code (the cross-branch search, synthetic weight generation)
+takes an explicit seed or ``random.Random`` so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def make_rng(seed: int | random.Random | None) -> random.Random:
+    """Return a ``random.Random`` from a seed, an existing RNG, or ``None``.
+
+    Passing an existing RNG returns it unchanged, which lets callers thread
+    one generator through nested components.
+    """
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)

@@ -1,0 +1,49 @@
+"""Plain-text table rendering for experiment reports.
+
+Every experiment driver renders its result through :func:`render_table`, so
+benchmark output looks like the tables in the paper.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def _stringify(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.1f}"
+    return str(cell)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an ASCII table with aligned columns.
+
+    Floats are shown with one decimal (pre-format cells as strings for
+    anything fancier). Returns the table as a single string.
+    """
+    str_rows = [[_stringify(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    rule = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(rule))
+    lines.append(fmt_row(list(headers)))
+    lines.append(rule)
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""Unit conversions used across the performance and resource models.
+
+Conventions (kept consistent in every module):
+
+- compute demand is counted in MACs (multiply-accumulates); ``ops`` means
+  arithmetic operations, i.e. ``2 x MACs`` plus elementwise additions;
+- memory capacities are counted in bits internally and reported either in
+  BRAM18K blocks (FPGA targets) or bytes (ASIC targets);
+- bandwidth is reported in GB/s (1e9 bytes per second);
+- frequency is reported in MHz.
+"""
+
+from __future__ import annotations
+
+GIGA = 1e9
+MEGA = 1e6
+KIBI = 1024
+MEBI = 1024 * 1024
+
+#: Capacity of one Xilinx BRAM18K block, in bits.
+BRAM18K_BITS = 18 * 1024
+
+#: Widest read/write port of a BRAM18K block (simple dual port mode), in bits.
+BRAM18K_PORT_BITS = 36
+
+
+def gop(macs: float, extra_ops: float = 0.0) -> float:
+    """Convert a MAC count (+ optional elementwise op count) to GOP.
+
+    One MAC is two operations (a multiply and an add), which is the
+    convention the paper uses (13.6 GOP for the 6.8 GMAC decoder).
+    """
+    return (2.0 * macs + extra_ops) / GIGA
+
+
+def bits_to_bram18k(bits: int) -> int:
+    """Number of BRAM18K blocks needed to store ``bits`` (capacity only)."""
+    if bits <= 0:
+        return 0
+    return -(-bits // BRAM18K_BITS)
+
+
+def format_engineering(value: float, unit: str = "", digits: int = 1) -> str:
+    """Render ``value`` with an engineering suffix, e.g. ``13.6 G``."""
+    for threshold, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if abs(value) >= threshold:
+            return f"{value / threshold:.{digits}f}{suffix}{unit}"
+    return f"{value:.{digits}f}{unit}"
+
+
+def format_count(value: float, digits: int = 1) -> str:
+    """Short human-readable count (``7.2M``, ``13.6G``)."""
+    return format_engineering(value, unit="", digits=digits)

@@ -1,0 +1,93 @@
+"""Shared fixtures: reference networks, plans, and small test graphs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.construction.reorg import build_pipeline_plan
+from repro.ir.builder import GraphBuilder
+from repro.ir.layer import BiasMode, TensorShape
+from repro.models.benchmarks import build_alexnet, build_tiny_yolo, build_vgg16
+from repro.models.codec_avatar import build_codec_avatar_decoder
+from repro.models.mimic import build_mimic_decoder
+
+
+@pytest.fixture(scope="session")
+def decoder_graph():
+    return build_codec_avatar_decoder()
+
+@pytest.fixture(scope="session")
+def mimic_graph():
+    return build_mimic_decoder()
+
+
+@pytest.fixture(scope="session")
+def decoder_plan(decoder_graph):
+    return build_pipeline_plan(decoder_graph)
+
+
+@pytest.fixture(scope="session")
+def mimic_plan(mimic_graph):
+    return build_pipeline_plan(mimic_graph)
+
+
+@pytest.fixture(scope="session")
+def alexnet_graph():
+    return build_alexnet()
+
+
+@pytest.fixture(scope="session")
+def vgg16_graph():
+    return build_vgg16()
+
+
+@pytest.fixture(scope="session")
+def tiny_yolo_graph():
+    return build_tiny_yolo()
+
+
+def make_tiny_decoder(
+    untied: bool = True, base: int = 4, channels: int = 8
+) -> "NetworkGraph":
+    """A miniature two-branch decoder with a shared front part.
+
+    Structure mirrors the real decoder (shared CAU front, one HD-ish branch
+    and one lightweight branch) at toy sizes so tests stay fast.
+    """
+    bias = BiasMode.UNTIED if untied else BiasMode.TIED
+    b = GraphBuilder("tiny_decoder")
+    z = b.input("z", TensorShape(channels, base, base))
+    shared = b.cau_block(z, out_channels=2 * channels, kernel=3, bias=bias)
+    big = b.cau_block(shared, out_channels=channels, kernel=3, bias=bias)
+    b.conv(big, out_channels=3, kernel=3, bias=bias, name="texture")
+    b.conv(shared, out_channels=2, kernel=3, bias=bias, name="warp")
+    graph = b.graph
+    graph.validate()
+    return graph
+
+
+def make_chain(depth: int = 3, channels: int = 8, size: int = 16):
+    """A simple single-branch conv chain."""
+    b = GraphBuilder("chain")
+    x = b.input("x", TensorShape(3, size, size))
+    for _ in range(depth):
+        x = b.conv(x, out_channels=channels, kernel=3, bias=BiasMode.TIED)
+        x = b.act(x, fn="relu")
+    graph = b.graph
+    graph.validate()
+    return graph
+
+
+@pytest.fixture()
+def tiny_decoder():
+    return make_tiny_decoder()
+
+
+@pytest.fixture()
+def tiny_plan():
+    return build_pipeline_plan(make_tiny_decoder())
+
+
+@pytest.fixture()
+def chain_graph():
+    return make_chain()

@@ -1,0 +1,44 @@
+"""Tests for the Analysis step (Fig. 4, Step 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.analyzer import analyze_network
+from tests.conftest import make_chain, make_tiny_decoder
+
+
+class TestAnalyzer:
+    def test_decoder_branch_structure(self, decoder_graph):
+        analysis = analyze_network(decoder_graph)
+        assert analysis.num_branches == 3
+        texture = analysis.branch_info[1]
+        assert texture.output_name == "texture"
+        assert texture.has_shared_part
+        assert texture.num_shared_layers > 0
+
+    def test_geometry_branch_not_shared(self, decoder_graph):
+        analysis = analyze_network(decoder_graph)
+        geometry = analysis.branch_info[0]
+        assert not geometry.has_shared_part
+
+    def test_inputs_per_branch(self, decoder_graph):
+        analysis = analyze_network(decoder_graph)
+        assert analysis.branch_info[0].depends_on_inputs == ("z",)
+        assert set(analysis.branch_info[1].depends_on_inputs) == {"z", "view"}
+
+    def test_totals_forwarded(self, decoder_graph):
+        analysis = analyze_network(decoder_graph)
+        assert analysis.total_gop == pytest.approx(13.6, rel=0.05)
+        assert analysis.total_params > 9e6
+
+    def test_single_branch_chain(self):
+        analysis = analyze_network(make_chain(depth=2))
+        assert analysis.num_branches == 1
+        assert not analysis.branch_info[0].has_shared_part
+
+    def test_render_mentions_branches_and_layers(self):
+        text = analyze_network(make_tiny_decoder()).render()
+        assert "branches" in text
+        assert "Br.1" in text
+        assert "Layer profile" in text

@@ -1,0 +1,113 @@
+"""Tests for accelerator configuration types and the elastic architecture."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.config import (
+    AcceleratorConfig,
+    BranchConfig,
+    ConfigError,
+    StageConfig,
+)
+from repro.arch.elastic import ElasticAccelerator
+from repro.quant.schemes import INT8
+
+
+class TestStageConfig:
+    def test_pf_is_product(self):
+        assert StageConfig(cpf=4, kpf=8, h=2).pf == 64
+
+    def test_defaults_are_one(self):
+        assert StageConfig().pf == 1
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigError):
+            StageConfig(cpf=0)
+
+    def test_validate_against_stage_bounds(self, decoder_plan):
+        planned = decoder_plan.branches[0].stages[0]  # conv1: 4 -> 128 @ 8x8
+        StageConfig(cpf=4, kpf=128, h=8).validate_for(planned)
+        with pytest.raises(ConfigError, match="cpf"):
+            StageConfig(cpf=5).validate_for(planned)
+        with pytest.raises(ConfigError, match="kpf"):
+            StageConfig(kpf=129).validate_for(planned)
+        with pytest.raises(ConfigError, match="h="):
+            StageConfig(h=9).validate_for(planned)
+
+
+class TestAcceleratorConfig:
+    def test_uniform_matches_plan_shape(self, decoder_plan):
+        config = AcceleratorConfig.uniform(decoder_plan)
+        assert config.num_branches == 3
+        config.validate_for(decoder_plan)
+
+    def test_branch_count_mismatch(self, decoder_plan, tiny_plan):
+        config = AcceleratorConfig.uniform(tiny_plan)
+        with pytest.raises(ConfigError, match="branches"):
+            config.validate_for(decoder_plan)
+
+    def test_stage_count_mismatch(self, decoder_plan):
+        config = AcceleratorConfig.uniform(decoder_plan)
+        broken = AcceleratorConfig(
+            branches=(
+                BranchConfig(batch_size=1, stages=config.branches[0].stages[:-1]),
+                config.branches[1],
+                config.branches[2],
+            )
+        )
+        with pytest.raises(ConfigError, match="stages"):
+            broken.validate_for(decoder_plan)
+
+    def test_stage_accessor(self, decoder_plan):
+        config = AcceleratorConfig.uniform(decoder_plan)
+        assert config.stage(1, 3) == StageConfig()
+
+    def test_negative_batch_rejected(self):
+        with pytest.raises(ConfigError):
+            BranchConfig(batch_size=-1, stages=())
+
+
+class TestElasticAccelerator:
+    def test_grid_matches_plan(self, decoder_plan):
+        acc = ElasticAccelerator(
+            decoder_plan, AcceleratorConfig.uniform(decoder_plan), INT8
+        )
+        assert acc.num_branches == 3
+        assert [len(row) for row in acc.rows] == [6, 8, 1]
+
+    def test_unit_positions(self, decoder_plan):
+        acc = ElasticAccelerator(
+            decoder_plan, AcceleratorConfig.uniform(decoder_plan), INT8
+        )
+        unit = acc.unit(1, 3)
+        assert unit.position == (1, 3)
+        assert unit.planned.name == "conv9"
+
+    def test_unit_engine_structure(self, decoder_plan):
+        config = AcceleratorConfig.uniform(decoder_plan)
+        branches = list(config.branches)
+        stages = list(branches[0].stages)
+        stages[0] = StageConfig(cpf=2, kpf=4, h=8)
+        branches[0] = BranchConfig(batch_size=1, stages=tuple(stages))
+        acc = ElasticAccelerator(
+            decoder_plan, AcceleratorConfig(branches=tuple(branches)), INT8
+        )
+        unit = acc.unit(0, 0)
+        assert unit.num_engines == 8
+        assert unit.pes_per_engine == 4
+        assert unit.macs_per_pe == 2
+
+    def test_describe_lists_all_units(self, decoder_plan):
+        acc = ElasticAccelerator(
+            decoder_plan, AcceleratorConfig.uniform(decoder_plan), INT8
+        )
+        text = acc.describe()
+        assert "(1,1)" in text and "(3,1)" in text
+        assert "texture" in text
+
+    def test_units_flat_enumeration(self, decoder_plan):
+        acc = ElasticAccelerator(
+            decoder_plan, AcceleratorConfig.uniform(decoder_plan), INT8
+        )
+        assert len(acc.units()) == 15

@@ -1,0 +1,143 @@
+"""Tests for the baseline accelerator models (paper Sec. III, Table II)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.dnnbuilder import DnnBuilderModel
+from repro.baselines.hybriddnn import HybridDnnModel
+from repro.baselines.soc import SNAPDRAGON_865, SocModel, SocSpec
+from repro.devices.fpga import get_device
+from repro.quant.schemes import INT8, INT16
+
+SCHEMES = ("Z7045", "ZU17EG", "ZU9CG")
+
+
+@pytest.fixture(scope="module")
+def dnnbuilder_designs(mimic_plan):
+    model = DnnBuilderModel()
+    return [
+        model.design(mimic_plan, get_device(d).budget(), INT8, target=d)
+        for d in SCHEMES
+    ]
+
+
+@pytest.fixture(scope="module")
+def hybriddnn_designs(mimic_plan):
+    model = HybridDnnModel()
+    return [
+        model.design(mimic_plan, get_device(d).budget(), INT16, target=d)
+        for d in SCHEMES
+    ]
+
+
+class TestDnnBuilder:
+    def test_fps_flat_across_schemes(self, dnnbuilder_designs):
+        """Table II's headline: more FPGA, same FPS."""
+        fps = [d.fps for d in dnnbuilder_designs]
+        assert fps[0] == pytest.approx(fps[1], rel=0.01)
+        assert fps[1] == pytest.approx(fps[2], rel=0.01)
+
+    def test_efficiency_collapses_with_size(self, dnnbuilder_designs):
+        eff = [d.efficiency for d in dnnbuilder_designs]
+        assert eff[0] > eff[1] > eff[2]
+        assert eff[0] > 2 * eff[2]
+
+    def test_bottleneck_is_a_thin_hd_layer(self, dnnbuilder_designs):
+        design = dnnbuilder_designs[2]
+        bottleneck = max(
+            design.layer_latency_ms, key=design.layer_latency_ms.get
+        )
+        assert bottleneck == "texture"  # 16 -> 3 channels at 1024^2
+
+    def test_capped_layer_latency_constant(self, dnnbuilder_designs):
+        lat = [d.layer_latency_ms["texture"] for d in dnnbuilder_designs]
+        assert lat[0] == pytest.approx(lat[2])
+
+    def test_uncapped_layer_improves(self, dnnbuilder_designs):
+        lat = [d.layer_latency_ms["conv9"] for d in dnnbuilder_designs]
+        assert lat[2] < lat[0]
+
+    def test_budget_respected(self, dnnbuilder_designs):
+        for design, name in zip(dnnbuilder_designs, SCHEMES):
+            device = get_device(name)
+            assert design.dsp <= device.dsp
+            assert design.bram <= device.bram_18k
+
+    def test_works_on_raw_graph(self, mimic_graph):
+        design = DnnBuilderModel().design(
+            mimic_graph, get_device("Z7045").budget(), INT8
+        )
+        assert design.fps > 0
+
+
+class TestHybridDnn:
+    def test_engine_is_power_of_two(self, hybriddnn_designs):
+        for design in hybriddnn_designs:
+            parallelism = int(design.notes.split("P=")[1].split()[0])
+            assert parallelism & (parallelism - 1) == 0
+
+    def test_scheme2_and_3_identical(self, hybriddnn_designs):
+        """The BRAM wall: ZU9CG gets the same accelerator as ZU17EG."""
+        s2, s3 = hybriddnn_designs[1], hybriddnn_designs[2]
+        assert s2.dsp == s3.dsp == 1024
+        assert s2.bram == s3.bram
+        assert s2.fps == pytest.approx(s3.fps)
+
+    def test_scheme1_smaller(self, hybriddnn_designs):
+        assert hybriddnn_designs[0].dsp == 512
+
+    def test_fps_matches_paper_band(self, hybriddnn_designs):
+        # Paper: 12.1 / 22.0 / 22.0 FPS.
+        assert hybriddnn_designs[0].fps == pytest.approx(12.1, rel=0.15)
+        assert hybriddnn_designs[1].fps == pytest.approx(22.0, rel=0.15)
+
+    def test_efficiency_in_70s(self, hybriddnn_designs):
+        for design in hybriddnn_designs:
+            assert 0.6 < design.efficiency < 0.85
+
+    def test_folded_engine_slower_than_sum_of_parts(self, hybriddnn_designs):
+        # Folded execution: latency is the sum over layers.
+        design = hybriddnn_designs[0]
+        assert design.latency_ms == pytest.approx(
+            sum(design.layer_latency_ms.values()), rel=0.01
+        )
+
+
+class TestSoc:
+    def test_matches_paper_fps_band(self, mimic_graph):
+        design = SocModel().design(mimic_graph, INT8)
+        assert design.fps == pytest.approx(35.8, rel=0.15)
+
+    def test_matches_paper_efficiency_band(self, mimic_graph):
+        design = SocModel().design(mimic_graph, INT8)
+        assert design.efficiency == pytest.approx(0.169, abs=0.03)
+
+    def test_cache_bound_layers_dominate(self, mimic_graph):
+        design = SocModel().design(mimic_graph, INT8)
+        slowest = max(
+            design.layer_latency_ms, key=design.layer_latency_ms.get
+        )
+        # One of the HD texture-branch layers must dominate.
+        assert design.layer_latency_ms[slowest] > 1.0
+
+    def test_bigger_cache_helps(self, mimic_graph):
+        big_cache = SocSpec(
+            name="big-cache",
+            multipliers=SNAPDRAGON_865.multipliers,
+            frequency_mhz=SNAPDRAGON_865.frequency_mhz,
+            cache_bytes=1 << 30,
+            effective_ddr_gbps=SNAPDRAGON_865.effective_ddr_gbps,
+        )
+        base = SocModel().design(mimic_graph, INT8)
+        improved = SocModel(big_cache).design(mimic_graph, INT8)
+        assert improved.fps > 2 * base.fps
+
+    def test_peak_gops_accounting(self):
+        assert SNAPDRAGON_865.peak_gops(INT8) == pytest.approx(
+            4 * 496 * 1.45, rel=0.01
+        )
+
+    def test_latency_property(self, mimic_graph):
+        design = SocModel().design(mimic_graph, INT8)
+        assert design.latency_ms == pytest.approx(1000.0 / design.fps)

@@ -1,0 +1,158 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.ir.serialize import graph_to_json
+from tests.conftest import make_tiny_decoder
+
+
+def run_cli(capsys, *argv: str) -> str:
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+class TestListing:
+    def test_models(self, capsys):
+        out = run_cli(capsys, "models")
+        assert "codec_avatar_decoder" in out
+        assert "vgg16" in out
+
+    def test_devices(self, capsys):
+        out = run_cli(capsys, "devices")
+        assert "ZU9CG" in out and "2520" in out
+
+
+class TestProfile:
+    def test_zoo_model(self, capsys):
+        out = run_cli(capsys, "profile", "alexnet")
+        assert "Branch profile" in out
+
+    def test_json_model(self, capsys, tmp_path):
+        path = tmp_path / "net.json"
+        path.write_text(graph_to_json(make_tiny_decoder()))
+        out = run_cli(capsys, "profile", str(path))
+        assert "tiny_decoder" in out
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            main(["profile", "resnet152"])
+
+
+class TestExplore:
+    def test_explore_with_artifacts(self, capsys, tmp_path):
+        config_path = tmp_path / "cfg.json"
+        report_path = tmp_path / "report.md"
+        out = run_cli(
+            capsys,
+            "explore",
+            "tiny_yolo",
+            "--device", "Z7045",
+            "--iterations", "2",
+            "--population", "10",
+            "--save-config", str(config_path),
+            "--report", str(report_path),
+        )
+        assert "F-CAD generated accelerator" in out
+        payload = json.loads(config_path.read_text())
+        assert payload["branches"]
+        assert report_path.read_text().startswith("# F-CAD design report")
+
+    def test_explore_with_customization(self, capsys, tmp_path):
+        path = tmp_path / "net.json"
+        path.write_text(graph_to_json(make_tiny_decoder()))
+        out = run_cli(
+            capsys,
+            "explore",
+            str(path),
+            "--device", "Z7045",
+            "--batch", "1,2",
+            "--priority", "1,2",
+            "--iterations", "2",
+            "--population", "10",
+        )
+        assert "Br.2" in out
+
+    def test_explore_asic(self, capsys):
+        out = run_cli(
+            capsys,
+            "explore",
+            "alexnet",
+            "--asic-macs", "512",
+            "--iterations", "2",
+            "--population", "10",
+        )
+        assert "512" in out
+
+
+class TestSimulate:
+    def test_simulate_saved_config(self, capsys, tmp_path):
+        config_path = tmp_path / "cfg.json"
+        run_cli(
+            capsys,
+            "explore",
+            "alexnet",
+            "--device", "KU115",
+            "--iterations", "2",
+            "--population", "10",
+            "--save-config", str(config_path),
+        )
+        out = run_cli(
+            capsys,
+            "simulate",
+            "alexnet",
+            "--device", "KU115",
+            "--config", str(config_path),
+            "--frames", "4",
+            "--timeline",
+            "--timeline-width", "40",
+        )
+        assert "steady state" in out
+        assert "timeline:" in out
+
+    def test_simulate_explores_when_no_config(self, capsys):
+        out = run_cli(
+            capsys,
+            "simulate",
+            "alexnet",
+            "--device", "KU115",
+            "--frames", "4",
+            "--iterations", "2",
+            "--population", "10",
+        )
+        assert "end-to-end" in out
+
+
+class TestExperimentCommand:
+    def test_table1(self, capsys):
+        out = run_cli(capsys, "experiment", "table1")
+        assert "Table I" in out
+
+    def test_fig3(self, capsys):
+        out = run_cli(capsys, "experiment", "fig3")
+        assert "DNNBuilder" in out
+
+    def test_unknown_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "table99"])
+
+
+class TestGenerate:
+    def test_generate_hls_project(self, capsys, tmp_path):
+        out = run_cli(
+            capsys,
+            "generate",
+            "alexnet",
+            "--device", "KU115",
+            "--iterations", "2",
+            "--population", "10",
+            "--output", str(tmp_path / "design"),
+        )
+        assert "explored design" in out
+        top = (tmp_path / "design" / "fcad_top.cpp").read_text()
+        assert "#pragma HLS DATAFLOW" in top
+        assert (tmp_path / "design" / "design.json").exists()

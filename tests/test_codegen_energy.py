@@ -1,0 +1,212 @@
+"""Tests for HLS code generation and the energy model."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.arch.config import AcceleratorConfig, BranchConfig, StageConfig
+from repro.arch.elastic import ElasticAccelerator
+from repro.codegen.hls import (
+    generate_project,
+    generate_top_source,
+    generate_unit_source,
+    unit_function_name,
+)
+from repro.construction.reorg import build_pipeline_plan
+from repro.perf.energy import estimate_energy
+from repro.perf.estimator import evaluate
+from repro.quant.schemes import INT8, INT16
+from tests.conftest import make_tiny_decoder
+
+
+@pytest.fixture(scope="module")
+def accelerator(decoder_plan):
+    from repro.dse.space import get_pf
+
+    branches = []
+    for pipeline in decoder_plan.branches:
+        branches.append(
+            BranchConfig(
+                batch_size=1,
+                stages=tuple(
+                    get_pf(s.stage, 16) for s in pipeline.stages
+                ),
+            )
+        )
+    config = AcceleratorConfig(branches=tuple(branches))
+    return ElasticAccelerator(decoder_plan, config, INT8)
+
+
+class TestUnitCodegen:
+    def test_unroll_factors_match_config(self, accelerator):
+        unit = accelerator.unit(1, 3)  # conv9
+        source = generate_unit_source(unit, INT8)
+        cfg = unit.config
+        assert f"for (int op = 0; op < {cfg.kpf}; ++op)" in source
+        assert f"for (int ip = 0; ip < {cfg.cpf}; ++ip)" in source
+        assert f"for (int e = 0; e < {cfg.h}; ++e)" in source
+        assert f"cyclic factor={cfg.kpf} dim=1" in source
+        assert f"cyclic factor={cfg.cpf} dim=2" in source
+
+    def test_loop_bounds_match_stage(self, accelerator):
+        unit = accelerator.unit(0, 2)  # conv3
+        stage = unit.planned.stage
+        source = generate_unit_source(unit, INT8)
+        assert f"r < {stage.conv_height}" in source
+        assert f"c < {stage.conv_width}" in source
+        assert f"ky = 0; ky < {stage.kernel}" in source
+
+    def test_untied_bias_streams(self, accelerator):
+        unit = accelerator.unit(0, 0)  # conv1: untied bias
+        source = generate_unit_source(unit, INT8)
+        assert "bias_stream" in source
+        assert "untied, streamed" in source
+
+    def test_tied_bias_is_array(self, accelerator):
+        # The 1024x1024 texture conv carries a tied bias.
+        texture = accelerator.unit(1, 7)
+        source = generate_unit_source(texture, INT8)
+        assert "bias_stream" not in source
+        assert "const ap_int<8> bias[" in source
+
+    def test_folded_upsample_addressing(self, accelerator):
+        unit = accelerator.unit(1, 1)  # conv7: upsample_in=2
+        source = generate_unit_source(unit, INT8)
+        assert "/ 2;" in source
+        assert "replicate-read addressing" in source
+
+    def test_bitwidths_follow_quant(self, accelerator, decoder_plan):
+        unit16 = ElasticAccelerator(
+            decoder_plan, accelerator.config, INT16
+        ).unit(0, 0)
+        source = generate_unit_source(unit16, INT16)
+        assert "ap_int<16>" in source
+
+
+class TestTopCodegen:
+    def test_one_call_per_unit(self, accelerator):
+        source = generate_top_source(accelerator)
+        for unit in accelerator.units():
+            assert f"{unit_function_name(unit)}(" in source
+
+    def test_dataflow_pragma(self, accelerator):
+        assert "#pragma HLS DATAFLOW" in generate_top_source(accelerator)
+
+    def test_fork_gets_two_fifos(self, accelerator):
+        source = generate_top_source(accelerator)
+        # conv10's output feeds both conv11 (Br.2) and warp_field (Br.3).
+        assert "fifo_conv10_to_conv11" in source
+        assert "fifo_conv10_to_warp_field" in source
+
+    def test_external_ports(self, accelerator):
+        source = generate_top_source(accelerator)
+        assert "in_z" in source and "in_view" in source
+        for terminal in ("geometry", "texture", "warp_field"):
+            assert f"out_{terminal}" in source
+
+
+class TestProjectGeneration:
+    def test_writes_all_files(self, accelerator, tmp_path):
+        written = generate_project(accelerator, tmp_path / "design")
+        names = {p.name for p in written}
+        assert "fcad_top.cpp" in names
+        assert "design.json" in names
+        assert "README.md" in names
+        assert len([n for n in names if n.startswith("stage_")]) == 15
+
+    def test_design_json_roundtrips(self, accelerator, tmp_path):
+        written = generate_project(accelerator, tmp_path / "d2")
+        config_path = next(p for p in written if p.name == "design.json")
+        payload = json.loads(config_path.read_text())
+        assert len(payload["branches"]) == 3
+
+    def test_deterministic(self, accelerator, tmp_path):
+        a = generate_top_source(accelerator)
+        b = generate_top_source(accelerator)
+        assert a == b
+
+
+class TestEnergyModel:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        plan = build_pipeline_plan(make_tiny_decoder())
+        config = AcceleratorConfig.uniform(plan)
+        perf = evaluate(plan, config, INT8, 200.0)
+        return plan, config, perf
+
+    def test_energy_positive_and_decomposed(self, setup):
+        plan, config, perf = setup
+        report = estimate_energy(plan, config, INT8, perf)
+        for branch in report.branches:
+            assert branch.compute_mj > 0
+            assert branch.sram_mj > 0
+            assert branch.total_mj == pytest.approx(
+                branch.compute_mj + branch.sram_mj + branch.dram_mj
+            )
+
+    def test_power_scales_with_fps(self, setup):
+        plan, config, perf = setup
+        report = estimate_energy(plan, config, INT8, perf)
+        assert report.dynamic_w == pytest.approx(
+            report.dynamic_mj_per_frame * 1e-3 * perf.fps
+        )
+        assert report.total_w > report.dynamic_w  # static adds on top
+
+    def test_int16_costs_more_energy(self, setup):
+        plan, config, _ = setup
+        perf8 = evaluate(plan, config, INT8, 200.0)
+        perf16 = evaluate(plan, config, INT16, 200.0)
+        e8 = estimate_energy(plan, config, INT8, perf8)
+        e16 = estimate_energy(plan, config, INT16, perf16)
+        assert (
+            e16.dynamic_mj_per_frame > 1.5 * e8.dynamic_mj_per_frame
+        )
+
+    def test_decoder_energy_magnitude(self, decoder_plan):
+        """The full decoder should land in the headset-plausible range."""
+        config = AcceleratorConfig.uniform(decoder_plan, batch_size=1)
+        perf = evaluate(decoder_plan, config, INT8, 200.0)
+        report = estimate_energy(decoder_plan, config, INT8, perf)
+        # ~6.8 GMAC/frame at ~0.35 pJ/MAC plus memory: single-digit mJ.
+        assert 1.0 < report.dynamic_mj_per_frame < 50.0
+
+    def test_render(self, setup):
+        plan, config, perf = setup
+        text = estimate_energy(plan, config, INT8, perf).render()
+        assert "FPS/W" in text
+
+
+class TestCommonHeader:
+    def test_common_header_generated(self, accelerator, tmp_path):
+        from repro.codegen.hls import generate_project
+
+        written = generate_project(accelerator, tmp_path / "d3")
+        common = next(p for p in written if p.name == "fcad_common.h")
+        text = common.read_text()
+        assert "ACT_LEAKY_RELU" in text
+        assert "ap_int<8>" in text  # int8 activations
+        assert "#pragma once" in text
+
+    def test_header_bitwidths_follow_quant(self, decoder_plan, accelerator):
+        from repro.codegen.hls import generate_common_header
+
+        text16 = generate_common_header(INT16)
+        assert "ap_int<16>" in text16
+        assert "ap_int<48>" in text16  # 16+16+16 accumulator
+
+
+class TestEnergyStudyDriver:
+    def test_quick_energy_study(self):
+        from repro.experiments.energy import run_energy_study
+
+        result = run_energy_study(
+            iterations=2,
+            population=10,
+            devices=("Z7045",),
+            quants=("int8",),
+        )
+        report = result.cases["Z7045/int8"]
+        assert report.total_w > 0
+        assert "Energy study" in result.render()

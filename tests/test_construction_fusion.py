@@ -1,0 +1,110 @@
+"""Tests for layer fusion — the Construction step's first half."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.construction.fusion import FusionError, fuse_graph
+from repro.ir.builder import GraphBuilder
+from repro.ir.layer import BiasMode, TensorShape
+from repro.profiler.network import profile_network
+from tests.conftest import make_tiny_decoder
+
+
+class TestDecoderFusion:
+    def test_every_cau_block_is_one_stage(self, decoder_graph):
+        stages = fuse_graph(decoder_graph)
+        # 6 (Br.1) + 8 (shared + Br.2) + 1 (Br.3) conv stages.
+        assert len(stages) == 15
+        assert all(s.kind == "conv" for s in stages)
+
+    def test_upsample_folds_into_consumer(self, decoder_graph):
+        stages = {s.name: s for s in fuse_graph(decoder_graph)}
+        assert stages["conv1"].upsample_in == 1  # first conv: no upsample
+        assert stages["conv2"].upsample_in == 2  # after the first CAU block
+        assert stages["texture"].upsample_in == 2
+
+    def test_fork_consumers_share_the_folded_upsample(self, decoder_graph):
+        stages = {s.name: s for s in fuse_graph(decoder_graph)}
+        # Both Br.2's conv11 and Br.3's warp conv read the shared front's
+        # pre-upsample tensor (32x128x128) and fold the 2x upsample.
+        assert stages["conv11"].sources == ("conv10",)
+        assert stages["warp_field"].sources == ("conv10",)
+        assert stages["warp_field"].upsample_in == 2
+
+    def test_no_intermediate_hd_tensor_is_materialized(self, decoder_graph):
+        # The 16x1024x1024 map exists only as the texture conv's virtual
+        # input: the producing stage outputs 16x512x512.
+        stages = {s.name: s for s in fuse_graph(decoder_graph)}
+        texture = stages["texture"]
+        assert texture.conv_height == 1024
+        assert texture.input_elements == 16 * 512 * 512
+
+    def test_activation_is_attached(self, decoder_graph):
+        stages = {s.name: s for s in fuse_graph(decoder_graph)}
+        assert stages["conv1"].activation == "leaky_relu"
+        assert stages["texture"].activation is None  # output conv is bare
+
+    def test_macs_preserved_by_fusion(self, decoder_graph):
+        profile = profile_network(decoder_graph)
+        stages = fuse_graph(decoder_graph)
+        assert sum(s.macs for s in stages) == profile.total_macs
+
+    def test_params_preserved_by_fusion(self, decoder_graph):
+        profile = profile_network(decoder_graph)
+        stages = fuse_graph(decoder_graph)
+        assert sum(s.params for s in stages) == profile.total_params
+
+    def test_concat_inputs_counted(self, decoder_graph):
+        stages = {s.name: s for s in fuse_graph(decoder_graph)}
+        front = stages["conv6"]
+        assert set(front.sources) == {"z", "view"}
+        assert front.input_elements == 256 + 3 * 8 * 8
+        assert front.external_input_elements == front.input_elements
+
+    def test_internal_inputs_not_external(self, decoder_graph):
+        stages = {s.name: s for s in fuse_graph(decoder_graph)}
+        assert stages["conv2"].external_input_elements == 0
+
+
+class TestBenchmarkFusion:
+    def test_alexnet_pool_folds_backward(self, alexnet_graph):
+        stages = {s.name: s for s in fuse_graph(alexnet_graph)}
+        conv1 = stages["conv1"]
+        assert conv1.conv_height == 55  # compute grid
+        assert conv1.out_height == 27  # post-pool stage output
+        assert conv1.activation == "relu"
+
+    def test_alexnet_fc_stages(self, alexnet_graph):
+        stages = {s.name: s for s in fuse_graph(alexnet_graph)}
+        fc1 = stages["fc1"]
+        assert fc1.kind == "linear"
+        assert fc1.in_channels == 256 * 6 * 6
+        assert fc1.out_channels == 4096
+        assert fc1.conv_height == 1
+
+    def test_vgg16_stage_count(self, vgg16_graph):
+        stages = fuse_graph(vgg16_graph)
+        assert len(stages) == 16  # 13 convs + 3 FCs
+
+    def test_max_parallelism_caps(self, alexnet_graph):
+        stages = {s.name: s for s in fuse_graph(alexnet_graph)}
+        conv1 = stages["conv1"]
+        assert conv1.cpf_max == 3
+        assert conv1.kpf_max == 96
+        assert conv1.h_max == 55
+        assert conv1.max_parallelism == 3 * 96 * 55
+
+
+class TestFusionErrors:
+    def test_graph_without_compute_rejected(self):
+        b = GraphBuilder("none")
+        x = b.input("x", TensorShape(2, 4, 4))
+        b.act(x, fn="relu")
+        with pytest.raises(FusionError, match="no conv/linear"):
+            fuse_graph(b.graph)
+
+    def test_stage_ops_property(self):
+        stages = fuse_graph(make_tiny_decoder())
+        for stage in stages:
+            assert stage.ops == 2 * stage.macs

@@ -1,0 +1,74 @@
+"""Tests for branch separation and layer reorganization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.construction.reorg import build_pipeline_plan
+from tests.conftest import make_chain, make_tiny_decoder
+
+
+class TestDecoderReorg:
+    def test_shared_front_assigned_to_texture_branch(self, decoder_plan):
+        """The paper: shared layers go to Br.2, the most demanding flow."""
+        geometry, texture, warp = decoder_plan.branches
+        shared = [s for s in texture.stages if s.shared]
+        assert len(shared) == 5  # the five shared CAU blocks
+        assert not any(s.shared for s in geometry.stages)
+        assert not any(s.shared for s in warp.stages)
+
+    def test_stage_counts(self, decoder_plan):
+        assert [b.num_stages for b in decoder_plan.branches] == [6, 8, 1]
+
+    def test_branch_ops_match_paper_rows(self, decoder_plan):
+        # After reassignment Br.2 carries shared + own ops.
+        ops = [b.ops / 1e9 for b in decoder_plan.branches]
+        assert ops[0] == pytest.approx(1.9, rel=0.05)
+        assert ops[1] == pytest.approx(11.3, rel=0.05)
+        assert ops[2] == pytest.approx(0.41, rel=0.1)  # warp conv only
+
+    def test_indices_are_sequential(self, decoder_plan):
+        for branch in decoder_plan.branches:
+            assert [s.index for s in branch.stages] == list(
+                range(branch.num_stages)
+            )
+            assert all(s.branch == branch.index for s in branch.stages)
+
+    def test_warp_branch_reads_from_texture_branch(self, decoder_plan):
+        warp = decoder_plan.branches[2].stages[0]
+        texture_names = {s.name for s in decoder_plan.branches[1].stages}
+        assert set(warp.stage.sources) <= texture_names
+
+    def test_consumers_query(self, decoder_plan):
+        consumers = decoder_plan.consumers("conv10")
+        names = {c.name for c in consumers}
+        assert names == {"conv11", "warp_field"}
+
+    def test_stage_by_name(self, decoder_plan):
+        assert decoder_plan.stage_by_name("texture").branch == 1
+        with pytest.raises(KeyError):
+            decoder_plan.stage_by_name("nope")
+
+    def test_total_ops(self, decoder_plan):
+        assert decoder_plan.total_ops == sum(
+            b.ops for b in decoder_plan.branches
+        )
+
+
+class TestGenericReorg:
+    def test_single_branch_chain(self):
+        plan = build_pipeline_plan(make_chain(depth=4))
+        assert plan.num_branches == 1
+        assert plan.branches[0].num_stages == 4
+
+    def test_tiny_decoder_two_branches(self):
+        plan = build_pipeline_plan(make_tiny_decoder())
+        assert plan.num_branches == 2
+        big, small = plan.branches
+        assert big.ops > small.ops
+        assert any(s.shared for s in big.stages)
+        assert small.num_stages == 1
+
+    def test_all_stages_enumerated_once(self, decoder_plan):
+        names = [s.name for s in decoder_plan.all_stages()]
+        assert len(names) == len(set(names)) == 15

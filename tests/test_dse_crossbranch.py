@@ -1,0 +1,171 @@
+"""Tests for Algorithm 1: cross-branch stochastic search and fitness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devices.fpga import get_device
+from repro.dse.crossbranch import CrossBranchOptimizer, _normalize_block
+from repro.dse.engine import DseEngine
+from repro.dse.fitness import fitness_score
+from repro.dse.space import Customization
+from repro.perf.estimator import evaluate
+from repro.quant.schemes import INT8
+
+
+class TestFitness:
+    def test_weighted_sum(self):
+        assert fitness_score([10.0, 20.0], (1.0, 1.0), alpha=0.0) == 30.0
+
+    def test_priorities_weight_branches(self):
+        low = fitness_score([10.0, 20.0], (1.0, 1.0), alpha=0.0)
+        high = fitness_score([10.0, 20.0], (1.0, 2.0), alpha=0.0)
+        assert high > low
+
+    def test_variance_penalty(self):
+        balanced = fitness_score([15.0, 15.0], (1.0, 1.0), alpha=1.0)
+        skewed = fitness_score([5.0, 25.0], (1.0, 1.0), alpha=1.0)
+        assert balanced > skewed
+
+    def test_single_branch_no_variance(self):
+        assert fitness_score([10.0], (1.0,), alpha=5.0) == 10.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            fitness_score([1.0], (1.0, 1.0))
+
+
+class TestNormalization:
+    def test_normalize_sums_to_one(self):
+        out = _normalize_block([3.0, 1.0, 0.0])
+        assert sum(out) == pytest.approx(1.0)
+        assert all(v > 0 for v in out)
+
+    def test_floor_keeps_every_branch_nonzero(self):
+        out = _normalize_block([100.0, 0.0])
+        assert min(out) > 0.0
+        assert max(out) < 1.0
+
+
+@pytest.fixture(scope="module")
+def optimizer(decoder_plan):
+    return CrossBranchOptimizer(
+        plan=decoder_plan,
+        budget=get_device("ZU9CG").budget(),
+        customization=Customization(batch_sizes=(1, 2, 2), priorities=(1.0, 1.0, 1.0)),
+        quant=INT8,
+    )
+
+
+class TestSwarm:
+    def test_population_positions_are_normalized(self, optimizer):
+        import random
+
+        particles = optimizer.init_population(20, random.Random(0))
+        assert len(particles) == 20
+        B = optimizer.num_branches
+        for particle in particles:
+            for block in range(3):
+                block_sum = sum(particle.position[block * B : (block + 1) * B])
+                assert block_sum == pytest.approx(1.0)
+
+    def test_heuristic_seed_tracks_demand(self, optimizer, decoder_plan):
+        position = optimizer._heuristic_position()
+        B = optimizer.num_branches
+        compute = position[:B]
+        # Br.2 (texture) dominates the decoder's compute.
+        assert compute[1] == max(compute)
+
+    def test_evaluate_returns_branch_solutions(self, optimizer):
+        score, solutions = optimizer.evaluate(optimizer._heuristic_position())
+        assert len(solutions) == 3
+        assert score > 0  # heuristic split is feasible on ZU9CG
+
+    def test_search_history_is_monotone(self, optimizer):
+        _, _, history, _ = optimizer.search(
+            iterations=5, population=20, seed=0
+        )
+        assert len(history) == 5
+        assert all(b >= a for a, b in zip(history, history[1:]))
+
+    def test_search_is_deterministic_per_seed(self, decoder_plan):
+        def run(seed):
+            opt = CrossBranchOptimizer(
+                plan=decoder_plan,
+                budget=get_device("ZU9CG").budget(),
+                customization=Customization.uniform(3),
+                quant=INT8,
+            )
+            fitness, config, _, _ = opt.search(
+                iterations=3, population=15, seed=seed
+            )
+            return fitness, config
+
+        assert run(7) == run(7)
+
+    def test_best_config_respects_budget(self, optimizer, decoder_plan):
+        _, config, _, _ = optimizer.search(iterations=4, population=20, seed=1)
+        perf = evaluate(decoder_plan, config, INT8, 200.0)
+        budget = get_device("ZU9CG").budget()
+        assert perf.total_dsp <= budget.compute
+        assert perf.total_bram <= budget.memory
+
+    def test_batch_customization_honoured(self, optimizer):
+        _, config, _, _ = optimizer.search(iterations=4, population=20, seed=1)
+        assert [b.batch_size for b in config.branches] == [1, 2, 2]
+
+
+class TestEngine:
+    def test_engine_end_to_end(self, decoder_plan):
+        engine = DseEngine(
+            plan=decoder_plan,
+            budget=get_device("ZU17EG").budget(),
+            customization=Customization(batch_sizes=(1, 2, 2), priorities=(1.0, 1.0, 1.0)),
+            quant=INT8,
+        )
+        result = engine.search(iterations=4, population=25, seed=0)
+        assert result.best_perf.fps > 0
+        assert result.convergence_iteration <= result.iterations
+        assert result.runtime_seconds > 0
+        assert result.evaluations > 0
+
+    def test_engine_requires_quant(self, decoder_plan):
+        with pytest.raises(ValueError, match="quantization"):
+            DseEngine(
+                plan=decoder_plan,
+                budget=get_device("ZU17EG").budget(),
+                quant=None,
+            )
+
+    def test_priorities_shift_resources(self, decoder_plan):
+        """Raising Br.1's priority should not lower its throughput."""
+        budget = get_device("Z7045").budget()
+
+        def run(priorities):
+            engine = DseEngine(
+                plan=decoder_plan,
+                budget=budget,
+                customization=Customization(
+                    batch_sizes=(1, 1, 1), priorities=priorities
+                ),
+                quant=INT8,
+            )
+            return engine.search(iterations=5, population=30, seed=3)
+
+        neutral = run((1.0, 1.0, 1.0))
+        boosted = run((8.0, 0.5, 0.5))
+        assert (
+            boosted.best_perf.branches[0].fps
+            >= neutral.best_perf.branches[0].fps
+        )
+
+    def test_render_mentions_branches(self, decoder_plan):
+        engine = DseEngine(
+            plan=decoder_plan,
+            budget=get_device("ZU17EG").budget(),
+            customization=Customization.uniform(3),
+            quant=INT8,
+        )
+        result = engine.search(iterations=2, population=10, seed=0)
+        text = result.render()
+        assert "Br.1" in text and "Br.3" in text

@@ -1,0 +1,96 @@
+"""Edge-case tests across modules (failure paths and boundary behaviour)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.base import BaselineDesign
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.table4 import Table4Result
+from repro.ir.layer import Layer, TensorShape
+from repro.perf.estimator import evaluate
+from repro.quant.schemes import INT8
+from repro.sim.runner import _steady_state_fps
+
+
+class TestLayerBaseDefaults:
+    def test_base_layer_defaults(self):
+        layer = Layer()
+        shape = TensorShape(1, 2, 2)
+        assert layer.kind == "layer"
+        assert layer.arity == 1
+        assert not layer.is_major
+        assert layer.macs((shape,), shape) == 0
+        assert layer.weight_params() == 0
+        assert layer.bias_params(shape) == 0
+        assert layer.elementwise_ops((shape,), shape) == 0
+        with pytest.raises(NotImplementedError):
+            layer.infer_shape((shape,))
+
+
+class TestBaselineDesign:
+    def test_latency_inf_when_zero_fps(self):
+        design = BaselineDesign(
+            name="x", target="t", quant_name="int8",
+            fps=0.0, efficiency=0.0, dsp=0, bram=0,
+        )
+        assert design.latency_ms == float("inf")
+
+    def test_latency_reciprocal(self):
+        design = BaselineDesign(
+            name="x", target="t", quant_name="int8",
+            fps=50.0, efficiency=0.5, dsp=1, bram=1,
+        )
+        assert design.latency_ms == pytest.approx(20.0)
+
+
+class TestSteadyStateFps:
+    def test_too_few_frames(self):
+        assert _steady_state_fps([100.0], 200.0, warmup=0) == 0.0
+        assert _steady_state_fps([], 200.0, warmup=0) == 0.0
+
+    def test_warmup_clamped(self):
+        # warmup larger than the series still leaves a 2-frame window.
+        fps = _steady_state_fps([0.0, 100.0, 200.0], 200.0, warmup=10)
+        assert fps > 0
+
+    def test_exact_rate(self):
+        times = [1e6 * k for k in range(1, 6)]
+        fps = _steady_state_fps(times, 200.0, warmup=1)
+        assert fps == pytest.approx(200.0)
+
+    def test_zero_span_guard(self):
+        assert _steady_state_fps([5.0, 5.0], 200.0, warmup=0) == 0.0
+
+
+class TestOverallEfficiency:
+    def test_dsp_weighted_average(self, decoder_plan):
+        from repro.arch.config import AcceleratorConfig
+
+        perf = evaluate(
+            decoder_plan, AcceleratorConfig.uniform(decoder_plan), INT8, 200.0
+        )
+        weighted = sum(b.efficiency * b.dsp for b in perf.branches) / sum(
+            b.dsp for b in perf.branches
+        )
+        assert perf.overall_efficiency == pytest.approx(weighted)
+
+    def test_zero_dsp_accelerator(self):
+        from repro.perf.estimator import AcceleratorPerf
+
+        empty = AcceleratorPerf(branches=(), frequency_mhz=200.0, quant_name="int8")
+        assert empty.overall_efficiency == 0.0
+        assert empty.fps == 0.0
+
+
+class TestExperimentAccessors:
+    def test_table4_unknown_case(self):
+        result = Table4Result(cases=())
+        with pytest.raises(KeyError):
+            result.case(7)
+
+    def test_fig3_latencies_positive(self):
+        result = run_fig3()
+        for scheme in result.latencies.values():
+            for value in scheme.values():
+                assert value > 0

@@ -1,0 +1,212 @@
+"""Integration tests: every experiment driver reproduces the paper's shape.
+
+These run the real drivers at reduced search sizes (smaller swarm, fewer
+frames) — the mechanisms under test are identical; only the polish of the
+found designs differs from the full benchmark runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import paper_constants as paper
+from repro.experiments.convergence import run_convergence
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig67 import run_fig67
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.table4 import run_table4
+from repro.experiments.table5 import run_table5
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return run_table2()
+
+
+@pytest.fixture(scope="module")
+def table5():
+    return run_table5(iterations=6, population=40, seed=0)
+
+
+class TestTable1:
+    def test_gop_rows_within_5_percent(self):
+        result = run_table1()
+        for row in result.rows:
+            assert row.gop == pytest.approx(row.paper_gop, rel=0.05)
+
+    def test_unique_totals(self):
+        result = run_table1()
+        assert result.unique_gop == pytest.approx(
+            paper.TABLE1_UNIQUE_GOP, rel=0.05
+        )
+
+    def test_render(self):
+        assert "Table I" in run_table1().render()
+
+
+class TestTable2:
+    def test_soc_reproduces_paper_band(self, table2):
+        assert table2.soc.fps == pytest.approx(
+            paper.TABLE2_SOC["fps"], rel=0.15
+        )
+        assert table2.soc.efficiency == pytest.approx(
+            paper.TABLE2_SOC["efficiency"], abs=0.03
+        )
+
+    def test_dnnbuilder_flat_and_collapsing(self, table2):
+        designs = table2.dnnbuilder
+        assert designs[1].fps == pytest.approx(designs[3].fps, rel=0.02)
+        assert designs[1].efficiency > designs[2].efficiency > designs[3].efficiency
+
+    def test_hybriddnn_sticks_at_scheme2(self, table2):
+        designs = table2.hybriddnn
+        assert designs[2].dsp == designs[3].dsp
+        assert designs[1].fps < designs[2].fps
+
+    def test_hybriddnn_absolute_fps_close(self, table2):
+        assert table2.hybriddnn[1].fps == pytest.approx(12.1, rel=0.15)
+        assert table2.hybriddnn[2].fps == pytest.approx(22.0, rel=0.15)
+
+    def test_render(self, table2):
+        text = table2.render()
+        assert "865 SoC" in text and "HybridDNN" in text
+
+
+class TestFig3:
+    def test_capped_layers_detected(self):
+        result = run_fig3()
+        # The thin high-resolution output convs saturate pf = InCh x OutCh.
+        assert "texture" in result.saturated
+        assert len(result.saturated) >= 1
+
+    def test_uncapped_layers_improve_monotonically(self):
+        result = run_fig3()
+        for layer in result.layer_names:
+            if layer in result.saturated:
+                continue
+            series = [result.latencies[s][layer] for s in sorted(result.latencies)]
+            assert series[-1] <= series[0]
+
+    def test_five_layers_reported(self):
+        assert len(run_fig3().layer_names) == 5
+
+
+class TestFig67:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig67(iterations=3, population=20, frames=48, seed=0)
+
+    def test_eight_cases(self, result):
+        assert len(result.cases) == 8
+        names = {c.benchmark for c in result.cases}
+        assert names == set(paper.FIG67_BENCHMARKS)
+
+    def test_fps_errors_single_digit(self, result):
+        # The paper reports max 2.89 %; our simulated "board" keeps the
+        # error in the same single-digit band.
+        assert result.max_fps_error_pct < 10.0
+
+    def test_efficiency_errors_small(self, result):
+        assert result.max_efficiency_error_pct < 10.0
+
+    def test_estimates_optimistic_or_close(self, result):
+        # The analytical model ignores fill, so it should estimate >= the
+        # end-to-end measurement (within noise).
+        for case in result.cases:
+            assert case.estimated_fps >= case.measured_fps * 0.99
+
+    def test_render(self, result):
+        assert "Figs. 6-7" in result.render()
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table4(iterations=6, population=40, cases=(2, 4))
+
+    def test_zu9cg_outperforms_zu17eg(self, result):
+        smaller = result.case(2).result.dse.best_perf
+        bigger = result.case(4).result.dse.best_perf
+        assert bigger.fps >= smaller.fps
+
+    def test_budgets_respected(self, result):
+        from repro.devices.fpga import get_device
+
+        for case in result.cases:
+            device = get_device(case.device)
+            perf = case.result.dse.best_perf
+            assert perf.total_dsp <= device.dsp
+            assert perf.total_bram <= device.bram_18k
+
+    def test_batch_sizes_follow_customization(self, result):
+        for case in result.cases:
+            batches = [
+                b.batch_size for b in case.result.dse.best_config.branches
+            ]
+            assert batches == list(paper.TABLE4_BATCH_SIZES)
+
+    def test_vr_target_met_on_zu9cg(self, result):
+        """The paper's headline: the ZU9CG design satisfies VR (>= 90 FPS)."""
+        perf = result.case(4).result.dse.best_perf
+        assert perf.fps >= 90.0
+
+    def test_render(self, result):
+        assert "Table IV" in result.render()
+
+
+class TestTable5:
+    def test_fcad_beats_both_baselines(self, table5):
+        assert table5.speedup_vs_dnnbuilder > 2.0
+        assert table5.speedup_vs_hybriddnn > 1.5
+
+    def test_fcad_efficiency_higher(self, table5):
+        assert (
+            table5.fcad_int8.efficiency > table5.dnnbuilder.efficiency + 0.3
+        )
+        assert (
+            table5.fcad_int16.efficiency > table5.hybriddnn.efficiency
+        )
+
+    def test_same_device_budgets(self, table5):
+        from repro.devices.fpga import ZU9CG
+
+        for perf in (
+            table5.fcad_int8.dse.best_perf,
+            table5.fcad_int16.dse.best_perf,
+        ):
+            assert perf.total_dsp <= ZU9CG.dsp
+        assert table5.dnnbuilder.dsp <= ZU9CG.dsp
+        assert table5.hybriddnn.dsp <= ZU9CG.dsp
+
+    def test_8bit_faster_than_16bit(self, table5):
+        assert table5.fcad_int8.fps > table5.fcad_int16.fps
+
+    def test_render(self, table5):
+        text = table5.render()
+        assert "speedup" in text and "F-CAD" in text
+
+
+class TestConvergence:
+    def test_statistics_collected(self):
+        result = run_convergence(
+            device_name="Z7045",
+            quant_name="int8",
+            searches=3,
+            iterations=6,
+            population=20,
+        )
+        assert len(result.searches) == 3
+        assert 1 <= result.avg_iteration <= 6
+        assert result.avg_runtime_seconds > 0
+        assert result.fitness_spread_pct < 25.0
+
+    def test_render(self):
+        result = run_convergence(
+            device_name="Z7045",
+            quant_name="int8",
+            searches=2,
+            iterations=4,
+            population=15,
+        )
+        assert "convergence" in result.render()

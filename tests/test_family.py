@@ -1,0 +1,55 @@
+"""Tests for the decoder-family generality study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.family import FAMILY, run_decoder_family
+from repro.sim.dram import DramChannel
+
+
+@pytest.fixture(scope="module")
+def family():
+    return run_decoder_family(iterations=3, population=20, seed=0)
+
+
+class TestFamilyStudy:
+    def test_all_families_explored(self, family):
+        assert set(family.results) == set(FAMILY)
+
+    def test_every_design_works(self, family):
+        for name, result in family.results.items():
+            assert result.dse.best_perf.fps > 0, name
+
+    def test_branch_counts_differ(self, family):
+        counts = {
+            len(result.dse.best_perf.branches)
+            for result in family.results.values()
+        }
+        assert counts == {2, 3, 4}
+
+    def test_modular_branches_all_resourced(self, family):
+        perf = family.results["modular_decoder"].dse.best_perf
+        for branch in perf.branches:
+            assert branch.dsp > 0
+            assert branch.fps > 1.0
+
+    def test_render(self, family):
+        text = family.render()
+        assert "gan_decoder" in text and "modular_decoder" in text
+
+
+class TestDramValidation:
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError, match="bandwidth"):
+            DramChannel(bandwidth_gbps=0.0, frequency_mhz=200.0)
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError, match="frequency"):
+            DramChannel(bandwidth_gbps=12.8, frequency_mhz=0.0)
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ValueError, match="efficiency"):
+            DramChannel(bandwidth_gbps=12.8, frequency_mhz=200.0, efficiency=1.5)
+        with pytest.raises(ValueError, match="efficiency"):
+            DramChannel(bandwidth_gbps=12.8, frequency_mhz=200.0, efficiency=0.0)

@@ -1,0 +1,186 @@
+"""Tests for the torch-like frontend and the declarative spec frontend."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend.spec import graph_from_spec
+from repro.frontend.torchlike import (
+    Concat,
+    Conv2d,
+    Flatten,
+    LeakyReLU,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Reshape,
+    Sequential,
+    Tanh,
+    UpsamplingNearest2d,
+    cat,
+    trace,
+)
+from repro.ir.graph import GraphError
+from repro.ir.layer import BiasMode, TensorShape
+from repro.ir import layer as ir
+from repro.profiler.network import profile_network
+
+
+class GeometryBranch(Module):
+    """A torch-style module mirroring one decoder branch."""
+
+    def __init__(self):
+        self.stack = Sequential(
+            Conv2d(4, 16, kernel_size=4, bias=BiasMode.UNTIED),
+            LeakyReLU(0.2),
+            UpsamplingNearest2d(scale_factor=2),
+            Conv2d(16, 3, kernel_size=4, bias=BiasMode.UNTIED),
+        )
+
+    def forward(self, z):
+        return self.stack(z.reshape(4, 8, 8))
+
+
+class TwoBranch(Module):
+    def __init__(self):
+        self.front = Sequential(Conv2d(7, 8, kernel_size=3), ReLU())
+        self.left = Conv2d(8, 3, kernel_size=3)
+        self.right = Conv2d(8, 2, kernel_size=3)
+
+    def forward(self, z, view):
+        x = self.front(cat([z, view]))
+        self.left(x)
+        return self.right(x)
+
+
+class TestTorchlike:
+    def test_trace_sequential(self):
+        graph = trace(GeometryBranch(), {"z": TensorShape(256, 1, 1)})
+        shapes = graph.infer_shapes()
+        outputs = graph.output_names()
+        assert len(outputs) == 1
+        assert shapes[outputs[0]] == TensorShape(3, 16, 16)
+
+    def test_trace_multi_branch_with_cat(self):
+        graph = trace(
+            TwoBranch(),
+            {"z": TensorShape(4, 8, 8), "view": TensorShape(3, 8, 8)},
+        )
+        assert len(graph.output_names()) == 2
+        membership = graph.branch_membership()
+        shared = [n for n, m in membership.items() if len(m) == 2]
+        assert shared  # the front part is shared
+
+    def test_bool_bias_maps_to_modes(self):
+        graph = trace(
+            Sequential(Conv2d(3, 4, kernel_size=3, bias=False)),
+            {"x": TensorShape(3, 8, 8)},
+        )
+        conv_node = [
+            n for n in graph.nodes() if isinstance(n.layer, ir.Conv2d)
+        ][0]
+        assert conv_node.layer.bias is BiasMode.NONE
+
+    def test_all_module_kinds_trace(self):
+        model = Sequential(
+            Conv2d(3, 8, kernel_size=3),
+            ReLU(),
+            MaxPool2d(2),
+            Conv2d(8, 8, kernel_size=3),
+            Tanh(),
+            Flatten(),
+            Linear(8 * 4 * 4, 10),
+        )
+        graph = trace(model, {"x": TensorShape(3, 8, 8)})
+        shapes = graph.infer_shapes()
+        assert shapes[graph.output_names()[0]] == TensorShape(10, 1, 1)
+
+    def test_reshape_module(self):
+        model = Sequential(Reshape(4, 8, 8), Conv2d(4, 2, kernel_size=3))
+        graph = trace(model, {"z": TensorShape(256, 1, 1)})
+        assert graph.infer_shapes()[graph.output_names()[0]].channels == 2
+
+    def test_concat_module(self):
+        class M(Module):
+            def forward(self, a, b):
+                return Concat()(a, b)
+
+        graph = trace(
+            M(), {"a": TensorShape(2, 4, 4), "b": TensorShape(3, 4, 4)}
+        )
+        assert graph.infer_shapes()[graph.output_names()[0]].channels == 5
+
+    def test_cat_needs_two(self):
+        graph_inputs = {"a": TensorShape(2, 4, 4)}
+
+        class M(Module):
+            def forward(self, a):
+                return cat([a])
+
+        with pytest.raises(ValueError, match="two"):
+            trace(M(), graph_inputs)
+
+    def test_traced_profile_matches_builder_equivalent(self, decoder_graph):
+        # The traced two-branch toy must profile identically to the same
+        # network assembled via GraphBuilder.
+        graph = trace(
+            TwoBranch(),
+            {"z": TensorShape(4, 8, 8), "view": TensorShape(3, 8, 8)},
+        )
+        profile = profile_network(graph)
+        assert profile.total_macs > 0
+        assert len(profile.branches) == 2
+
+
+class TestSpecFrontend:
+    def test_simple_spec(self):
+        spec = {
+            "name": "tiny",
+            "nodes": [
+                {"name": "x", "op": "input", "shape": [3, 16, 16]},
+                {
+                    "name": "c1",
+                    "op": "conv",
+                    "inputs": ["x"],
+                    "out_channels": 8,
+                    "kernel": 3,
+                },
+                {"name": "a1", "op": "act", "inputs": ["c1"], "fn": "relu"},
+                {"name": "p1", "op": "pool", "inputs": ["a1"], "kernel": 2},
+            ],
+        }
+        graph = graph_from_spec(spec)
+        assert graph.infer_shapes()["p1"] == TensorShape(8, 8, 8)
+
+    def test_spec_with_all_ops(self):
+        spec = {
+            "name": "full",
+            "nodes": [
+                {"name": "z", "op": "input", "shape": [256, 1, 1]},
+                {"name": "v", "op": "input", "shape": [3, 8, 8]},
+                {"name": "r", "op": "reshape", "inputs": ["z"], "shape": [4, 8, 8]},
+                {"name": "cat", "op": "concat", "inputs": ["r", "v"]},
+                {
+                    "name": "c",
+                    "op": "conv",
+                    "inputs": ["cat"],
+                    "out_channels": 8,
+                    "kernel": 3,
+                    "bias": "untied",
+                },
+                {"name": "u", "op": "upsample", "inputs": ["c"], "scale": 2},
+                {"name": "f", "op": "flatten", "inputs": ["u"]},
+                {"name": "fc", "op": "linear", "inputs": ["f"], "out_features": 10},
+            ],
+        }
+        graph = graph_from_spec(spec)
+        assert graph.infer_shapes()["fc"] == TensorShape(10, 1, 1)
+        assert graph.node("c").layer.bias is BiasMode.UNTIED
+
+    def test_unknown_op_rejected(self):
+        spec = {
+            "nodes": [{"name": "x", "op": "transformer", "shape": [1, 1, 1]}]
+        }
+        with pytest.raises(GraphError, match="unknown op"):
+            graph_from_spec(spec)

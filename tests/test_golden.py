@@ -1,0 +1,120 @@
+"""Golden regression values.
+
+These pin the *deterministic* reproduced numbers (analytic models, no
+stochastic search involved) so refactors of the profiler, fusion, resource
+or baseline models cannot silently shift the results recorded in
+EXPERIMENTS.md. Tolerances are tight on purpose: a legitimate model change
+should update both the constant here and the EXPERIMENTS.md table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.config import StageConfig
+from repro.baselines.dnnbuilder import DnnBuilderModel
+from repro.baselines.hybriddnn import HybridDnnModel
+from repro.baselines.soc import SocModel
+from repro.devices.fpga import get_device
+from repro.dse.space import get_pf
+from repro.perf.analytical import stage_latency_cycles
+from repro.profiler.network import profile_network
+from repro.quant.schemes import INT8, INT16
+
+
+class TestGoldenDecoderProfile:
+    """EXPERIMENTS.md, Table I column 'measured'."""
+
+    def test_branch_gop(self, decoder_graph):
+        profile = profile_network(decoder_graph)
+        gop = [b.ops / 1e9 for b in profile.branches]
+        assert gop[0] == pytest.approx(1.902, abs=0.005)
+        assert gop[1] == pytest.approx(11.364, abs=0.005)
+        assert gop[2] == pytest.approx(4.913, abs=0.005)
+
+    def test_unique_totals(self, decoder_graph):
+        profile = profile_network(decoder_graph)
+        assert profile.total_ops / 1e9 == pytest.approx(13.675, abs=0.01)
+        assert profile.total_params / 1e6 == pytest.approx(9.96, abs=0.05)
+
+    def test_shared_front(self, decoder_graph):
+        profile = profile_network(decoder_graph)
+        assert profile.branches[1].shared_ops / 1e9 == pytest.approx(
+            4.504, abs=0.005
+        )
+
+
+class TestGoldenBaselines:
+    """EXPERIMENTS.md, Table II column 'measured'."""
+
+    def test_soc(self, mimic_graph):
+        design = SocModel().design(mimic_graph, INT8)
+        assert design.fps == pytest.approx(33.9, abs=0.3)
+        assert design.efficiency == pytest.approx(0.161, abs=0.005)
+
+    def test_dnnbuilder_flat_level(self, mimic_plan):
+        for device in ("Z7045", "ZU17EG", "ZU9CG"):
+            design = DnnBuilderModel().design(
+                mimic_plan, get_device(device).budget(), INT8
+            )
+            assert design.fps == pytest.approx(11.9, abs=0.1), device
+
+    def test_dnnbuilder_bottleneck_latency(self, mimic_plan):
+        design = DnnBuilderModel().design(
+            mimic_plan, get_device("ZU9CG").budget(), INT8
+        )
+        assert design.layer_latency_ms["texture"] == pytest.approx(
+            83.89, abs=0.05
+        )
+        assert design.layer_latency_ms["conv12"] == pytest.approx(
+            20.97, abs=0.05
+        )
+
+    def test_hybriddnn(self, mimic_plan):
+        values = {
+            "Z7045": (512, 576, 11.5),
+            "ZU17EG": (1024, 1120, 22.6),
+            "ZU9CG": (1024, 1120, 22.6),
+        }
+        for device, (dsp, bram, fps) in values.items():
+            design = HybridDnnModel().design(
+                mimic_plan, get_device(device).budget(), INT16
+            )
+            assert design.dsp == dsp, device
+            assert design.bram == bram, device
+            assert design.fps == pytest.approx(fps, abs=0.2), device
+
+
+class TestGoldenLatencyModel:
+    """Eq. 4 on the decoder's signature stages."""
+
+    def test_texture_conv_serial(self, decoder_plan):
+        texture = decoder_plan.stage_by_name("texture").stage
+        # 3 x 16 x 1024 x 1024 x 16 MACs.
+        assert stage_latency_cycles(texture, StageConfig()) == 805_306_368
+
+    def test_texture_conv_full_3d(self, decoder_plan):
+        texture = decoder_plan.stage_by_name("texture").stage
+        cfg = StageConfig(cpf=16, kpf=3, h=4)
+        assert stage_latency_cycles(texture, cfg) == 256 * 1024 * 16
+
+    def test_getpf_ladder_snapshot(self, decoder_plan):
+        texture = decoder_plan.stage_by_name("texture").stage
+        assert get_pf(texture, 48) == StageConfig(cpf=16, kpf=3, h=1)
+        assert get_pf(texture, 4 * 48) == StageConfig(cpf=16, kpf=3, h=4)
+        conv12 = decoder_plan.stage_by_name("conv12").stage
+        assert get_pf(conv12, 416).pf == 416  # 26 x 16 snap-to-cap
+
+
+class TestGoldenFusion:
+    """Construction-step structure of the reference decoder."""
+
+    def test_stage_partition(self, decoder_plan):
+        assert [b.num_stages for b in decoder_plan.branches] == [6, 8, 1]
+
+    def test_texture_stage_geometry(self, decoder_plan):
+        texture = decoder_plan.stage_by_name("texture").stage
+        assert texture.conv_height == 1024
+        assert texture.upsample_in == 2
+        assert texture.input_elements == 16 * 512 * 512
+        assert texture.macs == 805_306_368  # 3 x 16 x 1024^2 x 4^2

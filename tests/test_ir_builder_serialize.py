@@ -1,0 +1,100 @@
+"""Tests for the graph builder and JSON serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import GraphError
+from repro.ir.layer import BiasMode, Conv2d, TensorShape
+from repro.ir.serialize import (
+    graph_from_dict,
+    graph_from_json,
+    graph_to_dict,
+    graph_to_json,
+)
+
+
+class TestBuilder:
+    def test_auto_naming_increments(self):
+        b = GraphBuilder()
+        x = b.input("x", TensorShape(3, 8, 8))
+        c1 = b.conv(x, 4, 3)
+        c2 = b.conv(c1, 4, 3)
+        assert (c1, c2) == ("conv1", "conv2")
+
+    def test_explicit_names_win(self):
+        b = GraphBuilder()
+        x = b.input("x", TensorShape(3, 8, 8))
+        out = b.conv(x, 4, 3, name="head")
+        assert out == "head"
+
+    def test_conv_infers_in_channels(self):
+        b = GraphBuilder()
+        x = b.input("x", TensorShape(3, 8, 8))
+        c = b.conv(x, 4, 3)
+        layer = b.graph.node(c).layer
+        assert isinstance(layer, Conv2d)
+        assert layer.in_channels == 3
+
+    def test_linear_infers_in_features(self):
+        b = GraphBuilder()
+        x = b.input("x", TensorShape(4, 2, 2))
+        f = b.flatten(x)
+        fc = b.linear(f, 10)
+        assert b.graph.node(fc).layer.in_features == 16
+
+    def test_cau_block_is_three_nodes(self):
+        b = GraphBuilder()
+        x = b.input("x", TensorShape(4, 8, 8))
+        out = b.cau_block(x, out_channels=8)
+        graph = b.graph
+        assert len(graph) == 4  # input + conv + act + upsample
+        assert graph.infer_shapes()[out] == TensorShape(8, 16, 16)
+
+    def test_concat_of_three(self):
+        b = GraphBuilder()
+        xs = [b.input(f"x{i}", TensorShape(2, 4, 4)) for i in range(3)]
+        cat = b.concat(xs)
+        assert b.graph.infer_shapes()[cat] == TensorShape(6, 4, 4)
+
+
+class TestSerialization:
+    def test_roundtrip_dict(self, decoder_graph):
+        data = graph_to_dict(decoder_graph)
+        rebuilt = graph_from_dict(data)
+        assert rebuilt.node_names() == decoder_graph.node_names()
+        for node in decoder_graph.nodes():
+            other = rebuilt.node(node.name)
+            assert other.layer == node.layer
+            assert other.inputs == node.inputs
+
+    def test_roundtrip_json_text(self, tiny_decoder):
+        text = graph_to_json(tiny_decoder)
+        rebuilt = graph_from_json(text)
+        assert rebuilt.infer_shapes() == tiny_decoder.infer_shapes()
+
+    def test_bias_mode_survives(self, tiny_decoder):
+        rebuilt = graph_from_json(graph_to_json(tiny_decoder))
+        texture = rebuilt.node("texture").layer
+        assert texture.bias is BiasMode.UNTIED
+
+    def test_unknown_layer_type_rejected(self):
+        data = {
+            "version": 1,
+            "name": "bad",
+            "nodes": [
+                {"name": "x", "inputs": [], "layer": {"type": "Mystery"}}
+            ],
+        }
+        with pytest.raises(GraphError, match="unknown layer type"):
+            graph_from_dict(data)
+
+    def test_version_checked(self):
+        with pytest.raises(GraphError, match="version"):
+            graph_from_dict({"version": 99, "nodes": []})
+
+    def test_serialized_form_is_plain_json(self, tiny_decoder):
+        import json
+
+        json.loads(graph_to_json(tiny_decoder))  # must not raise

@@ -1,0 +1,197 @@
+"""Tests for IR layer definitions: shapes, MACs, parameters."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.layer import (
+    Activation,
+    BiasMode,
+    Concat,
+    Conv2d,
+    Flatten,
+    Input,
+    Linear,
+    MaxPool,
+    Reshape,
+    ShapeError,
+    TensorShape,
+    Upsample,
+    conv_output_size,
+    explicit_padding,
+)
+
+
+class TestTensorShape:
+    def test_numel(self):
+        assert TensorShape(3, 4, 5).numel == 60
+
+    def test_positive_dims_required(self):
+        with pytest.raises(ShapeError):
+            TensorShape(0, 1, 1)
+
+    def test_as_tuple(self):
+        assert TensorShape(1, 2, 3).as_tuple() == (1, 2, 3)
+
+
+class TestPaddingArithmetic:
+    def test_same_stride1_preserves_size(self):
+        assert conv_output_size(8, 3, 1, "same") == 8
+        assert conv_output_size(8, 4, 1, "same") == 8
+
+    def test_same_with_stride(self):
+        assert conv_output_size(224, 7, 2, "same") == 112
+
+    def test_valid(self):
+        assert conv_output_size(227, 11, 4, "valid") == 55
+
+    def test_explicit_int_padding(self):
+        assert conv_output_size(8, 3, 1, 1) == 8
+
+    def test_window_too_large_raises(self):
+        with pytest.raises(ShapeError):
+            conv_output_size(2, 5, 1, "valid")
+
+    def test_bad_padding_string(self):
+        with pytest.raises(ShapeError):
+            conv_output_size(8, 3, 1, "weird")
+
+    def test_explicit_padding_even_kernel_asymmetric(self):
+        low, high = explicit_padding(8, 4, 1, "same")
+        assert (low, high) == (1, 2)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        size=st.integers(1, 512),
+        kernel=st.integers(1, 11),
+        stride=st.integers(1, 4),
+    )
+    def test_same_padding_matches_ceil(self, size, kernel, stride):
+        assert conv_output_size(size, kernel, stride, "same") == -(-size // stride)
+
+
+class TestConv2d:
+    def test_shape_inference(self):
+        conv = Conv2d(in_channels=4, out_channels=8, kernel=3)
+        out = conv.infer_shape((TensorShape(4, 16, 16),))
+        assert out == TensorShape(8, 16, 16)
+
+    def test_channel_mismatch_raises(self):
+        conv = Conv2d(in_channels=4, out_channels=8, kernel=3)
+        with pytest.raises(ShapeError, match="input channels"):
+            conv.infer_shape((TensorShape(3, 16, 16),))
+
+    def test_macs(self):
+        conv = Conv2d(in_channels=4, out_channels=8, kernel=3)
+        out = TensorShape(8, 16, 16)
+        assert conv.macs((TensorShape(4, 16, 16),), out) == 8 * 16 * 16 * 4 * 9
+
+    def test_weight_params(self):
+        conv = Conv2d(in_channels=4, out_channels=8, kernel=3)
+        assert conv.weight_params() == 4 * 8 * 9
+
+    def test_untied_bias_params_scale_with_resolution(self):
+        conv = Conv2d(in_channels=4, out_channels=8, kernel=3, bias=BiasMode.UNTIED)
+        assert conv.bias_params(TensorShape(8, 16, 16)) == 8 * 256
+
+    def test_tied_bias_params(self):
+        conv = Conv2d(in_channels=4, out_channels=8, kernel=3, bias=BiasMode.TIED)
+        assert conv.bias_params(TensorShape(8, 16, 16)) == 8
+
+    def test_no_bias(self):
+        conv = Conv2d(in_channels=4, out_channels=8, kernel=3, bias=BiasMode.NONE)
+        assert conv.bias_params(TensorShape(8, 16, 16)) == 0
+        assert conv.elementwise_ops((), TensorShape(8, 16, 16)) == 0
+
+    def test_bias_add_counted_once_per_output(self):
+        conv = Conv2d(in_channels=4, out_channels=8, kernel=3)
+        assert conv.elementwise_ops((), TensorShape(8, 4, 4)) == 8 * 16
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ShapeError):
+            Conv2d(in_channels=0, out_channels=8, kernel=3)
+        with pytest.raises(ShapeError):
+            Conv2d(in_channels=1, out_channels=8, kernel=0)
+
+
+class TestOtherLayers:
+    def test_activation_identity_shape(self):
+        act = Activation(fn="leaky_relu")
+        shape = TensorShape(3, 5, 5)
+        assert act.infer_shape((shape,)) == shape
+        assert act.elementwise_ops((shape,), shape) == shape.numel
+
+    def test_unknown_activation_rejected(self):
+        with pytest.raises(ShapeError):
+            Activation(fn="swish")
+
+    def test_upsample_doubles_spatial(self):
+        up = Upsample(scale=2)
+        assert up.infer_shape((TensorShape(4, 8, 8),)) == TensorShape(4, 16, 16)
+
+    def test_upsample_rejects_bad_mode(self):
+        with pytest.raises(ShapeError):
+            Upsample(scale=2, mode="bilinear")
+
+    def test_maxpool_default_stride_is_kernel(self):
+        pool = MaxPool(kernel=2)
+        assert pool.infer_shape((TensorShape(4, 8, 8),)) == TensorShape(4, 4, 4)
+
+    def test_maxpool_overlapping(self):
+        pool = MaxPool(kernel=3, stride=2)
+        assert pool.infer_shape((TensorShape(96, 55, 55),)) == TensorShape(96, 27, 27)
+
+    def test_linear_requires_matching_features(self):
+        fc = Linear(in_features=100, out_features=10)
+        assert fc.infer_shape((TensorShape(100, 1, 1),)) == TensorShape(10, 1, 1)
+        with pytest.raises(ShapeError):
+            fc.infer_shape((TensorShape(10, 2, 4),))
+
+    def test_linear_accepts_matching_numel(self):
+        fc = Linear(in_features=100, out_features=10)
+        # 4x5x5 = 100 elements also works (implicit flatten by the runtime).
+        assert fc.infer_shape((TensorShape(4, 5, 5),)) == TensorShape(10, 1, 1)
+
+    def test_linear_macs_and_params(self):
+        fc = Linear(in_features=100, out_features=10)
+        out = TensorShape(10, 1, 1)
+        assert fc.macs((), out) == 1000
+        assert fc.weight_params() == 1000
+        assert fc.bias_params(out) == 10
+
+    def test_reshape_preserves_numel(self):
+        reshape = Reshape(target=TensorShape(4, 8, 8))
+        assert reshape.infer_shape((TensorShape(256, 1, 1),)) == TensorShape(4, 8, 8)
+        with pytest.raises(ShapeError):
+            reshape.infer_shape((TensorShape(100, 1, 1),))
+
+    def test_flatten(self):
+        assert Flatten().infer_shape((TensorShape(4, 3, 2),)) == TensorShape(24, 1, 1)
+
+    def test_concat_channels(self):
+        concat = Concat(num_inputs=2)
+        out = concat.infer_shape((TensorShape(4, 8, 8), TensorShape(3, 8, 8)))
+        assert out == TensorShape(7, 8, 8)
+
+    def test_concat_spatial_mismatch_raises(self):
+        concat = Concat(num_inputs=2)
+        with pytest.raises(ShapeError):
+            concat.infer_shape((TensorShape(4, 8, 8), TensorShape(3, 4, 4)))
+
+    def test_concat_arity(self):
+        concat = Concat(num_inputs=3)
+        assert concat.arity == 3
+        with pytest.raises(ShapeError):
+            Concat(num_inputs=1)
+
+    def test_input_layer(self):
+        inp = Input(shape=TensorShape(3, 2, 2))
+        assert inp.arity == 0
+        assert inp.infer_shape(()) == TensorShape(3, 2, 2)
+
+    def test_wrong_arity_raises(self):
+        act = Activation(fn="relu")
+        with pytest.raises(ShapeError, match="expects 1 input"):
+            act.infer_shape((TensorShape(1, 1, 1), TensorShape(1, 1, 1)))

@@ -1,0 +1,214 @@
+"""Tests for the model zoo — Table I invariants and benchmark networks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir.layer import BiasMode, Conv2d
+from repro.models.codec_avatar import (
+    DecoderPlan,
+    UNTIED_BIAS_MAX_PIXELS,
+    build_codec_avatar_decoder,
+)
+from repro.models.mimic import build_mimic_decoder
+from repro.models.zoo import get_model, list_models
+from repro.profiler.network import profile_network
+from repro.utils.units import GIGA
+
+
+class TestDecoderTableI:
+    """The reference decoder must reproduce the paper's Table I."""
+
+    def test_three_branches(self, decoder_graph):
+        assert decoder_graph.output_names() == [
+            "geometry",
+            "texture",
+            "warp_field",
+        ]
+
+    def test_branch_gop_matches_paper(self, decoder_graph):
+        profile = profile_network(decoder_graph)
+        targets = (1.9, 11.3, 4.9)
+        for branch, target in zip(profile.branches, targets):
+            assert branch.ops / GIGA == pytest.approx(target, rel=0.05)
+
+    def test_unique_gop_close_to_13_6(self, decoder_graph):
+        profile = profile_network(decoder_graph)
+        assert profile.total_ops / GIGA == pytest.approx(13.6, rel=0.05)
+
+    def test_gop_shares_match_paper(self, decoder_graph):
+        profile = profile_network(decoder_graph)
+        total = profile.sum_of_branch_ops
+        shares = [b.ops / total for b in profile.branches]
+        for share, target in zip(shares, (0.105, 0.624, 0.271)):
+            assert share == pytest.approx(target, abs=0.01)
+
+    def test_param_shares_match_paper(self, decoder_graph):
+        profile = profile_network(decoder_graph)
+        total = sum(b.params for b in profile.branches)
+        shares = [b.params / total for b in profile.branches]
+        for share, target in zip(shares, (0.121, 0.670, 0.209)):
+            assert share == pytest.approx(target, abs=0.02)
+
+    def test_shared_front_is_about_4_5_gop(self, decoder_graph):
+        profile = profile_network(decoder_graph)
+        assert profile.branches[1].shared_ops / GIGA == pytest.approx(4.5, rel=0.1)
+        assert profile.branches[1].shared_ops == profile.branches[2].shared_ops
+
+    def test_untied_bias_policy(self, decoder_graph):
+        shapes = decoder_graph.infer_shapes()
+        for node in decoder_graph.nodes():
+            if not isinstance(node.layer, Conv2d):
+                continue
+            pixels = shapes[node.name].height * shapes[node.name].width
+            if pixels <= UNTIED_BIAS_MAX_PIXELS:
+                assert node.layer.bias is BiasMode.UNTIED, node.name
+            else:
+                assert node.layer.bias is BiasMode.TIED, node.name
+
+    def test_latent_reshapes_to_4x8x8(self):
+        assert DecoderPlan().latent_channels == 4
+
+    def test_bad_latent_dim_rejected(self):
+        with pytest.raises(ValueError):
+            DecoderPlan(latent_dim=100).latent_channels
+
+    def test_custom_plan_scales(self):
+        small = DecoderPlan(
+            br1_channels=(16, 16),
+            shared_channels=(16, 16),
+            br2_channels=(8,),
+        )
+        graph = build_codec_avatar_decoder(small)
+        shapes = graph.infer_shapes()
+        assert shapes["geometry"].as_tuple() == (3, 32, 32)
+        assert shapes["texture"].as_tuple() == (3, 64, 64)
+
+
+class TestMimic:
+    def test_same_structure_as_decoder(self, decoder_graph, mimic_graph):
+        assert mimic_graph.node_names() == decoder_graph.node_names()
+        assert (
+            mimic_graph.infer_shapes() == decoder_graph.infer_shapes()
+        )
+
+    def test_all_convs_tied(self, mimic_graph):
+        for node in mimic_graph.nodes():
+            if isinstance(node.layer, Conv2d):
+                assert node.layer.bias is BiasMode.TIED
+
+    def test_far_fewer_params_than_decoder(self, decoder_graph, mimic_graph):
+        decoder_params = profile_network(decoder_graph).total_params
+        mimic_params = profile_network(mimic_graph).total_params
+        assert mimic_params < 0.3 * decoder_params
+
+    def test_ops_nearly_identical(self, decoder_graph, mimic_graph):
+        # The paper's mimic has 3.7% fewer ops; ours differs only in the
+        # (negligible) bias accounting.
+        decoder_ops = profile_network(decoder_graph).total_ops
+        mimic_ops = profile_network(mimic_graph).total_ops
+        assert mimic_ops == pytest.approx(decoder_ops, rel=0.01)
+
+
+class TestBenchmarkNetworks:
+    def test_zoo_registry(self):
+        assert "codec_avatar_decoder" in list_models()
+        assert len(list_models()) == 8
+        with pytest.raises(KeyError, match="known models"):
+            get_model("resnet50")
+
+    def test_alexnet_macs_in_known_range(self, alexnet_graph):
+        # Ungrouped AlexNet is ~1.1-1.2 GMAC.
+        profile = profile_network(alexnet_graph)
+        assert 0.9e9 < profile.total_macs < 1.4e9
+
+    def test_alexnet_fc_sizes(self, alexnet_graph):
+        shapes = alexnet_graph.infer_shapes()
+        assert shapes["logits"].channels == 1000
+
+    def test_vgg16_macs_match_reference(self, vgg16_graph):
+        # VGG-16 is canonically ~15.5 GMAC at 224x224.
+        profile = profile_network(vgg16_graph)
+        assert profile.total_macs == pytest.approx(15.47e9, rel=0.02)
+
+    def test_vgg16_params_match_reference(self, vgg16_graph):
+        # ~138 M parameters.
+        profile = profile_network(vgg16_graph)
+        assert profile.total_params == pytest.approx(138.3e6, rel=0.02)
+
+    def test_tiny_yolo_macs(self, tiny_yolo_graph):
+        profile = profile_network(tiny_yolo_graph)
+        assert 2.5e9 < profile.total_macs < 4.5e9
+
+    def test_zfnet_single_branch(self):
+        graph = get_model("zfnet")
+        assert len(graph.output_names()) == 1
+
+    def test_all_zoo_models_validate(self):
+        for name in list_models():
+            get_model(name).validate()
+
+
+class TestDecoderVariants:
+    def test_gan_decoder_structure(self):
+        from repro.models.variants import build_gan_decoder
+
+        graph = build_gan_decoder()
+        shapes = graph.infer_shapes()
+        assert graph.output_names() == ["geometry", "texture"]
+        assert shapes["texture"].as_tuple() == (3, 1024, 1024)
+        # GAN-style decoder uses conventional convolutions.
+        from repro.ir.layer import BiasMode, Conv2d
+
+        for node in graph.nodes():
+            if isinstance(node.layer, Conv2d):
+                assert node.layer.bias is BiasMode.TIED
+
+    def test_gan_decoder_texture_dominates(self):
+        from repro.models.variants import build_gan_decoder
+        from repro.profiler.network import profile_network
+
+        profile = profile_network(build_gan_decoder())
+        assert profile.branches[1].ops > 10 * profile.branches[0].ops
+
+    def test_modular_decoder_structure(self):
+        from repro.models.variants import build_modular_decoder
+
+        graph = build_modular_decoder()
+        assert graph.output_names() == [
+            "geometry",
+            "face_texture",
+            "eye_texture",
+            "mouth_texture",
+        ]
+        shapes = graph.infer_shapes()
+        assert shapes["face_texture"].as_tuple() == (3, 512, 512)
+        assert shapes["eye_texture"].as_tuple() == (3, 128, 128)
+
+    def test_modular_decoder_shared_trunk_feeds_three(self):
+        from repro.construction.reorg import build_pipeline_plan
+        from repro.models.variants import build_modular_decoder
+
+        plan = build_pipeline_plan(build_modular_decoder())
+        assert plan.num_branches == 4
+        # Trunk assigned to the face branch (highest demand); the eye and
+        # mouth modules read its output across branches.
+        face = plan.branches[1]
+        assert any(s.shared for s in face.stages)
+        trunk_names = {s.name for s in face.stages}
+        for region in (2, 3):
+            head = plan.branches[region].stages[0]
+            assert set(head.stage.sources) <= trunk_names
+
+    def test_variants_explore_end_to_end(self):
+        from repro.devices.fpga import get_device
+        from repro.fcad.flow import FCad
+        from repro.models.variants import build_modular_decoder
+
+        result = FCad(
+            network=build_modular_decoder(),
+            device=get_device("ZU17EG"),
+            quant="int8",
+        ).run(iterations=3, population=15, seed=0)
+        assert result.dse.best_perf.fps > 0
+        assert len(result.dse.best_perf.branches) == 4

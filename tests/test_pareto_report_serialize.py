@@ -1,0 +1,148 @@
+"""Tests for the Pareto explorer, config serialization, and design report."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.arch.config import AcceleratorConfig, ConfigError
+from repro.arch.serialize import (
+    config_from_dict,
+    config_from_json,
+    config_to_dict,
+    config_to_json,
+)
+from repro.construction.reorg import build_pipeline_plan
+from repro.devices.fpga import get_device
+from repro.dse.pareto import ParetoFrontier, ParetoPoint, explore_budget_frontier
+from repro.dse.space import Customization
+from repro.fcad.flow import FCad
+from repro.fcad.report import render_markdown_report
+from repro.quant.schemes import INT8
+from tests.conftest import make_tiny_decoder
+
+
+@pytest.fixture(scope="module")
+def frontier():
+    plan = build_pipeline_plan(make_tiny_decoder())
+    return explore_budget_frontier(
+        plan,
+        get_device("Z7045").budget(),
+        INT8,
+        fractions=(0.3, 0.6, 1.0),
+        iterations=3,
+        population=15,
+        seed=0,
+    )
+
+
+class TestPareto:
+    def test_one_point_per_fraction(self, frontier):
+        assert len(frontier.points) == 3
+        assert [p.fraction for p in frontier.points] == [0.3, 0.6, 1.0]
+
+    def test_fps_non_decreasing_with_budget(self, frontier):
+        fps = [p.fps for p in sorted(frontier.points, key=lambda p: p.fraction)]
+        assert all(b >= a * 0.999 for a, b in zip(fps, fps[1:]))
+
+    def test_frontier_is_non_dominated(self, frontier):
+        chosen = frontier.frontier()
+        for earlier, later in zip(chosen, chosen[1:]):
+            assert later.dsp >= earlier.dsp
+            assert later.fps > earlier.fps
+
+    def test_budgets_respected(self, frontier):
+        for point in frontier.points:
+            assert point.dsp <= point.budget.compute
+            assert point.perf.total_bram <= point.budget.memory
+
+    def test_smallest_meeting_target(self, frontier):
+        best_fps = max(p.fps for p in frontier.points)
+        cheapest = frontier.smallest_meeting(best_fps * 0.5)
+        assert cheapest is not None
+        assert cheapest.fps >= best_fps * 0.5
+        assert frontier.smallest_meeting(best_fps * 100) is None
+
+    def test_render(self, frontier):
+        text = frontier.render(fps_target=1.0)
+        assert "Pareto" in text
+        assert "cheapest design" in text
+
+    def test_empty_frontier_handling(self):
+        assert ParetoFrontier(points=()).frontier() == []
+
+
+class TestConfigSerialization:
+    def test_roundtrip(self, decoder_plan):
+        config = AcceleratorConfig.uniform(decoder_plan, batch_size=2)
+        rebuilt = config_from_json(config_to_json(config))
+        assert rebuilt == config
+
+    def test_json_is_plain(self, tiny_plan):
+        config = AcceleratorConfig.uniform(tiny_plan)
+        payload = json.loads(config_to_json(config))
+        assert payload["version"] == 1
+        assert len(payload["branches"]) == tiny_plan.num_branches
+
+    def test_dict_roundtrip_preserves_factors(self, tiny_plan):
+        from repro.arch.config import BranchConfig, StageConfig
+
+        config = AcceleratorConfig(
+            branches=(
+                BranchConfig(
+                    batch_size=2,
+                    stages=tuple(
+                        StageConfig(cpf=2, kpf=4, h=8)
+                        for _ in tiny_plan.branches[0].stages
+                    ),
+                ),
+                BranchConfig(batch_size=1, stages=(StageConfig(cpf=8),)),
+            )
+        )
+        rebuilt = config_from_dict(config_to_dict(config))
+        assert rebuilt.stage(0, 0).h == 8
+        assert rebuilt.stage(1, 0).cpf == 8
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(ConfigError, match="version"):
+            config_from_dict({"version": 9, "branches": []})
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(ConfigError, match="malformed"):
+            config_from_dict({"version": 1, "branches": [{"stages": []}]})
+
+
+class TestMarkdownReport:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return FCad(
+            network=make_tiny_decoder(),
+            device=get_device("Z7045"),
+            quant="int8",
+        ).run(iterations=3, population=15, seed=0)
+
+    def test_report_sections(self, result):
+        text = render_markdown_report(result)
+        for heading in (
+            "# F-CAD design report",
+            "## Network",
+            "## Optimized accelerator",
+            "## Unit configurations",
+            "## DSE fitness trace",
+        ):
+            assert heading in text
+
+    def test_report_contains_every_stage(self, result):
+        text = render_markdown_report(result)
+        for planned in result.plan.all_stages():
+            assert planned.name in text
+
+    def test_report_mentions_vr_verdict(self, result):
+        text = render_markdown_report(result)
+        assert "90 FPS VR target" in text
+
+    def test_report_is_markdown_table_shaped(self, result):
+        text = render_markdown_report(result)
+        table_lines = [l for l in text.splitlines() if l.startswith("|")]
+        assert len(table_lines) > 10

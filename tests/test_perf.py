@@ -1,0 +1,205 @@
+"""Tests for the analytical performance and resource models."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.config import AcceleratorConfig, BranchConfig, StageConfig
+from repro.construction.fusion import fuse_graph
+from repro.perf.analytical import (
+    branch_fps,
+    efficiency,
+    stage_latency_cycles,
+)
+from repro.perf.estimator import evaluate, evaluate_branch
+from repro.perf.resources import (
+    WEIGHT_RESIDENT_CAP_BITS,
+    dsp_usage,
+    input_buffer_brams,
+    stage_resources,
+    stage_stream_bytes,
+    weight_buffer_brams,
+    weights_resident,
+)
+from repro.quant.schemes import INT8, INT16
+from tests.conftest import make_chain
+
+
+@pytest.fixture(scope="module")
+def decoder_stages(decoder_plan):
+    return {s.name: s.stage for s in decoder_plan.all_stages()}
+
+
+class TestLatencyModel:
+    def test_eq4_exact_for_dividing_factors(self, decoder_stages):
+        stage = decoder_stages["conv2"]  # 128 -> 128 @ 16x16, k=4
+        cfg = StageConfig(cpf=8, kpf=16, h=4)
+        expected = (128 // 16) * (128 // 8) * (16 // 4) * 16 * 16
+        assert stage_latency_cycles(stage, cfg) == expected
+
+    def test_full_parallelism_reaches_wk2(self, decoder_stages):
+        stage = decoder_stages["conv2"]
+        cfg = StageConfig(cpf=128, kpf=128, h=16)
+        assert stage_latency_cycles(stage, cfg) == 16 * 16  # W x K^2
+
+    def test_serial_config_equals_macs(self, decoder_stages):
+        stage = decoder_stages["conv2"]
+        assert stage_latency_cycles(stage, StageConfig()) == stage.macs
+
+    def test_ceiling_for_non_dividing(self, decoder_stages):
+        stage = decoder_stages["conv11"]  # 32 -> 26
+        lat = stage_latency_cycles(stage, StageConfig(cpf=32, kpf=4, h=1))
+        assert lat == 7 * 1 * 256 * 256 * 16  # ceil(26/4) = 7
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        cpf=st.sampled_from([1, 2, 4, 8, 16]),
+        kpf=st.sampled_from([1, 2, 4, 8, 16]),
+        h=st.sampled_from([1, 2, 4, 8]),
+    )
+    def test_latency_monotone_in_parallelism(
+        self, decoder_plan, cpf, kpf, h
+    ):
+        stage = decoder_plan.branches[1].stages[4].stage
+        base = stage_latency_cycles(stage, StageConfig(cpf, kpf, h))
+        for grown in (
+            StageConfig(min(2 * cpf, 104), kpf, h),
+            StageConfig(cpf, min(2 * kpf, 32), h),
+            StageConfig(cpf, kpf, 2 * h),
+        ):
+            assert stage_latency_cycles(stage, grown) <= base
+
+    def test_branch_fps_eq5(self):
+        # 200 MHz, bottleneck 2 M cycles, batch 2 -> 200 FPS.
+        assert branch_fps([1_000_000, 2_000_000], 2, 200.0) == pytest.approx(200.0)
+
+    def test_branch_fps_zero_batch(self):
+        assert branch_fps([100], 0, 200.0) == 0.0
+
+    def test_efficiency_eq3(self):
+        # 100 GOPS on 250 DSPs at 200 MHz, 8-bit: peak = 4*250*0.2 = 200.
+        assert efficiency(100.0, 4, 250, 200.0) == pytest.approx(0.5)
+
+    def test_efficiency_zero_multipliers(self):
+        assert efficiency(100.0, 4, 0, 200.0) == 0.0
+
+
+class TestResourceModel:
+    def test_int8_packs_two_macs_per_dsp(self):
+        assert dsp_usage(StageConfig(cpf=4, kpf=4, h=1), INT8) == 8
+        assert dsp_usage(StageConfig(cpf=4, kpf=4, h=1), INT16) == 16
+
+    def test_odd_mac_count_rounds_up(self):
+        assert dsp_usage(StageConfig(cpf=3, kpf=1, h=1), INT8) == 2
+
+    def test_small_weights_resident(self, decoder_stages):
+        stage = decoder_stages["conv1"]  # 4x128x16 weights
+        assert weights_resident(stage, INT8)
+        blocks, resident = weight_buffer_brams(stage, StageConfig(), INT8)
+        assert resident
+        assert blocks >= 1
+
+    def test_large_weights_streamed(self, decoder_stages):
+        stage = decoder_stages["conv7"]  # 256x160x16 weights @ 8 bit > cap
+        assert not weights_resident(stage, INT8)
+        blocks, resident = weight_buffer_brams(stage, StageConfig(), INT8)
+        assert not resident
+
+    def test_residency_cap_boundary(self, decoder_stages):
+        for name, stage in decoder_stages.items():
+            bits = stage.weight_params * 8
+            if not stage.untied_bias:
+                bits += stage.bias_params * 8
+            assert weights_resident(stage, INT8) == (
+                bits <= WEIGHT_RESIDENT_CAP_BITS
+            ), name
+
+    def test_port_width_floors_bram(self, decoder_stages):
+        stage = decoder_stages["conv5"]
+        wide = StageConfig(cpf=32, kpf=16, h=1)
+        blocks, _ = weight_buffer_brams(stage, wide, INT8)
+        # 512 weights x 8 bit / 36-bit ports -> at least 114 blocks.
+        assert blocks >= (32 * 16 * 8) // 36
+
+    def test_input_buffer_scales_with_parallel_reads(self, decoder_stages):
+        stage = decoder_stages["conv12"]
+        narrow = input_buffer_brams(stage, StageConfig(), INT8)
+        wide = input_buffer_brams(stage, StageConfig(cpf=16, kpf=1, h=16), INT8)
+        assert wide >= narrow
+
+    def test_untied_bias_streams(self, decoder_stages):
+        stage = decoder_stages["conv11"]  # untied bias at 256x256
+        stream = stage_stream_bytes(stage, INT8)
+        assert stream >= stage.bias_params  # one byte per bias at int8
+
+    def test_tied_small_conv_streams_nothing(self):
+        plan_stage = fuse_graph(make_chain(depth=1, channels=4))[0]
+        assert stage_stream_bytes(plan_stage, INT8) == 0.0
+
+    def test_resources_scale_with_replicas(self, decoder_stages):
+        stage = decoder_stages["conv2"]
+        res = stage_resources(stage, StageConfig(cpf=4, kpf=4), INT8)
+        doubled = res.scaled(2)
+        assert doubled.dsp == 2 * res.dsp
+        assert doubled.bram == 2 * res.bram
+        # Streaming is per frame, independent of replica count.
+        assert doubled.stream_bytes_per_frame == res.stream_bytes_per_frame
+
+    def test_16bit_needs_more_memory(self, decoder_stages):
+        stage = decoder_stages["conv5"]
+        cfg = StageConfig(cpf=8, kpf=8)
+        assert (
+            stage_resources(stage, cfg, INT16).bram
+            >= stage_resources(stage, cfg, INT8).bram
+        )
+
+
+class TestEstimator:
+    def test_branch_perf_consistency(self, decoder_plan):
+        pipeline = decoder_plan.branches[0]
+        cfg = BranchConfig(
+            batch_size=1,
+            stages=tuple(StageConfig(cpf=2, kpf=2) for _ in pipeline.stages),
+        )
+        perf = evaluate_branch(pipeline, cfg, INT8, 200.0)
+        slowest = max(s.latency_cycles for s in perf.stages)
+        assert perf.fps == pytest.approx(200e6 / slowest)
+        assert perf.bottleneck_stage in {s.name for s in perf.stages}
+        assert 0 < perf.efficiency <= 1.0
+
+    def test_batch_scales_fps_and_resources(self, decoder_plan):
+        pipeline = decoder_plan.branches[0]
+        stages = tuple(StageConfig(cpf=2, kpf=2) for _ in pipeline.stages)
+        one = evaluate_branch(pipeline, BranchConfig(1, stages), INT8, 200.0)
+        two = evaluate_branch(pipeline, BranchConfig(2, stages), INT8, 200.0)
+        assert two.fps == pytest.approx(2 * one.fps)
+        assert two.dsp == 2 * one.dsp
+        assert two.efficiency == pytest.approx(one.efficiency)
+
+    def test_accelerator_perf_totals(self, decoder_plan):
+        config = AcceleratorConfig.uniform(decoder_plan)
+        perf = evaluate(decoder_plan, config, INT8, 200.0)
+        assert perf.total_dsp == sum(b.dsp for b in perf.branches)
+        assert perf.fps == min(b.fps for b in perf.branches)
+        assert perf.quant_name == "int8"
+
+    def test_fits_budget(self, decoder_plan):
+        from repro.devices.budget import ResourceBudget
+
+        config = AcceleratorConfig.uniform(decoder_plan)
+        perf = evaluate(decoder_plan, config, INT8, 200.0)
+        assert perf.fits(ResourceBudget(10_000, 10_000, 100.0))
+        assert not perf.fits(ResourceBudget(1, 1, 0.0))
+
+    def test_invalid_config_rejected(self, decoder_plan, tiny_plan):
+        config = AcceleratorConfig.uniform(tiny_plan)
+        with pytest.raises(Exception):
+            evaluate(decoder_plan, config, INT8, 200.0)
+
+    def test_latency_ms_property(self, decoder_plan):
+        pipeline = decoder_plan.branches[2]
+        cfg = BranchConfig(batch_size=1, stages=(StageConfig(),))
+        perf = evaluate_branch(pipeline, cfg, INT8, 200.0)
+        assert perf.latency_ms == pytest.approx(1000.0 / perf.fps)

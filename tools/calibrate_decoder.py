@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Calibrate the decoder channel plan against the paper's Table I.
+
+The paper publishes the decoder topology, per-branch GOP (1.9 / 11.3 / 4.9,
+13.6 unique) and parameter shares, but not channel widths. This script
+performs a randomized local search over integer channel widths to minimize
+the relative error against those targets. The best plan found is frozen as
+``repro.models.codec_avatar.REFERENCE_PLAN``.
+
+Run:  python tools/calibrate_decoder.py [--iterations N] [--seed S]
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+
+from repro.models.codec_avatar import DecoderPlan, build_codec_avatar_decoder
+from repro.profiler import profile_network
+
+# Table I targets: (ops GOP per branch row, unique GOP, param share per row).
+TARGET_BRANCH_GOP = (1.9, 11.3, 4.9)
+TARGET_UNIQUE_GOP = 13.6
+TARGET_PARAM_SHARE = (0.121, 0.670, 0.209)
+
+
+def plan_error(plan: DecoderPlan) -> float:
+    """Weighted relative error of a plan against the Table I targets."""
+    try:
+        profile = profile_network(build_codec_avatar_decoder(plan))
+    except ValueError:
+        return float("inf")
+    err = 0.0
+    for branch, target in zip(profile.branches, TARGET_BRANCH_GOP):
+        err += abs(branch.ops / 1e9 - target) / target
+    err += abs(profile.total_ops / 1e9 - TARGET_UNIQUE_GOP) / TARGET_UNIQUE_GOP
+    row_params = sum(b.params for b in profile.branches)
+    for branch, share in zip(profile.branches, TARGET_PARAM_SHARE):
+        err += 0.5 * abs(branch.params / row_params - share) / share
+    return err
+
+
+def perturb(plan: DecoderPlan, rng: random.Random) -> DecoderPlan:
+    """Randomly nudge one channel width by one even step."""
+
+    def nudge(values: tuple[int, ...]) -> tuple[int, ...]:
+        idx = rng.randrange(len(values))
+        step = rng.choice((-8, -4, -2, 2, 4, 8))
+        new = list(values)
+        new[idx] = max(2, new[idx] + step)
+        return tuple(new)
+
+    field = rng.choice(("br1_channels", "shared_channels", "br2_channels"))
+    kwargs = {field: nudge(getattr(plan, field))}
+    return DecoderPlan(
+        br1_channels=kwargs.get("br1_channels", plan.br1_channels),
+        shared_channels=kwargs.get("shared_channels", plan.shared_channels),
+        br2_channels=kwargs.get("br2_channels", plan.br2_channels),
+        br3_kernel=plan.br3_kernel,
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--iterations", type=int, default=2000)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+    rng = random.Random(args.seed)
+
+    best = DecoderPlan()
+    best_err = plan_error(best)
+    print(f"start: err={best_err:.4f}  plan={best}")
+    for step in range(args.iterations):
+        candidate = perturb(best, rng)
+        err = plan_error(candidate)
+        if err < best_err:
+            best, best_err = candidate, err
+            print(f"step {step}: err={err:.4f}  plan={candidate}")
+
+    profile = profile_network(build_codec_avatar_decoder(best))
+    print("\nbest plan:", best)
+    print(f"error: {best_err:.4f}")
+    for branch, target in zip(profile.branches, TARGET_BRANCH_GOP):
+        print(
+            f"  Br.{branch.index + 1}: {branch.ops / 1e9:.2f} GOP "
+            f"(target {target}), params {branch.params / 1e6:.2f} M"
+        )
+    print(f"  unique: {profile.total_ops / 1e9:.2f} GOP (target 13.6)")
+
+
+if __name__ == "__main__":
+    main()
