@@ -1,4 +1,9 @@
-"""Benchmark: regenerate Table IV (all five F-CAD cases, paper-size DSE)."""
+"""Benchmark: regenerate Table IV (all five F-CAD cases, paper-size DSE).
+
+The five cases run as one batch sweep (shared evaluation cache, parallel
+generations via ``FCAD_BENCH_WORKERS``); per-case results are identical
+to isolated serial runs.
+"""
 
 from __future__ import annotations
 
@@ -9,9 +14,15 @@ import pytest
 from repro.devices.fpga import get_device
 from repro.experiments.table4 import run_table4
 
-from conftest import emit
+from conftest import default_workers, emit
 
-RUN = partial(run_table4, iterations=20, population=200, seed=0)
+RUN = partial(
+    run_table4,
+    iterations=20,
+    population=200,
+    seed=0,
+    workers=default_workers(),
+)
 
 
 def test_table4_fcad_cases(benchmark):

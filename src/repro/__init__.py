@@ -31,7 +31,7 @@ from repro.construction import PipelinePlan, build_pipeline_plan, fuse_graph
 from repro.devices import AsicSpec, FpgaDevice, ResourceBudget, get_device, list_devices
 from repro.dse import Customization, DseEngine, DseResult
 from repro.dse.pareto import ParetoFrontier, explore_budget_frontier
-from repro.fcad import FCad, FcadResult
+from repro.fcad import FCad, FcadResult, run_sweep, sweep_grid
 from repro.fcad.report import render_markdown_report
 from repro.ir import (
     Activation,
@@ -116,5 +116,7 @@ __all__ = [
     "profile_network",
     "render_markdown_report",
     "run_graph",
+    "run_sweep",
     "simulate",
+    "sweep_grid",
 ]

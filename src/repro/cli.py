@@ -5,7 +5,8 @@ Subcommands cover the framework's whole surface:
 - ``models`` / ``devices``      — list what the zoo and device DB offer;
 - ``profile <model>``           — the Analysis step's tables;
 - ``explore <model>``           — run the F-CAD flow, optionally saving a
-  markdown design report and the found configuration as JSON;
+  markdown design report and the found configuration as JSON; with
+  ``--sweep`` it explores a whole device/precision grid in one batch;
 - ``simulate <model>``          — cycle-accurate validation of a saved (or
   freshly explored) configuration, with an optional utilization timeline;
 - ``experiment <name>``         — regenerate one of the paper's tables or
@@ -13,6 +14,10 @@ Subcommands cover the framework's whole surface:
 
 ``<model>`` is a zoo name (``repro models``) or a path to a network JSON
 file produced by :func:`repro.ir.graph_to_json`.
+
+Search commands accept ``--workers N`` to evaluate each DSE generation on
+``N`` processes — results are bit-identical to the serial search at the
+same seed, so parallelism is purely a wall-clock knob.
 """
 
 from __future__ import annotations
@@ -71,6 +76,13 @@ def _add_target_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--population", type=int, default=80)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="processes evaluating each DSE generation (1 = serial; "
+        "results are identical either way)",
+    )
+    parser.add_argument(
         "--asic-macs",
         type=int,
         help="target an ASIC with this many MAC units instead of an FPGA",
@@ -117,21 +129,83 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_summary(results) -> str:
+    rows = []
+    for result in results:
+        perf = result.dse.best_perf
+        rows.append(
+            [
+                result.network_name,
+                f"{result.budget.compute}dsp",
+                result.quant.name,
+                f"{perf.fps:.1f}",
+                "yes" if perf.fps >= 90.0 else "no",
+                f"{100 * perf.overall_efficiency:.1f}",
+                f"{perf.total_dsp}",
+                f"{perf.total_bram}",
+                f"{result.dse.runtime_seconds:.1f}",
+                f"{100 * result.dse.cache_hit_rate:.0f}",
+            ]
+        )
+    from repro.utils.tables import render_table
+
+    return render_table(
+        [
+            "model", "budget", "quant", "FPS", "VR", "eff %",
+            "DSP", "BRAM", "DSE s", "cache %",
+        ],
+        rows,
+        title="Batch sweep results",
+    )
+
+
 def cmd_explore(args: argparse.Namespace) -> int:
     """Run the full F-CAD flow; optionally save config/report artifacts."""
     network = _load_network(args.model)
+    customization = _customization(args, len(network.output_names()))
+    if args.sweep:
+        from repro.fcad.flow import run_sweep, sweep_grid
+
+        if args.asic_macs:
+            print(
+                "error: --sweep takes FPGA device names and cannot be "
+                "combined with --asic-macs",
+                file=sys.stderr,
+            )
+            return 2
+        devices = [name.strip() for name in args.sweep.split(",")]
+        quants = (
+            [q.strip() for q in args.sweep_quants.split(",")]
+            if args.sweep_quants
+            else [args.quant]
+        )
+        results = run_sweep(
+            sweep_grid(
+                networks=[network],
+                devices=devices,
+                quants=quants,
+                customization=customization,
+            ),
+            iterations=args.iterations,
+            population=args.population,
+            seed=args.seed,
+            workers=args.workers,
+        )
+        print(_sweep_summary(results))
+        if args.save_config or args.report:
+            print("(--save-config/--report apply to single-case explore only)")
+        return 0
     flow = FCad(
         network=network,
         device=_target(args),
         quant=args.quant,
-        customization=_customization(
-            args, len(network.output_names())
-        ),
+        customization=customization,
     )
     result = flow.run(
         iterations=args.iterations,
         population=args.population,
         seed=args.seed,
+        workers=args.workers,
     )
     print(result.render())
     if args.save_config:
@@ -163,6 +237,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             iterations=args.iterations,
             population=args.population,
             seed=args.seed,
+            workers=args.workers,
         )
         config = result.dse.best_config
     report = simulate(
@@ -197,6 +272,7 @@ def cmd_generate(args: argparse.Namespace) -> int:
         iterations=args.iterations,
         population=args.population,
         seed=args.seed,
+        workers=args.workers,
     )
     from repro.codegen.hls import generate_project
 
@@ -247,11 +323,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("model")
     p.set_defaults(func=cmd_profile)
 
-    p = sub.add_parser("explore", help="run the F-CAD flow")
+    p = sub.add_parser(
+        "explore",
+        help="run the F-CAD flow (single case or batch sweep)",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "parallel search and sweeps:\n"
+            "  repro explore codec_avatar_decoder --workers 4\n"
+            "      evaluate each DSE generation on 4 processes; the found\n"
+            "      design is bit-identical to --workers 1 at the same seed\n"
+            "  repro explore codec_avatar_decoder --sweep Z7045,ZU17EG,ZU9CG \\\n"
+            "      --sweep-quants int8,int16 --workers 4\n"
+            "      explore the whole device x precision grid in one batch;\n"
+            "      all cases share one evaluation cache and duplicate cases\n"
+            "      are searched only once"
+        ),
+    )
     p.add_argument("model")
     _add_target_args(p)
     p.add_argument("--save-config", help="write the found config JSON here")
     p.add_argument("--report", help="write a markdown design report here")
+    p.add_argument(
+        "--sweep",
+        help="comma-separated device list: explore every device in one "
+        "batch with a shared evaluation cache",
+    )
+    p.add_argument(
+        "--sweep-quants",
+        help="comma-separated quant schemes for --sweep (default: --quant)",
+    )
     p.set_defaults(func=cmd_explore)
 
     p = sub.add_parser("simulate", help="cycle-accurate validation")

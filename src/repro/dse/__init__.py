@@ -1,20 +1,28 @@
 """Multi-branch design space exploration (paper Sec. VI)."""
 
+from repro.dse.cache import EvalCache, LocalEvalCache, SharedEvalCache
 from repro.dse.crossbranch import CrossBranchOptimizer, Particle
 from repro.dse.engine import DseEngine
 from repro.dse.fitness import fitness_score
 from repro.dse.inbranch import BranchSolution, optimize_branch
 from repro.dse.result import DseResult
 from repro.dse.space import Customization, DesignSpace, get_pf
+from repro.dse.worker import CandidateEval, EvalSpec, evaluate_candidate
 
 __all__ = [
     "BranchSolution",
+    "CandidateEval",
     "CrossBranchOptimizer",
     "Customization",
     "DesignSpace",
     "DseEngine",
     "DseResult",
+    "EvalCache",
+    "EvalSpec",
+    "LocalEvalCache",
     "Particle",
+    "SharedEvalCache",
+    "evaluate_candidate",
     "fitness_score",
     "get_pf",
     "optimize_branch",

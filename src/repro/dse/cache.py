@@ -1,0 +1,124 @@
+"""Evaluation caches for the DSE (in-process and cross-process).
+
+Algorithm 2 is a pure function of ``(branch, resource distribution,
+customization, quantization, frequency)``, so its solutions can be memoized
+aggressively. Two implementations share one small mapping interface
+(``get`` / ``put`` / ``items`` / ``len``):
+
+- :class:`LocalEvalCache` — a plain dict, used by serial searches;
+- :class:`SharedEvalCache` — a ``multiprocessing.Manager`` dict visible to
+  every worker process of a parallel search (or to every search of a batch
+  sweep), fronted by a per-process L1 dict so hot keys cost one IPC
+  round-trip at most once per process.
+
+Cache keys are ``(spec digest, branch index, quantized budget bucket)``
+(built in :func:`repro.dse.worker.evaluate_candidate`); the spec digest
+namespaces entries, so one shared cache can safely serve a whole sweep of
+different models, budgets, and precisions at once.
+
+Because cached values are deterministic pure-function results, a cache hit
+is bit-identical to recomputation — sharing a cache never changes search
+results, only how fast they arrive.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Any, Hashable, Iterable, Protocol
+
+
+class EvalCache(Protocol):
+    """What the evaluator and the pool plumbing need from a cache."""
+
+    def get(self, key: Hashable) -> Any | None: ...
+
+    def put(self, key: Hashable, value: Any) -> None: ...
+
+    def items(self) -> Iterable[tuple[Hashable, Any]]: ...
+
+    def __len__(self) -> int: ...
+
+
+class LocalEvalCache:
+    """A plain in-process memoization table."""
+
+    def __init__(self) -> None:
+        self._store: dict[Hashable, Any] = {}
+
+    def get(self, key: Hashable) -> Any | None:
+        return self._store.get(key)
+
+    def put(self, key: Hashable, value: Any) -> None:
+        self._store[key] = value
+
+    def items(self) -> Iterable[tuple[Hashable, Any]]:
+        return self._store.items()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+class SharedEvalCache:
+    """A cross-process cache backed by a ``Manager`` dict.
+
+    The instance is picklable: workers receive the dict *proxy* (which
+    reconnects to the manager server) plus a fresh empty L1. The manager
+    process itself lives in — and is shut down by — the creating process;
+    call :meth:`close` (or use the instance as a context manager) when the
+    search or sweep is done.
+
+    Entries are immutable results of a deterministic function, so the L1
+    can never go stale in a way that changes results: any value cached
+    under a key equals what every other process would compute for it.
+    """
+
+    def __init__(self) -> None:
+        self._manager: multiprocessing.managers.SyncManager | None = (
+            multiprocessing.Manager()
+        )
+        self._store = self._manager.dict()
+        self._l1: dict[Hashable, Any] = {}
+
+    def get(self, key: Hashable) -> Any | None:
+        value = self._l1.get(key)
+        if value is None:
+            value = self._store.get(key)
+            if value is not None:
+                self._l1[key] = value
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        self._l1[key] = value
+        self._store[key] = value
+
+    def preload(self, entries: Iterable[tuple[Hashable, Any]]) -> None:
+        """Seed the shared store (e.g. from a warm local cache)."""
+        for key, value in entries:
+            self.put(key, value)
+
+    def items(self) -> Iterable[tuple[Hashable, Any]]:
+        return self._store.items()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def close(self) -> None:
+        """Shut down the manager process (owner side only)."""
+        if self._manager is not None:
+            self._manager.shutdown()
+            self._manager = None
+
+    def __enter__(self) -> "SharedEvalCache":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # Workers get the reconnectable proxy, never the manager or the L1.
+    def __getstate__(self) -> dict[str, Any]:
+        return {"store": self._store}
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self._manager = None
+        self._store = state["store"]
+        self._l1 = {}

@@ -7,6 +7,12 @@ a full hardware configuration by the in-branch greedy search (Algorithm 2),
 scored by the priority-weighted fitness, and evolved toward its local best
 and the global best by a random distance — exactly the
 ``Evolve(rd, rd_best_i, rd_best_global, budget)`` update of the paper.
+
+Candidate evaluation is pure (see :mod:`repro.dse.worker`), so a
+generation's population can be scored serially or fanned out over a
+process pool (``workers > 1``) with bit-identical results: evaluation
+consumes no randomness and the parent applies best-updates in fixed
+particle order after the per-generation barrier.
 """
 
 from __future__ import annotations
@@ -17,16 +23,12 @@ from dataclasses import dataclass, field
 from repro.arch.config import AcceleratorConfig
 from repro.construction.reorg import PipelinePlan
 from repro.devices.budget import ResourceBudget
-from repro.dse.fitness import fitness_score
-from repro.dse.inbranch import BranchSolution, optimize_branch
+from repro.dse.cache import EvalCache, LocalEvalCache
+from repro.dse.inbranch import BranchSolution
 from repro.dse.space import Customization
+from repro.dse.worker import EvalSpec, candidate_runner, evaluate_candidate
 from repro.quant.schemes import QuantScheme
 from repro.utils.rng import make_rng
-
-#: Quantization grid for the in-branch cache (see _quantize_rd).
-_COMPUTE_GRID = 4
-_MEMORY_GRID = 4
-_BANDWIDTH_GRID = 0.05
 
 #: Fraction floor so no branch is starved to exactly zero.
 _FRACTION_FLOOR = 0.01
@@ -49,14 +51,6 @@ def _normalize_block(values: list[float]) -> list[float]:
     return [v / total for v in clipped]
 
 
-def _quantize_rd(rd: ResourceBudget) -> tuple[int, int, float]:
-    return (
-        rd.compute // _COMPUTE_GRID,
-        rd.memory // _MEMORY_GRID,
-        round(rd.bandwidth_gbps / _BANDWIDTH_GRID),
-    )
-
-
 class CrossBranchOptimizer:
     """Algorithm 1: stochastic search over cross-branch distributions."""
 
@@ -71,6 +65,7 @@ class CrossBranchOptimizer:
         inertia: float = 0.5,
         c_local: float = 1.2,
         c_global: float = 1.2,
+        cache: EvalCache | None = None,
     ) -> None:
         customization.validate_for(plan)
         self.plan = plan
@@ -83,65 +78,27 @@ class CrossBranchOptimizer:
         self.c_local = c_local
         self.c_global = c_global
         self.num_branches = plan.num_branches
-        self._cache: dict[
-            tuple[int, tuple[int, int, float]], BranchSolution
-        ] = {}
+        self.spec = EvalSpec(
+            plan=plan,
+            budget=budget,
+            customization=customization,
+            quant=quant,
+            frequency_mhz=frequency_mhz,
+            alpha=alpha,
+        )
+        self._cache: EvalCache = cache if cache is not None else LocalEvalCache()
         self.evaluations = 0
         self.cache_hits = 0
 
     # ------------------------------------------------------------------
-    def _split_budget(self, position: list[float]) -> list[ResourceBudget]:
-        B = self.num_branches
-        compute = position[0:B]
-        memory = position[B : 2 * B]
-        bandwidth = position[2 * B : 3 * B]
-        return [
-            ResourceBudget(
-                compute=int(self.budget.compute * compute[j]),
-                memory=int(self.budget.memory * memory[j]),
-                bandwidth_gbps=self.budget.bandwidth_gbps * bandwidth[j],
-            )
-            for j in range(B)
-        ]
-
-    def _solve_branch(self, branch: int, rd: ResourceBudget) -> BranchSolution:
-        key = (branch, _quantize_rd(rd))
-        cached = self._cache.get(key)
-        if cached is not None:
-            self.cache_hits += 1
-            return cached
-        solution = optimize_branch(
-            self.plan.branches[branch],
-            rd,
-            self.customization.batch_sizes[branch],
-            self.quant,
-            self.frequency_mhz,
-            max_h=self.customization.max_h,
-            max_pf=self.customization.max_pf,
-        )
-        self._cache[key] = solution
-        self.evaluations += 1
-        return solution
-
     def evaluate(
         self, position: list[float]
     ) -> tuple[float, list[BranchSolution]]:
         """Complete a distribution into configs and compute its fitness."""
-        distributions = self._split_budget(position)
-        solutions = [
-            self._solve_branch(j, rd) for j, rd in enumerate(distributions)
-        ]
-        fps = [s.fps for s in solutions]
-        score = fitness_score(
-            fps, self.customization.priorities, self.alpha
-        )
-        # A distribution that cannot honour the requested batch sizes is
-        # strictly worse than any that can.
-        shortfall = sum(
-            1 for s in solutions if not s.meets_batch_target
-        )
-        score -= 1e6 * shortfall
-        return score, solutions
+        result = evaluate_candidate(self.spec, position, self._cache)
+        self.evaluations += result.evaluations
+        self.cache_hits += result.cache_hits
+        return result.score, list(result.solutions)
 
     # ------------------------------------------------------------------
     def _heuristic_position(self) -> list[float]:
@@ -221,12 +178,17 @@ class CrossBranchOptimizer:
         seed: int | random.Random | None = 0,
         improvement_tolerance: float = 1e-9,
         heuristic_seed: bool = True,
+        workers: int = 1,
     ) -> tuple[float, AcceleratorConfig, list[float], int]:
         """Run the full Algorithm 1 loop.
 
         ``heuristic_seed`` plants one demand-proportional particle in the
         initial population (disable it to measure the convergence of the
         pure stochastic search, as the Sec.-VII study does).
+
+        ``workers > 1`` evaluates each generation's population on a process
+        pool (a barrier joins the generation before the PSO update). The
+        result is bit-identical to ``workers = 1`` at the same seed.
 
         Returns (best fitness, best config, fitness history per iteration,
         iteration at which the global best last improved).
@@ -237,25 +199,28 @@ class CrossBranchOptimizer:
         )
         global_best_fitness = float("-inf")
         global_best_position: list[float] | None = None
-        global_best_solutions: list[BranchSolution] | None = None
+        global_best_solutions: tuple[BranchSolution, ...] | None = None
         history: list[float] = []
         convergence_iteration = 0
 
-        for iteration in range(iterations):
-            for particle in particles:
-                score, solutions = self.evaluate(particle.position)
-                if score > particle.best_fitness:
-                    particle.best_fitness = score
-                    particle.best_position = list(particle.position)
-                if score > global_best_fitness + improvement_tolerance:
-                    global_best_fitness = score
-                    global_best_position = list(particle.position)
-                    global_best_solutions = solutions
-                    convergence_iteration = iteration + 1
-            history.append(global_best_fitness)
-            assert global_best_position is not None
-            for particle in particles:
-                self.evolve(particle, global_best_position, rng)
+        with candidate_runner(self.spec, self._cache, workers) as run_batch:
+            for iteration in range(iterations):
+                results = run_batch([p.position for p in particles])
+                for particle, result in zip(particles, results):
+                    self.evaluations += result.evaluations
+                    self.cache_hits += result.cache_hits
+                    if result.score > particle.best_fitness:
+                        particle.best_fitness = result.score
+                        particle.best_position = list(particle.position)
+                    if result.score > global_best_fitness + improvement_tolerance:
+                        global_best_fitness = result.score
+                        global_best_position = list(particle.position)
+                        global_best_solutions = result.solutions
+                        convergence_iteration = iteration + 1
+                history.append(global_best_fitness)
+                assert global_best_position is not None
+                for particle in particles:
+                    self.evolve(particle, global_best_position, rng)
 
         assert global_best_solutions is not None
         config = AcceleratorConfig(

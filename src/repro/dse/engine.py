@@ -1,17 +1,27 @@
-"""The DSE engine facade (paper Fig. 4, Optimization step)."""
+"""The DSE engine facade (paper Fig. 4, Optimization step).
+
+Single searches run Algorithm 1 serially or over a process pool
+(``workers``); :meth:`DseEngine.search_many` batches whole sweeps — a
+decoder family, a device grid, a seed study — through one shared
+evaluation cache with identical cases deduplicated outright.
+"""
 
 from __future__ import annotations
 
 import random
 import time
+from typing import Sequence
 
 from repro.construction.reorg import PipelinePlan
 from repro.devices.budget import ResourceBudget
+from repro.dse.cache import EvalCache, LocalEvalCache, SharedEvalCache
 from repro.dse.crossbranch import CrossBranchOptimizer
 from repro.dse.result import DseResult
 from repro.dse.space import Customization
+from repro.dse.worker import EvalSpec
 from repro.perf.estimator import evaluate
 from repro.quant.schemes import QuantScheme
+from repro.utils.rng import seed_fingerprint
 
 
 class DseEngine:
@@ -37,17 +47,35 @@ class DseEngine:
         self.frequency_mhz = frequency_mhz
         self.alpha = alpha
 
+    @property
+    def spec(self) -> EvalSpec:
+        """The frozen evaluation problem this engine searches."""
+        return EvalSpec(
+            plan=self.plan,
+            budget=self.budget,
+            customization=self.customization,
+            quant=self.quant,
+            frequency_mhz=self.frequency_mhz,
+            alpha=self.alpha,
+        )
+
     def search(
         self,
         iterations: int = 20,
         population: int = 200,
         seed: int | random.Random | None = 0,
         heuristic_seed: bool = True,
+        workers: int = 1,
+        cache: EvalCache | None = None,
     ) -> DseResult:
         """Run Algorithm 1 (which invokes Algorithm 2 per candidate).
 
         The paper's default search size is N = 20 iterations over a
-        population of P = 200 resource distributions.
+        population of P = 200 resource distributions. ``workers > 1``
+        evaluates each generation on a process pool — same best design,
+        bit for bit, as the serial search at the same seed. ``cache``
+        lets several searches share one evaluation cache (see
+        :meth:`search_many`).
         """
         optimizer = CrossBranchOptimizer(
             plan=self.plan,
@@ -56,6 +84,7 @@ class DseEngine:
             quant=self.quant,
             frequency_mhz=self.frequency_mhz,
             alpha=self.alpha,
+            cache=cache,
         )
         started = time.perf_counter()
         fitness, config, history, convergence = optimizer.search(
@@ -63,6 +92,7 @@ class DseEngine:
             population=population,
             seed=seed,
             heuristic_seed=heuristic_seed,
+            workers=workers,
         )
         runtime = time.perf_counter() - started
         perf = evaluate(self.plan, config, self.quant, self.frequency_mhz)
@@ -75,4 +105,75 @@ class DseEngine:
             runtime_seconds=runtime,
             evaluations=optimizer.evaluations,
             cache_hits=optimizer.cache_hits,
+            workers=max(1, workers),
         )
+
+    @staticmethod
+    def search_many(
+        engines: Sequence["DseEngine"],
+        iterations: int = 20,
+        population: int = 200,
+        seed: int | random.Random | None = 0,
+        seeds: Sequence[int | random.Random | None] | None = None,
+        heuristic_seed: bool = True,
+        workers: int = 1,
+        cache: EvalCache | None = None,
+    ) -> tuple[DseResult, ...]:
+        """Run a batch of searches with shared caching and deduplication.
+
+        All searches draw from one evaluation cache, so a sweep over
+        overlapping problems (same decoder on several devices, several
+        seeds on one device, repeated cases in a grid) never re-solves an
+        in-branch subproblem it has seen before. Cases whose problem spec,
+        search size, and (fingerprintable) seed coincide are solved once
+        and share the same :class:`DseResult` object.
+
+        ``seeds`` gives each case its own seed (e.g. a convergence study);
+        by default every case uses ``seed``, which is what makes duplicate
+        grid cases dedupable. Results are returned in input order.
+        """
+        engines = list(engines)
+        if seeds is None:
+            seeds = [seed] * len(engines)
+        elif len(seeds) != len(engines):
+            raise ValueError(
+                f"got {len(seeds)} seeds for {len(engines)} engines"
+            )
+        owned: SharedEvalCache | None = None
+        if cache is None:
+            if workers > 1:
+                cache = owned = SharedEvalCache()
+            else:
+                cache = LocalEvalCache()
+        try:
+            solved: dict[tuple, DseResult] = {}
+            results: list[DseResult] = []
+            for engine, case_seed in zip(engines, seeds):
+                fingerprint = seed_fingerprint(case_seed)
+                key = None
+                if fingerprint is not None:
+                    key = (
+                        engine.spec.digest,
+                        iterations,
+                        population,
+                        fingerprint,
+                        heuristic_seed,
+                    )
+                    if key in solved:
+                        results.append(solved[key])
+                        continue
+                result = engine.search(
+                    iterations=iterations,
+                    population=population,
+                    seed=case_seed,
+                    heuristic_seed=heuristic_seed,
+                    workers=workers,
+                    cache=cache,
+                )
+                if key is not None:
+                    solved[key] = result
+                results.append(result)
+            return tuple(results)
+        finally:
+            if owned is not None:
+                owned.close()

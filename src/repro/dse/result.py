@@ -19,12 +19,23 @@ class DseResult:
     history: tuple[float, ...]
     convergence_iteration: int
     runtime_seconds: float
-    evaluations: int
+    evaluations: int  # Algorithm-2 solves actually run (cache misses)
     cache_hits: int
+    workers: int = 1
 
     @property
     def iterations(self) -> int:
         return len(self.history)
+
+    @property
+    def cache_lookups(self) -> int:
+        return self.evaluations + self.cache_hits
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of candidate-branch lookups served from the cache."""
+        lookups = self.cache_lookups
+        return self.cache_hits / lookups if lookups else 0.0
 
     def render(self) -> str:
         """Table IV-style per-branch report."""
@@ -49,8 +60,9 @@ class DseResult:
                 self.best_perf.total_bram,
                 f"{self.best_perf.fps:.1f}",
                 f"{100 * self.best_perf.overall_efficiency:.1f}",
-                f"DSE {self.runtime_seconds:.1f}s "
-                f"(converged @ iter {self.convergence_iteration})",
+                f"DSE {self.runtime_seconds:.1f}s x{self.workers}w "
+                f"(converged @ iter {self.convergence_iteration}, "
+                f"{100 * self.cache_hit_rate:.0f}% cache hits)",
             ]
         )
         return render_table(

@@ -1,0 +1,253 @@
+"""Pure, picklable candidate evaluation for the cross-branch search.
+
+Algorithm 1 spends essentially all of its time completing resource
+distributions into configurations (Algorithm 2) and scoring them. That
+work is a pure function of an :class:`EvalSpec` (the frozen problem
+statement: plan, budget, customization, quantization, frequency, alpha)
+and a candidate position, which makes it trivially parallel: serial
+searches call :func:`evaluate_candidate` inline, parallel searches fan the
+population of one generation out over a process pool via
+:func:`candidate_runner` and join at a per-generation barrier.
+
+Both paths run the identical arithmetic on the identical inputs, so a
+parallel search is bit-identical to a serial one at the same seed — the
+particle-update order in the parent is fixed, and candidate evaluation
+consumes no randomness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Callable, Iterator, Sequence
+
+from repro.construction.reorg import PipelinePlan
+from repro.devices.budget import ResourceBudget
+from repro.dse.cache import EvalCache, LocalEvalCache, SharedEvalCache
+from repro.dse.fitness import fitness_score
+from repro.dse.inbranch import BranchSolution, optimize_branch
+from repro.dse.space import Customization
+from repro.quant.schemes import QuantScheme
+
+#: Quantization grid for candidate evaluation: per-branch budgets are
+#: snapped DOWN to this grid before Algorithm 2 runs, so every budget in a
+#: bucket evaluates to the exact same solution. That makes the evaluation a
+#: pure function of the bucket — which is what lets the cache (and the
+#: cross-process shared cache, with its benign last-writer-wins races) be a
+#: transparent memo that can never change search results.
+_COMPUTE_GRID = 4
+_MEMORY_GRID = 4
+_BANDWIDTH_GRID = 0.05
+
+#: Fitness penalty per branch that cannot honour its requested batch size.
+INFEASIBILITY_PENALTY = 1e6
+
+
+@dataclass(frozen=True)
+class EvalSpec:
+    """Everything needed to score a candidate, as one picklable bundle."""
+
+    plan: PipelinePlan
+    budget: ResourceBudget
+    customization: Customization
+    quant: QuantScheme
+    frequency_mhz: float = 200.0
+    alpha: float = 0.05
+
+    @cached_property
+    def digest(self) -> str:
+        """Stable fingerprint of the spec (namespaces shared-cache keys)."""
+        blob = pickle.dumps(
+            (
+                self.plan,
+                self.budget,
+                self.customization,
+                self.quant,
+                self.frequency_mhz,
+                self.alpha,
+            )
+        )
+        return hashlib.sha1(blob).hexdigest()
+
+
+@dataclass(frozen=True)
+class CandidateEval:
+    """Score and per-branch solutions for one candidate, with cache stats."""
+
+    score: float
+    solutions: tuple[BranchSolution, ...]
+    evaluations: int
+    cache_hits: int
+
+
+def quantize_rd(rd: ResourceBudget) -> tuple[int, int, int]:
+    return (
+        rd.compute // _COMPUTE_GRID,
+        rd.memory // _MEMORY_GRID,
+        int(rd.bandwidth_gbps / _BANDWIDTH_GRID),
+    )
+
+
+def canonical_rd(bucket: tuple[int, int, int]) -> ResourceBudget:
+    """The single budget every member of a quantization bucket evaluates as.
+
+    Snapping down (floor) keeps the canonical budget conservative: a
+    solution sized for it always fits the raw budget it stands in for.
+    """
+    compute, memory, bandwidth = bucket
+    return ResourceBudget(
+        compute=compute * _COMPUTE_GRID,
+        memory=memory * _MEMORY_GRID,
+        bandwidth_gbps=bandwidth * _BANDWIDTH_GRID,
+    )
+
+
+def split_budget(
+    spec: EvalSpec, position: Sequence[float]
+) -> list[ResourceBudget]:
+    """Turn a 3xB fraction vector into absolute per-branch budgets."""
+    B = spec.plan.num_branches
+    compute = position[0:B]
+    memory = position[B : 2 * B]
+    bandwidth = position[2 * B : 3 * B]
+    return [
+        ResourceBudget(
+            compute=int(spec.budget.compute * compute[j]),
+            memory=int(spec.budget.memory * memory[j]),
+            bandwidth_gbps=spec.budget.bandwidth_gbps * bandwidth[j],
+        )
+        for j in range(B)
+    ]
+
+
+def evaluate_candidate(
+    spec: EvalSpec, position: Sequence[float], cache: EvalCache
+) -> CandidateEval:
+    """Complete a distribution into configs and compute its fitness."""
+    distributions = split_budget(spec, position)
+    solutions: list[BranchSolution] = []
+    evaluations = 0
+    cache_hits = 0
+    for branch, rd in enumerate(distributions):
+        bucket = quantize_rd(rd)
+        key = (spec.digest, branch, bucket)
+        solution = cache.get(key)
+        if solution is None:
+            # Evaluate the bucket's canonical budget, not the raw one: the
+            # solution is then a pure function of the key, so a cache hit
+            # (local, shared, or racing with another process) is always
+            # bit-identical to recomputing.
+            solution = optimize_branch(
+                spec.plan.branches[branch],
+                canonical_rd(bucket),
+                spec.customization.batch_sizes[branch],
+                spec.quant,
+                spec.frequency_mhz,
+                max_h=spec.customization.max_h,
+                max_pf=spec.customization.max_pf,
+            )
+            cache.put(key, solution)
+            evaluations += 1
+        else:
+            cache_hits += 1
+        solutions.append(solution)
+    fps = [s.fps for s in solutions]
+    score = fitness_score(fps, spec.customization.priorities, spec.alpha)
+    # A distribution that cannot honour the requested batch sizes is
+    # strictly worse than any that can.
+    shortfall = sum(1 for s in solutions if not s.meets_batch_target)
+    score -= INFEASIBILITY_PENALTY * shortfall
+    return CandidateEval(
+        score=score,
+        solutions=tuple(solutions),
+        evaluations=evaluations,
+        cache_hits=cache_hits,
+    )
+
+
+# ---------------------------------------------------------------------------
+# process-pool plumbing
+# ---------------------------------------------------------------------------
+_WORKER_SPEC: EvalSpec | None = None
+_WORKER_CACHE: EvalCache | None = None
+
+
+def _init_worker(spec: EvalSpec, cache: EvalCache) -> None:
+    global _WORKER_SPEC, _WORKER_CACHE
+    _WORKER_SPEC = spec
+    _WORKER_CACHE = cache
+
+
+def _run_candidate(position: tuple[float, ...]) -> CandidateEval:
+    assert _WORKER_SPEC is not None and _WORKER_CACHE is not None
+    return evaluate_candidate(_WORKER_SPEC, position, _WORKER_CACHE)
+
+
+BatchRunner = Callable[[Sequence[Sequence[float]]], list[CandidateEval]]
+
+
+@contextmanager
+def candidate_runner(
+    spec: EvalSpec, cache: EvalCache, workers: int = 1
+) -> Iterator[BatchRunner]:
+    """Yield a batch evaluator: serial inline, or a process pool.
+
+    The yielded callable evaluates one generation's positions and returns
+    results in submission order — calling it IS the per-generation barrier.
+    When ``workers > 1`` and the caller's cache is process-local, a shared
+    cache is stood up for the pool's lifetime, seeded from the local cache,
+    and drained back into it afterwards so the caller stays warm.
+    """
+    if workers <= 1:
+        def run_serial(positions: Sequence[Sequence[float]]) -> list[CandidateEval]:
+            return [evaluate_candidate(spec, pos, cache) for pos in positions]
+
+        yield run_serial
+        return
+
+    if isinstance(cache, SharedEvalCache):
+        shared, owned = cache, False
+    else:
+        shared, owned = SharedEvalCache(), True
+        shared.preload(cache.items())
+    try:
+        mp_context = multiprocessing.get_context()
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=mp_context,
+            initializer=_init_worker,
+            initargs=(spec, shared),
+        ) as pool:
+            def run_parallel(
+                positions: Sequence[Sequence[float]],
+            ) -> list[CandidateEval]:
+                positions = [tuple(pos) for pos in positions]
+                chunksize = max(1, len(positions) // (workers * 4))
+                return list(
+                    pool.map(_run_candidate, positions, chunksize=chunksize)
+                )
+
+            yield run_parallel
+    finally:
+        if owned:
+            for key, value in shared.items():
+                cache.put(key, value)
+            shared.close()
+
+
+__all__ = [
+    "CandidateEval",
+    "EvalSpec",
+    "INFEASIBILITY_PENALTY",
+    "LocalEvalCache",
+    "candidate_runner",
+    "canonical_rd",
+    "evaluate_candidate",
+    "quantize_rd",
+    "split_budget",
+]

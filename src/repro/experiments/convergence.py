@@ -26,6 +26,7 @@ class ConvergenceResult:
     device: str
     quant_name: str
     searches: tuple[DseResult, ...]
+    workers: int = 1
 
     @property
     def convergence_iterations(self) -> list[int]:
@@ -38,6 +39,22 @@ class ConvergenceResult:
     @property
     def avg_runtime_seconds(self) -> float:
         return statistics.mean(s.runtime_seconds for s in self.searches)
+
+    @property
+    def best_fitness(self) -> float:
+        return max(s.best_fitness for s in self.searches)
+
+    @property
+    def total_evaluations(self) -> int:
+        return sum(s.evaluations for s in self.searches)
+
+    @property
+    def total_cache_hits(self) -> int:
+        return sum(s.cache_hits for s in self.searches)
+
+    @property
+    def total_runtime_seconds(self) -> float:
+        return sum(s.runtime_seconds for s in self.searches)
 
     @property
     def fitness_spread_pct(self) -> float:
@@ -85,12 +102,18 @@ def run_convergence(
     iterations: int = paper.CONVERGENCE_ITERATIONS,
     population: int = paper.CONVERGENCE_POPULATION,
     heuristic_seed: bool = False,
+    workers: int = 1,
 ) -> ConvergenceResult:
     """Run repeated independent searches and collect convergence stats.
 
     The heuristic seed particle is disabled by default here: the paper's
     study characterizes how fast the *stochastic* search converges from
     random initializations.
+
+    The searches run as one batch (:meth:`DseEngine.search_many`): they
+    share an evaluation cache — seeds agree on many in-branch subproblems
+    even when their swarms differ — and ``workers > 1`` evaluates each
+    generation on a process pool. Neither changes any search's result.
     """
     plan = build_pipeline_plan(build_codec_avatar_decoder())
     device = get_device(device_name)
@@ -98,23 +121,27 @@ def run_convergence(
     customization = Customization(
         batch_sizes=paper.TABLE4_BATCH_SIZES, priorities=(1.0, 1.0, 1.0)
     )
-    results = []
-    for seed in range(searches):
-        engine = DseEngine(
+    engines = [
+        DseEngine(
             plan=plan,
             budget=device.budget(),
             customization=customization,
             quant=quant,
             frequency_mhz=device.default_frequency_mhz,
         )
-        results.append(
-            engine.search(
-                iterations=iterations,
-                population=population,
-                seed=seed,
-                heuristic_seed=heuristic_seed,
-            )
-        )
+        for _ in range(searches)
+    ]
+    results = DseEngine.search_many(
+        engines,
+        iterations=iterations,
+        population=population,
+        seeds=list(range(searches)),
+        heuristic_seed=heuristic_seed,
+        workers=workers,
+    )
     return ConvergenceResult(
-        device=device_name, quant_name=quant_name, searches=tuple(results)
+        device=device_name,
+        quant_name=quant_name,
+        searches=tuple(results),
+        workers=max(1, workers),
     )

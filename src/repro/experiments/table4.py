@@ -7,7 +7,7 @@ from dataclasses import dataclass
 from repro.devices.fpga import get_device
 from repro.dse.space import Customization
 from repro.experiments import paper_constants as paper
-from repro.fcad.flow import FCad, FcadResult
+from repro.fcad.flow import FCad, FcadResult, run_sweep
 from repro.models.codec_avatar import build_codec_avatar_decoder
 from repro.utils.tables import render_table
 
@@ -86,30 +86,44 @@ def run_table4(
     population: int = 200,
     seed: int = 0,
     cases: tuple[int, ...] = (1, 2, 3, 4, 5),
+    workers: int = 1,
 ) -> Table4Result:
-    """Run the F-CAD flow for the requested Table IV cases."""
+    """Run the F-CAD flow for the requested Table IV cases.
+
+    The five cases run as one batch sweep: a shared evaluation cache plus
+    (with ``workers > 1``) process-pool generations — results per case are
+    identical to running each flow on its own.
+    """
     network = build_codec_avatar_decoder()
     customization = Customization(
         batch_sizes=paper.TABLE4_BATCH_SIZES,
         priorities=(1.0, 1.0, 1.0),
     )
-    results = []
-    for case in cases:
-        ref = paper.TABLE4_CASES[case]
-        flow = FCad(
+    refs = [paper.TABLE4_CASES[case] for case in cases]
+    flows = [
+        FCad(
             network=network,
             device=get_device(ref["device"]),
             quant=ref["quant"],
             customization=customization,
         )
-        results.append(
+        for ref in refs
+    ]
+    results = run_sweep(
+        flows,
+        iterations=iterations,
+        population=population,
+        seed=seed,
+        workers=workers,
+    )
+    return Table4Result(
+        cases=tuple(
             Table4Case(
                 case=case,
                 device=ref["device"],
                 quant_name=ref["quant"],
-                result=flow.run(
-                    iterations=iterations, population=population, seed=seed
-                ),
+                result=result,
             )
+            for case, ref, result in zip(cases, refs, results)
         )
-    return Table4Result(cases=tuple(results))
+    )

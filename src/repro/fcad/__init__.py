@@ -1,5 +1,5 @@
 """The F-CAD automation flow (paper Fig. 4)."""
 
-from repro.fcad.flow import FCad, FcadResult
+from repro.fcad.flow import FCad, FcadResult, run_sweep, sweep_grid
 
-__all__ = ["FCad", "FcadResult"]
+__all__ = ["FCad", "FcadResult", "run_sweep", "sweep_grid"]

@@ -17,21 +17,35 @@ Usage::
         quant=INT8,
         customization=Customization(batch_sizes=(1, 2, 2),
                                     priorities=(1.0, 1.0, 1.0)),
-    ).run()
+    ).run(workers=4)
     print(result.render())
+
+Whole families and device grids go through the batch entry point, which
+shares one evaluation cache across every case and deduplicates identical
+ones::
+
+    results = run_sweep(
+        sweep_grid(
+            networks=[build_codec_avatar_decoder()],
+            devices=["Z7045", "ZU17EG", "ZU9CG"],
+            quants=["int8", "int16"],
+        ),
+        workers=4,
+    )
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 from repro.analysis.analyzer import NetworkAnalysis, analyze_network
 from repro.arch.elastic import ElasticAccelerator
 from repro.construction.reorg import PipelinePlan, build_pipeline_plan
 from repro.devices.asic import AsicSpec
 from repro.devices.budget import ResourceBudget
-from repro.devices.fpga import FpgaDevice
+from repro.devices.fpga import FpgaDevice, get_device
 from repro.dse.engine import DseEngine
 from repro.dse.result import DseResult
 from repro.dse.space import Customization
@@ -117,23 +131,15 @@ class FCad:
         self.customization = customization
         self.alpha = alpha
 
-    def run(
-        self,
-        iterations: int = 20,
-        population: int = 200,
-        seed: int | random.Random | None = 0,
-    ) -> FcadResult:
-        """Execute Analysis, Construction and Optimization."""
-        # Step 1: Analysis.
+    def prepare(self) -> tuple[NetworkAnalysis, PipelinePlan, DseEngine]:
+        """Run Analysis and Construction; return the ready-to-search engine."""
         analysis = analyze_network(self.network)
-        # Step 2: Construction.
         plan = build_pipeline_plan(self.network)
         customization = (
             self.customization
             if self.customization is not None
             else Customization.uniform(plan.num_branches)
         )
-        # Step 3: Optimization.
         engine = DseEngine(
             plan=plan,
             budget=self.budget,
@@ -142,9 +148,11 @@ class FCad:
             frequency_mhz=self.frequency_mhz,
             alpha=self.alpha,
         )
-        dse = engine.search(
-            iterations=iterations, population=population, seed=seed
-        )
+        return analysis, plan, engine
+
+    def _result(
+        self, analysis: NetworkAnalysis, plan: PipelinePlan, dse: DseResult
+    ) -> FcadResult:
         return FcadResult(
             network_name=self.network.name,
             analysis=analysis,
@@ -154,3 +162,84 @@ class FCad:
             quant=self.quant,
             frequency_mhz=self.frequency_mhz,
         )
+
+    def run(
+        self,
+        iterations: int = 20,
+        population: int = 200,
+        seed: int | random.Random | None = 0,
+        workers: int = 1,
+    ) -> FcadResult:
+        """Execute Analysis, Construction and Optimization.
+
+        ``workers > 1`` evaluates each DSE generation on a process pool;
+        the found design is bit-identical to the serial search.
+        """
+        analysis, plan, engine = self.prepare()
+        dse = engine.search(
+            iterations=iterations,
+            population=population,
+            seed=seed,
+            workers=workers,
+        )
+        return self._result(analysis, plan, dse)
+
+
+def sweep_grid(
+    networks: Iterable[NetworkGraph],
+    devices: Iterable[FpgaDevice | AsicSpec | str],
+    quants: Iterable[QuantScheme | str] = ("int8",),
+    customization: Customization | None = None,
+    frequency_mhz: float | None = None,
+    alpha: float = 0.05,
+) -> list[FCad]:
+    """Build the cross product of a sweep as a list of flows.
+
+    Device names are looked up in the FPGA database; pass
+    :class:`AsicSpec` objects for ASIC targets. Feed the result to
+    :func:`run_sweep`.
+    """
+    flows = []
+    for network in networks:
+        for device in devices:
+            resolved = get_device(device) if isinstance(device, str) else device
+            for quant in quants:
+                flows.append(
+                    FCad(
+                        network=network,
+                        device=resolved,
+                        quant=quant,
+                        customization=customization,
+                        frequency_mhz=frequency_mhz,
+                        alpha=alpha,
+                    )
+                )
+    return flows
+
+
+def run_sweep(
+    flows: Sequence[FCad],
+    iterations: int = 20,
+    population: int = 200,
+    seed: int | random.Random | None = 0,
+    workers: int = 1,
+) -> tuple[FcadResult, ...]:
+    """Explore a whole batch of flows in one call.
+
+    Every case draws from one shared evaluation cache (in-branch solutions
+    are reused wherever specs overlap) and duplicate cases — same network,
+    target, quantization, customization, and seed — are searched exactly
+    once. Results come back in input order, one per flow.
+    """
+    prepared = [flow.prepare() for flow in flows]
+    dse_results = DseEngine.search_many(
+        [engine for _, _, engine in prepared],
+        iterations=iterations,
+        population=population,
+        seed=seed,
+        workers=workers,
+    )
+    return tuple(
+        flow._result(analysis, plan, dse)
+        for flow, (analysis, plan, _), dse in zip(flows, prepared, dse_results)
+    )

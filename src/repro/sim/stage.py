@@ -188,7 +188,7 @@ class StageSim:
         # Release producer rows this window no longer needs.
         for producer in self.producers:
             link = next(
-                l for l in producer.out_links if l.consumer is self
+                link for link in producer.out_links if link.consumer is self
             )
             if self.step >= self.steps_per_frame - 1:
                 freed = (self.frame + 1) * producer.stage.out_height

@@ -9,6 +9,21 @@ from __future__ import annotations
 import random
 
 
+def seed_fingerprint(
+    seed: int | random.Random | None,
+) -> tuple[str, int] | None:
+    """A hashable identity for a seed, or ``None`` when it has none.
+
+    Batch APIs use this to recognize that two cases will produce identical
+    results and can be deduplicated. Only plain integer seeds are
+    fingerprintable: ``None`` draws fresh OS entropy per search and a live
+    ``random.Random`` carries hidden state, so neither may be deduplicated.
+    """
+    if isinstance(seed, bool) or not isinstance(seed, int):
+        return None
+    return ("int", seed)
+
+
 def make_rng(seed: int | random.Random | None) -> random.Random:
     """Return a ``random.Random`` from a seed, an existing RNG, or ``None``.
 

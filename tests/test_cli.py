@@ -77,6 +77,31 @@ class TestExplore:
         )
         assert "Br.2" in out
 
+    def test_explore_workers(self, capsys):
+        out = run_cli(
+            capsys,
+            "explore",
+            "tiny_yolo",
+            "--device", "Z7045",
+            "--iterations", "2",
+            "--population", "8",
+            "--workers", "2",
+        )
+        assert "F-CAD generated accelerator" in out
+
+    def test_explore_sweep(self, capsys):
+        out = run_cli(
+            capsys,
+            "explore",
+            "tiny_yolo",
+            "--sweep", "Z7045,ZU17EG",
+            "--iterations", "2",
+            "--population", "8",
+        )
+        assert "Batch sweep results" in out
+        # One row per device in the grid.
+        assert out.count("tiny_yolo") >= 2
+
     def test_explore_asic(self, capsys):
         out = run_cli(
             capsys,

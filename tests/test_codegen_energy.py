@@ -6,7 +6,7 @@ import json
 
 import pytest
 
-from repro.arch.config import AcceleratorConfig, BranchConfig, StageConfig
+from repro.arch.config import AcceleratorConfig, BranchConfig
 from repro.arch.elastic import ElasticAccelerator
 from repro.codegen.hls import (
     generate_project,

@@ -6,7 +6,7 @@ import pytest
 
 from repro.construction.fusion import FusionError, fuse_graph
 from repro.ir.builder import GraphBuilder
-from repro.ir.layer import BiasMode, TensorShape
+from repro.ir.layer import TensorShape
 from repro.profiler.network import profile_network
 from tests.conftest import make_tiny_decoder
 

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.devices.budget import ResourceBudget
 from repro.dse.inbranch import optimize_branch
 from repro.perf.analytical import stage_latency_cycles

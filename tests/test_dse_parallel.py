@@ -1,0 +1,251 @@
+"""Parallel DSE: worker purity, shared caching, batch sweeps, determinism."""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+
+from repro.devices.fpga import get_device
+from repro.dse.cache import LocalEvalCache, SharedEvalCache
+from repro.dse.engine import DseEngine
+from repro.dse.space import Customization
+from repro.dse.worker import EvalSpec, evaluate_candidate
+from repro.fcad.flow import FCad, run_sweep, sweep_grid
+from repro.quant.schemes import INT8, INT16
+from repro.utils.rng import seed_fingerprint
+from tests.conftest import make_tiny_decoder
+
+
+def make_engine(plan, device="Z7045", quant=INT8):
+    return DseEngine(
+        plan=plan,
+        budget=get_device(device).budget(),
+        customization=Customization.uniform(plan.num_branches),
+        quant=quant,
+    )
+
+
+@pytest.fixture(scope="module")
+def spec(tiny_plan_module):
+    return make_engine(tiny_plan_module).spec
+
+
+@pytest.fixture(scope="module")
+def tiny_plan_module():
+    from repro.construction.reorg import build_pipeline_plan
+
+    return build_pipeline_plan(make_tiny_decoder())
+
+
+class TestEvalSpec:
+    def test_picklable(self, spec):
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone.plan.num_branches == spec.plan.num_branches
+        assert clone.digest == spec.digest
+
+    def test_digest_stable_across_instances(self, tiny_plan_module):
+        assert (
+            make_engine(tiny_plan_module).spec.digest
+            == make_engine(tiny_plan_module).spec.digest
+        )
+
+    def test_digest_separates_specs(self, tiny_plan_module):
+        int8 = make_engine(tiny_plan_module, quant=INT8).spec
+        int16 = make_engine(tiny_plan_module, quant=INT16).spec
+        other_device = make_engine(tiny_plan_module, device="ZU17EG").spec
+        assert len({int8.digest, int16.digest, other_device.digest}) == 3
+
+
+class TestEvaluateCandidate:
+    def test_pure_and_cached(self, spec):
+        cache = LocalEvalCache()
+        position = [0.5, 0.5] * 3
+        first = evaluate_candidate(spec, position, cache)
+        second = evaluate_candidate(spec, position, cache)
+        assert first.score == second.score
+        assert first.solutions == second.solutions
+        # First call misses per branch, second is served entirely from cache.
+        assert first.evaluations == spec.plan.num_branches
+        assert second.evaluations == 0
+        assert second.cache_hits == spec.plan.num_branches
+
+    def test_infeasible_positions_penalized(self, tiny_plan_module):
+        from repro.devices.budget import ResourceBudget
+        from repro.dse.fitness import fitness_score
+        from repro.dse.worker import INFEASIBILITY_PENALTY
+
+        spec = EvalSpec(
+            plan=tiny_plan_module,
+            budget=ResourceBudget(compute=64, memory=64, bandwidth_gbps=1.0),
+            customization=Customization.uniform(2),
+            quant=INT8,
+        )
+        starved = [0.99, 0.01] * 3  # branch 2 starved of everything
+        result = evaluate_candidate(spec, starved, LocalEvalCache())
+        shortfall = sum(
+            1 for s in result.solutions if not s.meets_batch_target
+        )
+        assert shortfall >= 1
+        raw = fitness_score(
+            [s.fps for s in result.solutions],
+            spec.customization.priorities,
+            spec.alpha,
+        )
+        assert result.score == raw - INFEASIBILITY_PENALTY * shortfall
+
+
+class TestCaches:
+    def test_local_roundtrip(self):
+        cache = LocalEvalCache()
+        assert cache.get("k") is None
+        cache.put("k", 1)
+        assert cache.get("k") == 1
+        assert len(cache) == 1
+        assert dict(cache.items()) == {"k": 1}
+
+    def test_shared_roundtrip_and_pickle(self):
+        with SharedEvalCache() as cache:
+            cache.put("k", (1, 2))
+            clone = pickle.loads(pickle.dumps(cache))
+            # The clone reconnects to the same manager-backed store.
+            assert clone.get("k") == (1, 2)
+            clone.put("j", 3)
+            assert cache.get("j") == 3
+            assert len(cache) == 2
+
+    def test_shared_preload(self):
+        local = LocalEvalCache()
+        local.put("k", "v")
+        with SharedEvalCache() as cache:
+            cache.preload(local.items())
+            assert cache.get("k") == "v"
+
+
+class TestParallelDeterminism:
+    def test_workers4_matches_serial(self, tiny_plan_module):
+        """The acceptance bar: workers=4 is bit-identical to workers=1."""
+        engine = make_engine(tiny_plan_module)
+        serial = engine.search(iterations=2, population=8, seed=11)
+        parallel = engine.search(
+            iterations=2, population=8, seed=11, workers=4
+        )
+        assert parallel.best_fitness == serial.best_fitness
+        assert parallel.best_config == serial.best_config
+        assert parallel.history == serial.history
+        assert parallel.convergence_iteration == serial.convergence_iteration
+        assert serial.workers == 1 and parallel.workers == 4
+
+    def test_flow_workers_match(self, tiny_plan_module):
+        graph = make_tiny_decoder()
+
+        def run(workers):
+            return FCad(
+                network=graph, device=get_device("Z7045"), quant="int8"
+            ).run(iterations=2, population=8, seed=4, workers=workers)
+
+        assert (
+            run(2).dse.best_config == run(1).dse.best_config
+        )
+
+
+class TestSearchMany:
+    def test_duplicate_cases_deduplicated(self, tiny_plan_module):
+        a = make_engine(tiny_plan_module)
+        b = make_engine(tiny_plan_module)
+        results = DseEngine.search_many(
+            [a, b, a], iterations=2, population=8, seed=3
+        )
+        assert results[0] is results[1] is results[2]
+
+    def test_live_rng_seeds_never_deduplicated(self, tiny_plan_module):
+        engine = make_engine(tiny_plan_module)
+        rng = random.Random(0)
+        results = DseEngine.search_many(
+            [engine, engine],
+            iterations=2,
+            population=8,
+            seeds=[rng, rng],
+        )
+        assert results[0] is not results[1]
+
+    def test_shared_cache_warms_repeated_sweep(self, tiny_plan_module):
+        """The second search of a sweep reuses the first one's solutions."""
+        a = make_engine(tiny_plan_module)
+        b = make_engine(tiny_plan_module)
+        cold = b.search(iterations=3, population=12, seed=6)
+        swept = DseEngine.search_many(
+            [a, b], iterations=3, population=12, seeds=[5, 6]
+        )
+        assert swept[1].cache_hits > 0
+        assert swept[1].evaluations < cold.evaluations
+        # Warm cache never changes what the search finds.
+        assert swept[1].best_fitness == cold.best_fitness
+        assert swept[1].best_config == cold.best_config
+
+    def test_seed_count_mismatch_rejected(self, tiny_plan_module):
+        with pytest.raises(ValueError, match="seeds"):
+            DseEngine.search_many(
+                [make_engine(tiny_plan_module)], seeds=[1, 2]
+            )
+
+    def test_seed_fingerprints(self):
+        assert seed_fingerprint(7) == ("int", 7)
+        assert seed_fingerprint(7) == seed_fingerprint(7)
+        assert seed_fingerprint(None) is None
+        assert seed_fingerprint(random.Random(7)) is None
+        assert seed_fingerprint(True) is None
+
+
+class TestSweepApi:
+    def test_grid_times_out_cases(self):
+        flows = sweep_grid(
+            networks=[make_tiny_decoder()],
+            devices=["Z7045", "ZU17EG"],
+            quants=["int8", "int16"],
+        )
+        assert len(flows) == 4
+        assert {f.quant.name for f in flows} == {"int8", "int16"}
+
+    def test_run_sweep_matches_individual_runs(self):
+        graph = make_tiny_decoder()
+        flows = sweep_grid(
+            networks=[graph], devices=["Z7045", "ZU17EG"], quants=["int8"]
+        )
+        swept = run_sweep(flows, iterations=2, population=8, seed=0)
+        assert len(swept) == 2
+        solo = flows[0].run(iterations=2, population=8, seed=0)
+        assert swept[0].dse.best_fitness == solo.dse.best_fitness
+        assert swept[0].dse.best_config == solo.dse.best_config
+
+    def test_run_sweep_dedups_duplicate_flows(self):
+        graph = make_tiny_decoder()
+        flows = sweep_grid(
+            networks=[graph], devices=["Z7045", "Z7045"], quants=["int8"]
+        )
+        swept = run_sweep(flows, iterations=2, population=8, seed=0)
+        assert swept[0].dse is swept[1].dse
+
+    def test_parallel_sweep_matches_serial_sweep(self):
+        graph = make_tiny_decoder()
+        flows = sweep_grid(
+            networks=[graph], devices=["Z7045", "ZU17EG"], quants=["int8"]
+        )
+        serial = run_sweep(flows, iterations=2, population=8, seed=1)
+        parallel = run_sweep(
+            flows, iterations=2, population=8, seed=1, workers=2
+        )
+        for s, p in zip(serial, parallel):
+            assert s.dse.best_fitness == p.dse.best_fitness
+            assert s.dse.best_config == p.dse.best_config
+
+
+class TestResultStats:
+    def test_cache_hit_rate_surfaced(self, tiny_plan_module):
+        result = make_engine(tiny_plan_module).search(
+            iterations=3, population=10, seed=0
+        )
+        assert result.cache_lookups == result.evaluations + result.cache_hits
+        assert 0.0 <= result.cache_hit_rate <= 1.0
+        assert "cache hits" in result.render()

@@ -10,7 +10,6 @@ from repro.models.codec_avatar import (
     UNTIED_BIAS_MAX_PIXELS,
     build_codec_avatar_decoder,
 )
-from repro.models.mimic import build_mimic_decoder
 from repro.models.zoo import get_model, list_models
 from repro.profiler.network import profile_network
 from repro.utils.units import GIGA

@@ -15,8 +15,7 @@ from repro.arch.serialize import (
 )
 from repro.construction.reorg import build_pipeline_plan
 from repro.devices.fpga import get_device
-from repro.dse.pareto import ParetoFrontier, ParetoPoint, explore_budget_frontier
-from repro.dse.space import Customization
+from repro.dse.pareto import ParetoFrontier, explore_budget_frontier
 from repro.fcad.flow import FCad
 from repro.fcad.report import render_markdown_report
 from repro.quant.schemes import INT8
@@ -144,5 +143,5 @@ class TestMarkdownReport:
 
     def test_report_is_markdown_table_shaped(self, result):
         text = render_markdown_report(result)
-        table_lines = [l for l in text.splitlines() if l.startswith("|")]
+        table_lines = [ln for ln in text.splitlines() if ln.startswith("|")]
         assert len(table_lines) > 10

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.profiler.network import profile_network
 from repro.profiler.report import render_branch_table, render_layer_table
 from tests.conftest import make_tiny_decoder

@@ -8,11 +8,10 @@ serialization, the runtime, the analytical models, and the simulator.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.arch.config import AcceleratorConfig, BranchConfig, StageConfig
+from repro.arch.config import AcceleratorConfig, BranchConfig
 from repro.construction.fusion import fuse_graph
 from repro.construction.reorg import build_pipeline_plan
 from repro.dse.space import get_pf

@@ -65,7 +65,7 @@ class TestTimeline:
         busiest = max(
             stats.stages.values(), key=lambda s: s.busy_cycles
         ).name
-        row = next(l for l in text.splitlines() if l.startswith(busiest))
+        row = next(ln for ln in text.splitlines() if ln.startswith(busiest))
         assert row.count("#") > 20
 
     def test_width_validation(self, chain_stats):

@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Run the DSE convergence benchmark at reduced size, emit BENCH_dse.json.
+
+CI's bench-smoke job calls this on every PR so the performance trajectory
+of the search engine is machine-readable: best fitness, Algorithm-2
+evaluations, cache hits, and wall time for a serial and a parallel run of
+the same reduced Sec.-VII study, plus the serial/parallel speedup. The
+script exits nonzero if the parallel run is not bit-identical to the
+serial one — a free determinism check on every PR.
+
+Run:  PYTHONPATH=src python tools/bench_to_json.py [--out BENCH_dse.json]
+(or from anywhere: the script puts ``src/`` on ``sys.path`` itself)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.experiments.convergence import ConvergenceResult, run_convergence  # noqa: E402
+
+
+def summarize(result: ConvergenceResult, wall_seconds: float) -> dict:
+    return {
+        "workers": result.workers,
+        "wall_seconds": round(wall_seconds, 3),
+        "best_fitness": result.best_fitness,
+        "best_fitness_per_search": [s.best_fitness for s in result.searches],
+        "avg_convergence_iteration": result.avg_iteration,
+        "evaluations": result.total_evaluations,
+        "cache_hits": result.total_cache_hits,
+        "cache_hit_rate": round(
+            result.total_cache_hits
+            / max(1, result.total_cache_hits + result.total_evaluations),
+            4,
+        ),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--device", default="ZU9CG")
+    parser.add_argument("--quant", default="int8")
+    parser.add_argument("--searches", type=int, default=2)
+    parser.add_argument("--iterations", type=int, default=5)
+    parser.add_argument("--population", type=int, default=40)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=max(1, min(4, os.cpu_count() or 1)),
+        help="workers for the parallel run (default: up to 4)",
+    )
+    parser.add_argument("--out", default="BENCH_dse.json")
+    args = parser.parse_args(argv)
+
+    config = dict(
+        device_name=args.device,
+        quant_name=args.quant,
+        searches=args.searches,
+        iterations=args.iterations,
+        population=args.population,
+    )
+
+    started = time.perf_counter()
+    serial = run_convergence(**config, workers=1)
+    serial_wall = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = run_convergence(**config, workers=args.workers)
+    parallel_wall = time.perf_counter() - started
+
+    deterministic = [s.best_fitness for s in serial.searches] == [
+        s.best_fitness for s in parallel.searches
+    ]
+    payload = {
+        "benchmark": "dse_convergence",
+        "config": config,
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "serial": summarize(serial, serial_wall),
+        "parallel": summarize(parallel, parallel_wall),
+        "speedup": round(serial_wall / parallel_wall, 3)
+        if parallel_wall > 0
+        else None,
+        "deterministic": deterministic,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+
+    # Archive the rendered table next to the pytest-benchmark artifacts.
+    out_dir = REPO / "benchmarks" / "out"
+    out_dir.mkdir(exist_ok=True)
+    (out_dir / "dse-convergence-smoke.txt").write_text(
+        f"### DSE convergence smoke (reduced size)\n{parallel.render()}\n"
+        f"serial {serial_wall:.2f}s -> parallel x{args.workers} "
+        f"{parallel_wall:.2f}s (speedup {payload['speedup']})\n"
+    )
+
+    print(f"wrote {args.out}")
+    print(
+        f"serial {serial_wall:.2f}s, parallel x{args.workers} "
+        f"{parallel_wall:.2f}s, speedup {payload['speedup']}, "
+        f"deterministic={deterministic}"
+    )
+    if not deterministic:
+        print("ERROR: parallel search diverged from serial results")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,74 @@
+"""In-repo PEP 517 build backend: setuptools minus the editable hooks.
+
+The offline environment ships setuptools but not ``wheel``, and on
+setuptools < 70 both the PEP 660 editable hooks and the stock
+``prepare_metadata_for_build_wheel`` (via the ``dist_info`` command) shell
+out to ``bdist_wheel``. This backend therefore
+
+- omits ``build_editable``, so ``pip install -e . --no-build-isolation``
+  falls back to the legacy ``setup.py develop`` path, which needs no
+  ``wheel`` and picks up all ``[project]`` metadata from pyproject.toml
+  (setuptools >= 61);
+- implements ``prepare_metadata_for_build_wheel`` by running ``egg_info``
+  and converting the result to a ``.dist-info`` by hand (PKG-INFO already
+  is the METADATA format).
+
+``build_wheel``/``build_sdist`` delegate to setuptools unchanged (wheel
+builds still require the ``wheel`` package, as before).
+"""
+
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+from setuptools.build_meta import (  # noqa: F401
+    build_sdist,
+    build_wheel,
+    get_requires_for_build_sdist,
+    get_requires_for_build_wheel,
+)
+
+_WHEEL_FILE = """\
+Wheel-Version: 1.0
+Generator: fcad_build_backend (0.1)
+Root-Is-Purelib: true
+Tag: py3-none-any
+"""
+
+
+def _safe(component: str) -> str:
+    """Escape a name component for a dist-info dir (PEP 491)."""
+    return re.sub(r"[^\w\d.]+", "_", component)
+
+
+def prepare_metadata_for_build_wheel(metadata_directory, config_settings=None):
+    with tempfile.TemporaryDirectory() as tmp:
+        subprocess.run(
+            [sys.executable, "setup.py", "-q", "egg_info", "--egg-base", tmp],
+            check=True,
+        )
+        egg_info = next(Path(tmp).glob("*.egg-info"))
+        pkg_info = (egg_info / "PKG-INFO").read_text()
+        entry_points_file = egg_info / "entry_points.txt"
+        entry_points = (
+            entry_points_file.read_text()
+            if entry_points_file.exists()
+            else None
+        )
+
+    fields = dict(
+        line.split(": ", 1)
+        for line in pkg_info.splitlines()
+        if ": " in line and not line.startswith(" ")
+    )
+    name = _safe(fields["Name"])
+    version = _safe(fields["Version"])
+    dist_info = Path(metadata_directory) / f"{name}-{version}.dist-info"
+    dist_info.mkdir(parents=True, exist_ok=True)
+    (dist_info / "METADATA").write_text(pkg_info)
+    (dist_info / "WHEEL").write_text(_WHEEL_FILE)
+    if entry_points is not None:
+        (dist_info / "entry_points.txt").write_text(entry_points)
+    return dist_info.name
