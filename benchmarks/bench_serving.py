@@ -1,0 +1,96 @@
+"""Benchmark: the avatar serving layer under FIFO vs EDF vs fair batching.
+
+Explores a design for the codec avatar decoder once, deploys simulated
+replicas, and serves the same mixed-deadline multi-avatar workload under
+every policy on the virtual clock. Asserts the properties the serving
+layer exists to provide: full completion, meaningful utilization, EDF
+beating FIFO on deadline misses at moderate saturation, and bit-identical
+reports across runs at one seed.
+
+``FCAD_BENCH_SERVING_REDUCED=1`` shrinks the design search for CI smoke.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.devices.fpga import get_device
+from repro.fcad.flow import FCad
+from repro.models.zoo import get_model
+from repro.serving import (
+    ReplicaPool,
+    report_to_json,
+    saturation_workload,
+    serve_workload,
+)
+
+from conftest import emit
+
+REDUCED = bool(os.environ.get("FCAD_BENCH_SERVING_REDUCED"))
+REPLICAS = 2
+POLICIES = ("fifo", "edf", "fair")
+
+
+def run_serving_study() -> dict:
+    result = FCad(
+        network=get_model("codec_avatar_decoder"),
+        device=get_device("ZU9CG"),
+        quant="int8",
+    ).run(
+        iterations=4 if REDUCED else 10,
+        population=24 if REDUCED else 80,
+        seed=0,
+    )
+    profile = result.frame_latency_profile(frames=8)
+    # The canonical ~85%-of-capacity mixed-tier workload — the same
+    # builder BENCH_serving.json uses, so both surfaces measure one
+    # regime.
+    workload = saturation_workload(
+        profile,
+        replicas=REPLICAS,
+        frames_per_avatar=20 if REDUCED else 60,
+    )
+
+    reports = {}
+    for policy in POLICIES:
+        pool = ReplicaPool(profile, replicas=REPLICAS, max_batch=8)
+        reports[policy] = serve_workload(pool, workload, policy=policy)
+    # Determinism check: replay one policy and compare serialized reports.
+    pool = ReplicaPool(profile, replicas=REPLICAS, max_batch=8)
+    replay = serve_workload(pool, workload, policy="edf")
+    return {
+        "reports": reports,
+        "deterministic": report_to_json(replay)
+        == report_to_json(reports["edf"]),
+    }
+
+
+def test_serving_policies(benchmark):
+    study = benchmark.pedantic(run_serving_study, rounds=1, iterations=1)
+    reports = study["reports"]
+    emit(
+        "Avatar serving policies",
+        "\n\n".join(reports[policy].render() for policy in POLICIES),
+    )
+
+    fifo, edf = reports["fifo"], reports["edf"]
+    # Every submitted frame is eventually decoded, under every policy.
+    for report in reports.values():
+        assert report.completed == report.submitted
+        assert report.throughput_fps > 0
+        assert max(report.replica_utilization) > 0.5
+    # Same workload, same replicas: throughput matches across policies.
+    assert fifo.completed == edf.completed
+    # The point of deadline-aware scheduling: fewer misses than FIFO at
+    # moderate saturation with mixed SLO tiers.
+    assert edf.deadline_misses <= fifo.deadline_misses
+    # Percentiles are ordered and positive.
+    for report in reports.values():
+        assert (
+            0
+            < report.latency_p50_ms
+            <= report.latency_p95_ms
+            <= report.latency_p99_ms
+        )
+    # Virtual-clock sessions are reproducible bit for bit.
+    assert study["deterministic"]

@@ -56,7 +56,20 @@ from repro.perf.energy import EnergyReport, estimate_energy
 from repro.profiler import profile_network
 from repro.quant import INT8, INT16, QuantScheme, get_scheme
 from repro.runtime import Executor, run_graph
-from repro.sim import SimulationReport, simulate
+from repro.serving import (
+    AvatarWorkload,
+    ReplicaPool,
+    ServingReport,
+    pool_from_result,
+    serve_from_result,
+    serve_workload,
+)
+from repro.sim import (
+    FrameLatencyProfile,
+    SimulationReport,
+    frame_latency_profile,
+    simulate,
+)
 
 __version__ = "1.0.0"
 
@@ -64,6 +77,7 @@ __all__ = [
     "AcceleratorConfig",
     "Activation",
     "AsicSpec",
+    "AvatarWorkload",
     "BiasMode",
     "BranchConfig",
     "ConfigError",
@@ -79,6 +93,7 @@ __all__ = [
     "FCad",
     "FcadResult",
     "FpgaDevice",
+    "FrameLatencyProfile",
     "GraphBuilder",
     "HybridDnnModel",
     "INT16",
@@ -90,8 +105,10 @@ __all__ = [
     "ParetoFrontier",
     "PipelinePlan",
     "QuantScheme",
+    "ReplicaPool",
     "ResourceBudget",
     "SNAPDRAGON_865",
+    "ServingReport",
     "SimulationReport",
     "SocModel",
     "StageConfig",
@@ -104,6 +121,7 @@ __all__ = [
     "config_from_json",
     "config_to_json",
     "evaluate",
+    "frame_latency_profile",
     "estimate_energy",
     "explore_budget_frontier",
     "generate_project",
@@ -115,8 +133,11 @@ __all__ = [
     "list_models",
     "profile_network",
     "render_markdown_report",
+    "pool_from_result",
     "run_graph",
     "run_sweep",
+    "serve_from_result",
+    "serve_workload",
     "simulate",
     "sweep_grid",
 ]

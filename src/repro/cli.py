@@ -9,6 +9,9 @@ Subcommands cover the framework's whole surface:
   ``--sweep`` it explores a whole device/precision grid in one batch;
 - ``simulate <model>``          — cycle-accurate validation of a saved (or
   freshly explored) configuration, with an optional utilization timeline;
+- ``serve [model]``             — deploy N simulated replicas of the
+  explored design and serve a multi-avatar decode workload (FIFO /
+  deadline-EDF / fair batching) with latency/deadline SLO reporting;
 - ``experiment <name>``         — regenerate one of the paper's tables or
   figures (or the ablations).
 
@@ -49,6 +52,63 @@ def _load_network(spec: str) -> NetworkGraph:
     return get_model(spec)
 
 
+def _positive_int(text: str) -> int:
+    """argparse type: a strictly positive integer, with a friendly error."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {value}"
+        )
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """argparse type: a strictly positive number, with a friendly error."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive number, got {text!r}"
+        ) from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive number, got {value}"
+        )
+    return value
+
+
+def _parse_sweep_devices(text: str) -> list[str] | None:
+    """Validate a ``--sweep`` device list; None (plus stderr) if malformed."""
+    names = [name.strip() for name in text.split(",")]
+    if not names or any(not name for name in names):
+        print(
+            f"error: --sweep expects a comma-separated device list, got "
+            f"{text!r} (try: --sweep Z7045,ZU17EG,ZU9CG)",
+            file=sys.stderr,
+        )
+        return None
+    unknown = []
+    for name in names:
+        try:
+            get_device(name)
+        except KeyError:
+            unknown.append(name)
+    if unknown:
+        known = ", ".join(d.name for d in list_devices())
+        print(
+            f"error: unknown device(s) in --sweep: {', '.join(unknown)}; "
+            f"known devices: {known}",
+            file=sys.stderr,
+        )
+        return None
+    return names
+
+
 def _parse_numbers(text: str, cast) -> tuple:
     return tuple(cast(part) for part in text.split(","))
 
@@ -72,12 +132,12 @@ def _add_target_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--quant", default="int8", choices=["int8", "int16"])
     parser.add_argument("--batch", help="per-branch batch sizes, e.g. 1,2,2")
     parser.add_argument("--priority", help="per-branch priorities, e.g. 1,1,2")
-    parser.add_argument("--iterations", type=int, default=10)
-    parser.add_argument("--population", type=int, default=80)
+    parser.add_argument("--iterations", type=_positive_int, default=10)
+    parser.add_argument("--population", type=_positive_int, default=80)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--workers",
-        type=int,
+        type=_positive_int,
         default=1,
         help="processes evaluating each DSE generation (1 = serial; "
         "results are identical either way)",
@@ -163,7 +223,7 @@ def cmd_explore(args: argparse.Namespace) -> int:
     """Run the full F-CAD flow; optionally save config/report artifacts."""
     network = _load_network(args.model)
     customization = _customization(args, len(network.output_names()))
-    if args.sweep:
+    if args.sweep is not None:
         from repro.fcad.flow import run_sweep, sweep_grid
 
         if args.asic_macs:
@@ -173,7 +233,9 @@ def cmd_explore(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-        devices = [name.strip() for name in args.sweep.split(",")]
+        devices = _parse_sweep_devices(args.sweep)
+        if devices is None:
+            return 2
         quants = (
             [q.strip() for q in args.sweep_quants.split(",")]
             if args.sweep_quants
@@ -208,6 +270,12 @@ def cmd_explore(args: argparse.Namespace) -> int:
         workers=args.workers,
     )
     print(result.render())
+    dse = result.dse
+    print(
+        f"DSE cache: {dse.cache_hits} hits / {dse.cache_lookups} lookups "
+        f"({100 * dse.cache_hit_rate:.0f}%), {dse.evaluations} "
+        f"Algorithm-2 solves"
+    )
     if args.save_config:
         Path(args.save_config).write_text(config_to_json(result.dse.best_config))
         print(f"\nconfiguration written to {args.save_config}")
@@ -256,6 +324,90 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     if args.timeline:
         print()
         print(render_timeline(report.stats, width=args.timeline_width))
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Explore a design, deploy replicas, serve a multi-avatar workload."""
+    from repro.serving import report_to_json, serve_from_result
+
+    # Validate every workload knob before the (expensive) design search.
+    tiers: tuple[float, ...] = ()
+    if args.deadline_tiers is not None:
+        try:
+            tiers = _parse_numbers(args.deadline_tiers, float)
+        except ValueError:
+            print(
+                f"error: --deadline-tiers expects comma-separated numbers, "
+                f"got {args.deadline_tiers!r} (try: --deadline-tiers 25,100)",
+                file=sys.stderr,
+            )
+            return 2
+        if not tiers or any(tier <= 0 for tier in tiers):
+            print(
+                "error: --deadline-tiers budgets must all be positive",
+                file=sys.stderr,
+            )
+            return 2
+    frame_interval_ms = 1000.0 / args.avatar_fps
+    if not 0 <= args.jitter_ms < frame_interval_ms:
+        print(
+            f"error: --jitter-ms must be in [0, {frame_interval_ms:.1f}) — "
+            f"less than one frame interval at {args.avatar_fps:g} FPS",
+            file=sys.stderr,
+        )
+        return 2
+    if args.batch_window_ms < 0:
+        print("error: --batch-window-ms must be >= 0", file=sys.stderr)
+        return 2
+    if args.sim_frames < 2:
+        print(
+            "error: --sim-frames must be >= 2 (fill vs steady state needs "
+            "at least two simulated frames)",
+            file=sys.stderr,
+        )
+        return 2
+
+    network = _load_network(args.model)
+    customization = _customization(args, len(network.output_names()))
+    result = FCad(
+        network=network,
+        device=_target(args),
+        quant=args.quant,
+        customization=customization,
+    ).run(
+        iterations=args.iterations,
+        population=args.population,
+        seed=args.seed,
+        workers=args.workers,
+    )
+    profile = result.frame_latency_profile(frames=args.sim_frames)
+    print(
+        f"design: {result.fps:.1f} FPS steady decode rate; per replica: "
+        f"first frame {profile.first_frame_ms:.2f} ms, then one per "
+        f"{profile.steady_interval_ms:.2f} ms"
+    )
+    report = serve_from_result(
+        result,
+        avatars=args.avatars,
+        replicas=args.replicas,
+        policy=args.policy,
+        frames_per_avatar=args.frames,
+        avatar_fps=args.avatar_fps,
+        deadline_ms=args.deadline_ms,
+        deadline_tiers=tiers,
+        jitter_ms=args.jitter_ms,
+        batch_window_ms=args.batch_window_ms,
+        max_batch=args.max_batch,
+        seed=args.seed,
+        real_time=args.real_time,
+        profile=profile,
+    )
+    print()
+    print(report.render())
+    if args.json:
+        Path(args.json).write_text(report_to_json(report) + "\n")
+        print(f"\nserving report written to {args.json}")
     return 0
 
 
@@ -362,6 +514,84 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timeline", action="store_true", help="print a Gantt timeline")
     p.add_argument("--timeline-width", type=int, default=72)
     p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve a multi-avatar decode workload on simulated replicas",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "serving sessions:\n"
+            "  repro serve --avatars 64 --replicas 4 --policy edf --seed 0\n"
+            "      explore a design for the default decoder, deploy 4\n"
+            "      simulated replicas, and serve 64 concurrent avatars under\n"
+            "      earliest-deadline-first batching; runs on a virtual clock,\n"
+            "      so the report is bit-identical across runs at one seed\n"
+            "  repro serve --avatars 32 --replicas 2 --policy fair \\\n"
+            "      --deadline-tiers 25,100 --json serving.json\n"
+            "      mixed SLO tiers (speakers at 25 ms, listeners at 100 ms)\n"
+            "      with per-avatar fairness; archive the SLO report as JSON"
+        ),
+    )
+    p.add_argument(
+        "model",
+        nargs="?",
+        default="codec_avatar_decoder",
+        help="zoo model or network JSON (default: codec_avatar_decoder)",
+    )
+    _add_target_args(p)
+    # A serving demo needs a plausible design, not the paper-size search.
+    p.set_defaults(iterations=4, population=24)
+    p.add_argument(
+        "--avatars", type=_positive_int, default=16,
+        help="concurrent avatar streams (default 16)",
+    )
+    p.add_argument(
+        "--replicas", type=_positive_int, default=1,
+        help="accelerator replicas to deploy (default 1)",
+    )
+    p.add_argument(
+        "--policy", default="fifo", choices=["fifo", "edf", "fair"],
+        help="batch selection policy (default fifo)",
+    )
+    p.add_argument(
+        "--frames", type=_positive_int, default=30,
+        help="frames per avatar (default 30)",
+    )
+    p.add_argument(
+        "--avatar-fps", type=_positive_float, default=30.0,
+        help="per-avatar frame rate (default 30)",
+    )
+    p.add_argument(
+        "--deadline-ms", type=_positive_float, default=50.0,
+        help="decode deadline per frame, ms after arrival (default 50)",
+    )
+    p.add_argument(
+        "--deadline-tiers",
+        help="comma-separated per-avatar deadline budgets assigned "
+        "round-robin, e.g. 25,100 (overrides --deadline-ms)",
+    )
+    p.add_argument(
+        "--jitter-ms", type=float, default=0.0,
+        help="uniform arrival jitter per frame, +/- ms (default 0)",
+    )
+    p.add_argument(
+        "--batch-window-ms", type=float, default=2.0,
+        help="how long a freed replica waits for co-arriving frames",
+    )
+    p.add_argument(
+        "--max-batch", type=_positive_int,
+        help="cap frames per dispatched batch (default: replica capacity)",
+    )
+    p.add_argument(
+        "--sim-frames", type=_positive_int, default=8,
+        help="cycle-accurate frames sampled for the latency model",
+    )
+    p.add_argument(
+        "--real-time", action="store_true",
+        help="run on the wall clock instead of the virtual clock",
+    )
+    p.add_argument("--json", help="write the serving report JSON here")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("generate", help="explore, then emit an HLS project")
     p.add_argument("model")

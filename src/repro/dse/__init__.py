@@ -7,7 +7,12 @@ from repro.dse.fitness import fitness_score
 from repro.dse.inbranch import BranchSolution, optimize_branch
 from repro.dse.result import DseResult
 from repro.dse.space import Customization, DesignSpace, get_pf
-from repro.dse.worker import CandidateEval, EvalSpec, evaluate_candidate
+from repro.dse.worker import (
+    CandidateEval,
+    EvalSpec,
+    SweepWorkerPool,
+    evaluate_candidate,
+)
 
 __all__ = [
     "BranchSolution",
@@ -22,6 +27,7 @@ __all__ = [
     "LocalEvalCache",
     "Particle",
     "SharedEvalCache",
+    "SweepWorkerPool",
     "evaluate_candidate",
     "fitness_score",
     "get_pf",

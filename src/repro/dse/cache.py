@@ -51,6 +51,9 @@ class LocalEvalCache:
     def put(self, key: Hashable, value: Any) -> None:
         self._store[key] = value
 
+    def discard(self, key: Hashable) -> None:
+        self._store.pop(key, None)
+
     def items(self) -> Iterable[tuple[Hashable, Any]]:
         return self._store.items()
 
@@ -90,6 +93,10 @@ class SharedEvalCache:
     def put(self, key: Hashable, value: Any) -> None:
         self._l1[key] = value
         self._store[key] = value
+
+    def discard(self, key: Hashable) -> None:
+        self._l1.pop(key, None)
+        self._store.pop(key, None)
 
     def preload(self, entries: Iterable[tuple[Hashable, Any]]) -> None:
         """Seed the shared store (e.g. from a warm local cache)."""

@@ -26,7 +26,12 @@ from repro.devices.budget import ResourceBudget
 from repro.dse.cache import EvalCache, LocalEvalCache
 from repro.dse.inbranch import BranchSolution
 from repro.dse.space import Customization
-from repro.dse.worker import EvalSpec, candidate_runner, evaluate_candidate
+from repro.dse.worker import (
+    EvalSpec,
+    SweepWorkerPool,
+    candidate_runner,
+    evaluate_candidate,
+)
 from repro.quant.schemes import QuantScheme
 from repro.utils.rng import make_rng
 
@@ -179,6 +184,7 @@ class CrossBranchOptimizer:
         improvement_tolerance: float = 1e-9,
         heuristic_seed: bool = True,
         workers: int = 1,
+        pool: "SweepWorkerPool | None" = None,
     ) -> tuple[float, AcceleratorConfig, list[float], int]:
         """Run the full Algorithm 1 loop.
 
@@ -187,8 +193,10 @@ class CrossBranchOptimizer:
         pure stochastic search, as the Sec.-VII study does).
 
         ``workers > 1`` evaluates each generation's population on a process
-        pool (a barrier joins the generation before the PSO update). The
-        result is bit-identical to ``workers = 1`` at the same seed.
+        pool (a barrier joins the generation before the PSO update); a
+        live ``pool`` (one long-lived set of workers serving a whole
+        sweep) is borrowed instead of forking a fresh one. The result is
+        bit-identical to ``workers = 1`` at the same seed either way.
 
         Returns (best fitness, best config, fitness history per iteration,
         iteration at which the global best last improved).
@@ -203,7 +211,9 @@ class CrossBranchOptimizer:
         history: list[float] = []
         convergence_iteration = 0
 
-        with candidate_runner(self.spec, self._cache, workers) as run_batch:
+        with candidate_runner(
+            self.spec, self._cache, workers, pool=pool
+        ) as run_batch:
             for iteration in range(iterations):
                 results = run_batch([p.position for p in particles])
                 for particle, result in zip(particles, results):

@@ -18,7 +18,7 @@ from repro.dse.cache import EvalCache, LocalEvalCache, SharedEvalCache
 from repro.dse.crossbranch import CrossBranchOptimizer
 from repro.dse.result import DseResult
 from repro.dse.space import Customization
-from repro.dse.worker import EvalSpec
+from repro.dse.worker import EvalSpec, SweepWorkerPool, is_spec_cache_key
 from repro.perf.estimator import evaluate
 from repro.quant.schemes import QuantScheme
 from repro.utils.rng import seed_fingerprint
@@ -67,6 +67,7 @@ class DseEngine:
         heuristic_seed: bool = True,
         workers: int = 1,
         cache: EvalCache | None = None,
+        pool: SweepWorkerPool | None = None,
     ) -> DseResult:
         """Run Algorithm 1 (which invokes Algorithm 2 per candidate).
 
@@ -74,8 +75,9 @@ class DseEngine:
         population of P = 200 resource distributions. ``workers > 1``
         evaluates each generation on a process pool — same best design,
         bit for bit, as the serial search at the same seed. ``cache``
-        lets several searches share one evaluation cache (see
-        :meth:`search_many`).
+        lets several searches share one evaluation cache and ``pool``
+        lets them share one long-lived set of worker processes (see
+        :meth:`search_many`, which wires up both).
         """
         optimizer = CrossBranchOptimizer(
             plan=self.plan,
@@ -93,6 +95,7 @@ class DseEngine:
             seed=seed,
             heuristic_seed=heuristic_seed,
             workers=workers,
+            pool=pool,
         )
         runtime = time.perf_counter() - started
         perf = evaluate(self.plan, config, self.quant, self.frequency_mhz)
@@ -131,6 +134,13 @@ class DseEngine:
         ``seeds`` gives each case its own seed (e.g. a convergence study);
         by default every case uses ``seed``, which is what makes duplicate
         grid cases dedupable. Results are returned in input order.
+
+        Parallel sweeps (``workers > 1``) evaluate every case on **one**
+        long-lived :class:`~repro.dse.worker.SweepWorkerPool`: workers are
+        forked once, learn each case's problem spec by digest on first
+        contact, and are reused across the whole sweep — no per-case pool
+        startup. Evaluation is the same pure function, so the results are
+        still bit-identical to serial runs.
         """
         engines = list(engines)
         if seeds is None:
@@ -140,12 +150,24 @@ class DseEngine:
                 f"got {len(seeds)} seeds for {len(engines)} engines"
             )
         owned: SharedEvalCache | None = None
+        drain_to: EvalCache | None = None
         if cache is None:
             if workers > 1:
                 cache = owned = SharedEvalCache()
             else:
                 cache = LocalEvalCache()
+        elif workers > 1 and not isinstance(cache, SharedEvalCache):
+            # Promote a process-local cache for the sweep's lifetime so
+            # the long-lived pool applies here too; drain the new entries
+            # back afterwards so the caller's cache stays warm.
+            drain_to = cache
+            cache = owned = SharedEvalCache()
+            owned.preload(drain_to.items())
+        pool: SweepWorkerPool | None = None
         try:
+            if workers > 1:
+                assert isinstance(cache, SharedEvalCache)
+                pool = SweepWorkerPool(workers, cache)
             solved: dict[tuple, DseResult] = {}
             results: list[DseResult] = []
             for engine, case_seed in zip(engines, seeds):
@@ -169,11 +191,18 @@ class DseEngine:
                     heuristic_seed=heuristic_seed,
                     workers=workers,
                     cache=cache,
+                    pool=pool,
                 )
                 if key is not None:
                     solved[key] = result
                 results.append(result)
             return tuple(results)
         finally:
+            if pool is not None:
+                pool.close()
             if owned is not None:
+                if drain_to is not None:
+                    for key, value in owned.items():
+                        if not is_spec_cache_key(key):
+                            drain_to.put(key, value)
                 owned.close()

@@ -188,21 +188,145 @@ def _run_candidate(position: tuple[float, ...]) -> CandidateEval:
     return evaluate_candidate(_WORKER_SPEC, position, _WORKER_CACHE)
 
 
+# ---------------------------------------------------------------------------
+# sweep-lifetime pool: one set of worker processes for a whole batch
+# ---------------------------------------------------------------------------
+def _spec_cache_key(digest: str) -> tuple[str, str]:
+    """Shared-cache slot a sweep pool publishes each EvalSpec under.
+
+    The reserved ``"__spec__"`` namespace can never collide with
+    evaluation entries, whose keys are ``(digest, branch, bucket)``.
+    """
+    return ("__spec__", digest)
+
+
+def is_spec_cache_key(key: object) -> bool:
+    """True for pool bookkeeping entries (skip these when draining)."""
+    return (
+        isinstance(key, tuple) and len(key) == 2 and key[0] == "__spec__"
+    )
+
+
+_POOL_CACHE: EvalCache | None = None
+_POOL_SPECS: dict[str, EvalSpec] = {}
+
+
+def _init_pool_worker(cache: EvalCache) -> None:
+    global _POOL_CACHE
+    _POOL_CACHE = cache
+    _POOL_SPECS.clear()
+
+
+def _run_pooled_candidate(
+    task: tuple[str, tuple[float, ...]],
+) -> CandidateEval:
+    digest, position = task
+    assert _POOL_CACHE is not None
+    spec = _POOL_SPECS.get(digest)
+    if spec is None:
+        spec = _POOL_CACHE.get(_spec_cache_key(digest))
+        assert spec is not None, f"spec {digest} was never registered"
+        _POOL_SPECS[digest] = spec
+    return evaluate_candidate(spec, position, _POOL_CACHE)
+
+
+class SweepWorkerPool:
+    """A process pool that outlives one search and serves a whole sweep.
+
+    ``candidate_runner`` forks (and tears down) a fresh pool per search,
+    which is the right shape for a single exploration but wastes startup
+    on every case of a batch sweep. This pool is created once per sweep:
+    tasks are ``(spec digest, position)`` pairs, each worker resolves the
+    digest to the full :class:`EvalSpec` through the shared cache exactly
+    once and memoizes it for the rest of the sweep, so dispatching case
+    #37 costs the same as case #1.
+
+    Evaluation stays the same pure function either way, so results are
+    bit-identical to per-search pools and to serial evaluation.
+    """
+
+    def __init__(self, workers: int, cache: SharedEvalCache) -> None:
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        if not isinstance(cache, SharedEvalCache):
+            raise TypeError("a sweep pool needs a cross-process cache")
+        self.workers = workers
+        self.cache = cache
+        self._registered: set[str] = set()
+        self._pool: ProcessPoolExecutor | None = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=multiprocessing.get_context(),
+            initializer=_init_pool_worker,
+            initargs=(cache,),
+        )
+
+    def register(self, spec: EvalSpec) -> None:
+        """Publish a spec so workers can resolve its digest (idempotent)."""
+        if spec.digest not in self._registered:
+            self.cache.put(_spec_cache_key(spec.digest), spec)
+            self._registered.add(spec.digest)
+
+    @property
+    def specs_registered(self) -> int:
+        return len(self._registered)
+
+    def run(
+        self, spec: EvalSpec, positions: Sequence[Sequence[float]]
+    ) -> list[CandidateEval]:
+        """Evaluate one generation of candidates for ``spec``, in order."""
+        assert self._pool is not None, "pool is closed"
+        self.register(spec)
+        tasks = [(spec.digest, tuple(pos)) for pos in positions]
+        chunksize = max(1, len(tasks) // (self.workers * 4))
+        return list(
+            self._pool.map(_run_pooled_candidate, tasks, chunksize=chunksize)
+        )
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+        # Leave no bookkeeping behind: the cache may outlive this pool
+        # (a caller keeps it warm across sweeps) and must then hold only
+        # genuine evaluation entries.
+        for digest in self._registered:
+            self.cache.discard(_spec_cache_key(digest))
+        self._registered.clear()
+
+    def __enter__(self) -> "SweepWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
 BatchRunner = Callable[[Sequence[Sequence[float]]], list[CandidateEval]]
 
 
 @contextmanager
 def candidate_runner(
-    spec: EvalSpec, cache: EvalCache, workers: int = 1
+    spec: EvalSpec,
+    cache: EvalCache,
+    workers: int = 1,
+    pool: SweepWorkerPool | None = None,
 ) -> Iterator[BatchRunner]:
-    """Yield a batch evaluator: serial inline, or a process pool.
+    """Yield a batch evaluator: serial inline, a process pool, or a sweep pool.
 
     The yielded callable evaluates one generation's positions and returns
     results in submission order — calling it IS the per-generation barrier.
     When ``workers > 1`` and the caller's cache is process-local, a shared
     cache is stood up for the pool's lifetime, seeded from the local cache,
-    and drained back into it afterwards so the caller stays warm.
+    and drained back into it afterwards so the caller stays warm. A live
+    :class:`SweepWorkerPool` takes precedence over both: the search borrows
+    it and leaves its lifetime to the sweep that owns it.
     """
+    if pool is not None:
+        def run_pooled(positions: Sequence[Sequence[float]]) -> list[CandidateEval]:
+            return pool.run(spec, positions)
+
+        yield run_pooled
+        return
+
     if workers <= 1:
         def run_serial(positions: Sequence[Sequence[float]]) -> list[CandidateEval]:
             return [evaluate_candidate(spec, pos, cache) for pos in positions]
@@ -245,6 +369,7 @@ __all__ = [
     "EvalSpec",
     "INFEASIBILITY_PENALTY",
     "LocalEvalCache",
+    "SweepWorkerPool",
     "candidate_runner",
     "canonical_rd",
     "evaluate_candidate",

@@ -32,6 +32,14 @@ ones::
         ),
         workers=4,
     )
+
+A found design can then be *deployed*: :mod:`repro.serving` batches live
+decode requests from many avatars onto simulated replicas of it::
+
+    from repro.serving import serve_from_result
+
+    report = serve_from_result(result, avatars=64, replicas=4, policy="edf")
+    print(report.render())
 """
 
 from __future__ import annotations
@@ -86,6 +94,27 @@ class FcadResult:
             config=self.dse.best_config,
             quant=self.quant,
             frequency_mhz=self.frequency_mhz,
+        )
+
+    def frame_latency_profile(self, frames: int = 8, warmup: int = 2):
+        """Per-frame decode latency of the found design, from the simulator.
+
+        The returned :class:`~repro.sim.runner.FrameLatencyProfile` splits
+        cold-start (weight load + pipeline fill) from steady-state cost —
+        what the serving layer (:mod:`repro.serving`) uses to account each
+        replica's batches. Deferred import keeps ``fcad`` free of a
+        dependency on the simulator package at import time.
+        """
+        from repro.sim.runner import frame_latency_profile
+
+        return frame_latency_profile(
+            plan=self.plan,
+            config=self.dse.best_config,
+            quant=self.quant,
+            bandwidth_gbps=self.budget.bandwidth_gbps,
+            frequency_mhz=self.frequency_mhz,
+            frames=frames,
+            warmup=warmup,
         )
 
     def render(self) -> str:

@@ -1,0 +1,140 @@
+"""Avatar decode serving: async batching onto simulated accelerator replicas.
+
+F-CAD's end product is an accelerator that decodes codec avatars for live
+telepresence. This package is the *workload* layer on top of the design
+flow: take a DSE-selected design, deploy N simulated replicas of it, and
+serve decode requests from many concurrent avatars under latency SLOs —
+
+- :mod:`~repro.serving.request`   — the request/response model;
+- :mod:`~repro.serving.clock`     — virtual-clock asyncio (deterministic
+  sessions) or real time;
+- :mod:`~repro.serving.replica`   — replicas driven by cycle-accurate
+  fill/steady-state latency profiles;
+- :mod:`~repro.serving.policies`  — FIFO / deadline-EDF / per-avatar
+  fairness batch selection;
+- :mod:`~repro.serving.scheduler` — the async batching dispatcher;
+- :mod:`~repro.serving.slo`       — p50/p95/p99 latency, deadline-miss
+  rate, throughput, utilization;
+- :mod:`~repro.serving.workload`  — multi-avatar frame streams.
+
+End to end::
+
+    from repro import FCad
+    from repro.serving import serve_from_result
+
+    result = FCad(network=..., device=...).run()
+    report = serve_from_result(
+        result, avatars=64, replicas=4, policy="edf", seed=0
+    )
+    print(report.render())
+"""
+
+from __future__ import annotations
+
+from repro.fcad.flow import FcadResult
+from repro.sim.runner import FrameLatencyProfile
+from repro.serving.clock import VirtualClockEventLoop, run_session
+from repro.serving.policies import (
+    EdfPolicy,
+    FairPolicy,
+    FifoPolicy,
+    SchedulingPolicy,
+    get_policy,
+    list_policies,
+)
+from repro.serving.replica import Replica, ReplicaPool, pool_from_result
+from repro.serving.request import DecodeRequest, DecodeResponse
+from repro.serving.scheduler import BatchScheduler
+from repro.serving.slo import (
+    ServingReport,
+    SloTracker,
+    percentile,
+    report_from_json,
+    report_to_json,
+)
+from repro.serving.workload import (
+    AvatarWorkload,
+    run_serving_session,
+    saturation_workload,
+    serve_workload,
+)
+
+
+def serve_from_result(
+    result: FcadResult,
+    avatars: int = 16,
+    replicas: int = 1,
+    policy: str | SchedulingPolicy = "fifo",
+    frames_per_avatar: int = 30,
+    avatar_fps: float = 30.0,
+    deadline_ms: float = 50.0,
+    deadline_tiers: tuple[float, ...] = (),
+    jitter_ms: float = 0.0,
+    batch_window_ms: float = 2.0,
+    max_batch: int | None = None,
+    seed: int = 0,
+    sim_frames: int = 8,
+    real_time: bool = False,
+    profile: "FrameLatencyProfile | None" = None,
+) -> ServingReport:
+    """``FCad.run`` → serving report, in one call.
+
+    Samples the design's per-frame latency from the cycle-accurate
+    simulator (pass a ``profile`` you already sampled to skip that run),
+    deploys ``replicas`` copies, and serves ``avatars`` concurrent frame
+    streams (each at ``avatar_fps``, each frame due ``deadline_ms`` after
+    it arrives — or its tier's budget when ``deadline_tiers`` is given)
+    under the chosen policy.
+    """
+    pool = pool_from_result(
+        result,
+        replicas=replicas,
+        max_batch=max_batch,
+        sim_frames=sim_frames,
+        profile=profile,
+    )
+    workload = AvatarWorkload(
+        avatars=avatars,
+        frames_per_avatar=frames_per_avatar,
+        frame_interval_ms=1000.0 / avatar_fps,
+        deadline_ms=deadline_ms,
+        deadline_tiers=deadline_tiers,
+        jitter_ms=jitter_ms,
+        seed=seed,
+    )
+    return serve_workload(
+        pool,
+        workload,
+        policy=policy,
+        batch_window_ms=batch_window_ms,
+        max_batch=max_batch,
+        real_time=real_time,
+    )
+
+
+__all__ = [
+    "AvatarWorkload",
+    "BatchScheduler",
+    "DecodeRequest",
+    "DecodeResponse",
+    "EdfPolicy",
+    "FairPolicy",
+    "FifoPolicy",
+    "Replica",
+    "ReplicaPool",
+    "SchedulingPolicy",
+    "ServingReport",
+    "SloTracker",
+    "VirtualClockEventLoop",
+    "get_policy",
+    "list_policies",
+    "percentile",
+    "pool_from_result",
+    "report_from_json",
+    "report_to_json",
+    "run_serving_session",
+    "run_session",
+    "saturation_workload",
+    "serve_from_result",
+    "serve_workload",
+]

@@ -1,0 +1,117 @@
+"""Session clocks: real asyncio time or a deterministic virtual clock.
+
+The scheduler, replicas, and workload generators only ever read time via
+``loop.time()`` and wait via ``asyncio.sleep`` — so the *same* async code
+runs in two modes:
+
+- **virtual** (default for tests and benchmarks): the event loop's clock
+  is simulated. Whenever no callback is ready, the loop jumps straight to
+  the next scheduled timer instead of blocking. A session serving
+  thousands of frames executes in milliseconds of wall time, and — since
+  timer order, ready-queue order, and every latency number are pure
+  functions of the inputs — two runs at the same seed are bit-identical.
+- **real**: a stock event loop; sleeps block for actual wall time. Useful
+  for demos that interleave with real I/O.
+
+``now_ms``/``sleep_ms`` express the serving layer's millisecond units on
+top of asyncio's second-based clock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Coroutine, TypeVar
+
+T = TypeVar("T")
+
+#: Loop-time seconds per serving-layer millisecond.
+_MS = 1e-3
+
+
+class VirtualClockEventLoop(asyncio.SelectorEventLoop):
+    """An asyncio event loop running on simulated time.
+
+    ``time()`` returns virtual seconds starting at 0. Each loop iteration
+    that finds no ready callback advances the virtual clock to the next
+    scheduled timer, so awaiting ``asyncio.sleep(3600)`` costs nothing.
+    Callback execution order is exactly the stock loop's (FIFO ready
+    queue, timer heap), which makes runs reproducible.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._virtual_now = 0.0
+
+    def time(self) -> float:
+        return self._virtual_now
+
+    def _run_once(self) -> None:  # noqa: D401 - asyncio internal hook
+        # Nothing runnable now: jump to the earliest timer (cancelled
+        # timers are at worst an early stop; they never overshoot a live
+        # one because the heap is ordered by deadline).
+        if not self._ready and self._scheduled:
+            when = self._scheduled[0].when()
+            if when > self._virtual_now:
+                self._virtual_now = when
+        super()._run_once()
+
+
+def run_session(
+    coro: Coroutine[Any, Any, T], real_time: bool = False
+) -> T:
+    """Run a serving session coroutine to completion.
+
+    ``real_time=False`` (the default) executes on a fresh
+    :class:`VirtualClockEventLoop`; ``real_time=True`` uses
+    ``asyncio.run`` on a stock loop.
+    """
+    if real_time:
+        return asyncio.run(coro)
+    loop = VirtualClockEventLoop()
+    try:
+        return loop.run_until_complete(coro)
+    finally:
+        loop.close()
+
+
+#: Attribute stashed on the running loop by :func:`anchor_session_clock`.
+_EPOCH_ATTR = "_fcad_session_epoch_s"
+
+
+def anchor_session_clock() -> None:
+    """Make ``now_ms`` count from this moment on the running loop.
+
+    A virtual loop already starts at 0, but a stock (real-time) loop's
+    ``time()`` is an arbitrary monotonic epoch — without anchoring, every
+    session timestamp (arrivals, deadlines, duration) would be monotonic
+    milliseconds since boot instead of milliseconds into the session.
+    """
+    loop = asyncio.get_running_loop()
+    setattr(loop, _EPOCH_ATTR, loop.time())
+
+
+def now_ms() -> float:
+    """Milliseconds of session time (must be called from a task)."""
+    loop = asyncio.get_running_loop()
+    epoch = getattr(loop, _EPOCH_ATTR, 0.0)
+    return (loop.time() - epoch) / _MS
+
+
+async def sleep_ms(duration_ms: float) -> None:
+    """Sleep for ``duration_ms`` session milliseconds."""
+    await asyncio.sleep(max(0.0, duration_ms) * _MS)
+
+
+async def sleep_until_ms(deadline_ms: float) -> None:
+    """Sleep until the session clock reaches ``deadline_ms``."""
+    await sleep_ms(deadline_ms - now_ms())
+
+
+__all__ = [
+    "VirtualClockEventLoop",
+    "anchor_session_clock",
+    "now_ms",
+    "run_session",
+    "sleep_ms",
+    "sleep_until_ms",
+]

@@ -1,0 +1,147 @@
+"""Simulated accelerator replicas and the pool the scheduler draws from.
+
+A *replica* is one deployed instance of a DSE-selected accelerator design.
+It does not re-run the cycle-accurate simulator per request; instead it is
+driven by a :class:`~repro.sim.runner.FrameLatencyProfile` sampled once
+from the simulator, which splits a frame's cost into fill-phase and
+steady-state accounting:
+
+- a batch landing on an **idle** replica pays the cold first-frame latency
+  (weight streams plus pipeline fill) before frames start leaving at the
+  steady interval;
+- a batch landing while the pipeline is still **warm** (within one steady
+  interval of the previous batch draining) streams every frame at the
+  steady interval.
+
+:class:`ReplicaPool` owns N identical replicas and hands free ones to the
+scheduler; :func:`pool_from_result` builds a pool straight from an
+:class:`~repro.fcad.flow.FcadResult` (``FCad.run`` → serve).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from repro.fcad.flow import FcadResult
+from repro.sim.runner import FrameLatencyProfile
+
+
+@dataclass
+class Replica:
+    """One simulated accelerator instance, tracked in session time."""
+
+    replica_id: int
+    latency: FrameLatencyProfile
+    max_batch: int = 8
+    busy_ms: float = 0.0
+    frames_served: int = 0
+    batches_served: int = 0
+    last_finish_ms: float = field(default=float("-inf"))
+
+    def service_times(self, start_ms: float, batch: int) -> tuple[float, ...]:
+        """Completion time of each frame of a batch started at ``start_ms``.
+
+        Also advances the replica's accounting (busy time, warm window).
+        """
+        if not 1 <= batch <= self.max_batch:
+            raise ValueError(
+                f"batch of {batch} outside replica capacity 1..{self.max_batch}"
+            )
+        warm = (
+            start_ms - self.last_finish_ms <= self.latency.steady_interval_ms
+        )
+        finishes = self.latency.batch_finish_ms(start_ms, batch, warm=warm)
+        self.busy_ms += finishes[-1] - start_ms
+        self.frames_served += batch
+        self.batches_served += 1
+        self.last_finish_ms = finishes[-1]
+        return finishes
+
+    def utilization(self, elapsed_ms: float) -> float:
+        return self.busy_ms / elapsed_ms if elapsed_ms > 0 else 0.0
+
+
+class ReplicaPool:
+    """N identical replicas plus the free-list the scheduler blocks on."""
+
+    def __init__(
+        self,
+        latency: FrameLatencyProfile,
+        replicas: int = 1,
+        max_batch: int = 8,
+    ) -> None:
+        if replicas < 1:
+            raise ValueError("need at least one replica")
+        self.replicas = [
+            Replica(replica_id=i, latency=latency, max_batch=max_batch)
+            for i in range(replicas)
+        ]
+        self.max_batch = max_batch
+        self._free: asyncio.Queue[Replica] | None = None
+
+    def __len__(self) -> int:
+        return len(self.replicas)
+
+    def open(self) -> None:
+        """Start a fresh serving session on the running event loop.
+
+        Clears any previous session's accounting (busy time, warm
+        windows) so a pool can be reused for back-to-back policy
+        comparisons without state leaking between sessions.
+        """
+        self.reset()
+        self._free = asyncio.Queue()
+        # Deterministic order: replica 0 serves the first batch.
+        for replica in self.replicas:
+            self._free.put_nowait(replica)
+
+    async def acquire(self) -> Replica:
+        assert self._free is not None, "pool not opened inside a session"
+        return await self._free.get()
+
+    def release(self, replica: Replica) -> None:
+        assert self._free is not None
+        self._free.put_nowait(replica)
+
+    def utilizations(self, elapsed_ms: float) -> tuple[float, ...]:
+        return tuple(r.utilization(elapsed_ms) for r in self.replicas)
+
+    def reset(self) -> None:
+        """Forget all serving state (``open`` calls this per session)."""
+        for replica in self.replicas:
+            replica.busy_ms = 0.0
+            replica.frames_served = 0
+            replica.batches_served = 0
+            replica.last_finish_ms = float("-inf")
+        self._free = None
+
+
+def pool_from_result(
+    result: FcadResult,
+    replicas: int = 1,
+    max_batch: int | None = None,
+    sim_frames: int = 8,
+    warmup: int = 2,
+    profile: FrameLatencyProfile | None = None,
+) -> ReplicaPool:
+    """Deploy ``replicas`` copies of a DSE-selected design as a pool.
+
+    The per-frame latency model is sampled from one cycle-accurate run of
+    the design (see :meth:`FcadResult.frame_latency_profile`); pass a
+    ``profile`` you already sampled to skip the simulation.
+    """
+    if profile is None:
+        profile = result.frame_latency_profile(frames=sim_frames, warmup=warmup)
+    if max_batch is None:
+        # The design was optimized for specific per-branch batch sizes;
+        # let a replica absorb a few frames beyond that before the
+        # scheduler must spill to the next one.
+        max_batch = max(
+            8,
+            2 * max(b.batch_size for b in result.dse.best_config.branches),
+        )
+    return ReplicaPool(latency=profile, replicas=replicas, max_batch=max_batch)
+
+
+__all__ = ["Replica", "ReplicaPool", "pool_from_result"]

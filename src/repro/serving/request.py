@@ -1,0 +1,62 @@
+"""Decode request/response model for the avatar serving layer.
+
+One :class:`DecodeRequest` asks for one avatar frame: "decode the latent
+code that arrived at ``arrival_ms`` for avatar ``avatar_id``, before
+``deadline_ms``". The scheduler batches requests onto accelerator
+replicas and answers each with a :class:`DecodeResponse` carrying the
+full timing record (queueing, service, deadline outcome) the SLO tracker
+aggregates.
+
+All timestamps are milliseconds on the session clock — virtual
+milliseconds in the deterministic simulated-clock mode, wall-clock
+milliseconds in real-time mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DecodeRequest:
+    """One avatar-frame decode request."""
+
+    request_id: int
+    avatar_id: int
+    frame_index: int
+    arrival_ms: float
+    deadline_ms: float  # absolute deadline on the session clock
+
+
+@dataclass(frozen=True)
+class DecodeResponse:
+    """Timing record of one served decode request."""
+
+    request: DecodeRequest
+    replica_id: int
+    batch_id: int
+    batch_size: int
+    start_ms: float  # when the batch hit the replica
+    finish_ms: float  # when this frame left the replica
+
+    @property
+    def latency_ms(self) -> float:
+        """Arrival-to-finish latency (what the user perceives)."""
+        return self.finish_ms - self.request.arrival_ms
+
+    @property
+    def queue_ms(self) -> float:
+        """Time spent waiting before the replica started the batch."""
+        return self.start_ms - self.request.arrival_ms
+
+    @property
+    def service_ms(self) -> float:
+        """Time on the replica itself."""
+        return self.finish_ms - self.start_ms
+
+    @property
+    def deadline_missed(self) -> bool:
+        return self.finish_ms > self.request.deadline_ms
+
+
+__all__ = ["DecodeRequest", "DecodeResponse"]

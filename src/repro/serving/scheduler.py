@@ -1,0 +1,164 @@
+"""The async decode scheduler: queue, batching window, replica dispatch.
+
+One dispatcher task owns the waiting queue. Whenever requests are waiting
+it (optionally) holds a short *batching window* so frames arriving close
+together coalesce, acquires a free replica from the pool (blocking while
+all replicas are busy — the saturation backpressure), asks the policy for
+the next batch, and hands it to the replica. Each frame's response is
+resolved at its own finish time, so callers see per-frame latencies, not
+per-batch ones.
+
+Everything is single-threaded asyncio with deterministic tie-breaking; on
+the virtual clock (see :mod:`repro.serving.clock`) an entire session is a
+pure function of its inputs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+
+from repro.serving.clock import now_ms, sleep_ms, sleep_until_ms
+from repro.serving.policies import SchedulingPolicy, get_policy
+from repro.serving.replica import Replica, ReplicaPool
+from repro.serving.request import DecodeRequest, DecodeResponse
+from repro.serving.slo import SloTracker
+
+
+class BatchScheduler:
+    """Batches decode requests onto a pool of simulated replicas."""
+
+    def __init__(
+        self,
+        pool: ReplicaPool,
+        policy: str | SchedulingPolicy = "fifo",
+        batch_window_ms: float = 2.0,
+        max_batch: int | None = None,
+        tracker: SloTracker | None = None,
+    ) -> None:
+        if batch_window_ms < 0:
+            raise ValueError("batch window must be >= 0")
+        self.pool = pool
+        self.policy = get_policy(policy)
+        self.batch_window_ms = batch_window_ms
+        self.max_batch = (
+            min(max_batch, pool.max_batch)
+            if max_batch is not None
+            else pool.max_batch
+        )
+        if self.max_batch < 1:
+            raise ValueError("max batch must be >= 1")
+        self.tracker = tracker if tracker is not None else SloTracker(0.0)
+        self._queue: list[DecodeRequest] = []
+        self._futures: dict[int, asyncio.Future[DecodeResponse]] = {}
+        self._request_ids = itertools.count()
+        self._batch_ids = itertools.count()
+        self._arrived: asyncio.Event | None = None
+        self._dispatcher: asyncio.Task[None] | None = None
+        self._inflight: set[asyncio.Task[None]] = set()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Open the pool and launch the dispatcher (call inside a session)."""
+        self.pool.open()
+        self._arrived = asyncio.Event()
+        self._dispatcher = asyncio.get_running_loop().create_task(
+            self._dispatch_loop()
+        )
+
+    def submit_nowait(
+        self, avatar_id: int, frame_index: int, deadline_rel_ms: float
+    ) -> asyncio.Future[DecodeResponse]:
+        """Enqueue one decode request; resolve when the frame is decoded."""
+        assert self._arrived is not None, "scheduler not started"
+        if self._closed:
+            raise RuntimeError("scheduler is closed")
+        arrival = now_ms()
+        request = DecodeRequest(
+            request_id=next(self._request_ids),
+            avatar_id=avatar_id,
+            frame_index=frame_index,
+            arrival_ms=arrival,
+            deadline_ms=arrival + deadline_rel_ms,
+        )
+        future: asyncio.Future[DecodeResponse] = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._futures[request.request_id] = future
+        self._queue.append(request)
+        self.tracker.record_submit()
+        self._arrived.set()
+        return future
+
+    async def submit(
+        self, avatar_id: int, frame_index: int, deadline_rel_ms: float
+    ) -> DecodeResponse:
+        return await self.submit_nowait(
+            avatar_id, frame_index, deadline_rel_ms
+        )
+
+    async def close(self) -> None:
+        """Drain the queue, retire in-flight batches, stop the dispatcher."""
+        self._closed = True
+        assert self._arrived is not None and self._dispatcher is not None
+        self._arrived.set()
+        await self._dispatcher
+        if self._inflight:
+            await asyncio.gather(*self._inflight)
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        assert self._arrived is not None
+        while True:
+            while not self._queue:
+                if self._closed:
+                    return
+                self._arrived.clear()
+                await self._arrived.wait()
+            if 0 < len(self._queue) < self.max_batch and self.batch_window_ms:
+                await sleep_ms(self.batch_window_ms)
+            replica = await self.pool.acquire()
+            batch = self.policy.select(
+                self._queue, now_ms(), min(self.max_batch, replica.max_batch)
+            )
+            if not batch:
+                self.pool.release(replica)
+                continue
+            chosen = {request.request_id for request in batch}
+            self._queue = [
+                r for r in self._queue if r.request_id not in chosen
+            ]
+            task = asyncio.get_running_loop().create_task(
+                self._serve(replica, batch)
+            )
+            self._inflight.add(task)
+            task.add_done_callback(self._inflight.discard)
+
+    async def _serve(
+        self, replica: Replica, batch: list[DecodeRequest]
+    ) -> None:
+        start = now_ms()
+        finishes = replica.service_times(start, len(batch))
+        batch_id = next(self._batch_ids)
+        self.tracker.record_batch(len(batch))
+        for request, finish in zip(batch, finishes):
+            await sleep_until_ms(finish)
+            response = DecodeResponse(
+                request=request,
+                replica_id=replica.replica_id,
+                batch_id=batch_id,
+                batch_size=len(batch),
+                start_ms=start,
+                finish_ms=finish,
+            )
+            self.tracker.record(response)
+            self._futures.pop(request.request_id).set_result(response)
+        self.pool.release(replica)
+
+
+__all__ = ["BatchScheduler"]

@@ -1,0 +1,239 @@
+"""SLO accounting: latency percentiles, deadline misses, throughput.
+
+The tracker collects every :class:`~repro.serving.request.DecodeResponse`
+of a session and folds them into a :class:`ServingReport` — the serving
+counterpart of :class:`~repro.sim.runner.SimulationReport` and
+:class:`~repro.dse.result.DseResult`: a frozen record that renders as a
+table and round-trips through JSON (:func:`report_to_json` /
+:func:`report_from_json`) so CI can archive it as an artifact.
+
+Percentiles use the nearest-rank definition (p-th percentile = smallest
+value with at least p% of samples at or below it), so a report is an
+exact function of the observed latencies — no interpolation noise.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass, field
+
+from repro.serving.request import DecodeResponse
+from repro.utils.tables import render_table
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile of ``samples`` (q in 0..100)."""
+    if not samples:
+        return 0.0
+    if not 0.0 < q <= 100.0:
+        raise ValueError(f"percentile must be in (0, 100]: {q}")
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """SLO summary of one serving session."""
+
+    policy: str
+    avatars: int
+    replicas: int
+    max_batch: int
+    batch_window_ms: float
+    submitted: int
+    completed: int
+    duration_ms: float
+    latency_p50_ms: float
+    latency_p95_ms: float
+    latency_p99_ms: float
+    latency_mean_ms: float
+    latency_max_ms: float
+    queue_mean_ms: float
+    deadline_ms: float
+    #: Per-avatar deadline budgets when the workload used tiers (empty
+    #: means every request had the flat ``deadline_ms`` budget).
+    deadline_tiers_ms: tuple[float, ...]
+    deadline_misses: int
+    batches: int
+    mean_batch_size: float
+    replica_utilization: tuple[float, ...]
+    per_avatar_p99_ms: tuple[float, ...] = field(default=())
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of completed frames that blew their deadline."""
+        return self.deadline_misses / self.completed if self.completed else 0.0
+
+    @property
+    def throughput_fps(self) -> float:
+        """Decoded frames per second of session time, all avatars together."""
+        return (
+            1000.0 * self.completed / self.duration_ms
+            if self.duration_ms > 0
+            else 0.0
+        )
+
+    @property
+    def deadline_label(self) -> str:
+        """The budget(s) misses were counted against, for display."""
+        if self.deadline_tiers_ms:
+            tiers = "/".join(f"{t:.0f}" for t in self.deadline_tiers_ms)
+            return f"@tiers {tiers} ms"
+        return f"@{self.deadline_ms:.0f} ms"
+
+    @property
+    def mean_utilization(self) -> float:
+        if not self.replica_utilization:
+            return 0.0
+        return sum(self.replica_utilization) / len(self.replica_utilization)
+
+    def render(self) -> str:
+        rows = [
+            ["avatars / replicas", f"{self.avatars} / {self.replicas}"],
+            [
+                "workload",
+                f"{self.completed}/{self.submitted} frames in "
+                f"{self.duration_ms:.1f} ms",
+            ],
+            ["throughput", f"{self.throughput_fps:.1f} FPS"],
+            [
+                "latency p50/p95/p99",
+                f"{self.latency_p50_ms:.2f} / {self.latency_p95_ms:.2f} / "
+                f"{self.latency_p99_ms:.2f} ms",
+            ],
+            [
+                "latency mean/max",
+                f"{self.latency_mean_ms:.2f} / {self.latency_max_ms:.2f} ms",
+            ],
+            ["queue wait (mean)", f"{self.queue_mean_ms:.2f} ms"],
+            [
+                f"deadline misses ({self.deadline_label})",
+                f"{self.deadline_misses} ({100 * self.miss_rate:.1f}%)",
+            ],
+            [
+                "batches",
+                f"{self.batches} (mean size {self.mean_batch_size:.2f}, "
+                f"window {self.batch_window_ms:.1f} ms)",
+            ],
+            [
+                "replica utilization",
+                " ".join(f"{100 * u:.0f}%" for u in self.replica_utilization)
+                or "-",
+            ],
+        ]
+        return render_table(
+            ["SLO", "value"],
+            rows,
+            title=f"Serving report ({self.policy})",
+        )
+
+
+class SloTracker:
+    """Accumulates responses while a session runs."""
+
+    def __init__(
+        self,
+        deadline_ms: float,
+        deadline_tiers_ms: tuple[float, ...] = (),
+    ) -> None:
+        self.deadline_ms = deadline_ms
+        self.deadline_tiers_ms = deadline_tiers_ms
+        self.responses: list[DecodeResponse] = []
+        self.submitted = 0
+        self.batch_sizes: list[int] = []
+
+    def record_submit(self) -> None:
+        self.submitted += 1
+
+    def record_batch(self, size: int) -> None:
+        self.batch_sizes.append(size)
+
+    def record(self, response: DecodeResponse) -> None:
+        self.responses.append(response)
+
+    def report(
+        self,
+        policy: str,
+        avatars: int,
+        duration_ms: float,
+        replica_utilization: tuple[float, ...],
+        max_batch: int,
+        batch_window_ms: float,
+    ) -> ServingReport:
+        latencies = [r.latency_ms for r in self.responses]
+        queue_waits = [r.queue_ms for r in self.responses]
+        per_avatar: dict[int, list[float]] = {}
+        for response in self.responses:
+            per_avatar.setdefault(response.request.avatar_id, []).append(
+                response.latency_ms
+            )
+        return ServingReport(
+            policy=policy,
+            avatars=avatars,
+            replicas=len(replica_utilization),
+            max_batch=max_batch,
+            batch_window_ms=batch_window_ms,
+            submitted=self.submitted,
+            completed=len(self.responses),
+            duration_ms=duration_ms,
+            latency_p50_ms=percentile(latencies, 50),
+            latency_p95_ms=percentile(latencies, 95),
+            latency_p99_ms=percentile(latencies, 99),
+            latency_mean_ms=(
+                sum(latencies) / len(latencies) if latencies else 0.0
+            ),
+            latency_max_ms=max(latencies, default=0.0),
+            queue_mean_ms=(
+                sum(queue_waits) / len(queue_waits) if queue_waits else 0.0
+            ),
+            deadline_ms=self.deadline_ms,
+            deadline_tiers_ms=self.deadline_tiers_ms,
+            deadline_misses=sum(
+                1 for r in self.responses if r.deadline_missed
+            ),
+            batches=len(self.batch_sizes),
+            mean_batch_size=(
+                sum(self.batch_sizes) / len(self.batch_sizes)
+                if self.batch_sizes
+                else 0.0
+            ),
+            replica_utilization=replica_utilization,
+            per_avatar_p99_ms=tuple(
+                percentile(per_avatar[a], 99) for a in sorted(per_avatar)
+            ),
+        )
+
+
+def report_to_json(report: ServingReport, indent: int = 2) -> str:
+    """Serialize a report (derived SLOs included, for easy dashboards)."""
+    payload = asdict(report)
+    payload["miss_rate"] = report.miss_rate
+    payload["throughput_fps"] = report.throughput_fps
+    payload["mean_utilization"] = report.mean_utilization
+    return json.dumps(payload, indent=indent)
+
+
+def report_from_json(text: str) -> ServingReport:
+    payload = json.loads(text)
+    payload.pop("miss_rate", None)
+    payload.pop("throughput_fps", None)
+    payload.pop("mean_utilization", None)
+    payload["replica_utilization"] = tuple(payload["replica_utilization"])
+    payload["deadline_tiers_ms"] = tuple(
+        payload.get("deadline_tiers_ms", ())
+    )
+    payload["per_avatar_p99_ms"] = tuple(
+        payload.get("per_avatar_p99_ms", ())
+    )
+    return ServingReport(**payload)
+
+
+__all__ = [
+    "ServingReport",
+    "SloTracker",
+    "percentile",
+    "report_from_json",
+    "report_to_json",
+]

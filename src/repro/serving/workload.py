@@ -1,0 +1,205 @@
+"""Multi-avatar decode workloads and the end-to-end serving session.
+
+A workload is N concurrent avatars, each streaming frames at a target
+cadence (e.g. 30 FPS per avatar) with seeded arrival jitter — the shape
+of a telepresence call: every participant's encoder emits latent codes on
+its own clock, and the receiver must decode all of them before their
+display deadlines.
+
+:func:`serve_workload` wires the whole layer together: replica pool →
+scheduler → avatar clients → :class:`~repro.serving.slo.ServingReport`.
+On the default virtual clock the run is deterministic: same seed, same
+report, bit for bit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.sim.runner import FrameLatencyProfile
+
+from repro.serving.clock import (
+    anchor_session_clock,
+    now_ms,
+    run_session,
+    sleep_until_ms,
+)
+from repro.serving.policies import SchedulingPolicy
+from repro.serving.replica import ReplicaPool
+from repro.serving.scheduler import BatchScheduler
+from repro.serving.slo import ServingReport, SloTracker
+
+
+@dataclass(frozen=True)
+class AvatarWorkload:
+    """N avatars streaming frames at a per-avatar cadence."""
+
+    avatars: int
+    frames_per_avatar: int
+    frame_interval_ms: float  # 1000 / per-avatar FPS
+    deadline_ms: float  # relative decode budget per frame
+    jitter_ms: float = 0.0  # uniform arrival jitter, +/- this much
+    seed: int = 0
+    #: Optional per-avatar deadline budgets, assigned round-robin (avatar
+    #: ``i`` gets ``deadline_tiers[i % len]``). Mixed tiers model a call
+    #: where the active speakers need tight latency while background
+    #: participants tolerate more — the regime where deadline-EDF beats
+    #: FIFO. Empty means every avatar uses ``deadline_ms``.
+    deadline_tiers: tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.avatars < 1 or self.frames_per_avatar < 1:
+            raise ValueError("need at least one avatar and one frame")
+        if self.frame_interval_ms <= 0 or self.deadline_ms <= 0:
+            raise ValueError("frame interval and deadline must be positive")
+        if not 0 <= self.jitter_ms < self.frame_interval_ms:
+            raise ValueError("jitter must be in [0, frame interval)")
+        if any(tier <= 0 for tier in self.deadline_tiers):
+            raise ValueError("deadline tiers must be positive")
+
+    @property
+    def total_frames(self) -> int:
+        return self.avatars * self.frames_per_avatar
+
+    def deadline_for(self, avatar_id: int) -> float:
+        if self.deadline_tiers:
+            return self.deadline_tiers[avatar_id % len(self.deadline_tiers)]
+        return self.deadline_ms
+
+    def avatar_rng(self, avatar_id: int) -> random.Random:
+        # One independent stream per avatar, stable in the session seed.
+        return random.Random(self.seed * 1_000_003 + avatar_id)
+
+
+def saturation_workload(
+    profile: "FrameLatencyProfile",
+    replicas: int,
+    saturation: float = 0.85,
+    avatar_fps: float = 30.0,
+    frames_per_avatar: int = 30,
+    deadline_ms: float = 50.0,
+    deadline_tiers: tuple[float, ...] = (20.0, 60.0),
+    jitter_ms: float = 8.0,
+    seed: int = 0,
+) -> AvatarWorkload:
+    """The canonical benchmark workload, sized off measured capacity.
+
+    The avatar fleet is scaled so the offered load is ``saturation`` of
+    the pool's steady-state capacity — the regime where scheduling policy
+    decides how many frames make their deadlines (well under it nothing
+    misses; far over it everything does). Deriving the fleet from the
+    profile keeps ``BENCH_serving.json`` and the pytest benchmark in the
+    same regime even as the cost models evolve, and keeps the two
+    benchmark surfaces measuring one and the same workload.
+    """
+    capacity_fps = replicas * profile.steady_fps
+    avatars = max(2, round(saturation * capacity_fps / avatar_fps))
+    return AvatarWorkload(
+        avatars=avatars,
+        frames_per_avatar=frames_per_avatar,
+        frame_interval_ms=1000.0 / avatar_fps,
+        deadline_ms=deadline_ms,
+        deadline_tiers=deadline_tiers,
+        jitter_ms=jitter_ms,
+        seed=seed,
+    )
+
+
+async def _avatar_client(
+    scheduler: BatchScheduler, workload: AvatarWorkload, avatar_id: int
+) -> None:
+    """Stream one avatar's frames at its cadence, without self-throttling.
+
+    Like a live camera, the client issues frames on its own clock whether
+    or not earlier frames finished — backpressure shows up as queueing
+    latency and deadline misses, not as a slower source.
+    """
+    rng = workload.avatar_rng(avatar_id)
+    deadline_ms = workload.deadline_for(avatar_id)
+    next_arrival = rng.uniform(0.0, workload.frame_interval_ms)
+    pending = []
+    for frame in range(workload.frames_per_avatar):
+        await sleep_until_ms(next_arrival)
+        pending.append(
+            scheduler.submit_nowait(avatar_id, frame, deadline_ms)
+        )
+        jitter = (
+            rng.uniform(-workload.jitter_ms, workload.jitter_ms)
+            if workload.jitter_ms
+            else 0.0
+        )
+        next_arrival += workload.frame_interval_ms + jitter
+    await asyncio.gather(*pending)
+
+
+async def run_serving_session(
+    pool: ReplicaPool,
+    workload: AvatarWorkload,
+    policy: str | SchedulingPolicy = "fifo",
+    batch_window_ms: float = 2.0,
+    max_batch: int | None = None,
+) -> ServingReport:
+    """Serve one workload on an open event loop and report the SLOs."""
+    anchor_session_clock()
+    tracker = SloTracker(
+        deadline_ms=workload.deadline_ms,
+        deadline_tiers_ms=workload.deadline_tiers,
+    )
+    scheduler = BatchScheduler(
+        pool,
+        policy=policy,
+        batch_window_ms=batch_window_ms,
+        max_batch=max_batch,
+        tracker=tracker,
+    )
+    scheduler.start()
+    clients = [
+        asyncio.get_running_loop().create_task(
+            _avatar_client(scheduler, workload, avatar_id)
+        )
+        for avatar_id in range(workload.avatars)
+    ]
+    await asyncio.gather(*clients)
+    await scheduler.close()
+    duration_ms = now_ms()
+    return tracker.report(
+        policy=scheduler.policy.name,
+        avatars=workload.avatars,
+        duration_ms=duration_ms,
+        replica_utilization=pool.utilizations(duration_ms),
+        max_batch=scheduler.max_batch,
+        batch_window_ms=scheduler.batch_window_ms,
+    )
+
+
+def serve_workload(
+    pool: ReplicaPool,
+    workload: AvatarWorkload,
+    policy: str | SchedulingPolicy = "fifo",
+    batch_window_ms: float = 2.0,
+    max_batch: int | None = None,
+    real_time: bool = False,
+) -> ServingReport:
+    """Run a whole serving session; deterministic on the virtual clock."""
+    return run_session(
+        run_serving_session(
+            pool,
+            workload,
+            policy=policy,
+            batch_window_ms=batch_window_ms,
+            max_batch=max_batch,
+        ),
+        real_time=real_time,
+    )
+
+
+__all__ = [
+    "AvatarWorkload",
+    "run_serving_session",
+    "saturation_workload",
+    "serve_workload",
+]

@@ -16,15 +16,22 @@ models the second-order effects the analytical models ignore:
 
 from repro.sim.dram import DramChannel
 from repro.sim.pipeline import PipelineSimulator
-from repro.sim.runner import SimulationReport, simulate
+from repro.sim.runner import (
+    FrameLatencyProfile,
+    SimulationReport,
+    frame_latency_profile,
+    simulate,
+)
 from repro.sim.stats import SimStats, StageStats
 from repro.sim.timeline import render_timeline
 
 __all__ = [
     "DramChannel",
+    "FrameLatencyProfile",
     "PipelineSimulator",
     "SimStats",
     "SimulationReport",
+    "frame_latency_profile",
     "render_timeline",
     "StageStats",
     "simulate",

@@ -15,6 +15,58 @@ from repro.utils.units import GIGA
 
 
 @dataclass(frozen=True)
+class FrameLatencyProfile:
+    """Per-frame decode latency of one accelerator, fill vs steady state.
+
+    Sampled from a cycle-accurate run: a frame is *decoded* when the
+    terminal stage of every branch has finished it, so ``finish_ms[i]`` is
+    the completion time of frame ``i`` on a cold accelerator (weight load
+    and pipeline fill included). ``first_frame_ms`` is the cold-start
+    latency; ``steady_interval_ms`` is the inter-frame spacing once the
+    pipeline is full — the two numbers a serving layer needs to account a
+    batch that starts on an empty pipeline differently from one that keeps
+    a warm pipeline fed.
+    """
+
+    finish_ms: tuple[float, ...]
+    first_frame_ms: float
+    steady_interval_ms: float
+    frequency_mhz: float
+
+    @property
+    def fill_overhead_ms(self) -> float:
+        """Extra latency the first frame pays over a steady-state frame."""
+        return max(0.0, self.first_frame_ms - self.steady_interval_ms)
+
+    @property
+    def steady_fps(self) -> float:
+        return (
+            1000.0 / self.steady_interval_ms
+            if self.steady_interval_ms > 0
+            else 0.0
+        )
+
+    def batch_finish_ms(
+        self, start_ms: float, batch: int, warm: bool = False
+    ) -> tuple[float, ...]:
+        """Completion times of ``batch`` back-to-back frames from ``start_ms``.
+
+        A cold start (idle pipeline) pays the full fill latency on its
+        first frame; a warm start (the pipeline was still draining when the
+        batch arrived) streams every frame at the steady interval.
+        """
+        if batch < 1:
+            raise ValueError("need at least one frame in a batch")
+        first = (
+            self.steady_interval_ms if warm else self.first_frame_ms
+        )
+        return tuple(
+            start_ms + first + j * self.steady_interval_ms
+            for j in range(batch)
+        )
+
+
+@dataclass(frozen=True)
 class SimulationReport:
     """Measured ("board-level") performance of an accelerator config.
 
@@ -124,4 +176,61 @@ def simulate(
         total_cycles=stats.total_cycles,
         frames=frames,
         stats=stats,
+    )
+
+
+def frame_latency_profile(
+    plan: PipelinePlan,
+    config: AcceleratorConfig,
+    quant: QuantScheme,
+    bandwidth_gbps: float,
+    frequency_mhz: float = 200.0,
+    frames: int = 8,
+    warmup: int = 2,
+) -> FrameLatencyProfile:
+    """Sample per-frame decode latencies from a cycle-accurate run.
+
+    Frame ``i`` counts as decoded when every branch's terminal stage has
+    finished it (an avatar needs all of geometry, texture, and warp). The
+    steady interval averages the inter-frame spacing after ``warmup``
+    frames; the frames before that carry the fill-phase accounting.
+    """
+    if frames < 2:
+        raise ValueError("need at least two frames to split fill from steady state")
+    simulator = PipelineSimulator(
+        plan=plan,
+        config=config,
+        quant=quant,
+        bandwidth_gbps=bandwidth_gbps,
+        frequency_mhz=frequency_mhz,
+    )
+    stats = simulator.run(frames=frames)
+    cycles_per_ms = frequency_mhz * 1e3
+    per_branch = [
+        stats.stages[pipeline.stages[-1].name].frame_finish_times
+        for pipeline in plan.branches
+    ]
+    finish_ms = tuple(
+        max(times[i] for times in per_branch) / cycles_per_ms
+        for i in range(frames)
+    )
+    warmup = min(warmup, frames - 2)
+    # Steady interval per *decoded avatar frame*: a branch with batch B
+    # runs B replica pipelines on independent frames, so its effective
+    # spacing is the simulated single-replica spacing over B (the same
+    # accounting `simulate` uses for branch_fps). The slowest branch
+    # paces the decode.
+    intervals_ms = []
+    for times, branch_cfg in zip(per_branch, config.branches):
+        window = times[warmup:]
+        spacing = (window[-1] - window[0]) / (len(window) - 1)
+        intervals_ms.append(
+            spacing / cycles_per_ms / max(1, branch_cfg.batch_size)
+        )
+    steady = max(intervals_ms)
+    return FrameLatencyProfile(
+        finish_ms=finish_ms,
+        first_frame_ms=finish_ms[0],
+        steady_interval_ms=steady,
+        frequency_mhz=frequency_mhz,
     )

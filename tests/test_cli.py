@@ -114,6 +114,98 @@ class TestExplore:
         assert "512" in out
 
 
+class TestValidation:
+    @pytest.mark.parametrize("value", ["0", "-2", "2.5", "four"])
+    def test_workers_rejects_bad_values(self, capsys, value):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["explore", "tiny_yolo", "--workers", value])
+        assert excinfo.value.code == 2
+        assert "positive integer" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("value", ["0", "-1"])
+    def test_iterations_population_must_be_positive(self, capsys, value):
+        for flag in ("--iterations", "--population"):
+            with pytest.raises(SystemExit):
+                main(["explore", "tiny_yolo", flag, value])
+            assert "positive integer" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("sweep", ["", "Z7045,,ZU17EG", ","])
+    def test_sweep_rejects_malformed_lists(self, capsys, sweep):
+        assert main(["explore", "tiny_yolo", "--sweep", sweep]) == 2
+        err = capsys.readouterr().err
+        assert "comma-separated device list" in err
+
+    def test_sweep_rejects_unknown_devices(self, capsys):
+        assert main(["explore", "tiny_yolo", "--sweep", "Z7045,ZU99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown device(s)" in err and "ZU99" in err
+
+    def test_explore_surfaces_cache_stats(self, capsys):
+        out = run_cli(
+            capsys,
+            "explore",
+            "tiny_yolo",
+            "--device", "Z7045",
+            "--iterations", "2",
+            "--population", "8",
+        )
+        assert "DSE cache:" in out
+        assert "Algorithm-2 solves" in out
+
+
+class TestServe:
+    SERVE = [
+        "serve",
+        "--device", "Z7045",
+        "--iterations", "2",
+        "--population", "8",
+        "--avatars", "4",
+        "--replicas", "2",
+        "--frames", "5",
+        "--sim-frames", "4",
+    ]
+
+    def test_serve_defaults_to_decoder(self, capsys):
+        out = run_cli(capsys, *self.SERVE, "--policy", "edf")
+        assert "Serving report (edf)" in out
+        assert "deadline misses" in out
+
+    def test_serve_bit_identical_across_runs(self, capsys):
+        first = run_cli(capsys, *self.SERVE, "--policy", "edf", "--seed", "0")
+        second = run_cli(capsys, *self.SERVE, "--policy", "edf", "--seed", "0")
+        assert first == second
+
+    def test_serve_writes_json(self, capsys, tmp_path):
+        from repro.serving import report_from_json
+
+        path = tmp_path / "serving.json"
+        run_cli(
+            capsys,
+            *self.SERVE,
+            "--policy", "fair",
+            "--deadline-tiers", "25,100",
+            "--json", str(path),
+        )
+        report = report_from_json(path.read_text())
+        assert report.policy == "fair"
+        assert report.completed == 4 * 5
+
+    def test_serve_rejects_bad_avatars(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--avatars", "0"])
+        assert "positive integer" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("tiers", ["25,abc", "", "25,-5", "0"])
+    def test_serve_rejects_bad_deadline_tiers(self, capsys, tiers):
+        # Validated before the design search runs, with a friendly error.
+        assert main(["serve", "--deadline-tiers", tiers]) == 2
+        assert "--deadline-tiers" in capsys.readouterr().err
+
+    def test_serve_rejects_oversized_jitter(self, capsys):
+        assert main(["serve", "--jitter-ms", "40"]) == 2
+        assert "frame interval" in capsys.readouterr().err
+
+
 class TestSimulate:
     def test_simulate_saved_config(self, capsys, tmp_path):
         config_path = tmp_path / "cfg.json"

@@ -11,7 +11,11 @@ from repro.devices.fpga import get_device
 from repro.dse.cache import LocalEvalCache, SharedEvalCache
 from repro.dse.engine import DseEngine
 from repro.dse.space import Customization
-from repro.dse.worker import EvalSpec, evaluate_candidate
+from repro.dse.worker import (
+    EvalSpec,
+    SweepWorkerPool,
+    evaluate_candidate,
+)
 from repro.fcad.flow import FCad, run_sweep, sweep_grid
 from repro.quant.schemes import INT8, INT16
 from repro.utils.rng import seed_fingerprint
@@ -239,6 +243,113 @@ class TestSweepApi:
         for s, p in zip(serial, parallel):
             assert s.dse.best_fitness == p.dse.best_fitness
             assert s.dse.best_config == p.dse.best_config
+
+
+class TestSweepWorkerPool:
+    def test_pool_matches_inline_evaluation(self, tiny_plan_module):
+        """One long-lived pool returns exactly what inline eval computes."""
+        int8 = make_engine(tiny_plan_module, quant=INT8).spec
+        int16 = make_engine(tiny_plan_module, quant=INT16).spec
+        positions = [[0.5, 0.5] * 3, [0.7, 0.3] * 3]
+        with SharedEvalCache() as cache:
+            with SweepWorkerPool(2, cache) as pool:
+                for spec in (int8, int16):
+                    pooled = pool.run(spec, positions)
+                    inline = [
+                        evaluate_candidate(spec, pos, LocalEvalCache())
+                        for pos in positions
+                    ]
+                    assert [r.score for r in pooled] == [
+                        r.score for r in inline
+                    ]
+                    assert [r.solutions for r in pooled] == [
+                        r.solutions for r in inline
+                    ]
+                # Both problem specs were served by the same worker set.
+                assert pool.specs_registered == 2
+            # close() removed its bookkeeping from the (caller-owned)
+            # cache: only genuine evaluation entries remain.
+            assert all(
+                key[0] != "__spec__" for key, _ in cache.items()
+            )
+
+    def test_spec_registration_idempotent(self, tiny_plan_module):
+        spec = make_engine(tiny_plan_module).spec
+        with SharedEvalCache() as cache:
+            with SweepWorkerPool(1, cache) as pool:
+                pool.register(spec)
+                pool.register(spec)
+                assert pool.specs_registered == 1
+
+    def test_requires_shared_cache(self):
+        with pytest.raises(TypeError, match="cross-process"):
+            SweepWorkerPool(1, LocalEvalCache())
+
+    def test_search_many_reuses_one_pool(self, tiny_plan_module, monkeypatch):
+        """A parallel sweep forks exactly one pool for all of its cases."""
+        created: list[SweepWorkerPool] = []
+        registered: set[str] = set()
+        original_init = SweepWorkerPool.__init__
+        original_register = SweepWorkerPool.register
+
+        def counting_init(self, workers, cache):
+            original_init(self, workers, cache)
+            created.append(self)
+
+        def counting_register(self, spec):
+            registered.add(spec.digest)
+            original_register(self, spec)
+
+        monkeypatch.setattr(SweepWorkerPool, "__init__", counting_init)
+        monkeypatch.setattr(SweepWorkerPool, "register", counting_register)
+        engines = [
+            make_engine(tiny_plan_module, device=device)
+            for device in ("Z7045", "ZU17EG", "ZU9CG")
+        ]
+        results = DseEngine.search_many(
+            engines, iterations=2, population=8, seed=0, workers=2
+        )
+        assert len(results) == 3
+        assert len(created) == 1
+        assert len(registered) == 3
+
+    def test_local_cache_promoted_for_parallel_sweep(self, tiny_plan_module):
+        """workers>1 + LocalEvalCache still gets one pool, and the new
+        entries drain back into the caller's cache (no bookkeeping keys)."""
+        engines = [
+            make_engine(tiny_plan_module, device=device)
+            for device in ("Z7045", "ZU17EG")
+        ]
+        local = LocalEvalCache()
+        pooled = DseEngine.search_many(
+            engines, iterations=2, population=8, seed=0,
+            workers=2, cache=local,
+        )
+        keys = [key for key, _ in local.items()]
+        assert keys, "promoted cache was not drained back"
+        assert not any(key[0] == "__spec__" for key in keys)
+        serial = DseEngine.search_many(
+            engines, iterations=2, population=8, seed=0
+        )
+        assert [r.best_config for r in pooled] == [
+            r.best_config for r in serial
+        ]
+
+    def test_pooled_sweep_matches_serial_sweep(self, tiny_plan_module):
+        engines = [
+            make_engine(tiny_plan_module, device=device)
+            for device in ("Z7045", "ZU17EG")
+        ]
+        serial = DseEngine.search_many(
+            engines, iterations=2, population=8, seed=2
+        )
+        pooled = DseEngine.search_many(
+            engines, iterations=2, population=8, seed=2, workers=2
+        )
+        for s, p in zip(serial, pooled):
+            assert s.best_fitness == p.best_fitness
+            assert s.best_config == p.best_config
+            assert s.history == p.history
 
 
 class TestResultStats:

@@ -1,0 +1,379 @@
+"""Serving layer: clock, replicas, policies, scheduler, SLOs, determinism."""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.devices.fpga import get_device
+from repro.fcad.flow import FCad
+from repro.serving import (
+    AvatarWorkload,
+    ReplicaPool,
+    get_policy,
+    percentile,
+    pool_from_result,
+    report_from_json,
+    report_to_json,
+    run_session,
+    serve_from_result,
+    serve_workload,
+)
+from repro.serving.clock import now_ms, sleep_ms
+from repro.serving.request import DecodeRequest
+from repro.sim.runner import FrameLatencyProfile
+from tests.conftest import make_tiny_decoder
+
+#: A hand-built latency model: 8 ms cold start, 4 ms/frame steady state —
+#: one replica decodes at most 250 FPS once warm.
+PROFILE = FrameLatencyProfile(
+    finish_ms=(8.0, 12.0, 16.0),
+    first_frame_ms=8.0,
+    steady_interval_ms=4.0,
+    frequency_mhz=200.0,
+)
+
+
+def make_workload(**overrides) -> AvatarWorkload:
+    defaults = dict(
+        avatars=8,
+        frames_per_avatar=10,
+        frame_interval_ms=33.3,
+        deadline_ms=40.0,
+        jitter_ms=3.0,
+        seed=0,
+    )
+    defaults.update(overrides)
+    return AvatarWorkload(**defaults)
+
+
+class TestVirtualClock:
+    def test_sleeps_cost_no_wall_time(self):
+        async def long_nap():
+            await sleep_ms(3_600_000.0)  # one virtual hour
+            return now_ms()
+
+        started = time.perf_counter()
+        finished_at = run_session(long_nap())
+        assert finished_at == pytest.approx(3_600_000.0)
+        assert time.perf_counter() - started < 2.0
+
+    def test_concurrent_timers_interleave_deterministically(self):
+        async def ticks():
+            order: list[str] = []
+
+            async def tick(label, period_ms, count):
+                for _ in range(count):
+                    await sleep_ms(period_ms)
+                    order.append(label)
+
+            await asyncio.gather(tick("a", 10, 3), tick("b", 15, 2))
+            return order
+
+        assert run_session(ticks()) == run_session(ticks())
+
+
+class TestFrameLatencyProfile:
+    def test_sampled_from_simulator(self, tiny_plan):
+        budget = get_device("Z7045").budget()
+        from repro.arch.config import AcceleratorConfig
+
+        config = AcceleratorConfig.uniform(tiny_plan)
+        from repro.sim.runner import frame_latency_profile
+
+        from repro.quant.schemes import INT8
+
+        profile = frame_latency_profile(
+            tiny_plan,
+            config,
+            quant=INT8,
+            bandwidth_gbps=budget.bandwidth_gbps,
+            frames=6,
+        )
+        assert len(profile.finish_ms) == 6
+        # Completion times are monotonically increasing...
+        assert list(profile.finish_ms) == sorted(profile.finish_ms)
+        # ...and the cold first frame costs at least a steady interval.
+        assert profile.first_frame_ms >= profile.steady_interval_ms > 0
+        assert profile.steady_fps > 0
+
+    def test_batch_finish_cold_vs_warm(self):
+        cold = PROFILE.batch_finish_ms(100.0, 3)
+        assert cold == (108.0, 112.0, 116.0)
+        warm = PROFILE.batch_finish_ms(100.0, 3, warm=True)
+        assert warm == (104.0, 108.0, 112.0)
+        with pytest.raises(ValueError):
+            PROFILE.batch_finish_ms(0.0, 0)
+
+
+class TestReplica:
+    def test_warm_window_accounting(self):
+        pool = ReplicaPool(PROFILE, replicas=1, max_batch=4)
+        replica = pool.replicas[0]
+        first = replica.service_times(0.0, 2)
+        assert first == (8.0, 12.0)
+        # Immediately following batch keeps the pipeline warm.
+        second = replica.service_times(12.0, 2)
+        assert second == (16.0, 20.0)
+        # A long idle gap forces a fresh fill.
+        third = replica.service_times(100.0, 1)
+        assert third == (108.0,)
+        assert replica.frames_served == 5
+        assert replica.busy_ms == pytest.approx(12.0 + 8.0 + 8.0)
+
+    def test_batch_capacity_enforced(self):
+        pool = ReplicaPool(PROFILE, replicas=1, max_batch=2)
+        with pytest.raises(ValueError, match="capacity"):
+            pool.replicas[0].service_times(0.0, 3)
+
+    def test_pool_reuse_across_sessions_is_clean(self):
+        # open() starts every session from scratch: running the same
+        # workload twice on one pool reports identical SLOs both times.
+        pool = ReplicaPool(PROFILE, replicas=2, max_batch=4)
+        first = serve_workload(pool, make_workload(), policy="fifo")
+        second = serve_workload(pool, make_workload(), policy="fifo")
+        assert report_to_json(first) == report_to_json(second)
+
+
+class TestPolicies:
+    @staticmethod
+    def requests(*specs) -> list[DecodeRequest]:
+        return [
+            DecodeRequest(
+                request_id=i,
+                avatar_id=avatar,
+                frame_index=0,
+                arrival_ms=arrival,
+                deadline_ms=deadline,
+            )
+            for i, (avatar, arrival, deadline) in enumerate(specs)
+        ]
+
+    def test_fifo_orders_by_arrival(self):
+        queue = self.requests((0, 5.0, 100.0), (1, 1.0, 50.0), (2, 3.0, 10.0))
+        batch = get_policy("fifo").select(queue, now_ms=6.0, limit=2)
+        assert [r.request_id for r in batch] == [1, 2]
+
+    def test_edf_orders_by_deadline(self):
+        queue = self.requests((0, 5.0, 100.0), (1, 1.0, 50.0), (2, 3.0, 10.0))
+        batch = get_policy("edf").select(queue, now_ms=6.0, limit=2)
+        assert [r.request_id for r in batch] == [2, 1]
+
+    def test_fair_round_robins_avatars(self):
+        # Avatar 0 flooded the queue first; avatar 1 has one late frame.
+        queue = self.requests(
+            (0, 0.0, 50.0), (0, 1.0, 50.0), (0, 2.0, 50.0), (1, 3.0, 50.0)
+        )
+        batch = get_policy("fair").select(queue, now_ms=4.0, limit=2)
+        assert sorted(r.avatar_id for r in batch) == [0, 1]
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(KeyError, match="known policies"):
+            get_policy("lifo")
+
+
+class TestPercentiles:
+    def test_nearest_rank(self):
+        samples = [float(v) for v in range(1, 101)]  # 1..100
+        assert percentile(samples, 50) == 50.0
+        assert percentile(samples, 95) == 95.0
+        assert percentile(samples, 99) == 99.0
+        assert percentile(samples, 100) == 100.0
+
+    def test_small_sample(self):
+        assert percentile([7.0], 99) == 7.0
+        assert percentile([3.0, 9.0], 50) == 3.0
+        assert percentile([], 99) == 0.0
+
+    def test_bad_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 0.0)
+
+
+class TestServingSession:
+    def test_all_frames_served(self):
+        pool = ReplicaPool(PROFILE, replicas=2, max_batch=4)
+        report = serve_workload(pool, make_workload(), policy="fifo")
+        assert report.completed == report.submitted == 80
+        assert report.latency_p50_ms > 0
+        assert report.latency_p99_ms >= report.latency_p95_ms
+        assert report.latency_p95_ms >= report.latency_p50_ms
+        assert report.throughput_fps > 0
+        assert len(report.replica_utilization) == 2
+        assert all(0 <= u <= 1 for u in report.replica_utilization)
+
+    def test_deterministic_at_same_seed(self):
+        def run():
+            pool = ReplicaPool(PROFILE, replicas=2, max_batch=4)
+            return serve_workload(pool, make_workload(), policy="edf")
+
+        assert report_to_json(run()) == report_to_json(run())
+
+    def test_seed_changes_workload(self):
+        def run(seed):
+            pool = ReplicaPool(PROFILE, replicas=2, max_batch=4)
+            return serve_workload(pool, make_workload(seed=seed))
+
+        assert report_to_json(run(0)) != report_to_json(run(1))
+
+    def test_saturated_pool_misses_deadlines(self):
+        # Offered: 16 avatars x 30 FPS = 480 FPS against a single replica
+        # that tops out at 250 FPS: the queue grows without bound and the
+        # deadline-miss SLO must light up.
+        pool = ReplicaPool(PROFILE, replicas=1, max_batch=8)
+        report = serve_workload(
+            pool,
+            make_workload(avatars=16, frames_per_avatar=20),
+            policy="fifo",
+        )
+        assert report.completed == 320
+        assert report.deadline_misses > 0
+        assert report.miss_rate > 0.5
+        assert max(report.replica_utilization) > 0.9
+
+    def test_edf_beats_fifo_on_mixed_deadlines(self):
+        # Moderate saturation with mixed SLO tiers: EDF reorders so the
+        # tight-deadline frames go first while the loose ones still have
+        # slack; FIFO makes the tight ones wait behind loose arrivals.
+        workload = make_workload(
+            avatars=14,
+            frames_per_avatar=30,
+            jitter_ms=8.0,
+            deadline_ms=50.0,
+            deadline_tiers=(20.0, 60.0),
+        )
+
+        def run(policy):
+            pool = ReplicaPool(PROFILE, replicas=2, max_batch=8)
+            return serve_workload(pool, workload, policy=policy)
+
+        fifo, edf = run("fifo"), run("edf")
+        assert fifo.completed == edf.completed == 420
+        assert edf.deadline_misses < fifo.deadline_misses
+
+    def test_batch_window_coalesces(self):
+        workload = make_workload(jitter_ms=0.0)
+
+        def run(window):
+            pool = ReplicaPool(PROFILE, replicas=1, max_batch=8)
+            return serve_workload(
+                pool, workload, policy="fifo", batch_window_ms=window
+            )
+
+        eager, windowed = run(0.0), run(5.0)
+        assert windowed.mean_batch_size > eager.mean_batch_size
+
+    def test_report_json_roundtrip(self):
+        pool = ReplicaPool(PROFILE, replicas=2, max_batch=4)
+        report = serve_workload(pool, make_workload(), policy="fair")
+        clone = report_from_json(report_to_json(report))
+        assert clone == report
+        payload = report_to_json(report)
+        assert '"miss_rate"' in payload and '"throughput_fps"' in payload
+
+    def test_render_mentions_slos(self):
+        pool = ReplicaPool(PROFILE, replicas=1, max_batch=4)
+        report = serve_workload(pool, make_workload(avatars=2))
+        text = report.render()
+        assert "p50/p95/p99" in text
+        assert "deadline misses (@40 ms)" in text
+        assert "replica utilization" in text
+
+    def test_tiered_deadlines_labelled_as_tiers(self):
+        pool = ReplicaPool(PROFILE, replicas=1, max_batch=4)
+        report = serve_workload(
+            pool, make_workload(avatars=2, deadline_tiers=(25.0, 100.0))
+        )
+        assert report.deadline_tiers_ms == (25.0, 100.0)
+        assert "@tiers 25/100 ms" in report.render()
+
+    def test_real_time_mode_counts_session_time(self):
+        # A stock loop's time() is an arbitrary monotonic epoch; the
+        # session clock must still start at ~0 so durations, arrival
+        # pacing, and utilization are session-relative.
+        pool = ReplicaPool(PROFILE, replicas=1, max_batch=4)
+        workload = make_workload(
+            avatars=2,
+            frames_per_avatar=3,
+            frame_interval_ms=5.0,
+            jitter_ms=0.0,
+            deadline_ms=100.0,
+        )
+        report = serve_workload(pool, workload, real_time=True)
+        assert report.completed == 6
+        # Session spans the workload (>= one frame interval), not the
+        # machine's monotonic-clock epoch (minutes-to-days of millis).
+        assert 5.0 <= report.duration_ms < 10_000.0
+        assert max(report.replica_utilization) > 0.001
+
+    def test_saturation_workload_sizes_from_capacity(self):
+        from repro.serving import saturation_workload
+
+        workload = saturation_workload(PROFILE, replicas=2)
+        # 0.85 * 2 replicas * 250 FPS / 30 FPS-per-avatar ~= 14 avatars.
+        assert workload.avatars == 14
+        assert workload.deadline_tiers == (20.0, 60.0)
+
+
+class TestServeFromResult:
+    @pytest.fixture(scope="class")
+    def tiny_result(self):
+        return FCad(
+            network=make_tiny_decoder(),
+            device=get_device("Z7045"),
+            quant="int8",
+        ).run(iterations=2, population=8, seed=0)
+
+    def test_pool_from_result(self, tiny_result):
+        pool = pool_from_result(tiny_result, replicas=3, sim_frames=4)
+        assert len(pool) == 3
+        assert pool.replicas[0].latency.steady_interval_ms > 0
+
+    def test_precomputed_profile_skips_resampling(self, tiny_result):
+        pool = pool_from_result(tiny_result, replicas=1, profile=PROFILE)
+        assert pool.replicas[0].latency is PROFILE
+
+    def test_batch_replication_scales_capacity(self):
+        # A design whose branches each run batch=2 replica pipelines
+        # decodes twice as fast as the single-replica simulation ticks:
+        # the serving capacity must agree with the simulator's own
+        # steady-state measurement, which applies the same scaling.
+        from repro.dse.space import Customization
+        from repro.sim.runner import simulate
+
+        batched = FCad(
+            network=make_tiny_decoder(),
+            device=get_device("Z7045"),
+            quant="int8",
+            customization=Customization(
+                batch_sizes=(2, 2), priorities=(1.0, 1.0)
+            ),
+        ).run(iterations=2, population=8, seed=0)
+        profile = batched.frame_latency_profile(frames=8)
+        measured = simulate(
+            plan=batched.plan,
+            config=batched.dse.best_config,
+            quant=batched.quant,
+            bandwidth_gbps=batched.budget.bandwidth_gbps,
+            frequency_mhz=batched.frequency_mhz,
+            frames=8,
+        )
+        assert profile.steady_fps == pytest.approx(measured.fps, rel=0.05)
+
+    def test_end_to_end_deterministic(self, tiny_result):
+        def run():
+            return serve_from_result(
+                tiny_result,
+                avatars=4,
+                replicas=2,
+                policy="edf",
+                frames_per_avatar=6,
+                seed=0,
+                sim_frames=4,
+            )
+
+        first, second = run(), run()
+        assert report_to_json(first) == report_to_json(second)
+        assert first.completed == 24

@@ -1,14 +1,20 @@
 #!/usr/bin/env python
-"""Run the DSE convergence benchmark at reduced size, emit BENCH_dse.json.
+"""Run a reduced benchmark suite and emit a machine-readable BENCH_*.json.
 
-CI's bench-smoke job calls this on every PR so the performance trajectory
-of the search engine is machine-readable: best fitness, Algorithm-2
-evaluations, cache hits, and wall time for a serial and a parallel run of
-the same reduced Sec.-VII study, plus the serial/parallel speedup. The
-script exits nonzero if the parallel run is not bit-identical to the
-serial one — a free determinism check on every PR.
+Two suites, one per CI smoke job, so the repo's performance trajectory is
+comparable PR over PR:
 
-Run:  PYTHONPATH=src python tools/bench_to_json.py [--out BENCH_dse.json]
+- ``--suite dse`` (default) — the DSE convergence study at reduced size,
+  serial vs parallel, written to ``BENCH_dse.json``. Exits nonzero if the
+  parallel run is not bit-identical to the serial one.
+- ``--suite serving`` — the avatar serving layer: explore a design once,
+  deploy simulated replicas, and serve the *same* mixed-deadline workload
+  under FIFO and EDF batching. Written to ``BENCH_serving.json`` with p99
+  latency, deadline-miss rate, and throughput per policy. Exits nonzero
+  if two EDF sessions at the same seed are not bit-identical (the virtual
+  clock's determinism guarantee, checked on every PR).
+
+Run:  PYTHONPATH=src python tools/bench_to_json.py [--suite serving] [--out F]
 (or from anywhere: the script puts ``src/`` on ``sys.path`` itself)
 """
 
@@ -28,6 +34,17 @@ sys.path.insert(0, str(REPO / "src"))
 from repro.experiments.convergence import ConvergenceResult, run_convergence  # noqa: E402
 
 
+def environment() -> dict:
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# suite: dse
+# ---------------------------------------------------------------------------
 def summarize(result: ConvergenceResult, wall_seconds: float) -> dict:
     return {
         "workers": result.workers,
@@ -45,22 +62,7 @@ def summarize(result: ConvergenceResult, wall_seconds: float) -> dict:
     }
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--device", default="ZU9CG")
-    parser.add_argument("--quant", default="int8")
-    parser.add_argument("--searches", type=int, default=2)
-    parser.add_argument("--iterations", type=int, default=5)
-    parser.add_argument("--population", type=int, default=40)
-    parser.add_argument(
-        "--workers",
-        type=int,
-        default=max(1, min(4, os.cpu_count() or 1)),
-        help="workers for the parallel run (default: up to 4)",
-    )
-    parser.add_argument("--out", default="BENCH_dse.json")
-    args = parser.parse_args(argv)
-
+def run_dse_suite(args: argparse.Namespace) -> int:
     config = dict(
         device_name=args.device,
         quant_name=args.quant,
@@ -83,11 +85,7 @@ def main(argv: list[str] | None = None) -> int:
     payload = {
         "benchmark": "dse_convergence",
         "config": config,
-        "environment": {
-            "python": platform.python_version(),
-            "platform": platform.platform(),
-            "cpu_count": os.cpu_count(),
-        },
+        "environment": environment(),
         "serial": summarize(serial, serial_wall),
         "parallel": summarize(parallel, parallel_wall),
         "speedup": round(serial_wall / parallel_wall, 3)
@@ -116,6 +114,166 @@ def main(argv: list[str] | None = None) -> int:
         print("ERROR: parallel search diverged from serial results")
         return 1
     return 0
+
+
+# ---------------------------------------------------------------------------
+# suite: serving
+# ---------------------------------------------------------------------------
+def summarize_serving(report) -> dict:
+    return {
+        "completed": report.completed,
+        "latency_p50_ms": round(report.latency_p50_ms, 3),
+        "latency_p95_ms": round(report.latency_p95_ms, 3),
+        "latency_p99_ms": round(report.latency_p99_ms, 3),
+        "latency_mean_ms": round(report.latency_mean_ms, 3),
+        "deadline_misses": report.deadline_misses,
+        "deadline_miss_rate": round(report.miss_rate, 4),
+        "throughput_fps": round(report.throughput_fps, 2),
+        "mean_batch_size": round(report.mean_batch_size, 3),
+        "mean_utilization": round(report.mean_utilization, 4),
+    }
+
+
+def run_serving_suite(args: argparse.Namespace) -> int:
+    from repro.devices.fpga import get_device
+    from repro.fcad.flow import FCad
+    from repro.models.zoo import get_model
+    from repro.serving import (
+        ReplicaPool,
+        report_to_json,
+        saturation_workload,
+        serve_workload,
+    )
+
+    result = FCad(
+        network=get_model(args.model),
+        device=get_device(args.device),
+        quant=args.quant,
+    ).run(
+        iterations=args.iterations,
+        population=args.population,
+        seed=0,
+        workers=1,
+    )
+    profile = result.frame_latency_profile(frames=8)
+
+    workload = saturation_workload(
+        profile,
+        replicas=args.replicas,
+        avatar_fps=args.avatar_fps,
+        frames_per_avatar=args.frames,
+    )
+    avatars = workload.avatars
+
+    def session(policy: str):
+        pool = ReplicaPool(
+            profile, replicas=args.replicas, max_batch=args.max_batch
+        )
+        started = time.perf_counter()
+        report = serve_workload(pool, workload, policy=policy)
+        return report, time.perf_counter() - started
+
+    fifo, fifo_wall = session("fifo")
+    edf, edf_wall = session("edf")
+    edf_again, _ = session("edf")
+    deterministic = report_to_json(edf) == report_to_json(edf_again)
+
+    payload = {
+        "benchmark": "avatar_serving",
+        "config": {
+            "model": args.model,
+            "device": args.device,
+            "quant": args.quant,
+            "iterations": args.iterations,
+            "population": args.population,
+            "replicas": args.replicas,
+            "max_batch": args.max_batch,
+            "avatars": avatars,
+            "frames_per_avatar": args.frames,
+            "avatar_fps": args.avatar_fps,
+            "deadline_tiers_ms": list(workload.deadline_tiers),
+        },
+        "environment": environment(),
+        "design": {
+            "steady_fps": round(result.fps, 2),
+            "first_frame_ms": round(profile.first_frame_ms, 3),
+            "steady_interval_ms": round(profile.steady_interval_ms, 3),
+        },
+        "policies": {
+            "fifo": summarize_serving(fifo),
+            "edf": summarize_serving(edf),
+        },
+        "edf_vs_fifo": {
+            "miss_rate_delta": round(edf.miss_rate - fifo.miss_rate, 4),
+            "p99_delta_ms": round(
+                edf.latency_p99_ms - fifo.latency_p99_ms, 3
+            ),
+        },
+        "wall_seconds": {
+            "fifo": round(fifo_wall, 3),
+            "edf": round(edf_wall, 3),
+        },
+        "deterministic": deterministic,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+
+    out_dir = REPO / "benchmarks" / "out"
+    out_dir.mkdir(exist_ok=True)
+    (out_dir / "serving-smoke.txt").write_text(
+        f"### Avatar serving smoke (reduced size)\n"
+        f"{fifo.render()}\n\n{edf.render()}\n"
+    )
+
+    print(f"wrote {args.out}")
+    print(
+        f"{avatars} avatars on {args.replicas} replicas: "
+        f"fifo miss {100 * fifo.miss_rate:.1f}% p99 "
+        f"{fifo.latency_p99_ms:.1f} ms | edf miss "
+        f"{100 * edf.miss_rate:.1f}% p99 {edf.latency_p99_ms:.1f} ms, "
+        f"deterministic={deterministic}"
+    )
+    if not deterministic:
+        print("ERROR: serving sessions diverged at the same seed")
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--suite",
+        default="dse",
+        choices=["dse", "serving"],
+        help="which benchmark smoke to run (default: dse)",
+    )
+    parser.add_argument("--device", default="ZU9CG")
+    parser.add_argument("--quant", default="int8")
+    parser.add_argument("--searches", type=int, default=2)
+    parser.add_argument("--iterations", type=int, default=5)
+    parser.add_argument("--population", type=int, default=40)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=max(1, min(4, os.cpu_count() or 1)),
+        help="workers for the parallel run (default: up to 4)",
+    )
+    # serving-suite knobs
+    parser.add_argument("--model", default="codec_avatar_decoder")
+    parser.add_argument("--replicas", type=int, default=2)
+    parser.add_argument("--max-batch", type=int, default=8)
+    parser.add_argument("--frames", type=int, default=30)
+    parser.add_argument("--avatar-fps", type=float, default=30.0)
+    parser.add_argument(
+        "--out",
+        help="output path (default: BENCH_dse.json / BENCH_serving.json)",
+    )
+    args = parser.parse_args(argv)
+    if args.out is None:
+        args.out = f"BENCH_{args.suite}.json"
+
+    if args.suite == "serving":
+        return run_serving_suite(args)
+    return run_dse_suite(args)
 
 
 if __name__ == "__main__":
