@@ -29,7 +29,15 @@ def test_dse_convergence(benchmark):
     emit("Sec. VII DSE convergence", result.render())
     print(
         f"workers={result.workers}  evaluations={result.total_evaluations}  "
-        f"cache hits={result.total_cache_hits}"
+        f"bucket hits={result.total_cache_hits}  "
+        f"stage-memo hits={result.total_stage_hits}/"
+        f"{result.total_stage_lookups}  "
+        f"combined hit rate={100 * result.combined_hit_rate:.1f}%"
+    )
+    print(
+        f"phases: eval {result.eval_seconds:.2f}s  cache "
+        f"{result.cache_seconds:.2f}s  pool overhead "
+        f"{result.overhead_seconds:.2f}s"
     )
 
     iters = result.convergence_iterations

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 from pathlib import Path
 
 from repro.analysis.analyzer import analyze_network
@@ -219,70 +220,133 @@ def _sweep_summary(results) -> str:
     )
 
 
+@contextmanager
+def _search_profiler(enabled: bool):
+    """cProfile the wrapped search and print the top-20 cumulative hotspots.
+
+    This is how perf work on the DSE should start: measure first. The
+    table makes it obvious whether time goes to Algorithm-2 solves, cache
+    bookkeeping, or pool dispatch before anyone reaches for a fix.
+    """
+    if not enabled:
+        yield
+        return
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        stream = io.StringIO()
+        stats = pstats.Stats(profiler, stream=stream)
+        stats.sort_stats("cumulative").print_stats(20)
+        print("\n--- search profile (top 20 by cumulative time) ---")
+        print(stream.getvalue().rstrip())
+
+
 def cmd_explore(args: argparse.Namespace) -> int:
     """Run the full F-CAD flow; optionally save config/report artifacts."""
     network = _load_network(args.model)
     customization = _customization(args, len(network.output_names()))
-    if args.sweep is not None:
-        from repro.fcad.flow import run_sweep, sweep_grid
+    cache = None
+    if args.cache_file:
+        from repro.dse.cache import FileEvalCache
 
-        if args.asic_macs:
-            print(
-                "error: --sweep takes FPGA device names and cannot be "
-                "combined with --asic-macs",
-                file=sys.stderr,
+        cache = FileEvalCache(args.cache_file)
+        print(
+            f"evaluation cache {args.cache_file}: "
+            f"{len(cache)} entries warm"
+        )
+    try:
+        if args.sweep is not None:
+            from repro.fcad.flow import run_sweep, sweep_grid
+
+            if args.asic_macs:
+                print(
+                    "error: --sweep takes FPGA device names and cannot be "
+                    "combined with --asic-macs",
+                    file=sys.stderr,
+                )
+                return 2
+            devices = _parse_sweep_devices(args.sweep)
+            if devices is None:
+                return 2
+            quants = (
+                [q.strip() for q in args.sweep_quants.split(",")]
+                if args.sweep_quants
+                else [args.quant]
             )
-            return 2
-        devices = _parse_sweep_devices(args.sweep)
-        if devices is None:
-            return 2
-        quants = (
-            [q.strip() for q in args.sweep_quants.split(",")]
-            if args.sweep_quants
-            else [args.quant]
+            with _search_profiler(args.profile):
+                results = run_sweep(
+                    sweep_grid(
+                        networks=[network],
+                        devices=devices,
+                        quants=quants,
+                        customization=customization,
+                    ),
+                    iterations=args.iterations,
+                    population=args.population,
+                    seed=args.seed,
+                    workers=args.workers,
+                    cache=cache,
+                )
+            print(_sweep_summary(results))
+            if args.save_config or args.report:
+                print(
+                    "(--save-config/--report apply to single-case "
+                    "explore only)"
+                )
+            return 0
+        flow = FCad(
+            network=network,
+            device=_target(args),
+            quant=args.quant,
+            customization=customization,
         )
-        results = run_sweep(
-            sweep_grid(
-                networks=[network],
-                devices=devices,
-                quants=quants,
-                customization=customization,
-            ),
-            iterations=args.iterations,
-            population=args.population,
-            seed=args.seed,
-            workers=args.workers,
+        with _search_profiler(args.profile):
+            result = flow.run(
+                iterations=args.iterations,
+                population=args.population,
+                seed=args.seed,
+                workers=args.workers,
+                cache=cache,
+            )
+        print(result.render())
+        dse = result.dse
+        print(
+            f"DSE cache: {dse.cache_hits}/{dse.cache_lookups} bucket hits "
+            f"({100 * dse.bucket_hit_rate:.0f}%), "
+            f"{dse.stage_hits}/{dse.stage_lookups} stage-memo hits "
+            f"({100 * dse.stage_hit_rate:.0f}%), "
+            f"{dse.evaluations} Algorithm-2 solves"
         )
-        print(_sweep_summary(results))
-        if args.save_config or args.report:
-            print("(--save-config/--report apply to single-case explore only)")
+        print(
+            f"DSE phases: eval {dse.eval_seconds:.2f}s, cache "
+            f"{dse.cache_seconds:.2f}s, pool overhead "
+            f"{dse.overhead_seconds:.2f}s"
+        )
+        if args.save_config:
+            Path(args.save_config).write_text(
+                config_to_json(result.dse.best_config)
+            )
+            print(f"\nconfiguration written to {args.save_config}")
+        if args.report:
+            Path(args.report).write_text(render_markdown_report(result))
+            print(f"design report written to {args.report}")
         return 0
-    flow = FCad(
-        network=network,
-        device=_target(args),
-        quant=args.quant,
-        customization=customization,
-    )
-    result = flow.run(
-        iterations=args.iterations,
-        population=args.population,
-        seed=args.seed,
-        workers=args.workers,
-    )
-    print(result.render())
-    dse = result.dse
-    print(
-        f"DSE cache: {dse.cache_hits} hits / {dse.cache_lookups} lookups "
-        f"({100 * dse.cache_hit_rate:.0f}%), {dse.evaluations} "
-        f"Algorithm-2 solves"
-    )
-    if args.save_config:
-        Path(args.save_config).write_text(config_to_json(result.dse.best_config))
-        print(f"\nconfiguration written to {args.save_config}")
-    if args.report:
-        Path(args.report).write_text(render_markdown_report(result))
-        print(f"design report written to {args.report}")
-    return 0
+    finally:
+        if cache is not None:
+            persisted = cache.pending_writes
+            cache.close()
+            if persisted:
+                print(
+                    f"evaluation cache {args.cache_file}: "
+                    f"{persisted} new entries persisted"
+                )
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
@@ -503,6 +567,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--sweep-quants",
         help="comma-separated quant schemes for --sweep (default: --quant)",
+    )
+    p.add_argument(
+        "--cache-file",
+        help="persist the evaluation cache to this SQLite file; a later "
+        "explore pointed at the same file warm-starts from it",
+    )
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="cProfile the search and print the top-20 cumulative hotspots",
     )
     p.set_defaults(func=cmd_explore)
 

@@ -1,29 +1,43 @@
 """Multi-branch design space exploration (paper Sec. VI)."""
 
-from repro.dse.cache import EvalCache, LocalEvalCache, SharedEvalCache
+from repro.dse.cache import (
+    CACHE_BACKENDS,
+    DeltaEvalCache,
+    EvalCache,
+    FileEvalCache,
+    LocalEvalCache,
+    SharedEvalCache,
+    make_cache,
+)
 from repro.dse.crossbranch import CrossBranchOptimizer, Particle
 from repro.dse.engine import DseEngine
 from repro.dse.fitness import fitness_score
-from repro.dse.inbranch import BranchSolution, optimize_branch
+from repro.dse.inbranch import BranchEvalTable, BranchSolution, optimize_branch
 from repro.dse.result import DseResult
 from repro.dse.space import Customization, DesignSpace, get_pf
 from repro.dse.worker import (
     CandidateEval,
     EvalSpec,
+    GenerationEvaluator,
     SweepWorkerPool,
     evaluate_candidate,
 )
 
 __all__ = [
+    "BranchEvalTable",
     "BranchSolution",
+    "CACHE_BACKENDS",
     "CandidateEval",
     "CrossBranchOptimizer",
     "Customization",
+    "DeltaEvalCache",
     "DesignSpace",
     "DseEngine",
     "DseResult",
     "EvalCache",
     "EvalSpec",
+    "FileEvalCache",
+    "GenerationEvaluator",
     "LocalEvalCache",
     "Particle",
     "SharedEvalCache",
@@ -31,5 +45,6 @@ __all__ = [
     "evaluate_candidate",
     "fitness_score",
     "get_pf",
+    "make_cache",
     "optimize_branch",
 ]

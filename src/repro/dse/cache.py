@@ -1,30 +1,46 @@
-"""Evaluation caches for the DSE (in-process and cross-process).
+"""Evaluation-cache backends for the DSE.
 
 Algorithm 2 is a pure function of ``(branch, resource distribution,
 customization, quantization, frequency)``, so its solutions can be memoized
-aggressively. Two implementations share one small mapping interface
-(``get`` / ``put`` / ``items`` / ``len``):
+aggressively. All backends share one small mapping interface
+(``get`` / ``put`` / ``items`` / ``len``) and hold keys of the form
+``(spec digest, branch index, quantized budget bucket)`` (built in
+:mod:`repro.dse.worker`); the spec digest namespaces entries, so one cache
+can safely serve a whole sweep of different models, budgets, and
+precisions at once.
 
-- :class:`LocalEvalCache` — a plain dict, used by serial searches;
-- :class:`SharedEvalCache` — a ``multiprocessing.Manager`` dict visible to
-  every worker process of a parallel search (or to every search of a batch
-  sweep), fronted by a per-process L1 dict so hot keys cost one IPC
-  round-trip at most once per process.
+Backends, in the order a search should prefer them:
 
-Cache keys are ``(spec digest, branch index, quantized budget bucket)``
-(built in :func:`repro.dse.worker.evaluate_candidate`); the spec digest
-namespaces entries, so one shared cache can safely serve a whole sweep of
-different models, budgets, and precisions at once.
+- :class:`LocalEvalCache` — a plain dict. The default, and since the
+  parallel data path went zero-IPC (the parent deduplicates each
+  generation against this authoritative store and workers return their
+  solutions as deltas) it serves parallel searches too: worker processes
+  never touch the parent's cache directly.
+- :class:`FileEvalCache` — a SQLite-backed append-log that persists across
+  runs and processes. Warm-starting a search from a previous run's file is
+  free, and the file is the seam for sharding one sweep across machines
+  (each machine appends its deltas; a merge is a plain ``put`` loop).
+- :class:`SharedEvalCache` — the legacy ``multiprocessing.Manager`` dict.
+  Every ``get``/``put`` is an IPC round-trip to the manager process, which
+  made 4-worker searches *slower* than serial; it remains only as a
+  compatibility fallback for callers that genuinely need one live mapping
+  visible from several processes at once.
+- :class:`DeltaEvalCache` — an overlay recording new entries on top of any
+  read-only base. Workers evaluate through one of these so a chunk's new
+  solutions come back as an explicit delta (``new_entries``) that the
+  parent folds into the authoritative store at the generation barrier.
 
 Because cached values are deterministic pure-function results, a cache hit
-is bit-identical to recomputation — sharing a cache never changes search
-results, only how fast they arrive.
+is bit-identical to recomputation — sharing, persisting, or merging caches
+never changes search results, only how fast they arrive.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from typing import Any, Hashable, Iterable, Protocol
+import pickle
+import sqlite3
+from typing import Any, Hashable, Iterable, Iterator, Protocol
 
 
 class EvalCache(Protocol):
@@ -51,8 +67,104 @@ class LocalEvalCache:
     def put(self, key: Hashable, value: Any) -> None:
         self._store[key] = value
 
-    def discard(self, key: Hashable) -> None:
-        self._store.pop(key, None)
+    def items(self) -> Iterable[tuple[Hashable, Any]]:
+        return self._store.items()
+
+    def clear(self) -> None:
+        self._store.clear()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+class DeltaEvalCache:
+    """An overlay that records every new entry on top of a base cache.
+
+    Reads fall through to the base; writes land only in the overlay. The
+    overlay is the *delta*: everything this cache learned that the base
+    did not already know. Workers evaluate a chunk through one of these
+    and ship ``new_entries()`` back, so the parent can fold exactly the
+    new solutions into the authoritative store without any shared state.
+    """
+
+    def __init__(self, base: EvalCache | None = None) -> None:
+        self.base: EvalCache = base if base is not None else LocalEvalCache()
+        self._delta: dict[Hashable, Any] = {}
+
+    def get(self, key: Hashable) -> Any | None:
+        value = self._delta.get(key)
+        if value is None:
+            value = self.base.get(key)
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        self._delta[key] = value
+
+    def new_entries(self) -> list[tuple[Hashable, Any]]:
+        """The delta: entries put here that the base never saw."""
+        return list(self._delta.items())
+
+    def merge(self) -> int:
+        """Fold the delta into the base and reset; returns entries merged."""
+        merged = len(self._delta)
+        for key, value in self._delta.items():
+            self.base.put(key, value)
+        self._delta.clear()
+        return merged
+
+    def items(self) -> Iterator[tuple[Hashable, Any]]:
+        seen = set()
+        for key, value in self._delta.items():
+            seen.add(key)
+            yield key, value
+        for key, value in self.base.items():
+            if key not in seen:
+                yield key, value
+
+    def __len__(self) -> int:
+        return len(self._delta) + sum(
+            1 for key, _ in self.base.items() if key not in self._delta
+        )
+
+
+class FileEvalCache:
+    """A persistent cache backed by a SQLite append-log.
+
+    The whole table is loaded into a dict at open, so every ``get`` is a
+    plain dict lookup — the file is touched only at open and at
+    :meth:`flush` (which appends the entries written since the last
+    flush). Keys and values are pickled; values are pure-function results,
+    so merging files from different runs or machines is always safe.
+
+    This backend is what makes warm starts and cross-machine sharding
+    work: run a sweep once, and every later run (or every other shard
+    pointed at a copy of the file) starts with all of its solutions
+    already solved.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._store: dict[Hashable, Any] = {}
+        self._dirty: dict[Hashable, Any] = {}
+        self._conn = sqlite3.connect(self.path)
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS eval_cache "
+            "(key BLOB PRIMARY KEY, value BLOB)"
+        )
+        self._conn.commit()
+        for key_blob, value_blob in self._conn.execute(
+            "SELECT key, value FROM eval_cache"
+        ):
+            self._store[pickle.loads(key_blob)] = pickle.loads(value_blob)
+
+    def get(self, key: Hashable) -> Any | None:
+        return self._store.get(key)
+
+    def put(self, key: Hashable, value: Any) -> None:
+        # Overwrites are dirty too: last writer wins across reopen, not
+        # just in memory (merging a corrected shard file must stick).
+        self._dirty[key] = value
+        self._store[key] = value
 
     def items(self) -> Iterable[tuple[Hashable, Any]]:
         return self._store.items()
@@ -60,19 +172,61 @@ class LocalEvalCache:
     def __len__(self) -> int:
         return len(self._store)
 
+    @property
+    def pending_writes(self) -> int:
+        """Entries not yet appended to the file."""
+        return len(self._dirty)
+
+    def flush(self) -> int:
+        """Append unsaved entries to the file; returns how many."""
+        if not self._dirty:
+            return 0
+        rows = [
+            (
+                pickle.dumps(key, protocol=pickle.HIGHEST_PROTOCOL),
+                pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL),
+            )
+            for key, value in self._dirty.items()
+        ]
+        with self._conn:
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO eval_cache (key, value) "
+                "VALUES (?, ?)",
+                rows,
+            )
+        flushed = len(self._dirty)
+        self._dirty.clear()
+        return flushed
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self.flush()
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "FileEvalCache":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
 
 class SharedEvalCache:
-    """A cross-process cache backed by a ``Manager`` dict.
+    """Compatibility fallback: a cache backed by a ``Manager`` dict.
+
+    Every lookup or store is an IPC round-trip to the manager process, so
+    this backend should never sit on a search's hot path — the zero-IPC
+    data path (parent-side dedup + worker deltas) replaced it there. It
+    remains for callers that need one live mapping genuinely shared
+    between processes, e.g. ad-hoc cross-process coordination outside the
+    engine's own pools.
 
     The instance is picklable: workers receive the dict *proxy* (which
     reconnects to the manager server) plus a fresh empty L1. The manager
     process itself lives in — and is shut down by — the creating process;
-    call :meth:`close` (or use the instance as a context manager) when the
-    search or sweep is done.
-
-    Entries are immutable results of a deterministic function, so the L1
-    can never go stale in a way that changes results: any value cached
-    under a key equals what every other process would compute for it.
+    call :meth:`close` (or use the instance as a context manager) when
+    done. Entries are immutable results of a deterministic function, so
+    the L1 can never go stale in a way that changes results.
     """
 
     def __init__(self) -> None:
@@ -81,6 +235,7 @@ class SharedEvalCache:
         )
         self._store = self._manager.dict()
         self._l1: dict[Hashable, Any] = {}
+        self._undrained: dict[Hashable, Any] = {}
 
     def get(self, key: Hashable) -> Any | None:
         value = self._l1.get(key)
@@ -93,18 +248,34 @@ class SharedEvalCache:
     def put(self, key: Hashable, value: Any) -> None:
         self._l1[key] = value
         self._store[key] = value
-
-    def discard(self, key: Hashable) -> None:
-        self._l1.pop(key, None)
-        self._store.pop(key, None)
+        self._undrained[key] = value
 
     def preload(self, entries: Iterable[tuple[Hashable, Any]]) -> None:
-        """Seed the shared store (e.g. from a warm local cache)."""
+        """Seed the shared store (e.g. from a warm local cache).
+
+        Preloaded entries are by definition already known to the caller,
+        so they are excluded from :meth:`drain_new`.
+        """
         for key, value in entries:
-            self.put(key, value)
+            self._l1[key] = value
+            self._store[key] = value
 
     def items(self) -> Iterable[tuple[Hashable, Any]]:
         return self._store.items()
+
+    def drain_new(self) -> list[tuple[Hashable, Any]]:
+        """Entries put through *this* handle since the last drain.
+
+        Unlike :meth:`items`, this never round-trips the proxy: the owner
+        side tracks its own writes, so draining a warm cache back into a
+        local one costs nothing per already-drained entry. Preloaded
+        entries are not "new". An owner that never drains merely keeps
+        one extra dict slot per entry (the same references the L1 already
+        holds), bounded by the cache size.
+        """
+        drained = list(self._undrained.items())
+        self._undrained.clear()
+        return drained
 
     def __len__(self) -> int:
         return len(self._store)
@@ -129,3 +300,42 @@ class SharedEvalCache:
         self._manager = None
         self._store = state["store"]
         self._l1 = {}
+        self._undrained = {}
+
+
+#: Backend names accepted by :func:`make_cache` (and the CLI).
+CACHE_BACKENDS = ("local", "file", "manager")
+
+
+def make_cache(backend: str = "local", path: str | None = None) -> EvalCache:
+    """Build an evaluation cache by backend name.
+
+    - ``"local"`` — :class:`LocalEvalCache`; right for everything that
+      runs inside one engine process (serial *and* parallel searches).
+    - ``"file"`` — :class:`FileEvalCache` at ``path``; persists across
+      runs, required for warm starts and cross-machine sharding.
+    - ``"manager"`` — :class:`SharedEvalCache`; compatibility fallback,
+      pays one IPC round-trip per lookup.
+    """
+    if backend == "local":
+        return LocalEvalCache()
+    if backend == "file":
+        if not path:
+            raise ValueError("the file backend needs a path")
+        return FileEvalCache(path)
+    if backend == "manager":
+        return SharedEvalCache()
+    raise ValueError(
+        f"unknown cache backend {backend!r}; pick one of {CACHE_BACKENDS}"
+    )
+
+
+__all__ = [
+    "CACHE_BACKENDS",
+    "DeltaEvalCache",
+    "EvalCache",
+    "FileEvalCache",
+    "LocalEvalCache",
+    "SharedEvalCache",
+    "make_cache",
+]

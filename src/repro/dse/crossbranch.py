@@ -28,6 +28,7 @@ from repro.dse.inbranch import BranchSolution
 from repro.dse.space import Customization
 from repro.dse.worker import (
     EvalSpec,
+    EvalTimings,
     SweepWorkerPool,
     candidate_runner,
     evaluate_candidate,
@@ -94,6 +95,9 @@ class CrossBranchOptimizer:
         self._cache: EvalCache = cache if cache is not None else LocalEvalCache()
         self.evaluations = 0
         self.cache_hits = 0
+        self.stage_hits = 0
+        self.stage_lookups = 0
+        self.eval_timings = EvalTimings()
 
     # ------------------------------------------------------------------
     def evaluate(
@@ -231,6 +235,9 @@ class CrossBranchOptimizer:
                 assert global_best_position is not None
                 for particle in particles:
                     self.evolve(particle, global_best_position, rng)
+            self.stage_hits += run_batch.stage_hits
+            self.stage_lookups += run_batch.stage_lookups
+            self.eval_timings.add(run_batch.timings)
 
         assert global_best_solutions is not None
         config = AcceleratorConfig(

@@ -14,11 +14,11 @@ from typing import Sequence
 
 from repro.construction.reorg import PipelinePlan
 from repro.devices.budget import ResourceBudget
-from repro.dse.cache import EvalCache, LocalEvalCache, SharedEvalCache
+from repro.dse.cache import EvalCache, LocalEvalCache
 from repro.dse.crossbranch import CrossBranchOptimizer
 from repro.dse.result import DseResult
 from repro.dse.space import Customization
-from repro.dse.worker import EvalSpec, SweepWorkerPool, is_spec_cache_key
+from repro.dse.worker import EvalSpec, SweepWorkerPool
 from repro.perf.estimator import evaluate
 from repro.quant.schemes import QuantScheme
 from repro.utils.rng import seed_fingerprint
@@ -99,6 +99,7 @@ class DseEngine:
         )
         runtime = time.perf_counter() - started
         perf = evaluate(self.plan, config, self.quant, self.frequency_mhz)
+        timings = optimizer.eval_timings
         return DseResult(
             best_config=config,
             best_perf=perf,
@@ -109,6 +110,11 @@ class DseEngine:
             evaluations=optimizer.evaluations,
             cache_hits=optimizer.cache_hits,
             workers=max(1, workers),
+            stage_hits=optimizer.stage_hits,
+            stage_lookups=optimizer.stage_lookups,
+            eval_seconds=timings.eval_seconds,
+            cache_seconds=timings.cache_seconds,
+            overhead_seconds=timings.overhead_seconds,
         )
 
     @staticmethod
@@ -135,10 +141,17 @@ class DseEngine:
         by default every case uses ``seed``, which is what makes duplicate
         grid cases dedupable. Results are returned in input order.
 
+        ``cache`` may be any backend — the caller's warm
+        :class:`~repro.dse.cache.LocalEvalCache`, a persistent
+        :class:`~repro.dse.cache.FileEvalCache` — and is used as-is: the
+        sweep's parent process is its only writer (workers ship deltas
+        home), so nothing needs to be promoted to a shared store or
+        drained back afterwards. File-backed caches are flushed when the
+        sweep finishes.
+
         Parallel sweeps (``workers > 1``) evaluate every case on **one**
         long-lived :class:`~repro.dse.worker.SweepWorkerPool`: workers are
-        forked once, learn each case's problem spec by digest on first
-        contact, and are reused across the whole sweep — no per-case pool
+        forked once and reused across the whole sweep — no per-case pool
         startup. Evaluation is the same pure function, so the results are
         still bit-identical to serial runs.
         """
@@ -149,25 +162,12 @@ class DseEngine:
             raise ValueError(
                 f"got {len(seeds)} seeds for {len(engines)} engines"
             )
-        owned: SharedEvalCache | None = None
-        drain_to: EvalCache | None = None
         if cache is None:
-            if workers > 1:
-                cache = owned = SharedEvalCache()
-            else:
-                cache = LocalEvalCache()
-        elif workers > 1 and not isinstance(cache, SharedEvalCache):
-            # Promote a process-local cache for the sweep's lifetime so
-            # the long-lived pool applies here too; drain the new entries
-            # back afterwards so the caller's cache stays warm.
-            drain_to = cache
-            cache = owned = SharedEvalCache()
-            owned.preload(drain_to.items())
+            cache = LocalEvalCache()
         pool: SweepWorkerPool | None = None
         try:
             if workers > 1:
-                assert isinstance(cache, SharedEvalCache)
-                pool = SweepWorkerPool(workers, cache)
+                pool = SweepWorkerPool(workers)
             solved: dict[tuple, DseResult] = {}
             results: list[DseResult] = []
             for engine, case_seed in zip(engines, seeds):
@@ -200,9 +200,6 @@ class DseEngine:
         finally:
             if pool is not None:
                 pool.close()
-            if owned is not None:
-                if drain_to is not None:
-                    for key, value in owned.items():
-                        if not is_spec_cache_key(key):
-                            drain_to.put(key, value)
-                owned.close()
+            flush = getattr(cache, "flush", None)
+            if callable(flush):
+                flush()

@@ -22,6 +22,17 @@ class DseResult:
     evaluations: int  # Algorithm-2 solves actually run (cache misses)
     cache_hits: int
     workers: int = 1
+    # Algorithm 2's inner memo tables (GetPF realizations and per-stage
+    # latency/resource evaluations): how many inner steps were looked up,
+    # and how many were served without recomputation.
+    stage_hits: int = 0
+    stage_lookups: int = 0
+    # Where the wall time went: aggregate Algorithm-2 solve time (CPU
+    # seconds across workers), parent-side cache bookkeeping, and pool
+    # dispatch overhead. Serial searches have zero overhead by definition.
+    eval_seconds: float = 0.0
+    cache_seconds: float = 0.0
+    overhead_seconds: float = 0.0
 
     @property
     def iterations(self) -> int:
@@ -29,13 +40,33 @@ class DseResult:
 
     @property
     def cache_lookups(self) -> int:
+        """Bucket-level lookups: one per candidate branch."""
         return self.evaluations + self.cache_hits
 
     @property
-    def cache_hit_rate(self) -> float:
-        """Fraction of candidate-branch lookups served from the cache."""
+    def bucket_hit_rate(self) -> float:
+        """Fraction of candidate-branch lookups served by the result cache."""
         lookups = self.cache_lookups
         return self.cache_hits / lookups if lookups else 0.0
+
+    @property
+    def stage_hit_rate(self) -> float:
+        """Fraction of Algorithm-2 inner steps served by the memo tables."""
+        return self.stage_hits / self.stage_lookups if self.stage_lookups else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of all evaluation-path lookups served from a cache.
+
+        Counts both levels of the data path: the bucket-level result cache
+        (one lookup per candidate branch) and Algorithm 2's stage-level
+        memo tables (one lookup per GetPF realization or per-stage
+        latency/resource evaluation) — the denominator is every chance the
+        search had to skip recomputation.
+        """
+        lookups = self.cache_lookups + self.stage_lookups
+        hits = self.cache_hits + self.stage_hits
+        return hits / lookups if lookups else 0.0
 
     def render(self) -> str:
         """Table IV-style per-branch report."""

@@ -1,18 +1,37 @@
-"""Pure, picklable candidate evaluation for the cross-branch search.
+"""The candidate-evaluation data path of the cross-branch search.
 
 Algorithm 1 spends essentially all of its time completing resource
 distributions into configurations (Algorithm 2) and scoring them. That
 work is a pure function of an :class:`EvalSpec` (the frozen problem
 statement: plan, budget, customization, quantization, frequency, alpha)
-and a candidate position, which makes it trivially parallel: serial
-searches call :func:`evaluate_candidate` inline, parallel searches fan the
-population of one generation out over a process pool via
-:func:`candidate_runner` and join at a per-generation barrier.
+and a candidate position, memoized under keys of
+``(spec digest, branch index, quantized budget bucket)``.
 
-Both paths run the identical arithmetic on the identical inputs, so a
-parallel search is bit-identical to a serial one at the same seed — the
-particle-update order in the parent is fixed, and candidate evaluation
-consumes no randomness.
+The data path is built to move as little as possible between processes:
+
+1. **Generation-level dedup** — before a generation is evaluated, the
+   parent quantizes every candidate position to its cache buckets and
+   keeps only the *unique, unseen* ``(branch, bucket)`` subproblems. PSO
+   populations re-visit buckets constantly (frozen particles, converged
+   swarms, overlapping sweeps), and every revisit is settled in the
+   parent for the price of a dict lookup.
+2. **Zero-IPC parallelism** — the surviving subproblems are chunked over
+   a process pool; each worker solves its chunk through a per-process
+   :class:`~repro.dse.cache.DeltaEvalCache` and returns the delta (the
+   ``(key, solution)`` entries plus solve-time and memo statistics). The
+   parent folds deltas into the authoritative cache at the generation
+   barrier. No ``multiprocessing.Manager`` sits on the hot path — the
+   old shared-dict cache paid an IPC round-trip per lookup, which made
+   4-worker searches slower than serial.
+3. **Rehydration** — the parent reassembles every candidate's solutions
+   from the cache in submission order and scores them inline (the
+   fitness arithmetic is trivial next to Algorithm 2).
+
+Both serial and parallel paths run the identical arithmetic on the
+identical inputs through :class:`GenerationEvaluator`, so a parallel
+search is bit-identical to a serial one at the same seed — the particle
+update order in the parent is fixed and candidate evaluation consumes no
+randomness.
 """
 
 from __future__ import annotations
@@ -20,6 +39,7 @@ from __future__ import annotations
 import hashlib
 import multiprocessing
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -28,17 +48,21 @@ from typing import Callable, Iterator, Sequence
 
 from repro.construction.reorg import PipelinePlan
 from repro.devices.budget import ResourceBudget
-from repro.dse.cache import EvalCache, LocalEvalCache, SharedEvalCache
+from repro.dse.cache import DeltaEvalCache, EvalCache, LocalEvalCache
 from repro.dse.fitness import fitness_score
-from repro.dse.inbranch import BranchSolution, optimize_branch
+from repro.dse.inbranch import (
+    BranchEvalTable,
+    BranchSolution,
+    optimize_branch,
+    stage_memo_stats,
+)
 from repro.dse.space import Customization
 from repro.quant.schemes import QuantScheme
 
 #: Quantization grid for candidate evaluation: per-branch budgets are
 #: snapped DOWN to this grid before Algorithm 2 runs, so every budget in a
 #: bucket evaluates to the exact same solution. That makes the evaluation a
-#: pure function of the bucket — which is what lets the cache (and the
-#: cross-process shared cache, with its benign last-writer-wins races) be a
+#: pure function of the bucket — which is what lets any cache backend be a
 #: transparent memo that can never change search results.
 _COMPUTE_GRID = 4
 _MEMORY_GRID = 4
@@ -46,6 +70,9 @@ _BANDWIDTH_GRID = 0.05
 
 #: Fitness penalty per branch that cannot honour its requested batch size.
 INFEASIBILITY_PENALTY = 1e6
+
+#: A cache key: (spec digest, branch index, quantized budget bucket).
+EvalKey = tuple[str, int, tuple[int, int, int]]
 
 
 @dataclass(frozen=True)
@@ -125,45 +152,113 @@ def split_budget(
     ]
 
 
-def evaluate_candidate(
-    spec: EvalSpec, position: Sequence[float], cache: EvalCache
-) -> CandidateEval:
-    """Complete a distribution into configs and compute its fitness."""
-    distributions = split_budget(spec, position)
-    solutions: list[BranchSolution] = []
-    evaluations = 0
-    cache_hits = 0
-    for branch, rd in enumerate(distributions):
-        bucket = quantize_rd(rd)
-        key = (spec.digest, branch, bucket)
-        solution = cache.get(key)
-        if solution is None:
-            # Evaluate the bucket's canonical budget, not the raw one: the
-            # solution is then a pure function of the key, so a cache hit
-            # (local, shared, or racing with another process) is always
-            # bit-identical to recomputing.
-            solution = optimize_branch(
-                spec.plan.branches[branch],
-                canonical_rd(bucket),
-                spec.customization.batch_sizes[branch],
-                spec.quant,
-                spec.frequency_mhz,
-                max_h=spec.customization.max_h,
-                max_pf=spec.customization.max_pf,
-            )
-            cache.put(key, solution)
-            evaluations += 1
-        else:
-            cache_hits += 1
-        solutions.append(solution)
+def candidate_keys(spec: EvalSpec, position: Sequence[float]) -> list[EvalKey]:
+    """The per-branch cache keys one candidate position resolves to."""
+    return [
+        (spec.digest, branch, quantize_rd(rd))
+        for branch, rd in enumerate(split_budget(spec, position))
+    ]
+
+
+# ---------------------------------------------------------------------------
+# per-process state: Algorithm-2 tables and the worker-side L1
+# ---------------------------------------------------------------------------
+#: Branch tables are expensive to warm (their memo dicts are the hot-path
+#: optimization) but tiny, so they are kept per process keyed by
+#: (spec digest, branch). Forked workers inherit the parent's warm tables
+#: for free. The cap only guards pathological sweeps over thousands of
+#: distinct specs in one long-lived process.
+_TABLES: dict[tuple[str, int], BranchEvalTable] = {}
+_TABLES_CAP = 512
+
+#: Worker-side L1 of solved buckets. The parent's generation dedup means a
+#: well-behaved driver never sends the same key twice, so this is a cheap
+#: safety net for custom drivers — and the base the per-chunk delta cache
+#: overlays.
+_WORKER_L1 = LocalEvalCache()
+_WORKER_L1_CAP = 200_000
+
+
+def clear_process_caches() -> None:
+    """Drop this process's warm tables and solved-bucket L1.
+
+    Benchmark / test hygiene only: back-to-back measured runs in one
+    process (e.g. the serial-vs-parallel bench) would otherwise leak the
+    first run's warm Algorithm-2 tables into the second — via plain
+    module state in the parent and via fork inheritance in its workers —
+    and blur the comparison.
+    """
+    _TABLES.clear()
+    _WORKER_L1.clear()
+    _SPEC_BLOBS.clear()
+    _POOL_SPECS.clear()
+
+
+def branch_table(spec: EvalSpec, branch: int) -> BranchEvalTable:
+    """The process-local Algorithm-2 table for one branch of a spec."""
+    key = (spec.digest, branch)
+    table = _TABLES.get(key)
+    if table is None:
+        if len(_TABLES) >= _TABLES_CAP:
+            _TABLES.clear()
+        table = BranchEvalTable(
+            spec.plan.branches[branch],
+            spec.quant,
+            spec.frequency_mhz,
+            max_h=spec.customization.max_h,
+            max_pf=spec.customization.max_pf,
+        )
+        _TABLES[key] = table
+    return table
+
+
+def solve_bucket(spec: EvalSpec, branch: int, bucket: tuple[int, int, int]) -> BranchSolution:
+    """Run Algorithm 2 for one ``(branch, bucket)`` subproblem (pure)."""
+    return optimize_branch(
+        spec.plan.branches[branch],
+        canonical_rd(bucket),
+        spec.customization.batch_sizes[branch],
+        spec.quant,
+        spec.frequency_mhz,
+        max_h=spec.customization.max_h,
+        max_pf=spec.customization.max_pf,
+        table=branch_table(spec, branch),
+    )
+
+
+def _score(spec: EvalSpec, solutions: Sequence[BranchSolution]) -> float:
+    """Priority-weighted fitness with the infeasibility penalty applied."""
     fps = [s.fps for s in solutions]
     score = fitness_score(fps, spec.customization.priorities, spec.alpha)
     # A distribution that cannot honour the requested batch sizes is
     # strictly worse than any that can.
     shortfall = sum(1 for s in solutions if not s.meets_batch_target)
-    score -= INFEASIBILITY_PENALTY * shortfall
+    return score - INFEASIBILITY_PENALTY * shortfall
+
+
+def evaluate_candidate(
+    spec: EvalSpec, position: Sequence[float], cache: EvalCache
+) -> CandidateEval:
+    """Complete a distribution into configs and compute its fitness.
+
+    The single-candidate entry point (kept for direct callers and tests);
+    searches go through :class:`GenerationEvaluator`, which batches the
+    same arithmetic with generation-level dedup.
+    """
+    solutions: list[BranchSolution] = []
+    evaluations = 0
+    cache_hits = 0
+    for key in candidate_keys(spec, position):
+        solution = cache.get(key)
+        if solution is None:
+            solution = solve_bucket(spec, key[1], key[2])
+            cache.put(key, solution)
+            evaluations += 1
+        else:
+            cache_hits += 1
+        solutions.append(solution)
     return CandidateEval(
-        score=score,
+        score=_score(spec, solutions),
         solutions=tuple(solutions),
         evaluations=evaluations,
         cache_hits=cache_hits,
@@ -171,127 +266,274 @@ def evaluate_candidate(
 
 
 # ---------------------------------------------------------------------------
-# process-pool plumbing
+# worker protocol: chunks of subproblems in, deltas out
 # ---------------------------------------------------------------------------
-_WORKER_SPEC: EvalSpec | None = None
-_WORKER_CACHE: EvalCache | None = None
+@dataclass(frozen=True)
+class ChunkResult:
+    """One worker's answer for a chunk: the cache delta plus statistics."""
+
+    entries: tuple[tuple[EvalKey, BranchSolution], ...]
+    solve_seconds: float
+    stage_hits: int
+    stage_lookups: int
 
 
-def _init_worker(spec: EvalSpec, cache: EvalCache) -> None:
-    global _WORKER_SPEC, _WORKER_CACHE
-    _WORKER_SPEC = spec
-    _WORKER_CACHE = cache
+def solve_chunk(spec: EvalSpec, keys: Sequence[EvalKey]) -> ChunkResult:
+    """Solve a chunk of ``(branch, bucket)`` subproblems, returning deltas.
 
-
-def _run_candidate(position: tuple[float, ...]) -> CandidateEval:
-    assert _WORKER_SPEC is not None and _WORKER_CACHE is not None
-    return evaluate_candidate(_WORKER_SPEC, position, _WORKER_CACHE)
-
-
-# ---------------------------------------------------------------------------
-# sweep-lifetime pool: one set of worker processes for a whole batch
-# ---------------------------------------------------------------------------
-def _spec_cache_key(digest: str) -> tuple[str, str]:
-    """Shared-cache slot a sweep pool publishes each EvalSpec under.
-
-    The reserved ``"__spec__"`` namespace can never collide with
-    evaluation entries, whose keys are ``(digest, branch, bucket)``.
+    Runs in the worker process. Solutions are computed through a
+    :class:`DeltaEvalCache` over the process-local L1, so repeated keys
+    (possible only with custom drivers — the engine dedups) cost nothing,
+    and every requested key comes back in ``entries`` either way.
     """
-    return ("__spec__", digest)
-
-
-def is_spec_cache_key(key: object) -> bool:
-    """True for pool bookkeeping entries (skip these when draining)."""
-    return (
-        isinstance(key, tuple) and len(key) == 2 and key[0] == "__spec__"
+    hits_before, lookups_before = stage_memo_stats()
+    # CPU time, not wall: on an oversubscribed machine a worker's wall
+    # clock includes time it spent scheduled out, which would overstate
+    # the solve cost by the contention factor.
+    started = time.process_time()
+    delta = DeltaEvalCache(_WORKER_L1)
+    entries = []
+    for key in keys:
+        solution = delta.get(key)
+        if solution is None:
+            solution = solve_bucket(spec, key[1], key[2])
+            delta.put(key, solution)
+        entries.append((key, solution))
+    if len(_WORKER_L1) >= _WORKER_L1_CAP:
+        _WORKER_L1.clear()
+    delta.merge()
+    hits_after, lookups_after = stage_memo_stats()
+    return ChunkResult(
+        entries=tuple(entries),
+        solve_seconds=time.process_time() - started,
+        stage_hits=hits_after - hits_before,
+        stage_lookups=lookups_after - lookups_before,
     )
 
 
-_POOL_CACHE: EvalCache | None = None
+# Chunk transport is kept lean: the parent pickles each spec once (memo
+# below), workers unpickle each digest once (memo below), and keys travel
+# as bare (branch, bucket) pairs — the 40-char digest they share rides
+# along once per chunk instead of once per key.
+_SPEC_BLOBS: dict[str, bytes] = {}
 _POOL_SPECS: dict[str, EvalSpec] = {}
 
-
-def _init_pool_worker(cache: EvalCache) -> None:
-    global _POOL_CACHE
-    _POOL_CACHE = cache
-    _POOL_SPECS.clear()
+#: (digest, pickled spec, per-key (branch, bucket) pairs)
+ChunkTask = tuple[str, bytes, tuple[tuple[int, tuple[int, int, int]], ...]]
 
 
-def _run_pooled_candidate(
-    task: tuple[str, tuple[float, ...]],
-) -> CandidateEval:
-    digest, position = task
-    assert _POOL_CACHE is not None
+def _spec_blob(spec: EvalSpec) -> bytes:
+    blob = _SPEC_BLOBS.get(spec.digest)
+    if blob is None:
+        if len(_SPEC_BLOBS) >= _TABLES_CAP:
+            _SPEC_BLOBS.clear()
+        blob = pickle.dumps(spec, protocol=pickle.HIGHEST_PROTOCOL)
+        _SPEC_BLOBS[spec.digest] = blob
+    return blob
+
+
+def _run_chunk(task: ChunkTask) -> ChunkResult:
+    digest, blob, pairs = task
     spec = _POOL_SPECS.get(digest)
     if spec is None:
-        spec = _POOL_CACHE.get(_spec_cache_key(digest))
-        assert spec is not None, f"spec {digest} was never registered"
+        if len(_POOL_SPECS) >= _TABLES_CAP:
+            _POOL_SPECS.clear()
+        spec = pickle.loads(blob)
         _POOL_SPECS[digest] = spec
-    return evaluate_candidate(spec, position, _POOL_CACHE)
+    keys = [(digest, branch, bucket) for branch, bucket in pairs]
+    return solve_chunk(spec, keys)
 
 
+def _chunk_tasks(
+    spec: EvalSpec, keys: Sequence[EvalKey], workers: int
+) -> list[ChunkTask]:
+    """Split the generation's unique subproblems into pool-sized tasks."""
+    pairs = [(key[1], key[2]) for key in keys]
+    chunks = max(1, min(len(pairs), workers * 2))
+    size = -(-len(pairs) // chunks)
+    blob = _spec_blob(spec)
+    return [
+        (spec.digest, blob, tuple(pairs[i : i + size]))
+        for i in range(0, len(pairs), size)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# the per-generation evaluator (serial and parallel share it)
+# ---------------------------------------------------------------------------
+@dataclass
+class EvalTimings:
+    """Where one search's candidate-evaluation time went.
+
+    ``eval_seconds`` is aggregate Algorithm-2 solve CPU time, summed
+    across workers for parallel runs (serial runs measure the same loop
+    inline, where CPU and wall coincide). ``cache_seconds`` is the
+    parent-side bucketing / dedup / fold / rehydration cost.
+    ``overhead_seconds`` is everything else a dispatched generation
+    cost: pickling, scheduling, result transport, and core contention —
+    the dispatch wall minus the solve time's ideal share per worker,
+    clamped at zero.
+    """
+
+    eval_seconds: float = 0.0
+    cache_seconds: float = 0.0
+    overhead_seconds: float = 0.0
+
+    def add(self, other: "EvalTimings") -> None:
+        self.eval_seconds += other.eval_seconds
+        self.cache_seconds += other.cache_seconds
+        self.overhead_seconds += other.overhead_seconds
+
+
+#: A submit callback ships unique unseen keys to workers and returns their
+#: chunk results; ``None`` means solve inline (serial).
+SubmitFn = Callable[[Sequence[EvalKey]], "list[ChunkResult]"]
+
+
+class GenerationEvaluator:
+    """Evaluate one generation of candidates with generation-level dedup.
+
+    Calling the evaluator IS the per-generation barrier: it returns one
+    :class:`CandidateEval` per position, in submission order, after every
+    unique unseen subproblem of the generation has been solved and folded
+    into the authoritative cache.
+
+    Accounting matches the per-candidate serial loop bit for bit: the
+    first candidate to reference a new bucket is charged the evaluation,
+    every later reference in the generation counts as a cache hit.
+    """
+
+    def __init__(
+        self,
+        spec: EvalSpec,
+        cache: EvalCache,
+        submit: SubmitFn | None = None,
+        workers: int = 1,
+    ) -> None:
+        self.spec = spec
+        self.cache = cache
+        self.workers = max(1, workers)
+        self._submit = submit
+        self.timings = EvalTimings()
+        self.stage_hits = 0
+        self.stage_lookups = 0
+
+    def _solve_inline(self, todo: Sequence[EvalKey]) -> None:
+        hits_before, lookups_before = stage_memo_stats()
+        started = time.perf_counter()
+        for key in todo:
+            self.cache.put(key, solve_bucket(self.spec, key[1], key[2]))
+        self.timings.eval_seconds += time.perf_counter() - started
+        hits_after, lookups_after = stage_memo_stats()
+        self.stage_hits += hits_after - hits_before
+        self.stage_lookups += lookups_after - lookups_before
+
+    def _solve_pooled(self, todo: Sequence[EvalKey]) -> None:
+        dispatched = time.perf_counter()
+        results = self._submit(todo)
+        dispatch_wall = time.perf_counter() - dispatched
+        solve_seconds = 0.0
+        for result in results:
+            for key, solution in result.entries:
+                self.cache.put(key, solution)
+            solve_seconds += result.solve_seconds
+            self.stage_hits += result.stage_hits
+            self.stage_lookups += result.stage_lookups
+        self.timings.eval_seconds += solve_seconds
+        self.timings.overhead_seconds += max(
+            0.0, dispatch_wall - solve_seconds / self.workers
+        )
+
+    def __call__(
+        self, positions: Sequence[Sequence[float]]
+    ) -> list[CandidateEval]:
+        bucket_started = time.perf_counter()
+        keys_per_candidate = [
+            candidate_keys(self.spec, position) for position in positions
+        ]
+        todo: list[EvalKey] = []
+        todo_set: set[EvalKey] = set()
+        for keys in keys_per_candidate:
+            for key in keys:
+                if key not in todo_set and self.cache.get(key) is None:
+                    todo_set.add(key)
+                    todo.append(key)
+        self.timings.cache_seconds += time.perf_counter() - bucket_started
+
+        if todo:
+            # Tiny generations are not worth a round-trip to the pool.
+            if self._submit is None or len(todo) < self.workers:
+                self._solve_inline(todo)
+            else:
+                self._solve_pooled(todo)
+
+        rehydrate_started = time.perf_counter()
+        out: list[CandidateEval] = []
+        claimed: set[EvalKey] = set()
+        for keys in keys_per_candidate:
+            solutions = []
+            evaluations = 0
+            cache_hits = 0
+            for key in keys:
+                if key in todo_set and key not in claimed:
+                    claimed.add(key)
+                    evaluations += 1
+                else:
+                    cache_hits += 1
+                solution = self.cache.get(key)
+                assert solution is not None, f"bucket never solved: {key}"
+                solutions.append(solution)
+            out.append(
+                CandidateEval(
+                    score=_score(self.spec, solutions),
+                    solutions=tuple(solutions),
+                    evaluations=evaluations,
+                    cache_hits=cache_hits,
+                )
+            )
+        self.timings.cache_seconds += time.perf_counter() - rehydrate_started
+        return out
+
+
+# ---------------------------------------------------------------------------
+# pools
+# ---------------------------------------------------------------------------
 class SweepWorkerPool:
     """A process pool that outlives one search and serves a whole sweep.
 
     ``candidate_runner`` forks (and tears down) a fresh pool per search,
     which is the right shape for a single exploration but wastes startup
-    on every case of a batch sweep. This pool is created once per sweep:
-    tasks are ``(spec digest, position)`` pairs, each worker resolves the
-    digest to the full :class:`EvalSpec` through the shared cache exactly
-    once and memoizes it for the rest of the sweep, so dispatching case
-    #37 costs the same as case #1.
+    on every case of a batch sweep. This pool is created once per sweep
+    and fed chunks of ``(branch, bucket)`` subproblems; workers memoize
+    each spec's Algorithm-2 tables by digest, so dispatching case #37
+    costs the same as case #1 — no shared cache, no spec registration,
+    no bookkeeping entries to clean up.
 
     Evaluation stays the same pure function either way, so results are
     bit-identical to per-search pools and to serial evaluation.
     """
 
-    def __init__(self, workers: int, cache: SharedEvalCache) -> None:
+    def __init__(self, workers: int) -> None:
         if workers < 1:
             raise ValueError("need at least one worker")
-        if not isinstance(cache, SharedEvalCache):
-            raise TypeError("a sweep pool needs a cross-process cache")
         self.workers = workers
-        self.cache = cache
-        self._registered: set[str] = set()
         self._pool: ProcessPoolExecutor | None = ProcessPoolExecutor(
             max_workers=workers,
             mp_context=multiprocessing.get_context(),
-            initializer=_init_pool_worker,
-            initargs=(cache,),
         )
 
-    def register(self, spec: EvalSpec) -> None:
-        """Publish a spec so workers can resolve its digest (idempotent)."""
-        if spec.digest not in self._registered:
-            self.cache.put(_spec_cache_key(spec.digest), spec)
-            self._registered.add(spec.digest)
-
-    @property
-    def specs_registered(self) -> int:
-        return len(self._registered)
-
-    def run(
-        self, spec: EvalSpec, positions: Sequence[Sequence[float]]
-    ) -> list[CandidateEval]:
-        """Evaluate one generation of candidates for ``spec``, in order."""
+    def solve(
+        self, spec: EvalSpec, keys: Sequence[EvalKey]
+    ) -> list[ChunkResult]:
+        """Solve one generation's unique subproblems, chunked over workers."""
         assert self._pool is not None, "pool is closed"
-        self.register(spec)
-        tasks = [(spec.digest, tuple(pos)) for pos in positions]
-        chunksize = max(1, len(tasks) // (self.workers * 4))
-        return list(
-            self._pool.map(_run_pooled_candidate, tasks, chunksize=chunksize)
-        )
+        tasks = _chunk_tasks(spec, keys, self.workers)
+        return list(self._pool.map(_run_chunk, tasks))
 
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
-        # Leave no bookkeeping behind: the cache may outlive this pool
-        # (a caller keeps it warm across sweeps) and must then hold only
-        # genuine evaluation entries.
-        for digest in self._registered:
-            self.cache.discard(_spec_cache_key(digest))
-        self._registered.clear()
 
     def __enter__(self) -> "SweepWorkerPool":
         return self
@@ -300,79 +542,65 @@ class SweepWorkerPool:
         self.close()
 
 
-BatchRunner = Callable[[Sequence[Sequence[float]]], list[CandidateEval]]
-
-
 @contextmanager
 def candidate_runner(
     spec: EvalSpec,
     cache: EvalCache,
     workers: int = 1,
     pool: SweepWorkerPool | None = None,
-) -> Iterator[BatchRunner]:
-    """Yield a batch evaluator: serial inline, a process pool, or a sweep pool.
+) -> Iterator[GenerationEvaluator]:
+    """Yield the generation evaluator for one search.
 
     The yielded callable evaluates one generation's positions and returns
-    results in submission order — calling it IS the per-generation barrier.
-    When ``workers > 1`` and the caller's cache is process-local, a shared
-    cache is stood up for the pool's lifetime, seeded from the local cache,
-    and drained back into it afterwards so the caller stays warm. A live
-    :class:`SweepWorkerPool` takes precedence over both: the search borrows
-    it and leaves its lifetime to the sweep that owns it.
+    results in submission order — calling it IS the per-generation
+    barrier. ``cache`` is the authoritative store in every mode (local,
+    file-backed, or Manager — the parent is its only writer during the
+    search, so no promotion or drain-back dance is needed). ``workers >
+    1`` forks a pool for the search's lifetime; a live
+    :class:`SweepWorkerPool` takes precedence, and its lifetime belongs
+    to the sweep that owns it.
     """
     if pool is not None:
-        def run_pooled(positions: Sequence[Sequence[float]]) -> list[CandidateEval]:
-            return pool.run(spec, positions)
-
-        yield run_pooled
+        yield GenerationEvaluator(
+            spec,
+            cache,
+            submit=lambda keys: pool.solve(spec, keys),
+            workers=pool.workers,
+        )
         return
 
     if workers <= 1:
-        def run_serial(positions: Sequence[Sequence[float]]) -> list[CandidateEval]:
-            return [evaluate_candidate(spec, pos, cache) for pos in positions]
-
-        yield run_serial
+        yield GenerationEvaluator(spec, cache)
         return
 
-    if isinstance(cache, SharedEvalCache):
-        shared, owned = cache, False
-    else:
-        shared, owned = SharedEvalCache(), True
-        shared.preload(cache.items())
-    try:
-        mp_context = multiprocessing.get_context()
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            mp_context=mp_context,
-            initializer=_init_worker,
-            initargs=(spec, shared),
-        ) as pool:
-            def run_parallel(
-                positions: Sequence[Sequence[float]],
-            ) -> list[CandidateEval]:
-                positions = [tuple(pos) for pos in positions]
-                chunksize = max(1, len(positions) // (workers * 4))
-                return list(
-                    pool.map(_run_candidate, positions, chunksize=chunksize)
-                )
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=multiprocessing.get_context(),
+    ) as executor:
 
-            yield run_parallel
-    finally:
-        if owned:
-            for key, value in shared.items():
-                cache.put(key, value)
-            shared.close()
+        def submit(keys: Sequence[EvalKey]) -> list[ChunkResult]:
+            tasks = _chunk_tasks(spec, keys, workers)
+            return list(executor.map(_run_chunk, tasks))
+
+        yield GenerationEvaluator(spec, cache, submit=submit, workers=workers)
 
 
 __all__ = [
     "CandidateEval",
+    "ChunkResult",
+    "EvalKey",
     "EvalSpec",
+    "EvalTimings",
+    "GenerationEvaluator",
     "INFEASIBILITY_PENALTY",
-    "LocalEvalCache",
     "SweepWorkerPool",
+    "branch_table",
+    "candidate_keys",
     "candidate_runner",
     "canonical_rd",
     "evaluate_candidate",
     "quantize_rd",
+    "solve_bucket",
+    "solve_chunk",
     "split_budget",
 ]

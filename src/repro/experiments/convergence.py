@@ -53,6 +53,43 @@ class ConvergenceResult:
         return sum(s.cache_hits for s in self.searches)
 
     @property
+    def total_stage_hits(self) -> int:
+        return sum(s.stage_hits for s in self.searches)
+
+    @property
+    def total_stage_lookups(self) -> int:
+        return sum(s.stage_lookups for s in self.searches)
+
+    @property
+    def bucket_hit_rate(self) -> float:
+        """Result-cache hits over candidate-branch lookups, whole study."""
+        lookups = self.total_evaluations + self.total_cache_hits
+        return self.total_cache_hits / lookups if lookups else 0.0
+
+    @property
+    def combined_hit_rate(self) -> float:
+        """Hits over lookups across both cache levels, whole study."""
+        lookups = (
+            self.total_evaluations
+            + self.total_cache_hits
+            + self.total_stage_lookups
+        )
+        hits = self.total_cache_hits + self.total_stage_hits
+        return hits / lookups if lookups else 0.0
+
+    @property
+    def eval_seconds(self) -> float:
+        return sum(s.eval_seconds for s in self.searches)
+
+    @property
+    def cache_seconds(self) -> float:
+        return sum(s.cache_seconds for s in self.searches)
+
+    @property
+    def overhead_seconds(self) -> float:
+        return sum(s.overhead_seconds for s in self.searches)
+
+    @property
     def total_runtime_seconds(self) -> float:
         return sum(s.runtime_seconds for s in self.searches)
 

@@ -54,6 +54,7 @@ from repro.construction.reorg import PipelinePlan, build_pipeline_plan
 from repro.devices.asic import AsicSpec
 from repro.devices.budget import ResourceBudget
 from repro.devices.fpga import FpgaDevice, get_device
+from repro.dse.cache import EvalCache
 from repro.dse.engine import DseEngine
 from repro.dse.result import DseResult
 from repro.dse.space import Customization
@@ -198,11 +199,15 @@ class FCad:
         population: int = 200,
         seed: int | random.Random | None = 0,
         workers: int = 1,
+        cache: "EvalCache | None" = None,
     ) -> FcadResult:
         """Execute Analysis, Construction and Optimization.
 
         ``workers > 1`` evaluates each DSE generation on a process pool;
-        the found design is bit-identical to the serial search.
+        the found design is bit-identical to the serial search. ``cache``
+        plugs in an evaluation-cache backend (e.g. a persistent
+        :class:`~repro.dse.cache.FileEvalCache` for warm starts across
+        runs); the default is a fresh in-process cache.
         """
         analysis, plan, engine = self.prepare()
         dse = engine.search(
@@ -210,6 +215,7 @@ class FCad:
             population=population,
             seed=seed,
             workers=workers,
+            cache=cache,
         )
         return self._result(analysis, plan, dse)
 
@@ -252,13 +258,16 @@ def run_sweep(
     population: int = 200,
     seed: int | random.Random | None = 0,
     workers: int = 1,
+    cache: "EvalCache | None" = None,
 ) -> tuple[FcadResult, ...]:
     """Explore a whole batch of flows in one call.
 
     Every case draws from one shared evaluation cache (in-branch solutions
     are reused wherever specs overlap) and duplicate cases — same network,
     target, quantization, customization, and seed — are searched exactly
-    once. Results come back in input order, one per flow.
+    once. Results come back in input order, one per flow. ``cache``
+    overrides the backend, e.g. a :class:`~repro.dse.cache.FileEvalCache`
+    so the next sweep starts from this one's solutions.
     """
     prepared = [flow.prepare() for flow in flows]
     dse_results = DseEngine.search_many(
@@ -267,6 +276,7 @@ def run_sweep(
         population=population,
         seed=seed,
         workers=workers,
+        cache=cache,
     )
     return tuple(
         flow._result(analysis, plan, dse)

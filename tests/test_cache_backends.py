@@ -1,0 +1,252 @@
+"""Conformance suite for the evaluation-cache backends, plus bit-identity.
+
+Every backend implements the same tiny mapping protocol, so one shared
+test suite runs against all of them; backend-specific guarantees
+(persistence, delta tracking, proxy pickling) get their own classes. The
+final class asserts the property everything rests on: serial, parallel,
+and file-backed warm-started searches return the same DseResult.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.devices.fpga import get_device
+from repro.dse.cache import (
+    CACHE_BACKENDS,
+    DeltaEvalCache,
+    FileEvalCache,
+    LocalEvalCache,
+    SharedEvalCache,
+    make_cache,
+)
+from repro.dse.engine import DseEngine
+from repro.dse.space import Customization
+from repro.quant.schemes import INT8
+from tests.conftest import make_tiny_decoder
+
+#: One Manager cache for the whole module — forking a manager process per
+#: test triples the suite's wall time for no extra coverage.
+@pytest.fixture(scope="module")
+def manager_cache():
+    with SharedEvalCache() as cache:
+        yield cache
+
+
+@pytest.fixture
+def backend(request, tmp_path, manager_cache):
+    """Yield a fresh cache of the requested flavour."""
+    if request.param == "local":
+        yield LocalEvalCache()
+    elif request.param == "delta":
+        yield DeltaEvalCache(LocalEvalCache())
+    elif request.param == "file":
+        with FileEvalCache(tmp_path / "cache.sqlite") as cache:
+            yield cache
+    elif request.param == "manager":
+        yield manager_cache
+    else:  # pragma: no cover
+        raise ValueError(request.param)
+
+
+ALL_BACKENDS = ["local", "delta", "file", "manager"]
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS, indirect=True)
+class TestConformance:
+    """The contract every backend must honour identically."""
+
+    def test_missing_key_is_none(self, backend):
+        assert backend.get(("missing", 0, (1, 2, 3))) is None
+
+    def test_roundtrip(self, backend):
+        key = ("digest", 1, (10, 20, 30))
+        backend.put(key, "solution")
+        assert backend.get(key) == "solution"
+
+    def test_overwrite_is_last_writer(self, backend):
+        backend.put("k", "first")
+        backend.put("k", "second")
+        assert backend.get("k") == "second"
+
+    def test_items_contains_put_entries(self, backend):
+        backend.put(("a", 0, (0, 0, 0)), 1)
+        backend.put(("b", 1, (1, 1, 1)), 2)
+        entries = dict(backend.items())
+        assert entries[("a", 0, (0, 0, 0))] == 1
+        assert entries[("b", 1, (1, 1, 1))] == 2
+
+    def test_len_counts_entries(self, backend):
+        before = len(backend)
+        backend.put(("len", 0, (9, 9, 9)), "x")
+        assert len(backend) == before + 1
+
+    def test_tuple_keys_and_rich_values(self, backend):
+        """The real key/value shapes: nested tuples and dataclasses."""
+        key = ("sha1" * 10, 2, (17, 3, 250))
+        value = {"configs": ((1, 2, 3), (4, 5, 6)), "fps": 71.5}
+        backend.put(key, value)
+        assert backend.get(key) == value
+
+
+class TestMakeCache:
+    def test_backend_names(self, tmp_path):
+        assert isinstance(make_cache("local"), LocalEvalCache)
+        cache = make_cache("file", tmp_path / "c.sqlite")
+        try:
+            assert isinstance(cache, FileEvalCache)
+        finally:
+            cache.close()
+        assert set(CACHE_BACKENDS) == {"local", "file", "manager"}
+
+    def test_file_needs_path(self):
+        with pytest.raises(ValueError, match="path"):
+            make_cache("file")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            make_cache("redis")
+
+
+class TestDeltaCache:
+    def test_reads_fall_through_to_base(self):
+        base = LocalEvalCache()
+        base.put("warm", 1)
+        delta = DeltaEvalCache(base)
+        assert delta.get("warm") == 1
+        assert delta.new_entries() == []
+
+    def test_new_entries_is_exactly_the_delta(self):
+        base = LocalEvalCache()
+        base.put("warm", 1)
+        delta = DeltaEvalCache(base)
+        delta.put("new", 2)
+        assert delta.new_entries() == [("new", 2)]
+        assert base.get("new") is None  # not merged yet
+
+    def test_merge_folds_into_base_and_resets(self):
+        base = LocalEvalCache()
+        delta = DeltaEvalCache(base)
+        delta.put("a", 1)
+        delta.put("b", 2)
+        assert delta.merge() == 2
+        assert base.get("a") == 1 and base.get("b") == 2
+        assert delta.new_entries() == []
+
+    def test_items_unions_without_duplicates(self):
+        base = LocalEvalCache()
+        base.put("k", "base")
+        delta = DeltaEvalCache(base)
+        delta.put("k", "delta")
+        delta.put("only", 1)
+        entries = dict(delta.items())
+        assert entries == {"k": "delta", "only": 1}
+        assert len(delta) == 2
+
+
+class TestFileCache:
+    def test_persists_across_reopen(self, tmp_path):
+        path = tmp_path / "persist.sqlite"
+        with FileEvalCache(path) as cache:
+            cache.put(("digest", 0, (1, 2, 3)), {"fps": 30.0})
+        with FileEvalCache(path) as warm:
+            assert warm.get(("digest", 0, (1, 2, 3))) == {"fps": 30.0}
+            assert len(warm) == 1
+
+    def test_flush_appends_only_new_entries(self, tmp_path):
+        path = tmp_path / "flush.sqlite"
+        with FileEvalCache(path) as cache:
+            cache.put("a", 1)
+            assert cache.pending_writes == 1
+            assert cache.flush() == 1
+            assert cache.pending_writes == 0
+            cache.put("b", 2)
+            assert cache.flush() == 1
+            assert cache.flush() == 0
+
+    def test_overwrite_persists_across_reopen(self, tmp_path):
+        """Last writer wins on disk too, not just in memory."""
+        path = tmp_path / "overwrite.sqlite"
+        with FileEvalCache(path) as cache:
+            cache.put("k", "first")
+            cache.flush()  # "first" already on disk
+            cache.put("k", "second")
+        with FileEvalCache(path) as warm:
+            assert warm.get("k") == "second"
+
+    def test_merging_two_runs_accumulates(self, tmp_path):
+        path = tmp_path / "merge.sqlite"
+        with FileEvalCache(path) as first:
+            first.put("run1", 1)
+        with FileEvalCache(path) as second:
+            second.put("run2", 2)
+        with FileEvalCache(path) as third:
+            assert third.get("run1") == 1
+            assert third.get("run2") == 2
+
+
+class TestManagerFallback:
+    def test_roundtrip_and_pickle(self, manager_cache):
+        manager_cache.put("pickled", (1, 2))
+        clone = pickle.loads(pickle.dumps(manager_cache))
+        # The clone reconnects to the same manager-backed store.
+        assert clone.get("pickled") == (1, 2)
+        clone.put("from-clone", 3)
+        assert manager_cache.get("from-clone") == 3
+
+    def test_preload(self, manager_cache):
+        local = LocalEvalCache()
+        local.put("preloaded", "v")
+        manager_cache.preload(local.items())
+        assert manager_cache.get("preloaded") == "v"
+
+    def test_drain_new_returns_only_fresh_entries(self, manager_cache):
+        manager_cache.drain_new()  # reset whatever earlier tests wrote
+        manager_cache.put("fresh-1", 1)
+        manager_cache.put("fresh-2", 2)
+        drained = dict(manager_cache.drain_new())
+        assert drained == {"fresh-1": 1, "fresh-2": 2}
+        # A second drain without new puts moves nothing.
+        assert manager_cache.drain_new() == []
+
+
+class TestBitIdentity:
+    """Serial, parallel, and warm-started searches agree bit for bit."""
+
+    @pytest.fixture(scope="class")
+    def engine(self):
+        from repro.construction.reorg import build_pipeline_plan
+
+        plan = build_pipeline_plan(make_tiny_decoder())
+        return DseEngine(
+            plan=plan,
+            budget=get_device("Z7045").budget(),
+            customization=Customization.uniform(plan.num_branches),
+            quant=INT8,
+        )
+
+    def test_serial_parallel_and_file_warm_agree(self, engine, tmp_path):
+        size = dict(iterations=2, population=10, seed=13)
+        serial = engine.search(**size)
+        parallel = engine.search(**size, workers=2)
+
+        path = tmp_path / "warm.sqlite"
+        with FileEvalCache(path) as cold_cache:
+            cold = engine.search(**size, cache=cold_cache)
+        with FileEvalCache(path) as warm_cache:
+            preloaded = len(warm_cache)
+            warm = engine.search(**size, cache=warm_cache)
+
+        for result in (parallel, cold, warm):
+            assert result.best_fitness == serial.best_fitness
+            assert result.best_config == serial.best_config
+            assert result.history == serial.history
+            assert (
+                result.convergence_iteration == serial.convergence_iteration
+            )
+        # The warm start really was warm: every bucket came from the file.
+        assert preloaded > 0
+        assert warm.evaluations == 0
+        assert warm.cache_hits == warm.cache_lookups

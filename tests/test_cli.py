@@ -151,6 +151,38 @@ class TestValidation:
         )
         assert "DSE cache:" in out
         assert "Algorithm-2 solves" in out
+        assert "stage-memo hits" in out
+        assert "DSE phases:" in out
+
+    def test_explore_profile_prints_hotspots(self, capsys):
+        out = run_cli(
+            capsys,
+            "explore",
+            "tiny_yolo",
+            "--device", "Z7045",
+            "--iterations", "2",
+            "--population", "8",
+            "--profile",
+        )
+        assert "search profile (top 20 by cumulative time)" in out
+        assert "cumtime" in out  # pstats table actually rendered
+
+    def test_explore_cache_file_warm_start(self, capsys, tmp_path):
+        cache_file = str(tmp_path / "dse.sqlite")
+        case = [
+            "explore", "tiny_yolo",
+            "--device", "Z7045",
+            "--iterations", "2",
+            "--population", "8",
+            "--cache-file", cache_file,
+        ]
+        cold = run_cli(capsys, *case)
+        assert ": 0 entries warm" in cold
+        assert "new entries persisted" in cold
+        warm = run_cli(capsys, *case)
+        assert ": 0 entries warm" not in warm
+        # Every bucket came from the file: nothing was re-solved.
+        assert ", 0 Algorithm-2 solves" in warm
 
 
 class TestServe:

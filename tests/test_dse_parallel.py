@@ -1,4 +1,4 @@
-"""Parallel DSE: worker purity, shared caching, batch sweeps, determinism."""
+"""Parallel DSE: worker purity, generation dedup, batch sweeps, determinism."""
 
 from __future__ import annotations
 
@@ -13,8 +13,12 @@ from repro.dse.engine import DseEngine
 from repro.dse.space import Customization
 from repro.dse.worker import (
     EvalSpec,
+    GenerationEvaluator,
     SweepWorkerPool,
+    candidate_keys,
     evaluate_candidate,
+    solve_bucket,
+    solve_chunk,
 )
 from repro.fcad.flow import FCad, run_sweep, sweep_grid
 from repro.quant.schemes import INT8, INT16
@@ -100,31 +104,72 @@ class TestEvaluateCandidate:
         assert result.score == raw - INFEASIBILITY_PENALTY * shortfall
 
 
-class TestCaches:
-    def test_local_roundtrip(self):
+class TestGenerationEvaluator:
+    """The zero-IPC data path: dedup in the parent, deltas from workers."""
+
+    def test_matches_per_candidate_evaluation(self, spec):
+        positions = [[0.5, 0.5] * 3, [0.7, 0.3] * 3, [0.4, 0.6] * 3]
+        batched = GenerationEvaluator(spec, LocalEvalCache())(positions)
+        inline_cache = LocalEvalCache()
+        inline = [
+            evaluate_candidate(spec, pos, inline_cache) for pos in positions
+        ]
+        assert [r.score for r in batched] == [r.score for r in inline]
+        assert [r.solutions for r in batched] == [r.solutions for r in inline]
+        assert [r.evaluations for r in batched] == [
+            r.evaluations for r in inline
+        ]
+        assert [r.cache_hits for r in batched] == [r.cache_hits for r in inline]
+
+    def test_generation_dedup_charges_first_candidate(self, spec):
+        position = [0.5, 0.5] * 3
+        results = GenerationEvaluator(spec, LocalEvalCache())(
+            [position, list(position), list(position)]
+        )
+        B = spec.plan.num_branches
+        # One candidate pays for the unique buckets; clones ride the cache.
+        assert results[0].evaluations == B
+        assert results[1].evaluations == 0
+        assert results[1].cache_hits == B
+        assert results[2].cache_hits == B
+        assert results[0].score == results[1].score == results[2].score
+
+    def test_warm_cache_means_zero_evaluations(self, spec):
         cache = LocalEvalCache()
-        assert cache.get("k") is None
-        cache.put("k", 1)
-        assert cache.get("k") == 1
-        assert len(cache) == 1
-        assert dict(cache.items()) == {"k": 1}
+        evaluator = GenerationEvaluator(spec, cache)
+        positions = [[0.5, 0.5] * 3, [0.7, 0.3] * 3]
+        evaluator(positions)
+        rerun = evaluator(positions)
+        assert all(r.evaluations == 0 for r in rerun)
+        assert all(r.cache_hits == spec.plan.num_branches for r in rerun)
 
-    def test_shared_roundtrip_and_pickle(self):
-        with SharedEvalCache() as cache:
-            cache.put("k", (1, 2))
-            clone = pickle.loads(pickle.dumps(cache))
-            # The clone reconnects to the same manager-backed store.
-            assert clone.get("k") == (1, 2)
-            clone.put("j", 3)
-            assert cache.get("j") == 3
-            assert len(cache) == 2
+    def test_timings_and_stage_stats_accumulate(self, spec):
+        evaluator = GenerationEvaluator(spec, LocalEvalCache())
+        evaluator([[0.5, 0.5] * 3, [0.7, 0.3] * 3])
+        assert evaluator.timings.eval_seconds > 0
+        assert evaluator.timings.cache_seconds > 0
+        assert evaluator.timings.overhead_seconds == 0  # serial: no pool
+        assert evaluator.stage_lookups > 0
+        assert 0 <= evaluator.stage_hits <= evaluator.stage_lookups
 
-    def test_shared_preload(self):
-        local = LocalEvalCache()
-        local.put("k", "v")
-        with SharedEvalCache() as cache:
-            cache.preload(local.items())
-            assert cache.get("k") == "v"
+
+class TestSolveChunk:
+    def test_chunk_returns_all_requested_entries(self, spec):
+        keys = candidate_keys(spec, [0.5, 0.5] * 3)
+        result = solve_chunk(spec, keys)
+        assert [key for key, _ in result.entries] == keys
+        for key, solution in result.entries:
+            assert solution == solve_bucket(spec, key[1], key[2])
+        assert result.solve_seconds >= 0
+        assert result.stage_lookups > 0
+
+    def test_duplicate_keys_in_chunk_solved_once(self, spec):
+        keys = candidate_keys(spec, [0.5, 0.5] * 3)
+        doubled = list(keys) + list(keys)
+        result = solve_chunk(spec, doubled)
+        assert len(result.entries) == len(doubled)
+        # Every requested key still comes back, duplicates and all.
+        assert [key for key, _ in result.entries] == doubled
 
 
 class TestParallelDeterminism:
@@ -140,6 +185,16 @@ class TestParallelDeterminism:
         assert parallel.history == serial.history
         assert parallel.convergence_iteration == serial.convergence_iteration
         assert serial.workers == 1 and parallel.workers == 4
+
+    def test_parallel_accounting_matches_serial(self, tiny_plan_module):
+        """Dedup accounting is the same arithmetic in both modes."""
+        engine = make_engine(tiny_plan_module)
+        serial = engine.search(iterations=2, population=8, seed=11)
+        parallel = engine.search(
+            iterations=2, population=8, seed=11, workers=2
+        )
+        assert parallel.evaluations == serial.evaluations
+        assert parallel.cache_hits == serial.cache_hits
 
     def test_flow_workers_match(self, tiny_plan_module):
         graph = make_tiny_decoder()
@@ -246,62 +301,39 @@ class TestSweepApi:
 
 
 class TestSweepWorkerPool:
-    def test_pool_matches_inline_evaluation(self, tiny_plan_module):
+    def test_pool_matches_inline_solutions(self, tiny_plan_module):
         """One long-lived pool returns exactly what inline eval computes."""
         int8 = make_engine(tiny_plan_module, quant=INT8).spec
         int16 = make_engine(tiny_plan_module, quant=INT16).spec
         positions = [[0.5, 0.5] * 3, [0.7, 0.3] * 3]
-        with SharedEvalCache() as cache:
-            with SweepWorkerPool(2, cache) as pool:
-                for spec in (int8, int16):
-                    pooled = pool.run(spec, positions)
-                    inline = [
-                        evaluate_candidate(spec, pos, LocalEvalCache())
-                        for pos in positions
-                    ]
-                    assert [r.score for r in pooled] == [
-                        r.score for r in inline
-                    ]
-                    assert [r.solutions for r in pooled] == [
-                        r.solutions for r in inline
-                    ]
-                # Both problem specs were served by the same worker set.
-                assert pool.specs_registered == 2
-            # close() removed its bookkeeping from the (caller-owned)
-            # cache: only genuine evaluation entries remain.
-            assert all(
-                key[0] != "__spec__" for key, _ in cache.items()
-            )
+        with SweepWorkerPool(2) as pool:
+            for spec in (int8, int16):
+                keys = []
+                for pos in positions:
+                    keys.extend(candidate_keys(spec, pos))
+                unique = list(dict.fromkeys(keys))
+                chunks = pool.solve(spec, unique)
+                pooled = dict(
+                    entry for chunk in chunks for entry in chunk.entries
+                )
+                assert set(pooled) == set(unique)
+                for key, solution in pooled.items():
+                    assert solution == solve_bucket(spec, key[1], key[2])
 
-    def test_spec_registration_idempotent(self, tiny_plan_module):
-        spec = make_engine(tiny_plan_module).spec
-        with SharedEvalCache() as cache:
-            with SweepWorkerPool(1, cache) as pool:
-                pool.register(spec)
-                pool.register(spec)
-                assert pool.specs_registered == 1
-
-    def test_requires_shared_cache(self):
-        with pytest.raises(TypeError, match="cross-process"):
-            SweepWorkerPool(1, LocalEvalCache())
+    def test_requires_at_least_one_worker(self):
+        with pytest.raises(ValueError, match="at least one"):
+            SweepWorkerPool(0)
 
     def test_search_many_reuses_one_pool(self, tiny_plan_module, monkeypatch):
         """A parallel sweep forks exactly one pool for all of its cases."""
         created: list[SweepWorkerPool] = []
-        registered: set[str] = set()
         original_init = SweepWorkerPool.__init__
-        original_register = SweepWorkerPool.register
 
-        def counting_init(self, workers, cache):
-            original_init(self, workers, cache)
+        def counting_init(self, workers):
+            original_init(self, workers)
             created.append(self)
 
-        def counting_register(self, spec):
-            registered.add(spec.digest)
-            original_register(self, spec)
-
         monkeypatch.setattr(SweepWorkerPool, "__init__", counting_init)
-        monkeypatch.setattr(SweepWorkerPool, "register", counting_register)
         engines = [
             make_engine(tiny_plan_module, device=device)
             for device in ("Z7045", "ZU17EG", "ZU9CG")
@@ -311,11 +343,10 @@ class TestSweepWorkerPool:
         )
         assert len(results) == 3
         assert len(created) == 1
-        assert len(registered) == 3
 
-    def test_local_cache_promoted_for_parallel_sweep(self, tiny_plan_module):
-        """workers>1 + LocalEvalCache still gets one pool, and the new
-        entries drain back into the caller's cache (no bookkeeping keys)."""
+    def test_callers_cache_is_used_directly(self, tiny_plan_module):
+        """workers>1 no longer promotes the cache to a Manager store: the
+        caller's local cache IS the authoritative store and ends up warm."""
         engines = [
             make_engine(tiny_plan_module, device=device)
             for device in ("Z7045", "ZU17EG")
@@ -325,9 +356,7 @@ class TestSweepWorkerPool:
             engines, iterations=2, population=8, seed=0,
             workers=2, cache=local,
         )
-        keys = [key for key, _ in local.items()]
-        assert keys, "promoted cache was not drained back"
-        assert not any(key[0] == "__spec__" for key in keys)
+        assert len(local) > 0, "caller's cache did not receive the deltas"
         serial = DseEngine.search_many(
             engines, iterations=2, population=8, seed=0
         )
@@ -351,6 +380,18 @@ class TestSweepWorkerPool:
             assert s.best_config == p.best_config
             assert s.history == p.history
 
+    def test_manager_cache_still_works_as_fallback(self, tiny_plan_module):
+        """SharedEvalCache remains a valid (if slow) backend choice."""
+        engine = make_engine(tiny_plan_module)
+        with SharedEvalCache() as cache:
+            shared = engine.search(
+                iterations=2, population=8, seed=9, cache=cache
+            )
+            assert len(cache) > 0
+        plain = engine.search(iterations=2, population=8, seed=9)
+        assert shared.best_fitness == plain.best_fitness
+        assert shared.best_config == plain.best_config
+
 
 class TestResultStats:
     def test_cache_hit_rate_surfaced(self, tiny_plan_module):
@@ -358,5 +399,18 @@ class TestResultStats:
             iterations=3, population=10, seed=0
         )
         assert result.cache_lookups == result.evaluations + result.cache_hits
+        assert 0.0 <= result.bucket_hit_rate <= 1.0
         assert 0.0 <= result.cache_hit_rate <= 1.0
+        assert result.stage_lookups > 0
         assert "cache hits" in result.render()
+
+    def test_phase_timings_surfaced(self, tiny_plan_module):
+        result = make_engine(tiny_plan_module).search(
+            iterations=3, population=10, seed=0
+        )
+        assert result.eval_seconds > 0
+        assert result.cache_seconds > 0
+        assert result.overhead_seconds == 0  # serial search: no pool
+        assert result.eval_seconds + result.cache_seconds <= (
+            result.runtime_seconds + 1e-6
+        )

@@ -45,6 +45,11 @@ def environment() -> dict:
 # ---------------------------------------------------------------------------
 # suite: dse
 # ---------------------------------------------------------------------------
+#: How much slower than serial the parallel run may be before the gate
+#: fails (only enforced on multi-core runners).
+SPEEDUP_GATE_TOLERANCE = 1.10
+
+
 def summarize(result: ConvergenceResult, wall_seconds: float) -> dict:
     return {
         "workers": result.workers,
@@ -54,12 +59,76 @@ def summarize(result: ConvergenceResult, wall_seconds: float) -> dict:
         "avg_convergence_iteration": result.avg_iteration,
         "evaluations": result.total_evaluations,
         "cache_hits": result.total_cache_hits,
-        "cache_hit_rate": round(
-            result.total_cache_hits
-            / max(1, result.total_cache_hits + result.total_evaluations),
-            4,
-        ),
+        # Headline rate: hits over lookups across the whole evaluation
+        # data path (bucket-level result cache + Algorithm 2's stage
+        # memo tables). The per-level rates sit next to it.
+        "cache_hit_rate": round(result.combined_hit_rate, 4),
+        "bucket_hit_rate": round(result.bucket_hit_rate, 4),
+        "stage_hits": result.total_stage_hits,
+        "stage_lookups": result.total_stage_lookups,
+        "phases": {
+            "eval_seconds": round(result.eval_seconds, 3),
+            "cache_seconds": round(result.cache_seconds, 3),
+            "pool_overhead_seconds": round(result.overhead_seconds, 3),
+        },
     }
+
+
+def load_baseline(path: Path, config: dict) -> dict | None:
+    """The committed BENCH_dse.json, if it matches this run's config."""
+    if not path.exists():
+        return None
+    try:
+        baseline = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    if baseline.get("benchmark") != "dse_convergence":
+        return None
+    if baseline.get("config") != config:
+        return None
+    return baseline
+
+
+def _trend(label: str, old: float | None, new: float) -> str:
+    if not old:
+        return f"  {label}: {new} (no baseline)"
+    change = 100.0 * (new - old) / old
+    return f"  {label}: {old} -> {new} ({change:+.1f}%)"
+
+
+def compare_to_baseline(baseline: dict | None, payload: dict) -> dict | None:
+    """Print the perf trajectory vs the committed file; return the deltas."""
+    if baseline is None:
+        print(
+            "no comparable committed BENCH_dse.json baseline "
+            "(first run, or the reduced-size config changed)"
+        )
+        return None
+    print("perf trajectory vs committed BENCH_dse.json:")
+    rows = [
+        (
+            "serial wall s",
+            baseline.get("serial", {}).get("wall_seconds"),
+            payload["serial"]["wall_seconds"],
+        ),
+        (
+            "parallel wall s",
+            baseline.get("parallel", {}).get("wall_seconds"),
+            payload["parallel"]["wall_seconds"],
+        ),
+        ("speedup", baseline.get("speedup"), payload["speedup"]),
+        (
+            "cache hit rate",
+            baseline.get("parallel", {}).get("cache_hit_rate"),
+            payload["parallel"]["cache_hit_rate"],
+        ),
+    ]
+    deltas = {}
+    for label, old, new in rows:
+        print(_trend(label, old, new))
+        key = label.replace(" ", "_")
+        deltas[key] = {"baseline": old, "now": new}
+    return deltas
 
 
 def run_dse_suite(args: argparse.Namespace) -> int:
@@ -70,11 +139,19 @@ def run_dse_suite(args: argparse.Namespace) -> int:
         iterations=args.iterations,
         population=args.population,
     )
+    # Read the committed baseline before this run overwrites it.
+    baseline = load_baseline(Path(args.out), config)
 
+    # Each measured run starts from cold process-local tables, so the
+    # serial and parallel numbers are comparable.
+    from repro.dse.worker import clear_process_caches
+
+    clear_process_caches()
     started = time.perf_counter()
     serial = run_convergence(**config, workers=1)
     serial_wall = time.perf_counter() - started
 
+    clear_process_caches()
     started = time.perf_counter()
     parallel = run_convergence(**config, workers=args.workers)
     parallel_wall = time.perf_counter() - started
@@ -82,6 +159,19 @@ def run_dse_suite(args: argparse.Namespace) -> int:
     deterministic = [s.best_fitness for s in serial.searches] == [
         s.best_fitness for s in parallel.searches
     ]
+
+    multi_core = (os.cpu_count() or 1) > 1
+    if not multi_core:
+        gate = "skipped-single-core"
+        print(
+            "speedup gate: SKIPPED — single-core runner, parallel wall "
+            "time is expected to trail serial here"
+        )
+    elif parallel_wall <= serial_wall * SPEEDUP_GATE_TOLERANCE:
+        gate = "passed"
+    else:
+        gate = "failed"
+
     payload = {
         "benchmark": "dse_convergence",
         "config": config,
@@ -92,7 +182,9 @@ def run_dse_suite(args: argparse.Namespace) -> int:
         if parallel_wall > 0
         else None,
         "deterministic": deterministic,
+        "speedup_gate": gate,
     }
+    payload["baseline_comparison"] = compare_to_baseline(baseline, payload)
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
 
     # Archive the rendered table next to the pytest-benchmark artifacts.
@@ -101,17 +193,35 @@ def run_dse_suite(args: argparse.Namespace) -> int:
     (out_dir / "dse-convergence-smoke.txt").write_text(
         f"### DSE convergence smoke (reduced size)\n{parallel.render()}\n"
         f"serial {serial_wall:.2f}s -> parallel x{args.workers} "
-        f"{parallel_wall:.2f}s (speedup {payload['speedup']})\n"
+        f"{parallel_wall:.2f}s (speedup {payload['speedup']}, "
+        f"gate {gate})\n"
     )
 
     print(f"wrote {args.out}")
     print(
         f"serial {serial_wall:.2f}s, parallel x{args.workers} "
         f"{parallel_wall:.2f}s, speedup {payload['speedup']}, "
+        f"cache hit rate {payload['parallel']['cache_hit_rate']:.1%}, "
         f"deterministic={deterministic}"
+    )
+    serial_phases = payload["serial"]["phases"]
+    parallel_phases = payload["parallel"]["phases"]
+    print(
+        f"phases (serial): eval {serial_phases['eval_seconds']}s, cache "
+        f"{serial_phases['cache_seconds']}s | (parallel): eval "
+        f"{parallel_phases['eval_seconds']}s, cache "
+        f"{parallel_phases['cache_seconds']}s, pool overhead "
+        f"{parallel_phases['pool_overhead_seconds']}s"
     )
     if not deterministic:
         print("ERROR: parallel search diverged from serial results")
+        return 1
+    if gate == "failed":
+        print(
+            f"ERROR: speedup gate failed on a multi-core runner "
+            f"({os.cpu_count()} cores): parallel {parallel_wall:.2f}s > "
+            f"serial {serial_wall:.2f}s x {SPEEDUP_GATE_TOLERANCE}"
+        )
         return 1
     return 0
 
