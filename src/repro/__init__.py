@@ -29,7 +29,19 @@ from repro.baselines import DnnBuilderModel, HybridDnnModel, SNAPDRAGON_865, Soc
 from repro.codegen.hls import generate_project
 from repro.construction import PipelinePlan, build_pipeline_plan, fuse_graph
 from repro.devices import AsicSpec, FpgaDevice, ResourceBudget, get_device, list_devices
-from repro.dse import Customization, DseEngine, DseResult
+from repro.dse import (
+    BranchMetrics,
+    CompositeObjective,
+    Customization,
+    DseEngine,
+    DseResult,
+    PaperObjective,
+    ServingOracle,
+    SimOracle,
+    SloObjective,
+    make_objective,
+    make_oracle,
+)
 from repro.dse.pareto import ParetoFrontier, explore_budget_frontier
 from repro.fcad import FCad, FcadResult, run_sweep, sweep_grid
 from repro.fcad.report import render_markdown_report
@@ -80,6 +92,8 @@ __all__ = [
     "AvatarWorkload",
     "BiasMode",
     "BranchConfig",
+    "BranchMetrics",
+    "CompositeObjective",
     "ConfigError",
     "Conv2d",
     "Customization",
@@ -102,14 +116,18 @@ __all__ = [
     "Linear",
     "NetworkAnalysis",
     "NetworkGraph",
+    "PaperObjective",
     "ParetoFrontier",
     "PipelinePlan",
     "QuantScheme",
     "ReplicaPool",
     "ResourceBudget",
     "SNAPDRAGON_865",
+    "ServingOracle",
     "ServingReport",
+    "SimOracle",
     "SimulationReport",
+    "SloObjective",
     "SocModel",
     "StageConfig",
     "TensorShape",
@@ -131,6 +149,8 @@ __all__ = [
     "get_scheme",
     "list_devices",
     "list_models",
+    "make_objective",
+    "make_oracle",
     "profile_network",
     "render_markdown_report",
     "pool_from_result",

@@ -34,6 +34,7 @@ from repro.analysis.analyzer import analyze_network
 from repro.arch.serialize import config_from_json, config_to_json
 from repro.devices.asic import AsicSpec
 from repro.devices.fpga import get_device, list_devices
+from repro.dse.objective import OBJECTIVES, RERANK_ORACLES
 from repro.dse.space import Customization
 from repro.fcad.flow import FCad
 from repro.fcad.report import render_markdown_report
@@ -287,12 +288,16 @@ def cmd_explore(args: argparse.Namespace) -> int:
                         devices=devices,
                         quants=quants,
                         customization=customization,
+                        alpha=args.alpha,
                     ),
                     iterations=args.iterations,
                     population=args.population,
                     seed=args.seed,
                     workers=args.workers,
                     cache=cache,
+                    objective=args.objective,
+                    rerank_oracle=args.rerank,
+                    rerank_top_k=args.rerank_top_k,
                 )
             print(_sweep_summary(results))
             if args.save_config or args.report:
@@ -306,6 +311,7 @@ def cmd_explore(args: argparse.Namespace) -> int:
             device=_target(args),
             quant=args.quant,
             customization=customization,
+            alpha=args.alpha,
         )
         with _search_profiler(args.profile):
             result = flow.run(
@@ -314,6 +320,9 @@ def cmd_explore(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 workers=args.workers,
                 cache=cache,
+                objective=args.objective,
+                rerank_oracle=args.rerank,
+                rerank_top_k=args.rerank_top_k,
             )
         print(result.render())
         dse = result.dse
@@ -329,6 +338,22 @@ def cmd_explore(args: argparse.Namespace) -> int:
             f"{dse.cache_seconds:.2f}s, pool overhead "
             f"{dse.overhead_seconds:.2f}s"
         )
+        print(
+            f"objective: {dse.objective}; oracle stages: "
+            + "; ".join(
+                f"{s.name} {s.invocations} invocations "
+                f"({s.cache_hits} cache hits)"
+                for s in dse.oracle_stats
+            )
+        )
+        metrics = dse.best_metrics
+        if metrics is not None and metrics.p99_ms is not None:
+            print(
+                f"selected design under the canned serving workload: "
+                f"p99 {metrics.p99_ms:.2f} ms, deadline-miss "
+                f"{100 * (metrics.deadline_miss_rate or 0.0):.1f}%, "
+                f"throughput {metrics.throughput_fps:.1f} FPS"
+            )
         if args.save_config:
             Path(args.save_config).write_text(
                 config_to_json(result.dse.best_config)
@@ -552,7 +577,13 @@ def build_parser() -> argparse.ArgumentParser:
             "      --sweep-quants int8,int16 --workers 4\n"
             "      explore the whole device x precision grid in one batch;\n"
             "      all cases share one evaluation cache and duplicate cases\n"
-            "      are searched only once"
+            "      are searched only once\n"
+            "objectives and staged re-ranking:\n"
+            "  repro explore codec_avatar_decoder --objective slo \\\n"
+            "      --rerank serving --rerank-top-k 4\n"
+            "      score every candidate analytically, replay each\n"
+            "      generation's top 4 through the serving layer, and pick\n"
+            "      the design with the best p99/deadline-miss under load"
         ),
     )
     p.add_argument("model")
@@ -571,12 +602,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--cache-file",
         help="persist the evaluation cache to this SQLite file; a later "
-        "explore pointed at the same file warm-starts from it",
+        "explore pointed at the same file warm-starts from it (entries "
+        "are objective-independent, so switching --objective keeps hits)",
     )
     p.add_argument(
         "--profile",
         action="store_true",
         help="cProfile the search and print the top-20 cumulative hotspots",
+    )
+    p.add_argument(
+        "--objective",
+        default="paper",
+        choices=list(OBJECTIVES),
+        help="fitness the search maximizes: the paper's Sec. VI-B1 "
+        "weighted-FPS score, p99-under-load SLOs, or an equal blend",
+    )
+    p.add_argument(
+        "--rerank",
+        default="none",
+        choices=list(RERANK_ORACLES),
+        help="expensive oracle that re-measures each generation's "
+        "analytical top-K candidates (cycle-accurate sim or a canned "
+        "serving-workload replay) and selects the final design",
+    )
+    p.add_argument(
+        "--rerank-top-k",
+        type=_positive_int,
+        default=4,
+        help="candidates per generation the re-rank oracle re-measures",
+    )
+    p.add_argument(
+        "--alpha",
+        type=_positive_float,
+        default=0.05,
+        help="variance-penalty weight of the paper objective (and the "
+        "SLO objective's analytical-stage proxy)",
     )
     p.set_defaults(func=cmd_explore)
 

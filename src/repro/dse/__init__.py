@@ -13,6 +13,23 @@ from repro.dse.crossbranch import CrossBranchOptimizer, Particle
 from repro.dse.engine import DseEngine
 from repro.dse.fitness import fitness_score
 from repro.dse.inbranch import BranchEvalTable, BranchSolution, optimize_branch
+from repro.dse.objective import (
+    OBJECTIVES,
+    RERANK_ORACLES,
+    AnalyticalOracle,
+    BranchMetrics,
+    CompositeObjective,
+    MetricsOracle,
+    Objective,
+    OracleStats,
+    PaperObjective,
+    ServingOracle,
+    SimOracle,
+    SloObjective,
+    make_objective,
+    make_oracle,
+    metrics_from_solutions,
+)
 from repro.dse.result import DseResult
 from repro.dse.space import Customization, DesignSpace, get_pf
 from repro.dse.worker import (
@@ -24,10 +41,13 @@ from repro.dse.worker import (
 )
 
 __all__ = [
+    "AnalyticalOracle",
     "BranchEvalTable",
+    "BranchMetrics",
     "BranchSolution",
     "CACHE_BACKENDS",
     "CandidateEval",
+    "CompositeObjective",
     "CrossBranchOptimizer",
     "Customization",
     "DeltaEvalCache",
@@ -39,12 +59,24 @@ __all__ = [
     "FileEvalCache",
     "GenerationEvaluator",
     "LocalEvalCache",
+    "MetricsOracle",
+    "OBJECTIVES",
+    "Objective",
+    "OracleStats",
+    "PaperObjective",
     "Particle",
+    "RERANK_ORACLES",
+    "ServingOracle",
     "SharedEvalCache",
+    "SimOracle",
+    "SloObjective",
     "SweepWorkerPool",
     "evaluate_candidate",
     "fitness_score",
     "get_pf",
     "make_cache",
+    "make_objective",
+    "make_oracle",
+    "metrics_from_solutions",
     "optimize_branch",
 ]

@@ -3,11 +3,23 @@
 Algorithm 2 is a pure function of ``(branch, resource distribution,
 customization, quantization, frequency)``, so its solutions can be memoized
 aggressively. All backends share one small mapping interface
-(``get`` / ``put`` / ``items`` / ``len``) and hold keys of the form
-``(spec digest, branch index, quantized budget bucket)`` (built in
-:mod:`repro.dse.worker`); the spec digest namespaces entries, so one cache
-can safely serve a whole sweep of different models, budgets, and
-precisions at once.
+(``get`` / ``put`` / ``items`` / ``len``) and hold two kinds of entries,
+both built in :mod:`repro.dse.worker`:
+
+- **analytical solutions** under ``(spec digest, branch index, quantized
+  budget bucket)`` — per-branch Algorithm-2 results. These are *metrics*,
+  not scores: the objective is applied parent-side after rehydration, so
+  the entries are valid under every objective and a warm cache keeps
+  hitting when the caller switches from the paper fitness to an SLO one.
+  The spec digest (which deliberately excludes the objective) namespaces
+  entries, so one cache can safely serve a whole sweep of different
+  models, budgets, and precisions at once.
+- **re-rank metrics** under ``(spec digest, "rerank", oracle key,
+  bucket vector)`` — whole-candidate
+  :class:`~repro.dse.objective.BranchMetrics` from an expensive oracle
+  (cycle-accurate sim, serving replay). Only these keys fold in the
+  oracle identity: expensive measurements depend on which oracle took
+  them, while the analytical entries are the same for every oracle stack.
 
 Backends, in the order a search should prefer them:
 

@@ -4,9 +4,20 @@ A particle-swarm search over *resource distributions*: each candidate
 ``rd`` splits the compute / memory / bandwidth budgets across branches
 (fractions per resource summing to one). Every candidate is completed into
 a full hardware configuration by the in-branch greedy search (Algorithm 2),
-scored by the priority-weighted fitness, and evolved toward its local best
-and the global best by a random distance — exactly the
-``Evolve(rd, rd_best_i, rd_best_global, budget)`` update of the paper.
+scored by the configured :class:`~repro.dse.objective.Objective` over its
+metrics, and evolved toward its local best and the global best by a random
+distance — exactly the ``Evolve(rd, rd_best_i, rd_best_global, budget)``
+update of the paper.
+
+The search can be *staged*: the cheap analytical oracle scores every PSO
+position as before, and an optional expensive ``rerank_oracle`` (the
+cycle-accurate simulator or a serving-workload replay) re-measures the
+top-K candidates of each generation. The expensive track runs beside the
+swarm, never inside it — analytical scores keep guiding the particle
+updates (the two oracles' scores live on different scales, so mixing them
+in one ``max`` would be meaningless), while the returned best design is
+the one the expensive oracle ranked highest. With no re-rank oracle the
+loop is exactly the historical Algorithm 1, bit for bit.
 
 Candidate evaluation is pure (see :mod:`repro.dse.worker`), so a
 generation's population can be scored serially or fanned out over a
@@ -19,12 +30,21 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.arch.config import AcceleratorConfig
 from repro.construction.reorg import PipelinePlan
 from repro.devices.budget import ResourceBudget
 from repro.dse.cache import EvalCache, LocalEvalCache
 from repro.dse.inbranch import BranchSolution
+from repro.dse.objective import (
+    BranchMetrics,
+    MetricsOracle,
+    Objective,
+    penalized_score,
+    resolve_objective,
+    resolve_oracle,
+)
 from repro.dse.space import Customization
 from repro.dse.worker import (
     EvalSpec,
@@ -32,6 +52,7 @@ from repro.dse.worker import (
     SweepWorkerPool,
     candidate_runner,
     evaluate_candidate,
+    rerank_key,
 )
 from repro.quant.schemes import QuantScheme
 from repro.utils.rng import make_rng
@@ -72,8 +93,13 @@ class CrossBranchOptimizer:
         c_local: float = 1.2,
         c_global: float = 1.2,
         cache: EvalCache | None = None,
+        objective: Objective | str | None = None,
+        rerank_oracle: MetricsOracle | str | None = None,
+        rerank_top_k: int = 4,
     ) -> None:
         customization.validate_for(plan)
+        if rerank_top_k < 1:
+            raise ValueError("rerank_top_k must be at least 1")
         self.plan = plan
         self.budget = budget
         self.customization = customization
@@ -90,13 +116,18 @@ class CrossBranchOptimizer:
             customization=customization,
             quant=quant,
             frequency_mhz=frequency_mhz,
-            alpha=alpha,
         )
+        self.objective = resolve_objective(objective, alpha=alpha)
+        self.rerank_oracle = resolve_oracle(rerank_oracle)
+        self.rerank_top_k = rerank_top_k
         self._cache: EvalCache = cache if cache is not None else LocalEvalCache()
         self.evaluations = 0
         self.cache_hits = 0
         self.stage_hits = 0
         self.stage_lookups = 0
+        self.oracle_invocations = 0
+        self.oracle_cache_hits = 0
+        self.best_metrics: BranchMetrics | None = None
         self.eval_timings = EvalTimings()
 
     # ------------------------------------------------------------------
@@ -104,10 +135,38 @@ class CrossBranchOptimizer:
         self, position: list[float]
     ) -> tuple[float, list[BranchSolution]]:
         """Complete a distribution into configs and compute its fitness."""
-        result = evaluate_candidate(self.spec, position, self._cache)
+        result = evaluate_candidate(
+            self.spec, position, self._cache, objective=self.objective
+        )
         self.evaluations += result.evaluations
         self.cache_hits += result.cache_hits
         return result.score, list(result.solutions)
+
+    # ------------------------------------------------------------------
+    def _oracle_metrics(
+        self,
+        position: Sequence[float],
+        solutions: tuple[BranchSolution, ...],
+    ) -> BranchMetrics:
+        """Expensive-oracle metrics for one candidate, cached by bucket.
+
+        The oracle identity is folded into the cache key (see
+        :func:`~repro.dse.worker.rerank_key`), so one cache can hold
+        analytical solutions plus re-rank metrics from several oracles —
+        and a persistent cache warm-starts the expensive stage too.
+        """
+        assert self.rerank_oracle is not None
+        key = rerank_key(self.spec, self.rerank_oracle.key, position)
+        metrics = self._cache.get(key)
+        if metrics is None:
+            metrics = self.rerank_oracle.measure(
+                self.spec, position, solutions
+            )
+            self._cache.put(key, metrics)
+            self.oracle_invocations += 1
+        else:
+            self.oracle_cache_hits += 1
+        return metrics
 
     # ------------------------------------------------------------------
     def _heuristic_position(self) -> list[float]:
@@ -214,9 +273,17 @@ class CrossBranchOptimizer:
         global_best_solutions: tuple[BranchSolution, ...] | None = None
         history: list[float] = []
         convergence_iteration = 0
+        # The expensive track: best candidate by re-ranked (oracle) score.
+        # Kept apart from the swarm's cheap-score track — the two scales
+        # are incommensurable (e.g. weighted FPS vs negative p99 ms).
+        rerank_best_fitness = float("-inf")
+        rerank_best_solutions: tuple[BranchSolution, ...] | None = None
+        rerank_best_metrics: BranchMetrics | None = None
+        rerank_best_iteration = 0
 
         with candidate_runner(
-            self.spec, self._cache, workers, pool=pool
+            self.spec, self._cache, workers, pool=pool,
+            objective=self.objective,
         ) as run_batch:
             for iteration in range(iterations):
                 results = run_batch([p.position for p in particles])
@@ -230,7 +297,31 @@ class CrossBranchOptimizer:
                         global_best_fitness = result.score
                         global_best_position = list(particle.position)
                         global_best_solutions = result.solutions
+                        self.best_metrics = result.metrics
                         convergence_iteration = iteration + 1
+                if self.rerank_oracle is not None:
+                    # Stage 2: re-measure this generation's analytical
+                    # top-K with the expensive oracle. Sorting is stable,
+                    # so ties resolve in particle order — deterministic.
+                    ranked = sorted(
+                        range(len(particles)),
+                        key=lambda i: results[i].score,
+                        reverse=True,
+                    )[: self.rerank_top_k]
+                    for idx in ranked:
+                        metrics = self._oracle_metrics(
+                            particles[idx].position, results[idx].solutions
+                        )
+                        score = penalized_score(
+                            self.objective,
+                            metrics,
+                            self.customization.priorities,
+                        )
+                        if score > rerank_best_fitness + improvement_tolerance:
+                            rerank_best_fitness = score
+                            rerank_best_solutions = results[idx].solutions
+                            rerank_best_metrics = metrics
+                            rerank_best_iteration = iteration + 1
                 history.append(global_best_fitness)
                 assert global_best_position is not None
                 for particle in particles:
@@ -238,6 +329,18 @@ class CrossBranchOptimizer:
             self.stage_hits += run_batch.stage_hits
             self.stage_lookups += run_batch.stage_lookups
             self.eval_timings.add(run_batch.timings)
+
+        if self.rerank_oracle is not None and rerank_best_solutions is not None:
+            self.best_metrics = rerank_best_metrics
+            config = AcceleratorConfig(
+                branches=tuple(s.config for s in rerank_best_solutions)
+            )
+            return (
+                rerank_best_fitness,
+                config,
+                history,
+                rerank_best_iteration,
+            )
 
         assert global_best_solutions is not None
         config = AcceleratorConfig(

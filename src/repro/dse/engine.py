@@ -16,6 +16,13 @@ from repro.construction.reorg import PipelinePlan
 from repro.devices.budget import ResourceBudget
 from repro.dse.cache import EvalCache, LocalEvalCache
 from repro.dse.crossbranch import CrossBranchOptimizer
+from repro.dse.objective import (
+    MetricsOracle,
+    Objective,
+    OracleStats,
+    resolve_objective,
+    resolve_oracle,
+)
 from repro.dse.result import DseResult
 from repro.dse.space import Customization
 from repro.dse.worker import EvalSpec, SweepWorkerPool
@@ -25,7 +32,14 @@ from repro.utils.rng import seed_fingerprint
 
 
 class DseEngine:
-    """Two-step DSE: cross-branch stochastic + in-branch greedy search."""
+    """Two-step DSE: cross-branch stochastic + in-branch greedy search.
+
+    ``objective`` / ``rerank_oracle`` / ``rerank_top_k`` configure the
+    metrics → objective pipeline (see :mod:`repro.dse.objective`): what
+    fitness the search maximizes, and whether an expensive oracle re-ranks
+    the analytical top-K per generation. Both accept instances or CLI
+    names; :meth:`search` can override them per run.
+    """
 
     def __init__(
         self,
@@ -35,6 +49,9 @@ class DseEngine:
         quant: QuantScheme | None = None,
         frequency_mhz: float = 200.0,
         alpha: float = 0.05,
+        objective: Objective | str | None = None,
+        rerank_oracle: MetricsOracle | str | None = None,
+        rerank_top_k: int = 4,
     ) -> None:
         if quant is None:
             raise ValueError("a quantization scheme is required")
@@ -46,16 +63,31 @@ class DseEngine:
         self.quant = quant
         self.frequency_mhz = frequency_mhz
         self.alpha = alpha
+        self.objective = objective
+        self.rerank_oracle = rerank_oracle
+        self.rerank_top_k = rerank_top_k
 
     @property
     def spec(self) -> EvalSpec:
-        """The frozen evaluation problem this engine searches."""
+        """The frozen evaluation problem this engine searches.
+
+        Objective-free by design: the digest namespaces cache entries,
+        and cached Algorithm-2 solutions are valid under every objective.
+        """
         return EvalSpec(
             plan=self.plan,
             budget=self.budget,
             customization=self.customization,
             quant=self.quant,
             frequency_mhz=self.frequency_mhz,
+        )
+
+    def resolved_objective(
+        self, objective: Objective | str | None = None
+    ) -> Objective:
+        """The objective a search would use (run override > engine > paper)."""
+        return resolve_objective(
+            objective if objective is not None else self.objective,
             alpha=self.alpha,
         )
 
@@ -68,6 +100,9 @@ class DseEngine:
         workers: int = 1,
         cache: EvalCache | None = None,
         pool: SweepWorkerPool | None = None,
+        objective: Objective | str | None = None,
+        rerank_oracle: MetricsOracle | str | None = None,
+        rerank_top_k: int | None = None,
     ) -> DseResult:
         """Run Algorithm 1 (which invokes Algorithm 2 per candidate).
 
@@ -78,7 +113,17 @@ class DseEngine:
         lets several searches share one evaluation cache and ``pool``
         lets them share one long-lived set of worker processes (see
         :meth:`search_many`, which wires up both).
+
+        ``objective`` / ``rerank_oracle`` / ``rerank_top_k`` override the
+        engine-level objective configuration for this run. With the
+        default paper objective and no re-rank oracle the result is
+        bit-identical to the historical search at the same seed.
         """
+        resolved = self.resolved_objective(objective)
+        oracle = resolve_oracle(
+            rerank_oracle if rerank_oracle is not None else self.rerank_oracle
+        )
+        top_k = rerank_top_k if rerank_top_k is not None else self.rerank_top_k
         optimizer = CrossBranchOptimizer(
             plan=self.plan,
             budget=self.budget,
@@ -87,6 +132,9 @@ class DseEngine:
             frequency_mhz=self.frequency_mhz,
             alpha=self.alpha,
             cache=cache,
+            objective=resolved,
+            rerank_oracle=oracle,
+            rerank_top_k=top_k,
         )
         started = time.perf_counter()
         fitness, config, history, convergence = optimizer.search(
@@ -100,6 +148,21 @@ class DseEngine:
         runtime = time.perf_counter() - started
         perf = evaluate(self.plan, config, self.quant, self.frequency_mhz)
         timings = optimizer.eval_timings
+        oracle_stats = [
+            OracleStats(
+                name="analytical",
+                invocations=optimizer.evaluations,
+                cache_hits=optimizer.cache_hits,
+            )
+        ]
+        if oracle is not None:
+            oracle_stats.append(
+                OracleStats(
+                    name=oracle.name,
+                    invocations=optimizer.oracle_invocations,
+                    cache_hits=optimizer.oracle_cache_hits,
+                )
+            )
         return DseResult(
             best_config=config,
             best_perf=perf,
@@ -115,6 +178,9 @@ class DseEngine:
             eval_seconds=timings.eval_seconds,
             cache_seconds=timings.cache_seconds,
             overhead_seconds=timings.overhead_seconds,
+            objective=resolved.key,
+            oracle_stats=tuple(oracle_stats),
+            best_metrics=optimizer.best_metrics,
         )
 
     @staticmethod
@@ -127,6 +193,9 @@ class DseEngine:
         heuristic_seed: bool = True,
         workers: int = 1,
         cache: EvalCache | None = None,
+        objective: Objective | str | None = None,
+        rerank_oracle: MetricsOracle | str | None = None,
+        rerank_top_k: int | None = None,
     ) -> tuple[DseResult, ...]:
         """Run a batch of searches with shared caching and deduplication.
 
@@ -134,8 +203,14 @@ class DseEngine:
         overlapping problems (same decoder on several devices, several
         seeds on one device, repeated cases in a grid) never re-solves an
         in-branch subproblem it has seen before. Cases whose problem spec,
-        search size, and (fingerprintable) seed coincide are solved once
-        and share the same :class:`DseResult` object.
+        *objective configuration*, search size, and (fingerprintable) seed
+        coincide are solved once and share the same :class:`DseResult`
+        object — the objective is part of the dedup key because the spec
+        digest deliberately excludes it.
+
+        ``objective`` / ``rerank_oracle`` / ``rerank_top_k`` apply to every
+        case (each engine's own configuration is used where they are left
+        ``None``).
 
         ``seeds`` gives each case its own seed (e.g. a convergence study);
         by default every case uses ``seed``, which is what makes duplicate
@@ -172,6 +247,17 @@ class DseEngine:
             results: list[DseResult] = []
             for engine, case_seed in zip(engines, seeds):
                 fingerprint = seed_fingerprint(case_seed)
+                case_objective = engine.resolved_objective(objective)
+                case_oracle = resolve_oracle(
+                    rerank_oracle
+                    if rerank_oracle is not None
+                    else engine.rerank_oracle
+                )
+                case_top_k = (
+                    rerank_top_k
+                    if rerank_top_k is not None
+                    else engine.rerank_top_k
+                )
                 key = None
                 if fingerprint is not None:
                     key = (
@@ -180,6 +266,9 @@ class DseEngine:
                         population,
                         fingerprint,
                         heuristic_seed,
+                        case_objective.key,
+                        case_oracle.key if case_oracle is not None else None,
+                        case_top_k if case_oracle is not None else None,
                     )
                     if key in solved:
                         results.append(solved[key])
@@ -192,6 +281,13 @@ class DseEngine:
                     workers=workers,
                     cache=cache,
                     pool=pool,
+                    objective=case_objective,
+                    # A resolved "no oracle" must be passed explicitly:
+                    # a bare None would read as "no override" and fall
+                    # back to the engine's own oracle, desynchronizing
+                    # the search from the dedup key above.
+                    rerank_oracle=case_oracle if case_oracle is not None else "none",
+                    rerank_top_k=case_top_k,
                 )
                 if key is not None:
                     solved[key] = result

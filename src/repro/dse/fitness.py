@@ -1,27 +1,38 @@
-"""Fitness scoring for the cross-branch search (paper Sec. VI-B1).
+"""Deprecated fitness entry point (paper Sec. VI-B1).
 
-``fitness = S(Perf, U) - P(Perf)`` where
-
-- ``S`` is the priority-weighted performance ``sum_j perf_j x P_j``;
-- ``P`` is the variance penalty ``alpha x sigma^2(Perf)`` that discourages
-  starving one branch to fatten another (branch FPS should stay balanced —
-  an avatar whose geometry updates at 120 FPS but whose texture crawls at
-  10 FPS is useless).
+The Sec. VI-B1 fitness now lives in
+:class:`repro.dse.objective.PaperObjective`, one of several pluggable
+objectives behind the metrics → objective pipeline. :func:`fitness_score`
+remains as a thin wrapper so external callers (and the ablation drivers)
+keep working; it computes the exact same number, bit for bit.
 """
 
 from __future__ import annotations
 
-import statistics
+import warnings
+from typing import Sequence
+
+from repro.dse.objective import BranchMetrics, PaperObjective
 
 
 def fitness_score(
-    fps: list[float],
+    fps: Sequence[float],
     priorities: tuple[float, ...],
     alpha: float = 0.05,
 ) -> float:
-    """Weighted score minus the branch-variance penalty."""
-    if len(fps) != len(priorities):
-        raise ValueError("fps and priorities must have the same length")
-    weighted = sum(f * p for f, p in zip(fps, priorities))
-    variance = statistics.pvariance(fps) if len(fps) > 1 else 0.0
-    return weighted - alpha * variance
+    """Weighted score minus the branch-variance penalty.
+
+    .. deprecated::
+        Use :class:`repro.dse.objective.PaperObjective` — this wrapper
+        delegates to it and will be removed in a future release.
+    """
+    warnings.warn(
+        "fitness_score is deprecated; use "
+        "repro.dse.objective.PaperObjective(alpha=...).score(...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    metrics = BranchMetrics(
+        fps=tuple(fps), meets_batch=(True,) * len(fps)
+    )
+    return PaperObjective(alpha=alpha).score(metrics, tuple(priorities))

@@ -58,7 +58,16 @@ def stage_memo_stats() -> tuple[int, int]:
 
 @dataclass(frozen=True)
 class BranchSolution:
-    """Best configuration Algorithm 2 found for one resource distribution."""
+    """Best configuration Algorithm 2 found for one resource distribution.
+
+    This is the objective-independent unit the evaluation cache stores:
+    a pure function of the problem spec and the budget bucket, with no
+    fitness baked in. The parent derives a candidate's
+    :class:`~repro.dse.objective.BranchMetrics` from its per-branch
+    solutions (``fps``, ``meets_batch_target``) and scores those with
+    whatever objective is configured — which is why cached solutions stay
+    valid across objective switches.
+    """
 
     config: BranchConfig
     perf: BranchPerf

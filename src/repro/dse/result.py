@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.arch.config import AcceleratorConfig
+from repro.dse.objective import BranchMetrics, OracleStats
 from repro.perf.estimator import AcceleratorPerf
 from repro.utils.tables import render_table
 
@@ -33,10 +34,26 @@ class DseResult:
     eval_seconds: float = 0.0
     cache_seconds: float = 0.0
     overhead_seconds: float = 0.0
+    # The objective the search maximized (its stable key, parameters
+    # included) and the per-stage oracle accounting: stage 1 is always the
+    # analytical oracle; a staged search appends its re-rank oracle.
+    objective: str = "paper(alpha=0.05)"
+    oracle_stats: tuple[OracleStats, ...] = ()
+    # Metrics of the selected design, from whichever oracle selected it
+    # (analytical for a plain search, the re-rank oracle for a staged one;
+    # serving-oracle metrics carry the replayed p99 / deadline-miss SLOs).
+    best_metrics: BranchMetrics | None = None
 
     @property
     def iterations(self) -> int:
         return len(self.history)
+
+    @property
+    def rerank_invocations(self) -> int:
+        """Expensive-oracle ``measure`` calls the staged search made."""
+        return sum(
+            s.invocations for s in self.oracle_stats if s.name != "analytical"
+        )
 
     @property
     def cache_lookups(self) -> int:

@@ -1,11 +1,15 @@
 """The candidate-evaluation data path of the cross-branch search.
 
 Algorithm 1 spends essentially all of its time completing resource
-distributions into configurations (Algorithm 2) and scoring them. That
-work is a pure function of an :class:`EvalSpec` (the frozen problem
-statement: plan, budget, customization, quantization, frequency, alpha)
-and a candidate position, memoized under keys of
-``(spec digest, branch index, quantized budget bucket)``.
+distributions into configurations (Algorithm 2). That work is a pure
+function of an :class:`EvalSpec` (the frozen problem statement: plan,
+budget, customization, quantization, frequency) and a candidate position,
+memoized under keys of ``(spec digest, branch index, quantized budget
+bucket)``. Scoring is *not* part of the cached work: the cache stores
+objective-independent metrics (Algorithm-2 solutions), and the parent
+applies the :class:`~repro.dse.objective.Objective` to the rehydrated
+metrics — so a warm cache keeps hitting after the caller switches
+objectives, and workers never need to know what "good" means.
 
 The data path is built to move as little as possible between processes:
 
@@ -49,7 +53,14 @@ from typing import Callable, Iterator, Sequence
 from repro.construction.reorg import PipelinePlan
 from repro.devices.budget import ResourceBudget
 from repro.dse.cache import DeltaEvalCache, EvalCache, LocalEvalCache
-from repro.dse.fitness import fitness_score
+from repro.dse.objective import (
+    INFEASIBILITY_PENALTY,
+    BranchMetrics,
+    Objective,
+    PaperObjective,
+    metrics_from_solutions,
+    penalized_score,
+)
 from repro.dse.inbranch import (
     BranchEvalTable,
     BranchSolution,
@@ -68,23 +79,27 @@ _COMPUTE_GRID = 4
 _MEMORY_GRID = 4
 _BANDWIDTH_GRID = 0.05
 
-#: Fitness penalty per branch that cannot honour its requested batch size.
-INFEASIBILITY_PENALTY = 1e6
-
 #: A cache key: (spec digest, branch index, quantized budget bucket).
 EvalKey = tuple[str, int, tuple[int, int, int]]
 
 
 @dataclass(frozen=True)
 class EvalSpec:
-    """Everything needed to score a candidate, as one picklable bundle."""
+    """The frozen evaluation *problem*, as one picklable bundle.
+
+    Deliberately objective-free: the spec (and therefore its digest, which
+    namespaces every cache key) describes only what is being evaluated —
+    plan, budget, customization, quantization, frequency. How candidates
+    are *scored* lives in the parent-side
+    :class:`~repro.dse.objective.Objective`, so switching objectives never
+    invalidates a warm cache.
+    """
 
     plan: PipelinePlan
     budget: ResourceBudget
     customization: Customization
     quant: QuantScheme
     frequency_mhz: float = 200.0
-    alpha: float = 0.05
 
     @cached_property
     def digest(self) -> str:
@@ -96,7 +111,6 @@ class EvalSpec:
                 self.customization,
                 self.quant,
                 self.frequency_mhz,
-                self.alpha,
             )
         )
         return hashlib.sha1(blob).hexdigest()
@@ -104,9 +118,15 @@ class EvalSpec:
 
 @dataclass(frozen=True)
 class CandidateEval:
-    """Score and per-branch solutions for one candidate, with cache stats."""
+    """Metrics, score, and solutions for one candidate, with cache stats.
+
+    ``metrics`` is the oracle-layer record (objective-independent);
+    ``score`` is the parent-applied objective over those metrics, kept
+    alongside so the PSO loop does not re-score per comparison.
+    """
 
     score: float
+    metrics: BranchMetrics
     solutions: tuple[BranchSolution, ...]
     evaluations: int
     cache_hits: int
@@ -158,6 +178,23 @@ def candidate_keys(spec: EvalSpec, position: Sequence[float]) -> list[EvalKey]:
         (spec.digest, branch, quantize_rd(rd))
         for branch, rd in enumerate(split_budget(spec, position))
     ]
+
+
+def rerank_key(
+    spec: EvalSpec, oracle_key: str, position: Sequence[float]
+) -> tuple:
+    """Cache key for one candidate's expensive (re-rank) oracle metrics.
+
+    Unlike the per-branch analytical entries, expensive metrics depend on
+    which oracle produced them, so the oracle identity is folded into the
+    key. The candidate is identified by its quantized bucket vector — every
+    position in the same buckets completes to the same configuration, so
+    its replay/simulation is the same measurement.
+    """
+    buckets = tuple(
+        quantize_rd(rd) for rd in split_budget(spec, position)
+    )
+    return (spec.digest, "rerank", oracle_key, buckets)
 
 
 # ---------------------------------------------------------------------------
@@ -226,25 +263,21 @@ def solve_bucket(spec: EvalSpec, branch: int, bucket: tuple[int, int, int]) -> B
     )
 
 
-def _score(spec: EvalSpec, solutions: Sequence[BranchSolution]) -> float:
-    """Priority-weighted fitness with the infeasibility penalty applied."""
-    fps = [s.fps for s in solutions]
-    score = fitness_score(fps, spec.customization.priorities, spec.alpha)
-    # A distribution that cannot honour the requested batch sizes is
-    # strictly worse than any that can.
-    shortfall = sum(1 for s in solutions if not s.meets_batch_target)
-    return score - INFEASIBILITY_PENALTY * shortfall
-
-
 def evaluate_candidate(
-    spec: EvalSpec, position: Sequence[float], cache: EvalCache
+    spec: EvalSpec,
+    position: Sequence[float],
+    cache: EvalCache,
+    objective: Objective | None = None,
 ) -> CandidateEval:
-    """Complete a distribution into configs and compute its fitness.
+    """Complete a distribution into configs, derive metrics, and score them.
 
     The single-candidate entry point (kept for direct callers and tests);
     searches go through :class:`GenerationEvaluator`, which batches the
-    same arithmetic with generation-level dedup.
+    same arithmetic with generation-level dedup. ``objective`` defaults to
+    the paper's Sec. VI-B1 fitness.
     """
+    if objective is None:
+        objective = PaperObjective()
     solutions: list[BranchSolution] = []
     evaluations = 0
     cache_hits = 0
@@ -257,8 +290,12 @@ def evaluate_candidate(
         else:
             cache_hits += 1
         solutions.append(solution)
+    metrics = metrics_from_solutions(solutions)
     return CandidateEval(
-        score=_score(spec, solutions),
+        score=penalized_score(
+            objective, metrics, spec.customization.priorities
+        ),
+        metrics=metrics,
         solutions=tuple(solutions),
         evaluations=evaluations,
         cache_hits=cache_hits,
@@ -398,6 +435,10 @@ class GenerationEvaluator:
     unique unseen subproblem of the generation has been solved and folded
     into the authoritative cache.
 
+    The evaluator produces *metrics* from the cache and applies the
+    objective parent-side during rehydration — workers only ever solve
+    buckets, so cached entries stay objective-independent.
+
     Accounting matches the per-candidate serial loop bit for bit: the
     first candidate to reference a new bucket is charged the evaluation,
     every later reference in the generation counts as a cache hit.
@@ -409,10 +450,12 @@ class GenerationEvaluator:
         cache: EvalCache,
         submit: SubmitFn | None = None,
         workers: int = 1,
+        objective: Objective | None = None,
     ) -> None:
         self.spec = spec
         self.cache = cache
         self.workers = max(1, workers)
+        self.objective = objective if objective is not None else PaperObjective()
         self._submit = submit
         self.timings = EvalTimings()
         self.stage_hits = 0
@@ -483,9 +526,15 @@ class GenerationEvaluator:
                 solution = self.cache.get(key)
                 assert solution is not None, f"bucket never solved: {key}"
                 solutions.append(solution)
+            metrics = metrics_from_solutions(solutions)
             out.append(
                 CandidateEval(
-                    score=_score(self.spec, solutions),
+                    score=penalized_score(
+                        self.objective,
+                        metrics,
+                        self.spec.customization.priorities,
+                    ),
+                    metrics=metrics,
                     solutions=tuple(solutions),
                     evaluations=evaluations,
                     cache_hits=cache_hits,
@@ -548,6 +597,7 @@ def candidate_runner(
     cache: EvalCache,
     workers: int = 1,
     pool: SweepWorkerPool | None = None,
+    objective: Objective | None = None,
 ) -> Iterator[GenerationEvaluator]:
     """Yield the generation evaluator for one search.
 
@@ -566,11 +616,12 @@ def candidate_runner(
             cache,
             submit=lambda keys: pool.solve(spec, keys),
             workers=pool.workers,
+            objective=objective,
         )
         return
 
     if workers <= 1:
-        yield GenerationEvaluator(spec, cache)
+        yield GenerationEvaluator(spec, cache, objective=objective)
         return
 
     with ProcessPoolExecutor(
@@ -582,7 +633,9 @@ def candidate_runner(
             tasks = _chunk_tasks(spec, keys, workers)
             return list(executor.map(_run_chunk, tasks))
 
-        yield GenerationEvaluator(spec, cache, submit=submit, workers=workers)
+        yield GenerationEvaluator(
+            spec, cache, submit=submit, workers=workers, objective=objective
+        )
 
 
 __all__ = [
@@ -600,6 +653,7 @@ __all__ = [
     "canonical_rd",
     "evaluate_candidate",
     "quantize_rd",
+    "rerank_key",
     "solve_bucket",
     "solve_chunk",
     "split_budget",

@@ -140,6 +140,7 @@ def run_convergence(
     population: int = paper.CONVERGENCE_POPULATION,
     heuristic_seed: bool = False,
     workers: int = 1,
+    objective: str = "paper",
 ) -> ConvergenceResult:
     """Run repeated independent searches and collect convergence stats.
 
@@ -151,6 +152,9 @@ def run_convergence(
     share an evaluation cache — seeds agree on many in-branch subproblems
     even when their swarms differ — and ``workers > 1`` evaluates each
     generation on a process pool. Neither changes any search's result.
+    ``objective`` picks the fitness (``"paper"`` reproduces the study;
+    the benchmark harness records it next to its timings so trajectories
+    under different objectives are never compared against each other).
     """
     plan = build_pipeline_plan(build_codec_avatar_decoder())
     device = get_device(device_name)
@@ -175,6 +179,7 @@ def run_convergence(
         seeds=list(range(searches)),
         heuristic_seed=heuristic_seed,
         workers=workers,
+        objective=objective,
     )
     return ConvergenceResult(
         device=device_name,

@@ -46,7 +46,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:
+    from repro.dse.objective import MetricsOracle, Objective
 
 from repro.analysis.analyzer import NetworkAnalysis, analyze_network
 from repro.arch.elastic import ElasticAccelerator
@@ -161,8 +164,15 @@ class FCad:
         self.customization = customization
         self.alpha = alpha
 
-    def prepare(self) -> tuple[NetworkAnalysis, PipelinePlan, DseEngine]:
-        """Run Analysis and Construction; return the ready-to-search engine."""
+    def prepare(
+        self, alpha: float | None = None
+    ) -> tuple[NetworkAnalysis, PipelinePlan, DseEngine]:
+        """Run Analysis and Construction; return the ready-to-search engine.
+
+        ``alpha`` overrides the constructor's variance-penalty weight for
+        this engine (it feeds :class:`~repro.dse.objective.PaperObjective`
+        and the SLO objective's analytical-stage proxy).
+        """
         analysis = analyze_network(self.network)
         plan = build_pipeline_plan(self.network)
         customization = (
@@ -176,7 +186,7 @@ class FCad:
             customization=customization,
             quant=self.quant,
             frequency_mhz=self.frequency_mhz,
-            alpha=self.alpha,
+            alpha=self.alpha if alpha is None else alpha,
         )
         return analysis, plan, engine
 
@@ -200,6 +210,10 @@ class FCad:
         seed: int | random.Random | None = 0,
         workers: int = 1,
         cache: "EvalCache | None" = None,
+        objective: "Objective | str | None" = None,
+        rerank_oracle: "MetricsOracle | str | None" = None,
+        rerank_top_k: int = 4,
+        alpha: float | None = None,
     ) -> FcadResult:
         """Execute Analysis, Construction and Optimization.
 
@@ -208,14 +222,27 @@ class FCad:
         plugs in an evaluation-cache backend (e.g. a persistent
         :class:`~repro.dse.cache.FileEvalCache` for warm starts across
         runs); the default is a fresh in-process cache.
+
+        ``objective`` picks the fitness the search maximizes (``"paper"``,
+        ``"slo"``, ``"composite"``, or any
+        :class:`~repro.dse.objective.Objective` instance);
+        ``rerank_oracle`` (``"sim"`` / ``"serving"`` / an oracle instance)
+        re-measures the analytical top-``rerank_top_k`` candidates per
+        generation with an expensive oracle and selects the final design
+        by *its* scores. ``alpha`` overrides the constructor's
+        variance-penalty weight. The defaults reproduce the paper's
+        search bit for bit.
         """
-        analysis, plan, engine = self.prepare()
+        analysis, plan, engine = self.prepare(alpha=alpha)
         dse = engine.search(
             iterations=iterations,
             population=population,
             seed=seed,
             workers=workers,
             cache=cache,
+            objective=objective,
+            rerank_oracle=rerank_oracle,
+            rerank_top_k=rerank_top_k,
         )
         return self._result(analysis, plan, dse)
 
@@ -259,15 +286,22 @@ def run_sweep(
     seed: int | random.Random | None = 0,
     workers: int = 1,
     cache: "EvalCache | None" = None,
+    objective: "Objective | str | None" = None,
+    rerank_oracle: "MetricsOracle | str | None" = None,
+    rerank_top_k: int | None = None,
 ) -> tuple[FcadResult, ...]:
     """Explore a whole batch of flows in one call.
 
     Every case draws from one shared evaluation cache (in-branch solutions
     are reused wherever specs overlap) and duplicate cases — same network,
-    target, quantization, customization, and seed — are searched exactly
-    once. Results come back in input order, one per flow. ``cache``
-    overrides the backend, e.g. a :class:`~repro.dse.cache.FileEvalCache`
-    so the next sweep starts from this one's solutions.
+    target, quantization, customization, objective, and seed — are
+    searched exactly once. Results come back in input order, one per flow.
+    ``cache`` overrides the backend, e.g. a
+    :class:`~repro.dse.cache.FileEvalCache` so the next sweep starts from
+    this one's solutions; because cache entries are objective-independent
+    metrics, a sweep under a new objective still warm-starts from an old
+    sweep's file. ``objective`` / ``rerank_oracle`` / ``rerank_top_k``
+    apply to every case.
     """
     prepared = [flow.prepare() for flow in flows]
     dse_results = DseEngine.search_many(
@@ -277,6 +311,9 @@ def run_sweep(
         seed=seed,
         workers=workers,
         cache=cache,
+        objective=objective,
+        rerank_oracle=rerank_oracle,
+        rerank_top_k=rerank_top_k,
     )
     return tuple(
         flow._result(analysis, plan, dse)

@@ -54,6 +54,8 @@ from repro.serving.slo import (
 )
 from repro.serving.workload import (
     AvatarWorkload,
+    canned_workload,
+    replay_workload,
     run_serving_session,
     saturation_workload,
     serve_workload,
@@ -126,10 +128,12 @@ __all__ = [
     "ServingReport",
     "SloTracker",
     "VirtualClockEventLoop",
+    "canned_workload",
     "get_policy",
     "list_policies",
     "percentile",
     "pool_from_result",
+    "replay_workload",
     "report_from_json",
     "report_to_json",
     "run_serving_session",

@@ -75,6 +75,77 @@ class AvatarWorkload:
         return random.Random(self.seed * 1_000_003 + avatar_id)
 
 
+def canned_workload(
+    avatars: int = 8,
+    frames_per_avatar: int = 12,
+    avatar_fps: float = 30.0,
+    deadline_ms: float = 50.0,
+    deadline_tiers: tuple[float, ...] = (),
+    jitter_ms: float = 0.0,
+    seed: int = 0,
+) -> AvatarWorkload:
+    """A *fixed* workload, identical no matter what design serves it.
+
+    The counterpart of :func:`saturation_workload` (which sizes the fleet
+    off the design's measured capacity): when the point is to *compare*
+    designs — the serving-driven DSE replays every candidate against the
+    same traffic — the workload must not adapt to the design under test,
+    or every candidate would see a different question.
+
+    The defaults deliberately mirror
+    :class:`~repro.dse.objective.ServingOracle`'s, so replaying a
+    DSE-selected design with a bare ``replay_workload(profile)`` measures
+    the same traffic the search scored it under.
+    """
+    return AvatarWorkload(
+        avatars=avatars,
+        frames_per_avatar=frames_per_avatar,
+        frame_interval_ms=1000.0 / avatar_fps,
+        deadline_ms=deadline_ms,
+        deadline_tiers=deadline_tiers,
+        jitter_ms=jitter_ms,
+        seed=seed,
+    )
+
+
+def replay_workload(
+    profile: "FrameLatencyProfile",
+    workload: AvatarWorkload | None = None,
+    replicas: int = 2,
+    policy: str | SchedulingPolicy = "edf",
+    batch_window_ms: float = 2.0,
+    max_batch: int | None = None,
+    real_time: bool = False,
+) -> ServingReport:
+    """Replay a multi-avatar workload on replicas of one design profile.
+
+    The workload-replay entry point that needs no :class:`FcadResult` and
+    no fresh simulation — just a design's
+    :class:`~repro.sim.runner.FrameLatencyProfile`. This is what the
+    serving-driven DSE calls per candidate
+    (:class:`~repro.dse.objective.ServingOracle`), and what ad-hoc "how
+    would this design serve workload X" questions should use outside
+    ``repro serve``. Defaults to the :func:`canned_workload` on the
+    deterministic virtual clock: same profile + same workload → the same
+    report, bit for bit.
+    """
+    if workload is None:
+        workload = canned_workload()
+    pool = ReplicaPool(
+        profile,
+        replicas=replicas,
+        max_batch=max_batch if max_batch is not None else 8,
+    )
+    return serve_workload(
+        pool,
+        workload,
+        policy=policy,
+        batch_window_ms=batch_window_ms,
+        max_batch=max_batch,
+        real_time=real_time,
+    )
+
+
 def saturation_workload(
     profile: "FrameLatencyProfile",
     replicas: int,
@@ -199,6 +270,8 @@ def serve_workload(
 
 __all__ = [
     "AvatarWorkload",
+    "canned_workload",
+    "replay_workload",
     "run_serving_session",
     "saturation_workload",
     "serve_workload",

@@ -113,6 +113,68 @@ class TestExplore:
         )
         assert "512" in out
 
+    def test_explore_reports_objective_and_oracle_stats(self, capsys, tmp_path):
+        path = tmp_path / "net.json"
+        path.write_text(graph_to_json(make_tiny_decoder()))
+        out = run_cli(
+            capsys,
+            "explore",
+            str(path),
+            "--device", "Z7045",
+            "--iterations", "2",
+            "--population", "8",
+        )
+        assert "objective: paper(alpha=0.05)" in out
+        assert "analytical" in out
+
+    def test_explore_alpha_flag(self, capsys, tmp_path):
+        path = tmp_path / "net.json"
+        path.write_text(graph_to_json(make_tiny_decoder()))
+        out = run_cli(
+            capsys,
+            "explore",
+            str(path),
+            "--device", "Z7045",
+            "--iterations", "2",
+            "--population", "8",
+            "--alpha", "0.5",
+        )
+        assert "objective: paper(alpha=0.5)" in out
+
+    def test_explore_slo_rerank_serving(self, capsys, tmp_path):
+        """A seeded --objective slo --rerank serving search completes and
+        reports per-stage oracle invocation counts plus replayed SLOs."""
+        path = tmp_path / "net.json"
+        path.write_text(graph_to_json(make_tiny_decoder()))
+        out = run_cli(
+            capsys,
+            "explore",
+            str(path),
+            "--device", "Z7045",
+            "--iterations", "2",
+            "--population", "8",
+            "--seed", "0",
+            "--objective", "slo",
+            "--rerank", "serving",
+            "--rerank-top-k", "2",
+        )
+        assert "objective: slo(" in out
+        assert "oracle stages:" in out
+        assert "serving" in out and "invocations" in out
+        assert "p99" in out and "deadline-miss" in out
+
+    def test_explore_sweep_with_objective(self, capsys):
+        out = run_cli(
+            capsys,
+            "explore",
+            "tiny_yolo",
+            "--sweep", "Z7045,ZU17EG",
+            "--iterations", "2",
+            "--population", "8",
+            "--objective", "slo",
+        )
+        assert "Batch sweep results" in out
+
 
 class TestValidation:
     @pytest.mark.parametrize("value", ["0", "-2", "2.5", "four"])
@@ -128,6 +190,18 @@ class TestValidation:
             with pytest.raises(SystemExit):
                 main(["explore", "tiny_yolo", flag, value])
             assert "positive integer" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("value", ["0", "-0.5", "nan-ish"])
+    def test_alpha_rejects_nonpositive_values(self, capsys, value):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["explore", "tiny_yolo", "--alpha", value])
+        assert excinfo.value.code == 2
+        assert "positive number" in capsys.readouterr().err
+
+    def test_rerank_rejects_unknown_oracles(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["explore", "tiny_yolo", "--rerank", "quantum"])
+        assert excinfo.value.code == 2
 
     @pytest.mark.parametrize("sweep", ["", "Z7045,,ZU17EG", ","])
     def test_sweep_rejects_malformed_lists(self, capsys, sweep):

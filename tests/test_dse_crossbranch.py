@@ -7,32 +7,37 @@ import pytest
 from repro.devices.fpga import get_device
 from repro.dse.crossbranch import CrossBranchOptimizer, _normalize_block
 from repro.dse.engine import DseEngine
-from repro.dse.fitness import fitness_score
+from repro.dse.objective import BranchMetrics, PaperObjective
 from repro.dse.space import Customization
 from repro.perf.estimator import evaluate
 from repro.quant.schemes import INT8
 
 
+def paper_fitness(fps, priorities, alpha=0.05):
+    metrics = BranchMetrics(fps=tuple(fps), meets_batch=(True,) * len(fps))
+    return PaperObjective(alpha=alpha).score(metrics, tuple(priorities))
+
+
 class TestFitness:
     def test_weighted_sum(self):
-        assert fitness_score([10.0, 20.0], (1.0, 1.0), alpha=0.0) == 30.0
+        assert paper_fitness([10.0, 20.0], (1.0, 1.0), alpha=0.0) == 30.0
 
     def test_priorities_weight_branches(self):
-        low = fitness_score([10.0, 20.0], (1.0, 1.0), alpha=0.0)
-        high = fitness_score([10.0, 20.0], (1.0, 2.0), alpha=0.0)
+        low = paper_fitness([10.0, 20.0], (1.0, 1.0), alpha=0.0)
+        high = paper_fitness([10.0, 20.0], (1.0, 2.0), alpha=0.0)
         assert high > low
 
     def test_variance_penalty(self):
-        balanced = fitness_score([15.0, 15.0], (1.0, 1.0), alpha=1.0)
-        skewed = fitness_score([5.0, 25.0], (1.0, 1.0), alpha=1.0)
+        balanced = paper_fitness([15.0, 15.0], (1.0, 1.0), alpha=1.0)
+        skewed = paper_fitness([5.0, 25.0], (1.0, 1.0), alpha=1.0)
         assert balanced > skewed
 
     def test_single_branch_no_variance(self):
-        assert fitness_score([10.0], (1.0,), alpha=5.0) == 10.0
+        assert paper_fitness([10.0], (1.0,), alpha=5.0) == 10.0
 
     def test_length_mismatch(self):
         with pytest.raises(ValueError):
-            fitness_score([1.0], (1.0, 1.0))
+            paper_fitness([1.0], (1.0, 1.0))
 
 
 class TestNormalization:

@@ -81,7 +81,7 @@ class TestEvaluateCandidate:
 
     def test_infeasible_positions_penalized(self, tiny_plan_module):
         from repro.devices.budget import ResourceBudget
-        from repro.dse.fitness import fitness_score
+        from repro.dse.objective import PaperObjective
         from repro.dse.worker import INFEASIBILITY_PENALTY
 
         spec = EvalSpec(
@@ -96,10 +96,9 @@ class TestEvaluateCandidate:
             1 for s in result.solutions if not s.meets_batch_target
         )
         assert shortfall >= 1
-        raw = fitness_score(
-            [s.fps for s in result.solutions],
-            spec.customization.priorities,
-            spec.alpha,
+        assert result.metrics.shortfall == shortfall
+        raw = PaperObjective().score(
+            result.metrics, spec.customization.priorities
         )
         assert result.score == raw - INFEASIBILITY_PENALTY * shortfall
 

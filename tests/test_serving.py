@@ -316,6 +316,33 @@ class TestServingSession:
         assert workload.avatars == 14
         assert workload.deadline_tiers == (20.0, 60.0)
 
+    def test_canned_workload_is_design_independent(self):
+        from repro.serving import canned_workload
+
+        # Unlike saturation_workload, the canned fleet must not depend on
+        # any design profile — every DSE candidate sees the same traffic.
+        workload = canned_workload(avatars=12, frames_per_avatar=6)
+        assert workload.avatars == 12
+        assert workload.frames_per_avatar == 6
+        assert workload.frame_interval_ms == pytest.approx(1000.0 / 30.0)
+
+    def test_replay_workload_from_bare_profile(self):
+        from repro.serving import canned_workload, replay_workload
+
+        workload = canned_workload(avatars=4, frames_per_avatar=5)
+        report = replay_workload(PROFILE, workload=workload, replicas=2)
+        assert report.completed == workload.total_frames
+        assert report.replicas == 2
+        assert report.latency_p99_ms > 0
+
+    def test_replay_workload_deterministic(self):
+        from repro.serving import canned_workload, replay_workload
+
+        workload = canned_workload(avatars=4, frames_per_avatar=5)
+        first = replay_workload(PROFILE, workload=workload)
+        second = replay_workload(PROFILE, workload=workload)
+        assert first == second
+
 
 class TestServeFromResult:
     @pytest.fixture(scope="class")

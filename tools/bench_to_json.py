@@ -74,19 +74,51 @@ def summarize(result: ConvergenceResult, wall_seconds: float) -> dict:
     }
 
 
-def load_baseline(path: Path, config: dict) -> dict | None:
-    """The committed BENCH_dse.json, if it matches this run's config."""
+#: Config keys that name the objective layer rather than the search size.
+#: A baseline produced under a different objective/oracle measured a
+#: different amount of work per generation, so its timings are not a
+#: comparable trajectory — the gate is skipped instead of misfiring.
+_OBJECTIVE_KEYS = ("objective", "rerank")
+
+
+def load_baseline(
+    path: Path, config: dict
+) -> tuple[dict | None, str | None]:
+    """The committed BENCH_dse.json, if it matches this run's config.
+
+    Returns ``(baseline, objective_mismatch_reason)``: the baseline is
+    ``None`` when there is nothing comparable; the reason is set (and the
+    baseline still ``None``) when the only difference is the objective /
+    re-rank oracle the baseline was produced under.
+    """
     if not path.exists():
-        return None
+        return None, None
     try:
         baseline = json.loads(path.read_text())
     except (OSError, json.JSONDecodeError):
-        return None
+        return None, None
     if baseline.get("benchmark") != "dse_convergence":
-        return None
-    if baseline.get("config") != config:
-        return None
-    return baseline
+        return None, None
+    base_config = dict(baseline.get("config") or {})
+    # Baselines from before the objective layer were all paper-objective.
+    base_config.setdefault("objective", "paper")
+    base_config.setdefault("rerank", "none")
+    strip = lambda cfg: {  # noqa: E731
+        k: v for k, v in cfg.items() if k not in _OBJECTIVE_KEYS
+    }
+    if strip(base_config) != strip(config):
+        return None, None
+    mismatch = [
+        f"{key}={base_config[key]!r} (baseline) vs {config[key]!r} (this run)"
+        for key in _OBJECTIVE_KEYS
+        if base_config[key] != config[key]
+    ]
+    if mismatch:
+        return None, (
+            "baseline was produced under a different objective layer: "
+            + ", ".join(mismatch)
+        )
+    return baseline, None
 
 
 def _trend(label: str, old: float | None, new: float) -> str:
@@ -96,13 +128,18 @@ def _trend(label: str, old: float | None, new: float) -> str:
     return f"  {label}: {old} -> {new} ({change:+.1f}%)"
 
 
-def compare_to_baseline(baseline: dict | None, payload: dict) -> dict | None:
+def compare_to_baseline(
+    baseline: dict | None, payload: dict, objective_note: str | None = None
+) -> dict | None:
     """Print the perf trajectory vs the committed file; return the deltas."""
     if baseline is None:
-        print(
-            "no comparable committed BENCH_dse.json baseline "
-            "(first run, or the reduced-size config changed)"
-        )
+        if objective_note is not None:
+            print(f"perf trajectory: SKIPPED — {objective_note}")
+        else:
+            print(
+                "no comparable committed BENCH_dse.json baseline "
+                "(first run, or the reduced-size config changed)"
+            )
         return None
     print("perf trajectory vs committed BENCH_dse.json:")
     rows = [
@@ -132,15 +169,17 @@ def compare_to_baseline(baseline: dict | None, payload: dict) -> dict | None:
 
 
 def run_dse_suite(args: argparse.Namespace) -> int:
-    config = dict(
+    run_kwargs = dict(
         device_name=args.device,
         quant_name=args.quant,
         searches=args.searches,
         iterations=args.iterations,
         population=args.population,
+        objective=args.objective,
     )
+    config = dict(run_kwargs, rerank="none")
     # Read the committed baseline before this run overwrites it.
-    baseline = load_baseline(Path(args.out), config)
+    baseline, objective_note = load_baseline(Path(args.out), config)
 
     # Each measured run starts from cold process-local tables, so the
     # serial and parallel numbers are comparable.
@@ -148,12 +187,12 @@ def run_dse_suite(args: argparse.Namespace) -> int:
 
     clear_process_caches()
     started = time.perf_counter()
-    serial = run_convergence(**config, workers=1)
+    serial = run_convergence(**run_kwargs, workers=1)
     serial_wall = time.perf_counter() - started
 
     clear_process_caches()
     started = time.perf_counter()
-    parallel = run_convergence(**config, workers=args.workers)
+    parallel = run_convergence(**run_kwargs, workers=args.workers)
     parallel_wall = time.perf_counter() - started
 
     deterministic = [s.best_fitness for s in serial.searches] == [
@@ -161,7 +200,10 @@ def run_dse_suite(args: argparse.Namespace) -> int:
     ]
 
     multi_core = (os.cpu_count() or 1) > 1
-    if not multi_core:
+    if objective_note is not None:
+        gate = "skipped-objective-mismatch"
+        print(f"speedup gate: SKIPPED — {objective_note}")
+    elif not multi_core:
         gate = "skipped-single-core"
         print(
             "speedup gate: SKIPPED — single-core runner, parallel wall "
@@ -184,7 +226,9 @@ def run_dse_suite(args: argparse.Namespace) -> int:
         "deterministic": deterministic,
         "speedup_gate": gate,
     }
-    payload["baseline_comparison"] = compare_to_baseline(baseline, payload)
+    payload["baseline_comparison"] = compare_to_baseline(
+        baseline, payload, objective_note
+    )
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
 
     # Archive the rendered table next to the pytest-benchmark artifacts.
@@ -358,6 +402,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--device", default="ZU9CG")
     parser.add_argument("--quant", default="int8")
+    parser.add_argument(
+        "--objective",
+        default="paper",
+        choices=["paper", "slo", "composite"],
+        help="fitness objective for the DSE suite; recorded in the "
+        "payload so trajectories under different objectives are never "
+        "compared (default: paper)",
+    )
     parser.add_argument("--searches", type=int, default=2)
     parser.add_argument("--iterations", type=int, default=5)
     parser.add_argument("--population", type=int, default=40)
