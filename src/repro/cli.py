@@ -9,9 +9,12 @@ Subcommands cover the framework's whole surface:
   ``--sweep`` it explores a whole device/precision grid in one batch;
 - ``simulate <model>``          — cycle-accurate validation of a saved (or
   freshly explored) configuration, with an optional utilization timeline;
-- ``serve [model]``             — deploy N simulated replicas of the
-  explored design and serve a multi-avatar decode workload (FIFO /
+- ``serve [model]``             — deploy simulated replicas of the
+  explored design(s) and serve a multi-avatar decode workload (FIFO /
   deadline-EDF / fair batching) with latency/deadline SLO reporting;
+  with ``--cluster`` it serves a heterogeneous replica-group cluster
+  (deadline-aware routing, optional load shedding, in-process or
+  socket-served replicas);
 - ``experiment <name>``         — regenerate one of the paper's tables or
   figures (or the ablations).
 
@@ -42,6 +45,9 @@ from repro.ir.graph import NetworkGraph
 from repro.ir.serialize import graph_from_json
 from repro.models.zoo import get_model, list_models
 from repro.quant.schemes import get_scheme
+from repro.serving.policies import list_policies
+from repro.serving.router import list_routers
+from repro.serving.transport import list_transports
 from repro.sim.runner import simulate
 from repro.sim.timeline import render_timeline
 
@@ -113,6 +119,69 @@ def _parse_sweep_devices(text: str) -> list[str] | None:
 
 def _parse_numbers(text: str, cast) -> tuple:
     return tuple(cast(part) for part in text.split(","))
+
+
+#: Design presets for ``repro serve --cluster``. Each preset explores its
+#: own design point — the per-branch batch size is the paper's customization
+#: knob that actually changes the architecture — and carries the serving
+#: defaults that fit it (a latency tier batches eagerly under EDF; a
+#: big-batch tier coalesces frames under FIFO). ``base`` uses the CLI's own
+#: ``--batch``/``--policy``/``--batch-window-ms`` settings.
+CLUSTER_DESIGNS = {
+    "base": {"batch": None, "policy": None, "window": None},
+    "latency": {"batch": 1, "policy": "edf", "window": 0.0},
+    "throughput": {"batch": 4, "policy": "fifo", "window": 4.0},
+}
+
+
+def _parse_cluster_spec(text: str) -> list[tuple[str, int, str | None]] | None:
+    """Validate ``--cluster design:replicas[:policy],...``; None if malformed."""
+    usage = "(try: --cluster latency:1,throughput:3)"
+    entries: list[tuple[str, int, str | None]] = []
+    for part in text.split(","):
+        fields = part.strip().split(":")
+        if not fields or not fields[0] or len(fields) > 3:
+            print(
+                f"error: --cluster expects comma-separated "
+                f"design:replicas[:policy] groups, got {text!r} {usage}",
+                file=sys.stderr,
+            )
+            return None
+        design = fields[0]
+        if design not in CLUSTER_DESIGNS:
+            known = ", ".join(sorted(CLUSTER_DESIGNS))
+            print(
+                f"error: unknown cluster design {design!r}; known designs: "
+                f"{known}",
+                file=sys.stderr,
+            )
+            return None
+        replicas = 1
+        if len(fields) >= 2:
+            try:
+                replicas = int(fields[1])
+            except ValueError:
+                replicas = 0
+            if replicas < 1:
+                print(
+                    f"error: --cluster replica counts must be positive "
+                    f"integers, got {fields[1]!r} in {part.strip()!r} {usage}",
+                    file=sys.stderr,
+                )
+                return None
+        policy = None
+        if len(fields) == 3:
+            policy = fields[2]
+            if policy not in list_policies():
+                known = ", ".join(list_policies())
+                print(
+                    f"error: unknown policy {policy!r} in --cluster group "
+                    f"{part.strip()!r}; known policies: {known}",
+                    file=sys.stderr,
+                )
+                return None
+        entries.append((design, replicas, policy))
+    return entries
 
 
 def _customization(args: argparse.Namespace, num_branches: int) -> Customization:
@@ -417,10 +486,15 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    """Explore a design, deploy replicas, serve a multi-avatar workload."""
+    """Explore design(s), deploy replicas, serve a multi-avatar workload."""
     from repro.serving import report_to_json, serve_from_result
 
     # Validate every workload knob before the (expensive) design search.
+    cluster_spec = None
+    if args.cluster is not None:
+        cluster_spec = _parse_cluster_spec(args.cluster)
+        if cluster_spec is None:
+            return 2
     tiers: tuple[float, ...] = ()
     if args.deadline_tiers is not None:
         try:
@@ -457,47 +531,168 @@ def cmd_serve(args: argparse.Namespace) -> int:
         )
         return 2
 
+    frames_per_avatar = args.frames
+    if args.duration is not None:
+        from repro.serving.workload import frames_for_duration
+
+        frames_per_avatar = frames_for_duration(
+            args.duration, args.avatar_fps
+        )
+
     network = _load_network(args.model)
-    customization = _customization(args, len(network.output_names()))
-    result = FCad(
-        network=network,
-        device=_target(args),
-        quant=args.quant,
-        customization=customization,
-    ).run(
-        iterations=args.iterations,
-        population=args.population,
-        seed=args.seed,
-        workers=args.workers,
-    )
-    profile = result.frame_latency_profile(frames=args.sim_frames)
-    print(
-        f"design: {result.fps:.1f} FPS steady decode rate; per replica: "
-        f"first frame {profile.first_frame_ms:.2f} ms, then one per "
-        f"{profile.steady_interval_ms:.2f} ms"
-    )
-    report = serve_from_result(
-        result,
-        avatars=args.avatars,
-        replicas=args.replicas,
-        policy=args.policy,
-        frames_per_avatar=args.frames,
-        avatar_fps=args.avatar_fps,
-        deadline_ms=args.deadline_ms,
-        deadline_tiers=tiers,
-        jitter_ms=args.jitter_ms,
-        batch_window_ms=args.batch_window_ms,
-        max_batch=args.max_batch,
-        seed=args.seed,
-        real_time=args.real_time,
-        profile=profile,
-    )
+    num_branches = len(network.output_names())
+
+    if cluster_spec is None:
+        result = FCad(
+            network=network,
+            device=_target(args),
+            quant=args.quant,
+            customization=_customization(args, num_branches),
+        ).run(
+            iterations=args.iterations,
+            population=args.population,
+            seed=args.seed,
+            workers=args.workers,
+        )
+        profile = result.frame_latency_profile(frames=args.sim_frames)
+        print(
+            f"design: {result.fps:.1f} FPS steady decode rate; per replica: "
+            f"first frame {profile.first_frame_ms:.2f} ms, then one per "
+            f"{profile.steady_interval_ms:.2f} ms"
+        )
+        if args.shed:
+            # Admission control needs the cluster front door; a single
+            # group of the explored design keeps the rest identical.
+            from repro.serving import AvatarWorkload, serve_cluster
+
+            report = serve_cluster(
+                [
+                    result.serving_group(
+                        replicas=args.replicas,
+                        policy=args.policy,
+                        batch_window_ms=args.batch_window_ms,
+                        max_batch=args.max_batch,
+                        transport=args.transport,
+                        profile=profile,
+                    )
+                ],
+                AvatarWorkload(
+                    avatars=args.avatars,
+                    frames_per_avatar=frames_per_avatar,
+                    frame_interval_ms=1000.0 / args.avatar_fps,
+                    deadline_ms=args.deadline_ms,
+                    deadline_tiers=tiers,
+                    jitter_ms=args.jitter_ms,
+                    seed=args.seed,
+                ),
+                admission=True,
+                real_time=args.real_time,
+            )
+        else:
+            report = serve_from_result(
+                result,
+                avatars=args.avatars,
+                replicas=args.replicas,
+                policy=args.policy,
+                frames_per_avatar=frames_per_avatar,
+                avatar_fps=args.avatar_fps,
+                deadline_ms=args.deadline_ms,
+                deadline_tiers=tiers,
+                jitter_ms=args.jitter_ms,
+                batch_window_ms=args.batch_window_ms,
+                max_batch=args.max_batch,
+                seed=args.seed,
+                real_time=args.real_time,
+                profile=profile,
+                transport=args.transport,
+            )
+    else:
+        report = _serve_cluster_session(
+            args, network, num_branches, cluster_spec, tiers,
+            frames_per_avatar,
+        )
     print()
     print(report.render())
     if args.json:
         Path(args.json).write_text(report_to_json(report) + "\n")
         print(f"\nserving report written to {args.json}")
     return 0
+
+
+def _serve_cluster_session(
+    args: argparse.Namespace,
+    network: NetworkGraph,
+    num_branches: int,
+    cluster_spec: list[tuple[str, int, str | None]],
+    tiers: tuple[float, ...],
+    frames_per_avatar: int,
+):
+    """Explore one design per cluster preset and serve the mixed cluster."""
+    from repro.serving import AvatarWorkload, serve_cluster
+
+    results = {}
+    for design, _, _ in cluster_spec:
+        if design in results:
+            continue
+        preset = CLUSTER_DESIGNS[design]
+        if preset["batch"] is None:
+            customization = _customization(args, num_branches)
+        else:
+            customization = Customization(
+                batch_sizes=(preset["batch"],) * num_branches,
+                priorities=(1.0,) * num_branches,
+            )
+        results[design] = FCad(
+            network=network,
+            device=_target(args),
+            quant=args.quant,
+            customization=customization,
+        ).run(
+            iterations=args.iterations,
+            population=args.population,
+            seed=args.seed,
+            workers=args.workers,
+        )
+        print(
+            f"design {design!r}: {results[design].fps:.1f} FPS steady "
+            f"decode rate"
+        )
+    design_counts = {d: sum(1 for s in cluster_spec if s[0] == d) for d, _, _ in cluster_spec}
+    groups = []
+    for index, (design, replicas, policy) in enumerate(cluster_spec):
+        preset = CLUSTER_DESIGNS[design]
+        name = design if design_counts[design] == 1 else f"{design}{index}"
+        groups.append(
+            results[design].serving_group(
+                name=name,
+                replicas=replicas,
+                policy=policy or preset["policy"] or args.policy,
+                batch_window_ms=(
+                    preset["window"]
+                    if preset["window"] is not None
+                    else args.batch_window_ms
+                ),
+                max_batch=args.max_batch,
+                transport=args.transport,
+                sim_frames=args.sim_frames,
+            )
+        )
+    workload = AvatarWorkload(
+        avatars=args.avatars,
+        frames_per_avatar=frames_per_avatar,
+        frame_interval_ms=1000.0 / args.avatar_fps,
+        deadline_ms=args.deadline_ms,
+        deadline_tiers=tiers,
+        jitter_ms=args.jitter_ms,
+        seed=args.seed,
+    )
+    return serve_cluster(
+        groups,
+        workload,
+        router=args.router,
+        admission=args.shed or None,
+        real_time=args.real_time,
+    )
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -663,7 +858,17 @@ def build_parser() -> argparse.ArgumentParser:
             "  repro serve --avatars 32 --replicas 2 --policy fair \\\n"
             "      --deadline-tiers 25,100 --json serving.json\n"
             "      mixed SLO tiers (speakers at 25 ms, listeners at 100 ms)\n"
-            "      with per-avatar fairness; archive the SLO report as JSON"
+            "      with per-avatar fairness; archive the SLO report as JSON\n"
+            "heterogeneous clusters:\n"
+            "  repro serve --cluster latency:1,throughput:3 \\\n"
+            "      --router deadline --shed --deadline-tiers 20,60\n"
+            "      explore a low-latency design (batch 1) and a big-batch\n"
+            "      design (batch 4), deploy them as two replica groups,\n"
+            "      route tight deadlines to the latency tier, and shed\n"
+            "      requests that would miss their deadline anyway\n"
+            "  repro serve --transport socket --avatars 8 --duration 1\n"
+            "      serve ~1 second of traffic with the replicas hosted by\n"
+            "      a subprocess behind a local socket"
         ),
     )
     p.add_argument(
@@ -681,15 +886,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--replicas", type=_positive_int, default=1,
-        help="accelerator replicas to deploy (default 1)",
+        help="accelerator replicas to deploy (default 1; ignored with "
+        "--cluster, where each group sets its own count)",
     )
     p.add_argument(
-        "--policy", default="fifo", choices=["fifo", "edf", "fair"],
+        "--policy", default="fifo", choices=list_policies(),
         help="batch selection policy (default fifo)",
+    )
+    p.add_argument(
+        "--cluster",
+        help="serve a heterogeneous cluster instead of one pool: "
+        "comma-separated design:replicas[:policy] groups, designs from "
+        f"{{{', '.join(sorted(CLUSTER_DESIGNS))}}} "
+        "(e.g. latency:1,throughput:3)",
+    )
+    p.add_argument(
+        "--router", default="deadline", choices=list_routers(),
+        help="request routing across --cluster groups (default deadline)",
+    )
+    p.add_argument(
+        "--shed", action="store_true",
+        help="enable admission control: bounded queues plus "
+        "predicted-deadline-miss load shedding (tracked as the shed_rate "
+        "SLO); works with --cluster or on a single pool",
+    )
+    p.add_argument(
+        "--transport", default="inprocess", choices=list_transports(),
+        help="replica transport: in-process replicas or a socket-served "
+        "subprocess (default inprocess)",
     )
     p.add_argument(
         "--frames", type=_positive_int, default=30,
         help="frames per avatar (default 30)",
+    )
+    p.add_argument(
+        "--duration", type=_positive_float,
+        help="serve this many seconds of traffic per avatar instead of "
+        "a fixed --frames count",
     )
     p.add_argument(
         "--avatar-fps", type=_positive_float, default=30.0,

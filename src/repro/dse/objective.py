@@ -54,6 +54,7 @@ from typing import TYPE_CHECKING, ClassVar, Protocol, Sequence, runtime_checkabl
 if TYPE_CHECKING:
     from repro.dse.inbranch import BranchSolution
     from repro.dse.worker import EvalSpec
+    from repro.serving.cluster import GroupSpec
 
 #: Fitness penalty per branch that cannot honour its requested batch size.
 #: Applied outside the objective (see :func:`penalized_score`): an
@@ -80,6 +81,10 @@ class BranchMetrics:
     p99_ms: float | None = None
     deadline_miss_rate: float | None = None
     throughput_fps: float | None = None
+    #: Fraction of the replayed workload shed by admission control
+    #: (``None`` when the replay ran without shedding). Kept alongside
+    #: the miss rate so an objective cannot be gamed by dropping frames.
+    shed_rate: float | None = None
 
     @property
     def shortfall(self) -> int:
@@ -152,9 +157,12 @@ class SloObjective:
     """Serving-driven fitness: minimize p99-under-load and deadline misses.
 
     On metrics that carry serving SLOs the fitness is
-    ``-(p99_ms + miss_weight x miss_rate)`` — a deadline-miss rate of 10 %
-    costs as much as ``0.1 x miss_weight`` milliseconds of p99. On purely
-    analytical metrics (stage 1 of a staged search, before any replay has
+    ``-(p99_ms + miss_weight x (miss_rate + shed_rate))`` — a
+    deadline-miss rate of 10 % costs as much as ``0.1 x miss_weight``
+    milliseconds of p99, and a *shed* frame costs exactly as much as a
+    late one (otherwise a shedding cluster replay could game the score
+    by dropping the traffic it cannot serve). On purely analytical
+    metrics (stage 1 of a staged search, before any replay has
     happened) it falls back to the paper objective as a cheap proxy:
     higher weighted steady-state FPS correlates with lower latency under
     load, which is exactly what makes the analytical stage a useful
@@ -181,7 +189,10 @@ class SloObjective:
                 metrics, priorities
             )
         miss_rate = metrics.deadline_miss_rate or 0.0
-        return -(metrics.p99_ms + self.miss_weight * miss_rate)
+        # getattr: metrics unpickled from a pre-shed-rate cache file may
+        # lack the field entirely.
+        shed_rate = getattr(metrics, "shed_rate", None) or 0.0
+        return -(metrics.p99_ms + self.miss_weight * (miss_rate + shed_rate))
 
 
 @dataclass(frozen=True)
@@ -365,6 +376,15 @@ class ServingOracle:
     fleet the pool absorbs trivially scores every candidate the same, and
     a hopeless overload drowns the ranking in queueing delay. Tune the
     fleet to the designs being searched for other model families.
+
+    ``companions`` scores the candidate *as a member of a heterogeneous
+    cluster* instead of as a lone pool: each companion is a fixed
+    :class:`~repro.serving.cluster.GroupSpec` (e.g. an already-chosen
+    big-batch tier) serving next to the candidate's own group, with
+    ``router`` splitting the traffic and ``shed`` enabling admission
+    control. The replayed SLOs are then the *cluster's* — the search
+    optimizes the candidate's marginal contribution to the fleet it will
+    actually join, not its solo performance.
     """
 
     avatars: int = 8
@@ -378,18 +398,41 @@ class ServingOracle:
     batch_window_ms: float = 2.0
     seed: int = 0
     sim_frames: int = 4
+    companions: "tuple[GroupSpec, ...]" = ()
+    router: str = "deadline"
+    shed: bool = False
 
     name: ClassVar[str] = "serving"
 
+    @staticmethod
+    def _companion_key(spec: "GroupSpec") -> str:
+        policy = getattr(spec.policy, "name", spec.policy)
+        transport = getattr(spec.transport, "name", spec.transport)
+        return (
+            f"{spec.name}:{spec.profile.first_frame_ms!r}/"
+            f"{spec.profile.steady_interval_ms!r}x{spec.replicas}"
+            f"@{policy}/{transport}/w{spec.batch_window_ms!r}"
+            f"/b{spec.max_batch}"
+        )
+
     @property
     def key(self) -> str:
+        cluster = ""
+        if self.companions or self.shed:
+            inner = ",".join(
+                self._companion_key(spec) for spec in self.companions
+            )
+            cluster = (
+                f",companions=[{inner}],router={self.router},"
+                f"shed={self.shed}"
+            )
         return (
             f"serving(avatars={self.avatars},frames={self.frames_per_avatar},"
             f"fps={self.avatar_fps!r},deadline={self.deadline_ms!r},"
             f"tiers={self.deadline_tiers!r},jitter={self.jitter_ms!r},"
             f"replicas={self.replicas},policy={self.policy},"
             f"window={self.batch_window_ms!r},seed={self.seed},"
-            f"sim_frames={self.sim_frames})"
+            f"sim_frames={self.sim_frames}{cluster})"
         )
 
     def workload(self):
@@ -436,12 +479,16 @@ class ServingOracle:
             replicas=self.replicas,
             policy=self.policy,
             batch_window_ms=self.batch_window_ms,
+            companions=self.companions,
+            router=self.router,
+            admission=bool(self.shed) or None,
         )
         return replace(
             metrics_from_solutions(solutions, oracle=self.name),
             p99_ms=report.latency_p99_ms,
             deadline_miss_rate=report.miss_rate,
             throughput_fps=report.throughput_fps,
+            shed_rate=report.shed_rate if self.shed else None,
         )
 
 

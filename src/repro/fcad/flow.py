@@ -40,6 +40,18 @@ decode requests from many avatars onto simulated replicas of it::
 
     report = serve_from_result(result, avatars=64, replicas=4, policy="edf")
     print(report.render())
+
+Several found designs can serve *together* as a heterogeneous cluster —
+:meth:`FcadResult.serving_group` turns each into a replica group, and a
+deadline-aware router splits the traffic::
+
+    from repro.serving import serve_cluster
+
+    report = serve_cluster(
+        [fast.serving_group("latency", replicas=1, batch_window_ms=0.0),
+         big.serving_group("throughput", replicas=3, policy="fifo")],
+        workload, router="deadline", admission=True,
+    )
 """
 
 from __future__ import annotations
@@ -119,6 +131,44 @@ class FcadResult:
             frequency_mhz=self.frequency_mhz,
             frames=frames,
             warmup=warmup,
+        )
+
+    def serving_group(
+        self,
+        name: str | None = None,
+        replicas: int = 1,
+        policy: str = "edf",
+        batch_window_ms: float = 2.0,
+        max_batch: int | None = None,
+        transport: str = "inprocess",
+        sim_frames: int = 8,
+        profile=None,
+    ):
+        """This design as one replica group of a heterogeneous cluster.
+
+        The bridge from the design flow into the cluster serving layer
+        (:mod:`repro.serving.cluster`): sample the design's frame-latency
+        profile once and wrap it in a
+        :class:`~repro.serving.cluster.GroupSpec` with the group's own
+        batching policy/window/transport. Feed several of these — e.g. a
+        low-latency design next to a big-batch one — to
+        :func:`~repro.serving.cluster.serve_cluster`.
+        """
+        from repro.serving.cluster import GroupSpec
+        from repro.serving.replica import design_max_batch
+
+        if profile is None:
+            profile = self.frame_latency_profile(frames=sim_frames)
+        if max_batch is None:
+            max_batch = design_max_batch(self.dse.best_config)
+        return GroupSpec(
+            name=name if name is not None else self.network_name,
+            profile=profile,
+            replicas=replicas,
+            policy=policy,
+            batch_window_ms=batch_window_ms,
+            max_batch=max_batch,
+            transport=transport,
         )
 
     def render(self) -> str:

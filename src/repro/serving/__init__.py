@@ -2,22 +2,30 @@
 
 F-CAD's end product is an accelerator that decodes codec avatars for live
 telepresence. This package is the *workload* layer on top of the design
-flow: take a DSE-selected design, deploy N simulated replicas of it, and
-serve decode requests from many concurrent avatars under latency SLOs —
+flow: take DSE-selected designs, deploy replicas of them, and serve
+decode requests from many concurrent avatars under latency SLOs —
 
 - :mod:`~repro.serving.request`   — the request/response model;
 - :mod:`~repro.serving.clock`     — virtual-clock asyncio (deterministic
   sessions) or real time;
 - :mod:`~repro.serving.replica`   — replicas driven by cycle-accurate
   fill/steady-state latency profiles;
+- :mod:`~repro.serving.transport` — how a batch reaches a replica:
+  in-process (default) or a socket-served subprocess;
 - :mod:`~repro.serving.policies`  — FIFO / deadline-EDF / per-avatar
   fairness batch selection;
 - :mod:`~repro.serving.scheduler` — the async batching dispatcher;
+- :mod:`~repro.serving.cluster`   — heterogeneous replica groups behind
+  one front door;
+- :mod:`~repro.serving.router`    — round-robin / least-loaded /
+  deadline-tiered request routing across groups;
+- :mod:`~repro.serving.admission` — bounded queues and
+  predicted-deadline-miss load shedding;
 - :mod:`~repro.serving.slo`       — p50/p95/p99 latency, deadline-miss
-  rate, throughput, utilization;
+  rate, shed rate, throughput, utilization (aggregate and per group);
 - :mod:`~repro.serving.workload`  — multi-avatar frame streams.
 
-End to end::
+One design, one pool::
 
     from repro import FCad
     from repro.serving import serve_from_result
@@ -27,13 +35,33 @@ End to end::
         result, avatars=64, replicas=4, policy="edf", seed=0
     )
     print(report.render())
+
+A heterogeneous cluster (a low-latency tier next to a big-batch tier,
+deadline-tiered routing, load shedding at saturation)::
+
+    from repro.serving import serve_from_results
+
+    report = serve_from_results(
+        [(latency_result, 1), (throughput_result, 3)],
+        avatars=64,
+        router="deadline",
+        admission=True,
+    )
 """
 
 from __future__ import annotations
 
 from repro.fcad.flow import FcadResult
 from repro.sim.runner import FrameLatencyProfile
+from repro.serving.admission import AdmissionControl, resolve_admission
 from repro.serving.clock import VirtualClockEventLoop, run_session
+from repro.serving.cluster import (
+    Cluster,
+    GroupSpec,
+    ReplicaGroup,
+    run_cluster_session,
+    serve_cluster,
+)
 from repro.serving.policies import (
     EdfPolicy,
     FairPolicy,
@@ -44,13 +72,29 @@ from repro.serving.policies import (
 )
 from repro.serving.replica import Replica, ReplicaPool, pool_from_result
 from repro.serving.request import DecodeRequest, DecodeResponse
+from repro.serving.router import (
+    DeadlineTieredRouter,
+    LeastLoadedRouter,
+    RoundRobinRouter,
+    RoutingPolicy,
+    get_router,
+    list_routers,
+)
 from repro.serving.scheduler import BatchScheduler
 from repro.serving.slo import (
+    GroupReport,
     ServingReport,
     SloTracker,
     percentile,
     report_from_json,
     report_to_json,
+)
+from repro.serving.transport import (
+    InProcessTransport,
+    ReplicaTransport,
+    SocketTransport,
+    get_transport,
+    list_transports,
 )
 from repro.serving.workload import (
     AvatarWorkload,
@@ -78,6 +122,7 @@ def serve_from_result(
     sim_frames: int = 8,
     real_time: bool = False,
     profile: "FrameLatencyProfile | None" = None,
+    transport: str = "inprocess",
 ) -> ServingReport:
     """``FCad.run`` → serving report, in one call.
 
@@ -111,34 +156,109 @@ def serve_from_result(
         batch_window_ms=batch_window_ms,
         max_batch=max_batch,
         real_time=real_time,
+        transport=transport,
+    )
+
+
+def serve_from_results(
+    results,
+    avatars: int = 16,
+    router: str | RoutingPolicy = "deadline",
+    admission: AdmissionControl | bool | None = None,
+    frames_per_avatar: int = 30,
+    avatar_fps: float = 30.0,
+    deadline_ms: float = 50.0,
+    deadline_tiers: tuple[float, ...] = (),
+    jitter_ms: float = 0.0,
+    seed: int = 0,
+    sim_frames: int = 8,
+    real_time: bool = False,
+) -> ServingReport:
+    """Serve one workload on a heterogeneous cluster of explored designs.
+
+    ``results`` is a sequence of ``(FcadResult, replicas)`` pairs (or
+    ready :class:`GroupSpec`/:class:`ReplicaGroup` objects, passed
+    through); each result becomes one replica group via
+    :meth:`FcadResult.serving_group`, named ``group<i>`` unless the spec
+    names it. The router assigns each frame to a group by its deadline
+    budget; ``admission=True`` enables load shedding.
+    """
+    groups = []
+    for index, entry in enumerate(results):
+        if isinstance(entry, (GroupSpec, ReplicaGroup)):
+            groups.append(entry)
+            continue
+        result, replicas = entry
+        groups.append(
+            result.serving_group(
+                name=f"group{index}",
+                replicas=replicas,
+                sim_frames=sim_frames,
+            )
+        )
+    workload = AvatarWorkload(
+        avatars=avatars,
+        frames_per_avatar=frames_per_avatar,
+        frame_interval_ms=1000.0 / avatar_fps,
+        deadline_ms=deadline_ms,
+        deadline_tiers=deadline_tiers,
+        jitter_ms=jitter_ms,
+        seed=seed,
+    )
+    return serve_cluster(
+        groups,
+        workload,
+        router=router,
+        admission=admission,
+        real_time=real_time,
     )
 
 
 __all__ = [
+    "AdmissionControl",
     "AvatarWorkload",
     "BatchScheduler",
+    "Cluster",
+    "DeadlineTieredRouter",
     "DecodeRequest",
     "DecodeResponse",
     "EdfPolicy",
     "FairPolicy",
     "FifoPolicy",
+    "GroupReport",
+    "GroupSpec",
+    "InProcessTransport",
+    "LeastLoadedRouter",
     "Replica",
+    "ReplicaGroup",
     "ReplicaPool",
+    "ReplicaTransport",
+    "RoundRobinRouter",
+    "RoutingPolicy",
     "SchedulingPolicy",
     "ServingReport",
     "SloTracker",
+    "SocketTransport",
     "VirtualClockEventLoop",
     "canned_workload",
     "get_policy",
+    "get_router",
+    "get_transport",
     "list_policies",
+    "list_routers",
+    "list_transports",
     "percentile",
     "pool_from_result",
     "replay_workload",
     "report_from_json",
     "report_to_json",
+    "resolve_admission",
+    "run_cluster_session",
     "run_serving_session",
     "run_session",
     "saturation_workload",
+    "serve_cluster",
     "serve_from_result",
+    "serve_from_results",
     "serve_workload",
 ]

@@ -1,0 +1,344 @@
+"""Heterogeneous serving clusters: replica groups + router + admission.
+
+One :class:`ReplicaGroup` is N replicas of *one* design with its own
+batching policy, window, capacity, and transport — e.g. a
+latency-optimized design batching eagerly under EDF next to a big-batch
+throughput design coalescing frames under FIFO. A :class:`Cluster` owns
+several groups, a :mod:`routing policy <repro.serving.router>` that
+assigns every request to a group, and optional
+:mod:`admission control <repro.serving.admission>` that sheds requests
+the chosen group cannot serve in time.
+
+This is the architecture the single-pool
+:class:`~repro.serving.scheduler.BatchScheduler` path grows into: a
+cluster of one in-process group with no admission control behaves — SLO
+for SLO, on the virtual clock — exactly like the plain scheduler, while
+mixed clusters express the telepresence serving shapes F-CAD targets
+(tight-deadline speakers on a low-latency tier, background participants
+on a throughput tier, load shedding at saturation).
+
+End to end::
+
+    from repro.serving import Cluster, GroupSpec, serve_cluster
+
+    report = serve_cluster(
+        [
+            GroupSpec("latency", fast_profile, replicas=1, policy="edf",
+                      batch_window_ms=0.0),
+            GroupSpec("throughput", batch_profile, replicas=3,
+                      policy="fifo", batch_window_ms=4.0),
+        ],
+        workload,
+        router="deadline",
+        admission=True,
+    )
+    print(report.render())
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.serving.admission import AdmissionControl, resolve_admission
+from repro.serving.clock import anchor_session_clock, now_ms, run_session
+from repro.serving.policies import SchedulingPolicy
+from repro.serving.replica import ReplicaPool
+from repro.serving.request import DecodeResponse
+from repro.serving.router import RoutingPolicy, get_router
+from repro.serving.scheduler import BatchScheduler
+from repro.serving.slo import GroupReport, ServingReport, SloTracker
+from repro.serving.transport import ReplicaTransport
+from repro.sim.runner import FrameLatencyProfile
+
+
+@dataclass(frozen=True)
+class GroupSpec:
+    """One replica group: N copies of one design plus its serving knobs."""
+
+    name: str
+    profile: FrameLatencyProfile
+    replicas: int = 1
+    policy: "str | SchedulingPolicy" = "edf"
+    batch_window_ms: float = 2.0
+    max_batch: int = 8
+    transport: "str | ReplicaTransport" = "inprocess"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a replica group needs a name")
+        if self.replicas < 1:
+            raise ValueError("a replica group needs at least one replica")
+
+
+class ReplicaGroup:
+    """A group's live state: pool, per-session scheduler, shed counter."""
+
+    def __init__(self, spec: GroupSpec) -> None:
+        self.spec = spec
+        self.name = spec.name
+        self.pool = ReplicaPool(
+            spec.profile, replicas=spec.replicas, max_batch=spec.max_batch
+        )
+        self.scheduler: BatchScheduler | None = None
+        self.tracker: SloTracker | None = None
+
+    @property
+    def replicas(self) -> int:
+        return len(self.pool)
+
+    @property
+    def capacity_fps(self) -> float:
+        """Steady-state frames/second of the whole group, pipelines warm."""
+        return self.pool.capacity_fps
+
+    @property
+    def backlog_frames(self) -> int:
+        """Frames waiting in or dispatched by this group's scheduler."""
+        if self.scheduler is None:
+            return 0
+        return self.scheduler.queue_depth + self.scheduler.inflight_frames
+
+    def backlog_ms(self) -> float:
+        """Estimated milliseconds until a frame admitted now starts service.
+
+        The backlog drains at one frame per steady interval per replica —
+        the same first-order model for every group, so routers can compare
+        a big-batch group against a low-latency one on one scale.
+        """
+        profile = self.pool.profile
+        return (
+            self.backlog_frames * profile.steady_interval_ms / self.replicas
+        )
+
+    def unloaded_latency_ms(self) -> float:
+        """Best-case response latency: empty queue, cold pipeline.
+
+        Batching window plus cold fill — a static property of the group's
+        design and configuration. The deadline-tiered router classifies
+        requests against this: a budget below it can never be honoured
+        here, however idle the group is.
+        """
+        profile = self.pool.profile
+        return self.spec.batch_window_ms + profile.first_frame_ms
+
+    def estimated_latency_ms(self) -> float:
+        """Predicted response latency of a request admitted right now.
+
+        Backlog drain, plus the batching window the dispatcher may hold,
+        plus service: the cold fill latency when the group is idle (its
+        pipelines will have drained by the time the frame lands) or one
+        steady interval when it is busy.
+        """
+        profile = self.pool.profile
+        service = (
+            profile.first_frame_ms
+            if self.backlog_frames == 0
+            else profile.steady_interval_ms
+        )
+        return self.backlog_ms() + self.spec.batch_window_ms + service
+
+    # ------------------------------------------------------------------
+    def start(self, deadline_ms: float, deadline_tiers: tuple[float, ...]) -> None:
+        """Open the group for one serving session (inside a session loop)."""
+        self.tracker = SloTracker(
+            deadline_ms=deadline_ms, deadline_tiers_ms=deadline_tiers
+        )
+        self.scheduler = BatchScheduler(
+            self.pool,
+            policy=self.spec.policy,
+            batch_window_ms=self.spec.batch_window_ms,
+            max_batch=self.spec.max_batch,
+            tracker=self.tracker,
+            transport=self.spec.transport,
+            group=self.name,
+        )
+        self.scheduler.start()
+
+    async def close(self) -> None:
+        assert self.scheduler is not None
+        await self.scheduler.close()
+
+    def report(self, duration_ms: float) -> GroupReport:
+        """This group's SLO slice of the finished session."""
+        assert self.scheduler is not None and self.tracker is not None
+        latencies = [r.latency_ms for r in self.tracker.responses]
+        from repro.serving.slo import percentile
+
+        utilizations = self.pool.utilizations(duration_ms)
+        return GroupReport(
+            name=self.name,
+            policy=self.scheduler.policy.name,
+            transport=self.scheduler.transport.name,
+            replicas=self.replicas,
+            max_batch=self.scheduler.max_batch,
+            batch_window_ms=self.scheduler.batch_window_ms,
+            submitted=self.tracker.submitted - self.tracker.shed,
+            shed=self.tracker.shed,
+            completed=len(self.tracker.responses),
+            deadline_misses=sum(
+                1 for r in self.tracker.responses if r.deadline_missed
+            ),
+            latency_p50_ms=percentile(latencies, 50),
+            latency_p99_ms=percentile(latencies, 99),
+            mean_batch_size=(
+                sum(self.tracker.batch_sizes) / len(self.tracker.batch_sizes)
+                if self.tracker.batch_sizes
+                else 0.0
+            ),
+            mean_utilization=(
+                sum(utilizations) / len(utilizations) if utilizations else 0.0
+            ),
+        )
+
+
+class Cluster:
+    """Heterogeneous replica groups behind one deadline-aware front door."""
+
+    def __init__(
+        self,
+        groups: Sequence[GroupSpec | ReplicaGroup],
+        router: str | RoutingPolicy = "round-robin",
+        admission: AdmissionControl | bool | None = None,
+    ) -> None:
+        if not groups:
+            raise ValueError("a cluster needs at least one replica group")
+        self.groups = [
+            group if isinstance(group, ReplicaGroup) else ReplicaGroup(group)
+            for group in groups
+        ]
+        names = [group.name for group in self.groups]
+        if len(set(names)) != len(names):
+            raise ValueError(f"replica group names must be unique: {names}")
+        self.router = get_router(router)
+        self.admission = resolve_admission(admission)
+
+    def __len__(self) -> int:
+        return len(self.groups)
+
+    @property
+    def replicas(self) -> int:
+        """Total replica budget across all groups."""
+        return sum(group.replicas for group in self.groups)
+
+    # ------------------------------------------------------------------
+    def start(
+        self, deadline_ms: float, deadline_tiers: tuple[float, ...] = ()
+    ) -> None:
+        """Open every group for one serving session."""
+        for group in self.groups:
+            group.start(deadline_ms, deadline_tiers)
+
+    def submit_nowait(
+        self, avatar_id: int, frame_index: int, deadline_rel_ms: float
+    ) -> "asyncio.Future[DecodeResponse | None]":
+        """Route one request; shed requests resolve immediately to ``None``.
+
+        Duck-type compatible with
+        :meth:`~repro.serving.scheduler.BatchScheduler.submit_nowait`, so
+        the same avatar clients drive a plain scheduler or a cluster.
+        """
+        group = self.groups[
+            self.router.route(deadline_rel_ms, now_ms(), self.groups)
+        ]
+        assert group.scheduler is not None and group.tracker is not None
+        if self.admission is not None and not self.admission.admit(
+            group, deadline_rel_ms
+        ):
+            group.tracker.record_shed()
+            shed: asyncio.Future[DecodeResponse | None] = (
+                asyncio.get_running_loop().create_future()
+            )
+            shed.set_result(None)
+            return shed
+        return group.scheduler.submit_nowait(
+            avatar_id, frame_index, deadline_rel_ms
+        )
+
+    async def close(self) -> None:
+        for group in self.groups:
+            await group.close()
+
+    def report(self, avatars: int, duration_ms: float) -> ServingReport:
+        """Aggregate + per-group SLOs of the finished session.
+
+        A single-group cluster reports the group's own policy name (and
+        identical SLO numbers to the plain scheduler path); mixed
+        clusters report ``cluster(<router>)``.
+        """
+        first = self.groups[0]
+        assert first.scheduler is not None and first.tracker is not None
+        merged = SloTracker(
+            deadline_ms=first.tracker.deadline_ms,
+            deadline_tiers_ms=first.tracker.deadline_tiers_ms,
+        )
+        utilization: tuple[float, ...] = ()
+        for group in self.groups:
+            assert group.tracker is not None
+            merged.merge(group.tracker)
+            utilization += group.pool.utilizations(duration_ms)
+        policy = (
+            first.scheduler.policy.name
+            if len(self.groups) == 1
+            else f"cluster({self.router.name})"
+        )
+        return merged.report(
+            policy=policy,
+            avatars=avatars,
+            duration_ms=duration_ms,
+            replica_utilization=utilization,
+            max_batch=max(g.scheduler.max_batch for g in self.groups),
+            batch_window_ms=first.scheduler.batch_window_ms,
+            router=self.router.name,
+            groups=tuple(group.report(duration_ms) for group in self.groups),
+        )
+
+
+# ---------------------------------------------------------------------------
+# sessions
+# ---------------------------------------------------------------------------
+async def run_cluster_session(cluster: Cluster, workload) -> ServingReport:
+    """Serve one workload through a cluster on an open event loop."""
+    from repro.serving.workload import _avatar_client
+
+    anchor_session_clock()
+    cluster.start(workload.deadline_ms, workload.deadline_tiers)
+    clients = [
+        asyncio.get_running_loop().create_task(
+            _avatar_client(cluster, workload, avatar_id)
+        )
+        for avatar_id in range(workload.avatars)
+    ]
+    await asyncio.gather(*clients)
+    await cluster.close()
+    duration_ms = now_ms()
+    return cluster.report(avatars=workload.avatars, duration_ms=duration_ms)
+
+
+def serve_cluster(
+    groups: Cluster | Sequence[GroupSpec | ReplicaGroup],
+    workload,
+    router: str | RoutingPolicy = "round-robin",
+    admission: AdmissionControl | bool | None = None,
+    real_time: bool = False,
+) -> ServingReport:
+    """Run a whole cluster serving session; deterministic on the virtual clock.
+
+    Pass a prebuilt :class:`Cluster` (its router/admission win) or a list
+    of group specs plus ``router=``/``admission=``.
+    """
+    if not isinstance(groups, Cluster):
+        groups = Cluster(groups, router=router, admission=admission)
+    return run_session(
+        run_cluster_session(groups, workload), real_time=real_time
+    )
+
+
+__all__ = [
+    "Cluster",
+    "GroupSpec",
+    "ReplicaGroup",
+    "run_cluster_session",
+    "serve_cluster",
+]

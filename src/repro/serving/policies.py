@@ -20,7 +20,14 @@ from repro.serving.request import DecodeRequest
 
 
 class SchedulingPolicy:
-    """Base: pick the next batch out of the waiting queue."""
+    """Base: pick the next batch out of the waiting queue.
+
+    ``select`` may return an empty batch to decline dispatching right now
+    (e.g. a custom policy holding out for a co-arriving frame); the
+    scheduler then parks until the queue changes instead of re-polling in
+    a busy loop. A policy must not decline *forever* while the queue is
+    non-empty — requests it never selects are never served.
+    """
 
     name = "base"
 

@@ -52,11 +52,23 @@ class Replica:
             start_ms - self.last_finish_ms <= self.latency.steady_interval_ms
         )
         finishes = self.latency.batch_finish_ms(start_ms, batch, warm=warm)
+        self.record_service(start_ms, finishes)
+        return finishes
+
+    def record_service(
+        self, start_ms: float, finishes: tuple[float, ...]
+    ) -> None:
+        """Fold one served batch into the accounting.
+
+        Split out of :meth:`service_times` so a remote transport — where
+        the authoritative service-time computation happens in another
+        process (see :mod:`repro.serving.transport`) — can mirror the
+        busy-time/warm-window bookkeeping on the local proxy replica.
+        """
         self.busy_ms += finishes[-1] - start_ms
-        self.frames_served += batch
+        self.frames_served += len(finishes)
         self.batches_served += 1
         self.last_finish_ms = finishes[-1]
-        return finishes
 
     def utilization(self, elapsed_ms: float) -> float:
         return self.busy_ms / elapsed_ms if elapsed_ms > 0 else 0.0
@@ -73,12 +85,18 @@ class ReplicaPool:
     ) -> None:
         if replicas < 1:
             raise ValueError("need at least one replica")
+        self.profile = latency
         self.replicas = [
             Replica(replica_id=i, latency=latency, max_batch=max_batch)
             for i in range(replicas)
         ]
         self.max_batch = max_batch
         self._free: asyncio.Queue[Replica] | None = None
+
+    @property
+    def capacity_fps(self) -> float:
+        """Steady-state decode rate of the whole pool, all replicas warm."""
+        return len(self.replicas) * self.profile.steady_fps
 
     def __len__(self) -> int:
         return len(self.replicas)
@@ -117,6 +135,19 @@ class ReplicaPool:
         self._free = None
 
 
+def design_max_batch(config) -> int:
+    """Default replica batch capacity for a design configuration.
+
+    The design was optimized for specific per-branch batch sizes; let a
+    replica absorb a few frames beyond that before the scheduler must
+    spill to the next one. The single home of this heuristic — both
+    :func:`pool_from_result` and
+    :meth:`~repro.fcad.flow.FcadResult.serving_group` size from it, so a
+    single pool and a cluster group of the same design always agree.
+    """
+    return max(8, 2 * max(b.batch_size for b in config.branches))
+
+
 def pool_from_result(
     result: FcadResult,
     replicas: int = 1,
@@ -134,14 +165,8 @@ def pool_from_result(
     if profile is None:
         profile = result.frame_latency_profile(frames=sim_frames, warmup=warmup)
     if max_batch is None:
-        # The design was optimized for specific per-branch batch sizes;
-        # let a replica absorb a few frames beyond that before the
-        # scheduler must spill to the next one.
-        max_batch = max(
-            8,
-            2 * max(b.batch_size for b in result.dse.best_config.branches),
-        )
+        max_batch = design_max_batch(result.dse.best_config)
     return ReplicaPool(latency=profile, replicas=replicas, max_batch=max_batch)
 
 
-__all__ = ["Replica", "ReplicaPool", "pool_from_result"]
+__all__ = ["Replica", "ReplicaPool", "design_max_batch", "pool_from_result"]

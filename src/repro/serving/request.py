@@ -27,6 +27,16 @@ class DecodeRequest:
     arrival_ms: float
     deadline_ms: float  # absolute deadline on the session clock
 
+    def slack_ms(self, now_ms: float) -> float:
+        """Decode budget still left at ``now_ms`` (negative = already late).
+
+        This is what deadline-aware routing and admission control reason
+        about: a request with little slack must go to a low-latency
+        replica group (or be shed) while one with plenty can ride a
+        throughput-oriented batch.
+        """
+        return self.deadline_ms - now_ms
+
 
 @dataclass(frozen=True)
 class DecodeResponse:
@@ -38,6 +48,8 @@ class DecodeResponse:
     batch_size: int
     start_ms: float  # when the batch hit the replica
     finish_ms: float  # when this frame left the replica
+    #: Replica group that served the frame ("" outside a cluster session).
+    group: str = ""
 
     @property
     def latency_ms(self) -> float:

@@ -1,0 +1,159 @@
+"""Pluggable request routing across heterogeneous replica groups.
+
+A router answers one question per request: which
+:class:`~repro.serving.cluster.ReplicaGroup` should decode this frame?
+It sees the request's *relative* deadline budget and every group's live
+state (queue depth, in-flight frames, latency profile), and must be
+deterministic — same cluster state, same answer — so virtual-clock
+sessions stay bit-identical per seed.
+
+- ``round-robin``   — cycle the groups; the baseline, blind to both load
+  and deadlines.
+- ``least-loaded``  — smallest estimated backlog (in milliseconds of
+  work per replica, so a big-batch group and a low-latency group are
+  compared fairly).
+- ``deadline``      — deadline-tiered: of the groups whose *estimated*
+  response latency fits the request's budget, pick the highest-capacity
+  one (lax deadlines ride the big-batch group); when none fits, fall
+  back to the quickest group. Tight deadlines therefore land on the
+  low-latency group exactly when the throughput tier cannot honour them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Protocol, Sequence, runtime_checkable
+
+if TYPE_CHECKING:
+    from repro.serving.cluster import ReplicaGroup
+
+
+@runtime_checkable
+class RoutingPolicy(Protocol):
+    """Pick the replica group that should serve a request."""
+
+    name: str
+
+    def route(
+        self,
+        deadline_rel_ms: float,
+        now_ms: float,
+        groups: Sequence["ReplicaGroup"],
+    ) -> int:
+        """Index into ``groups`` of the chosen replica group."""
+        ...
+
+
+class RoundRobinRouter:
+    """Cycle through the groups in order, one request each."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def route(
+        self,
+        deadline_rel_ms: float,
+        now_ms: float,
+        groups: Sequence["ReplicaGroup"],
+    ) -> int:
+        index = self._next % len(groups)
+        self._next += 1
+        return index
+
+
+class LeastLoadedRouter:
+    """Send each request to the group with the least queued work.
+
+    Backlog is measured in estimated milliseconds until a new frame would
+    start service (queue + in-flight frames, divided by the group's
+    per-replica drain rate), so groups of different designs and sizes are
+    compared on a common scale. Ties break on group index.
+    """
+
+    name = "least-loaded"
+
+    def route(
+        self,
+        deadline_rel_ms: float,
+        now_ms: float,
+        groups: Sequence["ReplicaGroup"],
+    ) -> int:
+        return min(
+            range(len(groups)), key=lambda i: (groups[i].backlog_ms(), i)
+        )
+
+
+class DeadlineTieredRouter:
+    """Deadline-tiered routing: lax budgets ride the big-batch tier.
+
+    Each request's *home* tier is the highest-capacity group whose
+    **unloaded** latency (batching window + cold fill) fits the request's
+    deadline budget — so lax frames ride the big-batch tier and tight
+    frames land on the low-latency tier, which is the only one that can
+    honour them. Requests no group could serve even unloaded go to the
+    quickest group (they will likely miss; admission control is the tool
+    that sheds them instead).
+
+    The classification is deliberately *static* — a function of the
+    request's budget and the groups' designs, not of queue depths. A
+    load-based fallback ("send it wherever is emptiest") sounds smarter
+    but inverts the architecture exactly when it matters: at overload the
+    big-batch tier backs up first, every lax frame then chases the idle
+    low-latency tier, and the tight-deadline traffic that tier exists to
+    protect drowns in spillover. Strict tiering keeps the fast tier's
+    queue short at any load; overload surfaces as shedding (or misses) in
+    the tier that is actually over capacity.
+    """
+
+    name = "deadline"
+
+    def route(
+        self,
+        deadline_rel_ms: float,
+        now_ms: float,
+        groups: Sequence["ReplicaGroup"],
+    ) -> int:
+        unloaded = [group.unloaded_latency_ms() for group in groups]
+        feasible = [
+            i for i, est in enumerate(unloaded) if est <= deadline_rel_ms
+        ]
+        if feasible:
+            return max(
+                feasible, key=lambda i: (groups[i].capacity_fps, -i)
+            )
+        return min(range(len(groups)), key=lambda i: (unloaded[i], i))
+
+
+_ROUTERS: dict[str, Callable[[], RoutingPolicy]] = {
+    "round-robin": RoundRobinRouter,
+    "least-loaded": LeastLoadedRouter,
+    "deadline": DeadlineTieredRouter,
+}
+
+
+def get_router(name: str | RoutingPolicy) -> RoutingPolicy:
+    """Look a routing policy up by name (or pass an instance through)."""
+    if not isinstance(name, str):
+        return name
+    try:
+        return _ROUTERS[name]()
+    except KeyError:
+        known = ", ".join(sorted(_ROUTERS))
+        raise KeyError(
+            f"unknown routing policy {name!r}; known routers: {known}"
+        ) from None
+
+
+def list_routers() -> list[str]:
+    return sorted(_ROUTERS)
+
+
+__all__ = [
+    "DeadlineTieredRouter",
+    "LeastLoadedRouter",
+    "RoundRobinRouter",
+    "RoutingPolicy",
+    "get_router",
+    "list_routers",
+]

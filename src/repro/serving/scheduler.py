@@ -4,9 +4,11 @@ One dispatcher task owns the waiting queue. Whenever requests are waiting
 it (optionally) holds a short *batching window* so frames arriving close
 together coalesce, acquires a free replica from the pool (blocking while
 all replicas are busy — the saturation backpressure), asks the policy for
-the next batch, and hands it to the replica. Each frame's response is
-resolved at its own finish time, so callers see per-frame latencies, not
-per-batch ones.
+the next batch, and hands it to the replica through the group's
+:class:`~repro.serving.transport.ReplicaTransport` (in-process by
+default; a socket-served subprocess for remote replicas). Each frame's
+response is resolved at its own finish time, so callers see per-frame
+latencies, not per-batch ones.
 
 Everything is single-threaded asyncio with deterministic tie-breaking; on
 the virtual clock (see :mod:`repro.serving.clock`) an entire session is a
@@ -23,6 +25,7 @@ from repro.serving.policies import SchedulingPolicy, get_policy
 from repro.serving.replica import Replica, ReplicaPool
 from repro.serving.request import DecodeRequest, DecodeResponse
 from repro.serving.slo import SloTracker
+from repro.serving.transport import ReplicaTransport, get_transport
 
 
 class BatchScheduler:
@@ -35,11 +38,15 @@ class BatchScheduler:
         batch_window_ms: float = 2.0,
         max_batch: int | None = None,
         tracker: SloTracker | None = None,
+        transport: str | ReplicaTransport = "inprocess",
+        group: str = "",
     ) -> None:
         if batch_window_ms < 0:
             raise ValueError("batch window must be >= 0")
         self.pool = pool
         self.policy = get_policy(policy)
+        self.transport = get_transport(transport)
+        self.group = group
         self.batch_window_ms = batch_window_ms
         self.max_batch = (
             min(max_batch, pool.max_batch)
@@ -56,12 +63,14 @@ class BatchScheduler:
         self._arrived: asyncio.Event | None = None
         self._dispatcher: asyncio.Task[None] | None = None
         self._inflight: set[asyncio.Task[None]] = set()
+        self._inflight_frames = 0
         self._closed = False
 
     # ------------------------------------------------------------------
     def start(self) -> None:
         """Open the pool and launch the dispatcher (call inside a session)."""
         self.pool.open()
+        self.transport.open(self.pool)
         self._arrived = asyncio.Event()
         self._dispatcher = asyncio.get_running_loop().create_task(
             self._dispatch_loop()
@@ -106,14 +115,25 @@ class BatchScheduler:
         await self._dispatcher
         if self._inflight:
             await asyncio.gather(*self._inflight)
+        self.transport.close()
 
     @property
     def queue_depth(self) -> int:
         return len(self._queue)
 
+    @property
+    def inflight_frames(self) -> int:
+        """Frames dispatched to replicas but not yet finished.
+
+        Together with :attr:`queue_depth` this is the group backlog the
+        router and admission controller base their wait estimates on.
+        """
+        return self._inflight_frames
+
     # ------------------------------------------------------------------
     async def _dispatch_loop(self) -> None:
         assert self._arrived is not None
+        declines = 0
         while True:
             while not self._queue:
                 if self._closed:
@@ -127,12 +147,37 @@ class BatchScheduler:
                 self._queue, now_ms(), min(self.max_batch, replica.max_batch)
             )
             if not batch:
+                # A policy may decline to form a batch (e.g. it is
+                # holding out for a specific avatar's frame). Re-poll
+                # once — many policies self-heal on the next call — then
+                # park until the world changes: a new arrival or an
+                # in-flight batch finishing. The pre-fix loop released
+                # and immediately re-acquired the same replica, busy-
+                # spinning forever without advancing the virtual clock.
                 self.pool.release(replica)
+                declines += 1
+                if declines < 2:
+                    continue
+                declines = 0
+                if self._closed:
+                    return
+                self._arrived.clear()
+                arrival = asyncio.get_running_loop().create_task(
+                    self._arrived.wait()
+                )
+                await asyncio.wait(
+                    {arrival, *self._inflight},
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                if not arrival.done():
+                    arrival.cancel()
                 continue
+            declines = 0
             chosen = {request.request_id for request in batch}
             self._queue = [
                 r for r in self._queue if r.request_id not in chosen
             ]
+            self._inflight_frames += len(batch)
             task = asyncio.get_running_loop().create_task(
                 self._serve(replica, batch)
             )
@@ -143,7 +188,22 @@ class BatchScheduler:
         self, replica: Replica, batch: list[DecodeRequest]
     ) -> None:
         start = now_ms()
-        finishes = replica.service_times(start, len(batch))
+        try:
+            finishes = await self.transport.decode(replica, start, len(batch))
+        except BaseException as exc:
+            # A dead transport (e.g. the socket-served replica subprocess
+            # crashing mid-session) must fail the session loudly, not
+            # hang it: resolve the batch's futures with the error so the
+            # waiting avatar clients unblock and propagate it. The
+            # futures own the exception — re-raising here would only add
+            # never-retrieved-task noise on top.
+            for request in batch:
+                future = self._futures.pop(request.request_id, None)
+                if future is not None and not future.done():
+                    future.set_exception(exc)
+            self._inflight_frames -= len(batch)
+            self.pool.release(replica)
+            return
         batch_id = next(self._batch_ids)
         self.tracker.record_batch(len(batch))
         for request, finish in zip(batch, finishes):
@@ -155,8 +215,10 @@ class BatchScheduler:
                 batch_size=len(batch),
                 start_ms=start,
                 finish_ms=finish,
+                group=self.group,
             )
             self.tracker.record(response)
+            self._inflight_frames -= 1
             self._futures.pop(request.request_id).set_result(response)
         self.pool.release(replica)
 

@@ -34,6 +34,39 @@ def percentile(samples: list[float], q: float) -> float:
 
 
 @dataclass(frozen=True)
+class GroupReport:
+    """Per-replica-group SLO slice of a cluster serving session."""
+
+    name: str
+    policy: str
+    transport: str
+    replicas: int
+    max_batch: int
+    batch_window_ms: float
+    submitted: int  # requests the router admitted into this group
+    shed: int  # requests routed here but rejected by admission control
+    completed: int
+    deadline_misses: int
+    latency_p50_ms: float
+    latency_p99_ms: float
+    mean_batch_size: float
+    mean_utilization: float
+
+    @property
+    def offered(self) -> int:
+        """Requests the router sent this way, admitted or shed."""
+        return self.submitted + self.shed
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.offered if self.offered else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.deadline_misses / self.completed if self.completed else 0.0
+
+
+@dataclass(frozen=True)
 class ServingReport:
     """SLO summary of one serving session."""
 
@@ -60,11 +93,30 @@ class ServingReport:
     mean_batch_size: float
     replica_utilization: tuple[float, ...]
     per_avatar_p99_ms: tuple[float, ...] = field(default=())
+    #: Requests rejected by admission control (never reached a replica).
+    #: ``submitted`` counts them — they entered the front door — so
+    #: ``completed + shed == submitted`` in a fully drained session.
+    shed: int = 0
+    #: Routing policy of the cluster session ("" for a single pool served
+    #: directly by one :class:`~repro.serving.scheduler.BatchScheduler`).
+    router: str = ""
+    #: Per-group SLO slices of a cluster session (empty for a single pool).
+    groups: tuple[GroupReport, ...] = field(default=())
 
     @property
     def miss_rate(self) -> float:
         """Fraction of completed frames that blew their deadline."""
         return self.deadline_misses / self.completed if self.completed else 0.0
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of submitted requests rejected by admission control.
+
+        The load-shedding SLO: what share of the offered traffic the
+        cluster refused in order to keep the accepted share inside its
+        deadlines. 0.0 whenever admission control is off.
+        """
+        return self.shed / self.submitted if self.submitted else 0.0
 
     @property
     def throughput_fps(self) -> float:
@@ -97,6 +149,14 @@ class ServingReport:
                 f"{self.completed}/{self.submitted} frames in "
                 f"{self.duration_ms:.1f} ms",
             ],
+        ]
+        if self.router:
+            rows.append(["router", self.router])
+        if self.shed or self.router:
+            rows.append(
+                ["shed", f"{self.shed} ({100 * self.shed_rate:.1f}%)"]
+            )
+        rows += [
             ["throughput", f"{self.throughput_fps:.1f} FPS"],
             [
                 "latency p50/p95/p99",
@@ -123,6 +183,16 @@ class ServingReport:
                 or "-",
             ],
         ]
+        for group in self.groups:
+            rows.append(
+                [
+                    f"group {group.name}",
+                    f"{group.replicas}x {group.policy}/{group.transport}: "
+                    f"{group.completed} done, {group.shed} shed, "
+                    f"{group.deadline_misses} missed, p99 "
+                    f"{group.latency_p99_ms:.2f} ms",
+                ]
+            )
         return render_table(
             ["SLO", "value"],
             rows,
@@ -142,16 +212,35 @@ class SloTracker:
         self.deadline_tiers_ms = deadline_tiers_ms
         self.responses: list[DecodeResponse] = []
         self.submitted = 0
+        self.shed = 0
         self.batch_sizes: list[int] = []
 
     def record_submit(self) -> None:
         self.submitted += 1
+
+    def record_shed(self) -> None:
+        """One request rejected by admission control (still submitted)."""
+        self.submitted += 1
+        self.shed += 1
 
     def record_batch(self, size: int) -> None:
         self.batch_sizes.append(size)
 
     def record(self, response: DecodeResponse) -> None:
         self.responses.append(response)
+
+    def merge(self, other: "SloTracker") -> None:
+        """Fold another tracker's session into this one.
+
+        The cluster session keeps one tracker per replica group and folds
+        them into an aggregate for the cluster-wide report; percentiles
+        and means are order-independent, so merging after the fact equals
+        having tracked centrally.
+        """
+        self.responses.extend(other.responses)
+        self.submitted += other.submitted
+        self.shed += other.shed
+        self.batch_sizes.extend(other.batch_sizes)
 
     def report(
         self,
@@ -161,6 +250,8 @@ class SloTracker:
         replica_utilization: tuple[float, ...],
         max_batch: int,
         batch_window_ms: float,
+        router: str = "",
+        groups: tuple[GroupReport, ...] = (),
     ) -> ServingReport:
         latencies = [r.latency_ms for r in self.responses]
         queue_waits = [r.queue_ms for r in self.responses]
@@ -203,6 +294,9 @@ class SloTracker:
             per_avatar_p99_ms=tuple(
                 percentile(per_avatar[a], 99) for a in sorted(per_avatar)
             ),
+            shed=self.shed,
+            router=router,
+            groups=groups,
         )
 
 
@@ -210,16 +304,19 @@ def report_to_json(report: ServingReport, indent: int = 2) -> str:
     """Serialize a report (derived SLOs included, for easy dashboards)."""
     payload = asdict(report)
     payload["miss_rate"] = report.miss_rate
+    payload["shed_rate"] = report.shed_rate
     payload["throughput_fps"] = report.throughput_fps
     payload["mean_utilization"] = report.mean_utilization
+    for group_payload, group in zip(payload["groups"], report.groups):
+        group_payload["shed_rate"] = group.shed_rate
+        group_payload["miss_rate"] = group.miss_rate
     return json.dumps(payload, indent=indent)
 
 
 def report_from_json(text: str) -> ServingReport:
     payload = json.loads(text)
-    payload.pop("miss_rate", None)
-    payload.pop("throughput_fps", None)
-    payload.pop("mean_utilization", None)
+    for derived in ("miss_rate", "shed_rate", "throughput_fps", "mean_utilization"):
+        payload.pop(derived, None)
     payload["replica_utilization"] = tuple(payload["replica_utilization"])
     payload["deadline_tiers_ms"] = tuple(
         payload.get("deadline_tiers_ms", ())
@@ -227,10 +324,18 @@ def report_from_json(text: str) -> ServingReport:
     payload["per_avatar_p99_ms"] = tuple(
         payload.get("per_avatar_p99_ms", ())
     )
+    groups = []
+    for group_payload in payload.get("groups", ()):
+        group_payload = dict(group_payload)
+        group_payload.pop("shed_rate", None)
+        group_payload.pop("miss_rate", None)
+        groups.append(GroupReport(**group_payload))
+    payload["groups"] = tuple(groups)
     return ServingReport(**payload)
 
 
 __all__ = [
+    "GroupReport",
     "ServingReport",
     "SloTracker",
     "percentile",

@@ -1,0 +1,286 @@
+"""Replica dispatch behind a protocol: in-process or over a local socket.
+
+The scheduler never computes service times itself — it hands a batch to a
+:class:`ReplicaTransport` and gets back per-frame completion times. That
+seam is what makes *remote* replicas a deployment choice instead of a
+rewrite of the serving layer:
+
+- :class:`InProcessTransport` (the default) calls
+  :meth:`~repro.serving.replica.Replica.service_times` directly — zero
+  overhead, bit-identical to the pre-transport scheduler on the virtual
+  clock;
+- :class:`SocketTransport` serves the replicas from a subprocess over a
+  local TCP socket (``python -m repro.serving.transport`` is the server).
+  The server owns the authoritative replica state (warm windows); the
+  client mirrors the accounting on its proxy replicas so utilization
+  reporting still works locally. The round-trip is a synchronous,
+  newline-delimited JSON exchange, so virtual-clock sessions stay
+  deterministic: the event loop blocks (in wall time, not session time)
+  until the answer arrives.
+
+The wire format round-trips floats exactly (``json`` uses shortest-repr
+floats), so a socket-served session computes the same finish times the
+in-process path would.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import subprocess
+import sys
+from pathlib import Path
+from typing import Protocol, runtime_checkable
+
+from repro.serving.replica import Replica, ReplicaPool
+from repro.sim.runner import FrameLatencyProfile
+
+
+@runtime_checkable
+class ReplicaTransport(Protocol):
+    """How a dispatched batch reaches a replica and comes back timed."""
+
+    name: str
+
+    def open(self, pool: ReplicaPool) -> None:
+        """Start a serving session against ``pool`` (spawn servers etc.)."""
+        ...
+
+    def close(self) -> None:
+        """Tear the session down (kill servers, close sockets)."""
+        ...
+
+    async def decode(
+        self, replica: Replica, start_ms: float, batch: int
+    ) -> tuple[float, ...]:
+        """Serve ``batch`` frames on ``replica`` from ``start_ms``."""
+        ...
+
+
+class InProcessTransport:
+    """Today's behavior: the replica object itself computes service times."""
+
+    name = "inprocess"
+
+    def open(self, pool: ReplicaPool) -> None:  # noqa: ARG002 - protocol
+        return None
+
+    def close(self) -> None:
+        return None
+
+    async def decode(
+        self, replica: Replica, start_ms: float, batch: int
+    ) -> tuple[float, ...]:
+        return replica.service_times(start_ms, batch)
+
+
+class SocketTransport:
+    """Replicas served by a subprocess over a localhost TCP socket.
+
+    ``open`` spawns ``python -m repro.serving.transport``, reads the port
+    the server bound, connects, and sends a handshake carrying the pool's
+    latency profile and batch capacity. Every ``decode`` is one
+    request/response line pair. The subprocess holds the authoritative
+    per-replica warm-window state; the local proxy replica only mirrors
+    accounting from the returned finish times.
+    """
+
+    name = "socket"
+
+    def __init__(self, timeout_s: float = 30.0) -> None:
+        self.timeout_s = timeout_s
+        self._proc: subprocess.Popen | None = None
+        self._sock: socket.socket | None = None
+        self._rfile = None
+        self._wfile = None
+
+    def open(self, pool: ReplicaPool) -> None:
+        import repro
+
+        env = dict(os.environ)
+        src_root = str(Path(repro.__file__).resolve().parents[1])
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src_root, env.get("PYTHONPATH")) if p
+        )
+        # -c (not -m): runpy re-executing an already-imported submodule
+        # would warn about unpredictable double execution in the child.
+        self._proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-c",
+                "from repro.serving.transport import serve; "
+                "raise SystemExit(serve())",
+            ],
+            stdout=subprocess.PIPE,
+            env=env,
+            text=True,
+        )
+        assert self._proc.stdout is not None
+        port_line = self._proc.stdout.readline().strip()
+        if not port_line.isdigit():
+            raise RuntimeError(
+                f"replica server failed to start (got {port_line!r})"
+            )
+        self._sock = socket.create_connection(
+            ("127.0.0.1", int(port_line)), timeout=self.timeout_s
+        )
+        self._rfile = self._sock.makefile("r")
+        self._wfile = self._sock.makefile("w")
+        profile = pool.profile
+        self._send(
+            {
+                "op": "handshake",
+                "profile": {
+                    "finish_ms": list(profile.finish_ms),
+                    "first_frame_ms": profile.first_frame_ms,
+                    "steady_interval_ms": profile.steady_interval_ms,
+                    "frequency_mhz": profile.frequency_mhz,
+                },
+                "max_batch": pool.max_batch,
+            }
+        )
+
+    def close(self) -> None:
+        if self._wfile is not None:
+            try:
+                self._send({"op": "close"})
+            except (OSError, ValueError):
+                pass
+        for handle in (self._rfile, self._wfile, self._sock):
+            if handle is not None:
+                try:
+                    handle.close()
+                except OSError:
+                    pass
+        self._rfile = self._wfile = self._sock = None
+        if self._proc is not None:
+            try:
+                self._proc.wait(timeout=self.timeout_s)
+            except subprocess.TimeoutExpired:
+                self._proc.kill()
+                self._proc.wait()
+            self._proc = None
+
+    def _send(self, message: dict) -> None:
+        assert self._wfile is not None, "transport not opened"
+        self._wfile.write(json.dumps(message) + "\n")
+        self._wfile.flush()
+
+    async def decode(
+        self, replica: Replica, start_ms: float, batch: int
+    ) -> tuple[float, ...]:
+        # Deliberately synchronous: the whole round-trip happens inside
+        # one event-loop step, so no virtual-clock timer can fire while
+        # the wire is in flight and session ordering stays deterministic.
+        self._send(
+            {
+                "op": "decode",
+                "replica": replica.replica_id,
+                "start_ms": start_ms,
+                "batch": batch,
+            }
+        )
+        assert self._rfile is not None
+        reply = json.loads(self._rfile.readline())
+        if "error" in reply:
+            raise RuntimeError(f"replica server: {reply['error']}")
+        finishes = tuple(reply["finish_ms"])
+        replica.record_service(start_ms, finishes)
+        return finishes
+
+
+#: Transport names accepted by :func:`get_transport` (and ``--transport``).
+TRANSPORTS = ("inprocess", "socket")
+
+
+def get_transport(name: str | ReplicaTransport) -> ReplicaTransport:
+    """Look a transport up by name (or pass an instance through)."""
+    if not isinstance(name, str):
+        return name
+    if name == "inprocess":
+        return InProcessTransport()
+    if name == "socket":
+        return SocketTransport()
+    known = ", ".join(TRANSPORTS)
+    raise KeyError(
+        f"unknown replica transport {name!r}; known transports: {known}"
+    )
+
+
+def list_transports() -> list[str]:
+    return list(TRANSPORTS)
+
+
+# ---------------------------------------------------------------------------
+# the server side (python -m repro.serving.transport)
+# ---------------------------------------------------------------------------
+def serve(host: str = "127.0.0.1") -> int:
+    """Serve one client connection; prints the bound port on stdout."""
+    listener = socket.create_server((host, 0))
+    print(listener.getsockname()[1], flush=True)
+    conn, _ = listener.accept()
+    listener.close()
+    rfile = conn.makefile("r")
+    wfile = conn.makefile("w")
+    profile: FrameLatencyProfile | None = None
+    max_batch = 8
+    replicas: dict[int, Replica] = {}
+    try:
+        for line in rfile:
+            message = json.loads(line)
+            op = message.get("op")
+            if op == "close":
+                break
+            if op == "handshake":
+                raw = message["profile"]
+                profile = FrameLatencyProfile(
+                    finish_ms=tuple(raw["finish_ms"]),
+                    first_frame_ms=raw["first_frame_ms"],
+                    steady_interval_ms=raw["steady_interval_ms"],
+                    frequency_mhz=raw["frequency_mhz"],
+                )
+                max_batch = int(message["max_batch"])
+                replicas.clear()
+                continue
+            if op != "decode" or profile is None:
+                wfile.write(
+                    json.dumps({"error": f"bad request: {message!r}"}) + "\n"
+                )
+                wfile.flush()
+                continue
+            replica_id = int(message["replica"])
+            replica = replicas.get(replica_id)
+            if replica is None:
+                replica = replicas[replica_id] = Replica(
+                    replica_id=replica_id,
+                    latency=profile,
+                    max_batch=max_batch,
+                )
+            finishes = replica.service_times(
+                message["start_ms"], int(message["batch"])
+            )
+            wfile.write(json.dumps({"finish_ms": list(finishes)}) + "\n")
+            wfile.flush()
+    finally:
+        for handle in (rfile, wfile, conn):
+            try:
+                handle.close()
+            except OSError:
+                pass
+    return 0
+
+
+__all__ = [
+    "InProcessTransport",
+    "ReplicaTransport",
+    "SocketTransport",
+    "TRANSPORTS",
+    "get_transport",
+    "list_transports",
+    "serve",
+]
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(serve())

@@ -17,7 +17,7 @@ from __future__ import annotations
 import asyncio
 import random
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
 
 if TYPE_CHECKING:
     from repro.sim.runner import FrameLatencyProfile
@@ -65,6 +65,31 @@ class AvatarWorkload:
     def total_frames(self) -> int:
         return self.avatars * self.frames_per_avatar
 
+    @classmethod
+    def for_duration(
+        cls,
+        duration_s: float,
+        avatars: int,
+        frame_interval_ms: float,
+        deadline_ms: float,
+        **kwargs,
+    ) -> "AvatarWorkload":
+        """Size a workload by session length instead of frame count.
+
+        ``duration_s`` seconds of streaming at the per-avatar cadence —
+        the natural knob for "serve a 30-second call" style sessions
+        (``repro serve --duration`` routes through here).
+        """
+        return cls(
+            avatars=avatars,
+            frames_per_avatar=frames_for_duration(
+                duration_s, 1000.0 / frame_interval_ms
+            ),
+            frame_interval_ms=frame_interval_ms,
+            deadline_ms=deadline_ms,
+            **kwargs,
+        )
+
     def deadline_for(self, avatar_id: int) -> float:
         if self.deadline_tiers:
             return self.deadline_tiers[avatar_id % len(self.deadline_tiers)]
@@ -73,6 +98,17 @@ class AvatarWorkload:
     def avatar_rng(self, avatar_id: int) -> random.Random:
         # One independent stream per avatar, stable in the session seed.
         return random.Random(self.seed * 1_000_003 + avatar_id)
+
+
+def frames_for_duration(duration_s: float, avatar_fps: float) -> int:
+    """Frames one avatar streams in ``duration_s`` seconds at its cadence.
+
+    The single place the duration→frame-count rule lives, shared by
+    :meth:`AvatarWorkload.for_duration` and ``repro serve --duration``.
+    """
+    if duration_s <= 0:
+        raise ValueError("duration must be positive")
+    return max(1, round(duration_s * avatar_fps))
 
 
 def canned_workload(
@@ -116,6 +152,10 @@ def replay_workload(
     batch_window_ms: float = 2.0,
     max_batch: int | None = None,
     real_time: bool = False,
+    companions: "Sequence | None" = None,
+    router: str = "deadline",
+    admission=None,
+    group_name: str = "candidate",
 ) -> ServingReport:
     """Replay a multi-avatar workload on replicas of one design profile.
 
@@ -128,9 +168,36 @@ def replay_workload(
     ``repro serve``. Defaults to the :func:`canned_workload` on the
     deterministic virtual clock: same profile + same workload → the same
     report, bit for bit.
+
+    ``companions`` places the profile *inside a heterogeneous cluster*:
+    each companion is a :class:`~repro.serving.cluster.GroupSpec` for a
+    fixed group serving alongside the profile's own group (named
+    ``group_name``), with ``router``/``admission`` steering traffic
+    between them. That is how a DSE candidate is scored as a member of a
+    mixed cluster rather than as a lone pool. ``admission`` alone (no
+    companions) also routes through the cluster path, so a single-group
+    replay can exercise load shedding too.
     """
     if workload is None:
         workload = canned_workload()
+    if companions or admission:
+        from repro.serving.cluster import GroupSpec, serve_cluster
+
+        own_group = GroupSpec(
+            name=group_name,
+            profile=profile,
+            replicas=replicas,
+            policy=policy,
+            batch_window_ms=batch_window_ms,
+            max_batch=max_batch if max_batch is not None else 8,
+        )
+        return serve_cluster(
+            [own_group, *(companions or ())],
+            workload,
+            router=router,
+            admission=admission,
+            real_time=real_time,
+        )
     pool = ReplicaPool(
         profile,
         replicas=replicas,
@@ -181,13 +248,17 @@ def saturation_workload(
 
 
 async def _avatar_client(
-    scheduler: BatchScheduler, workload: AvatarWorkload, avatar_id: int
+    scheduler, workload: AvatarWorkload, avatar_id: int
 ) -> None:
     """Stream one avatar's frames at its cadence, without self-throttling.
 
     Like a live camera, the client issues frames on its own clock whether
     or not earlier frames finished — backpressure shows up as queueing
-    latency and deadline misses, not as a slower source.
+    latency and deadline misses, not as a slower source. ``scheduler`` is
+    anything with ``submit_nowait`` — a
+    :class:`~repro.serving.scheduler.BatchScheduler` or a
+    :class:`~repro.serving.cluster.Cluster` front door (whose shed
+    requests resolve to ``None``: a dropped frame, never a hang).
     """
     rng = workload.avatar_rng(avatar_id)
     deadline_ms = workload.deadline_for(avatar_id)
@@ -213,6 +284,7 @@ async def run_serving_session(
     policy: str | SchedulingPolicy = "fifo",
     batch_window_ms: float = 2.0,
     max_batch: int | None = None,
+    transport: str = "inprocess",
 ) -> ServingReport:
     """Serve one workload on an open event loop and report the SLOs."""
     anchor_session_clock()
@@ -226,6 +298,7 @@ async def run_serving_session(
         batch_window_ms=batch_window_ms,
         max_batch=max_batch,
         tracker=tracker,
+        transport=transport,
     )
     scheduler.start()
     clients = [
@@ -254,6 +327,7 @@ def serve_workload(
     batch_window_ms: float = 2.0,
     max_batch: int | None = None,
     real_time: bool = False,
+    transport: str = "inprocess",
 ) -> ServingReport:
     """Run a whole serving session; deterministic on the virtual clock."""
     return run_session(
@@ -263,6 +337,7 @@ def serve_workload(
             policy=policy,
             batch_window_ms=batch_window_ms,
             max_batch=max_batch,
+            transport=transport,
         ),
         real_time=real_time,
     )
@@ -271,6 +346,7 @@ def serve_workload(
 __all__ = [
     "AvatarWorkload",
     "canned_workload",
+    "frames_for_duration",
     "replay_workload",
     "run_serving_session",
     "saturation_workload",

@@ -311,6 +311,87 @@ class TestServe:
         assert main(["serve", "--jitter-ms", "40"]) == 2
         assert "frame interval" in capsys.readouterr().err
 
+    def test_serve_rejects_bad_replicas_and_duration(self, capsys):
+        # Same friendly errors explore's --workers/--iterations have.
+        with pytest.raises(SystemExit):
+            main(["serve", "--replicas", "0"])
+        assert "positive integer" in capsys.readouterr().err
+        with pytest.raises(SystemExit):
+            main(["serve", "--duration", "-1"])
+        assert "positive number" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "spec, message",
+        [
+            ("warp:1", "unknown cluster design"),
+            ("latency:0", "positive integers"),
+            ("latency:1:lifo", "known policies"),
+            ("latency:1:edf:extra", "design:replicas"),
+        ],
+    )
+    def test_serve_rejects_bad_cluster_specs(self, capsys, spec, message):
+        # Validated before any design search runs.
+        assert main(["serve", "--cluster", spec]) == 2
+        assert message in capsys.readouterr().err
+
+    def test_serve_mixed_cluster_with_shedding(self, capsys, tmp_path):
+        from repro.serving import report_from_json
+
+        path = tmp_path / "cluster.json"
+        out = run_cli(
+            capsys,
+            "serve",
+            "--device", "Z7045",
+            "--iterations", "2",
+            "--population", "8",
+            "--avatars", "6",
+            "--frames", "5",
+            "--sim-frames", "4",
+            "--cluster", "latency:1,throughput:2",
+            "--router", "deadline",
+            "--shed",
+            "--deadline-tiers", "20,60",
+            "--json", str(path),
+        )
+        assert "design 'latency'" in out and "design 'throughput'" in out
+        assert "Serving report (cluster(deadline))" in out
+        assert "group latency" in out and "group throughput" in out
+        report = report_from_json(path.read_text())
+        assert report.router == "deadline"
+        assert {group.name for group in report.groups} == {
+            "latency", "throughput",
+        }
+        assert report.completed + report.shed == report.submitted
+
+    def test_serve_shed_without_cluster_is_honoured(self, capsys):
+        # --shed on a single pool must actually enable admission control
+        # (the report shows the shed SLO), not be silently dropped.
+        out = run_cli(
+            capsys,
+            "serve",
+            "--device", "Z7045",
+            "--iterations", "2",
+            "--population", "8",
+            "--avatars", "12",
+            "--frames", "8",
+            "--sim-frames", "4",
+            "--replicas", "1",
+            "--deadline-ms", "30",
+            "--shed",
+        )
+        assert "shed" in out
+        assert "router" in out
+
+    def test_serve_duration_sets_frame_count(self, capsys):
+        out = run_cli(
+            capsys,
+            *self.SERVE,
+            "--duration", "0.2",
+            "--policy", "edf",
+        )
+        # 0.2 s at 30 FPS -> 6 frames per avatar, 4 avatars.
+        assert "24/24 frames" in out
+
 
 class TestSimulate:
     def test_simulate_saved_config(self, capsys, tmp_path):

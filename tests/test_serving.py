@@ -344,6 +344,89 @@ class TestServingSession:
         assert first == second
 
 
+class TestSchedulerRegressions:
+    def test_empty_batch_selection_does_not_busy_spin(self):
+        # Regression: a policy declining to batch (empty selection) while
+        # the queue is non-empty used to make the dispatcher release and
+        # immediately re-acquire the replica in a tight loop that never
+        # advanced the virtual clock. The scheduler must park until the
+        # queue changes, so the session completes with a bounded number
+        # of policy polls.
+        from repro.serving.policies import FifoPolicy
+
+        class HesitantPolicy(FifoPolicy):
+            name = "hesitant"
+
+            def __init__(self):
+                self.calls = 0
+                self.declined = 0
+
+            def select(self, queue, now_ms, limit):
+                self.calls += 1
+                if self.calls % 3 == 1:
+                    self.declined += 1
+                    return []
+                return super().select(queue, now_ms, limit)
+
+        policy = HesitantPolicy()
+        pool = ReplicaPool(PROFILE, replicas=2, max_batch=8)
+        workload = make_workload(avatars=4, frames_per_avatar=6)
+        report = serve_workload(pool, workload, policy=policy)
+        assert report.completed == report.submitted == 24
+        assert policy.declined > 0
+        # Bounded polling: at most a few selects per submitted request,
+        # not the unbounded spin of the pre-fix dispatcher.
+        assert policy.calls < 10 * report.submitted
+
+
+class TestOverload:
+    """Pinned overload behavior: EDF degradation and load shedding."""
+
+    def overload_workload(self, saturation):
+        from repro.serving import saturation_workload
+
+        return saturation_workload(PROFILE, replicas=1, saturation=saturation)
+
+    def test_edf_degrades_past_overload_point(self):
+        # EDF holds the line near capacity but collapses past ~1.2x
+        # overload: the backlog hands every frame a stale deadline, and
+        # the miss SLO must measure the cliff.
+        def run(saturation):
+            pool = ReplicaPool(PROFILE, replicas=1, max_batch=8)
+            return serve_workload(
+                pool, self.overload_workload(saturation), policy="edf"
+            )
+
+        nominal, overloaded = run(0.85), run(1.3)
+        assert nominal.miss_rate < 0.05
+        assert overloaded.miss_rate > 0.5
+        assert overloaded.latency_p99_ms > 4 * nominal.latency_p99_ms
+
+    def test_shedding_bounds_accepted_p99_under_overload(self):
+        # The same 1.5x-overload session with admission control: the
+        # cluster refuses the excess (shed_rate lights up) and the
+        # accepted requests keep a bounded p99 inside the deadline tiers.
+        from repro.serving import GroupSpec, serve_cluster
+
+        workload = self.overload_workload(1.5)
+
+        def run(admission):
+            return serve_cluster(
+                [GroupSpec("only", PROFILE, replicas=1, max_batch=8)],
+                workload,
+                admission=admission,
+            )
+
+        unshielded, shielded = run(None), run(True)
+        assert unshielded.shed_rate == 0.0
+        assert unshielded.latency_p99_ms > 100.0
+        assert shielded.shed_rate > 0.1
+        assert shielded.completed + shielded.shed == shielded.submitted
+        # Accepted requests stay inside the workload's lax tier budget.
+        assert shielded.latency_p99_ms <= max(workload.deadline_tiers)
+        assert shielded.latency_p99_ms < unshielded.latency_p99_ms / 4
+
+
 class TestServeFromResult:
     @pytest.fixture(scope="class")
     def tiny_result(self):

@@ -274,7 +274,7 @@ def run_dse_suite(args: argparse.Namespace) -> int:
 # suite: serving
 # ---------------------------------------------------------------------------
 def summarize_serving(report) -> dict:
-    return {
+    payload = {
         "completed": report.completed,
         "latency_p50_ms": round(report.latency_p50_ms, 3),
         "latency_p95_ms": round(report.latency_p95_ms, 3),
@@ -286,21 +286,226 @@ def summarize_serving(report) -> dict:
         "mean_batch_size": round(report.mean_batch_size, 3),
         "mean_utilization": round(report.mean_utilization, 4),
     }
+    if report.router:
+        payload["router"] = report.router
+        payload["shed"] = report.shed
+        payload["shed_rate"] = round(report.shed_rate, 4)
+        payload["groups"] = {
+            group.name: {
+                "replicas": group.replicas,
+                "policy": group.policy,
+                "completed": group.completed,
+                "shed": group.shed,
+                "deadline_misses": group.deadline_misses,
+                "miss_rate": round(group.miss_rate, 4),
+                "latency_p99_ms": round(group.latency_p99_ms, 3),
+            }
+            for group in report.groups
+        }
+    return payload
+
+
+#: Fixed total replica budget of the mixed-vs-homogeneous comparison.
+CLUSTER_BUDGET = 6
+
+#: Saturation of the cluster benchmark workload (offered / pool capacity).
+#: Slightly past capacity on purpose: this is the regime the cluster
+#: architecture exists for — EDF on a shared pool starts serving stale
+#: deadlines, while tiering isolates the tight tier and shedding keeps
+#: the accepted share inside its budgets.
+CLUSTER_SATURATION = 1.05
+
+#: Overload factor of the load-shedding session.
+SHED_OVERLOAD = 1.5
+
+
+def _cluster_workload(profile, saturation: float, seed: int = 0):
+    """The mixed-deadline cluster benchmark workload, sized off capacity.
+
+    The tight tier budget sits between the latency group's and the
+    throughput group's unloaded latencies (only the low-latency tier can
+    honour it); tier count pins the tight fleet at 3 avatars so the
+    one-replica latency tier stays inside its capacity while the
+    throughput tier carries the overload.
+    """
+    import math
+
+    from repro.serving import AvatarWorkload
+
+    capacity_fps = CLUSTER_BUDGET * profile.steady_fps
+    avatars = max(4, round(saturation * capacity_fps / 30.0))
+    tight_ms = round(profile.first_frame_ms + 15.0, 1)
+    tiers = (tight_ms,) + (2.0 * tight_ms,) * (math.ceil(avatars / 3) - 1)
+    return AvatarWorkload(
+        avatars=avatars,
+        frames_per_avatar=60,
+        frame_interval_ms=1000.0 / 30.0,
+        deadline_ms=50.0,
+        deadline_tiers=tiers,
+        jitter_ms=8.0,
+        seed=seed,
+    )
+
+
+def _cluster_groups(latency_profile, throughput_profile):
+    from repro.serving import GroupSpec
+
+    return [
+        GroupSpec(
+            "latency",
+            latency_profile,
+            replicas=1,
+            policy="edf",
+            batch_window_ms=0.0,
+            max_batch=4,
+        ),
+        GroupSpec(
+            "throughput",
+            throughput_profile,
+            replicas=CLUSTER_BUDGET - 1,
+            policy="fifo",
+            batch_window_ms=4.0,
+            max_batch=8,
+        ),
+    ]
+
+
+def run_cluster_section(latency_profile, throughput_profile) -> tuple[dict, list[str]]:
+    """Mixed cluster vs best homogeneous pool at a fixed replica budget.
+
+    Returns the JSON section plus a list of failed gates (empty = pass).
+    """
+    from repro.serving import (
+        ReplicaPool,
+        report_to_json,
+        serve_cluster,
+        serve_workload,
+    )
+
+    workload = _cluster_workload(latency_profile, CLUSTER_SATURATION)
+
+    homogeneous = {}
+    for design, profile in (
+        ("latency", latency_profile),
+        ("throughput", throughput_profile),
+    ):
+        for policy in ("fifo", "edf"):
+            pool = ReplicaPool(
+                profile, replicas=CLUSTER_BUDGET, max_batch=8
+            )
+            homogeneous[f"{design}/{policy}"] = serve_workload(
+                pool, workload, policy=policy
+            )
+    best_name = min(homogeneous, key=lambda k: homogeneous[k].miss_rate)
+    best = homogeneous[best_name]
+
+    def mixed_session(wl, shed):
+        return serve_cluster(
+            _cluster_groups(latency_profile, throughput_profile),
+            wl,
+            router="deadline",
+            admission=shed,
+        )
+
+    mixed = mixed_session(workload, shed=True)
+    mixed_again = mixed_session(workload, shed=True)
+    mixed_noshed = mixed_session(workload, shed=None)
+    deterministic = report_to_json(mixed) == report_to_json(mixed_again)
+
+    overload = _cluster_workload(latency_profile, SHED_OVERLOAD)
+    over_shed = mixed_session(overload, shed=True)
+    over_noshed = mixed_session(overload, shed=None)
+
+    latency_group = next(
+        group for group in mixed.groups if group.name == "latency"
+    )
+    p99_bound_ms = 2.0 * max(overload.deadline_tiers)
+
+    gates = []
+    if mixed.miss_rate >= best.miss_rate:
+        gates.append(
+            f"mixed cluster miss rate {mixed.miss_rate:.4f} is not below "
+            f"the best homogeneous pool {best_name} ({best.miss_rate:.4f})"
+        )
+    if latency_group.miss_rate > 0.05:
+        gates.append(
+            f"deadline-tiered latency group missed "
+            f"{latency_group.miss_rate:.1%} of its tight-budget frames"
+        )
+    if over_shed.latency_p99_ms > p99_bound_ms:
+        gates.append(
+            f"{SHED_OVERLOAD}x overload with shedding: accepted p99 "
+            f"{over_shed.latency_p99_ms:.1f} ms exceeds the "
+            f"{p99_bound_ms:.0f} ms bound"
+        )
+    if over_shed.shed_rate <= 0.0:
+        gates.append("overload session shed nothing")
+    if over_noshed.latency_p99_ms <= over_shed.latency_p99_ms:
+        gates.append(
+            "shedding did not improve accepted p99 at overload"
+        )
+    if not deterministic:
+        gates.append("mixed-cluster sessions diverged at the same seed")
+
+    section = {
+        "replica_budget": CLUSTER_BUDGET,
+        "saturation": CLUSTER_SATURATION,
+        "workload": {
+            "avatars": workload.avatars,
+            "frames_per_avatar": workload.frames_per_avatar,
+            "deadline_tiers_ms": [
+                workload.deadline_tiers[0],
+                workload.deadline_tiers[-1],
+            ],
+            "tight_avatars": sum(
+                1
+                for avatar in range(workload.avatars)
+                if workload.deadline_for(avatar) == workload.deadline_tiers[0]
+            ),
+        },
+        "homogeneous": {
+            name: summarize_serving(report)
+            for name, report in homogeneous.items()
+        },
+        "best_homogeneous": best_name,
+        "mixed": summarize_serving(mixed),
+        "mixed_no_shed": summarize_serving(mixed_noshed),
+        "overload": {
+            "factor": SHED_OVERLOAD,
+            "avatars": overload.avatars,
+            "p99_bound_ms": p99_bound_ms,
+            "with_shedding": summarize_serving(over_shed),
+            "without_shedding": summarize_serving(over_noshed),
+        },
+        "mixed_vs_best_homogeneous": {
+            "miss_rate_delta": round(mixed.miss_rate - best.miss_rate, 4),
+            "p99_delta_ms": round(
+                mixed.latency_p99_ms - best.latency_p99_ms, 3
+            ),
+        },
+        "deterministic": deterministic,
+        "gates": gates,
+    }
+    return section, gates
 
 
 def run_serving_suite(args: argparse.Namespace) -> int:
     from repro.devices.fpga import get_device
+    from repro.dse.space import Customization
     from repro.fcad.flow import FCad
     from repro.models.zoo import get_model
     from repro.serving import (
+        GroupSpec,
         ReplicaPool,
         report_to_json,
         saturation_workload,
+        serve_cluster,
         serve_workload,
     )
 
+    network = get_model(args.model)
     result = FCad(
-        network=get_model(args.model),
+        network=network,
         device=get_device(args.device),
         quant=args.quant,
     ).run(
@@ -310,6 +515,26 @@ def run_serving_suite(args: argparse.Namespace) -> int:
         workers=1,
     )
     profile = result.frame_latency_profile(frames=8)
+
+    # The throughput tier of the mixed cluster: the same flow under a
+    # big-batch customization (the paper's knob that actually changes the
+    # architecture — here per-branch batch 2, which doubles the cold fill
+    # while holding the steady rate).
+    branches = len(network.output_names())
+    throughput_result = FCad(
+        network=network,
+        device=get_device(args.device),
+        quant=args.quant,
+        customization=Customization(
+            batch_sizes=(2,) * branches, priorities=(1.0,) * branches
+        ),
+    ).run(
+        iterations=args.iterations,
+        population=args.population,
+        seed=0,
+        workers=1,
+    )
+    throughput_profile = throughput_result.frame_latency_profile(frames=8)
 
     workload = saturation_workload(
         profile,
@@ -332,6 +557,37 @@ def run_serving_suite(args: argparse.Namespace) -> int:
     edf_again, _ = session("edf")
     deterministic = report_to_json(edf) == report_to_json(edf_again)
 
+    # A cluster of one in-process group must reproduce the plain
+    # BatchScheduler path SLO for SLO (the refactor's identity guarantee).
+    single_group = serve_cluster(
+        [
+            GroupSpec(
+                "only",
+                profile,
+                replicas=args.replicas,
+                policy="edf",
+                batch_window_ms=2.0,
+                max_batch=args.max_batch,
+            )
+        ],
+        workload,
+    )
+    identity_fields = (
+        "policy", "submitted", "completed", "duration_ms",
+        "latency_p50_ms", "latency_p95_ms", "latency_p99_ms",
+        "latency_mean_ms", "latency_max_ms", "queue_mean_ms",
+        "deadline_misses", "batches", "mean_batch_size",
+        "replica_utilization", "per_avatar_p99_ms",
+    )
+    single_group_identical = all(
+        getattr(single_group, field) == getattr(edf, field)
+        for field in identity_fields
+    )
+
+    cluster_section, cluster_gates = run_cluster_section(
+        profile, throughput_profile
+    )
+
     payload = {
         "benchmark": "avatar_serving",
         "config": {
@@ -353,6 +609,13 @@ def run_serving_suite(args: argparse.Namespace) -> int:
             "first_frame_ms": round(profile.first_frame_ms, 3),
             "steady_interval_ms": round(profile.steady_interval_ms, 3),
         },
+        "throughput_design": {
+            "steady_fps": round(throughput_result.fps, 2),
+            "first_frame_ms": round(throughput_profile.first_frame_ms, 3),
+            "steady_interval_ms": round(
+                throughput_profile.steady_interval_ms, 3
+            ),
+        },
         "policies": {
             "fifo": summarize_serving(fifo),
             "edf": summarize_serving(edf),
@@ -368,6 +631,8 @@ def run_serving_suite(args: argparse.Namespace) -> int:
             "edf": round(edf_wall, 3),
         },
         "deterministic": deterministic,
+        "single_group_cluster_identical": single_group_identical,
+        "cluster": cluster_section,
     }
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
 
@@ -386,8 +651,37 @@ def run_serving_suite(args: argparse.Namespace) -> int:
         f"{100 * edf.miss_rate:.1f}% p99 {edf.latency_p99_ms:.1f} ms, "
         f"deterministic={deterministic}"
     )
+    mixed = cluster_section["mixed"]
+    best = cluster_section["homogeneous"][
+        cluster_section["best_homogeneous"]
+    ]
+    over = cluster_section["overload"]
+    print(
+        f"cluster (budget {CLUSTER_BUDGET}, {CLUSTER_SATURATION}x): mixed "
+        f"miss {100 * mixed['deadline_miss_rate']:.1f}% (shed "
+        f"{100 * mixed['shed_rate']:.1f}%) vs best homogeneous "
+        f"{cluster_section['best_homogeneous']} miss "
+        f"{100 * best['deadline_miss_rate']:.1f}%"
+    )
+    print(
+        f"overload ({SHED_OVERLOAD}x): shed p99 "
+        f"{over['with_shedding']['latency_p99_ms']:.1f} ms (shed "
+        f"{100 * over['with_shedding']['shed_rate']:.1f}%) vs no-shed p99 "
+        f"{over['without_shedding']['latency_p99_ms']:.1f} ms, bound "
+        f"{over['p99_bound_ms']:.0f} ms"
+    )
     if not deterministic:
         print("ERROR: serving sessions diverged at the same seed")
+        return 1
+    if not single_group_identical:
+        print(
+            "ERROR: single-group cluster diverged from the plain "
+            "BatchScheduler path"
+        )
+        return 1
+    if cluster_gates:
+        for gate in cluster_gates:
+            print(f"ERROR: cluster gate failed: {gate}")
         return 1
     return 0
 
