@@ -1,26 +1,37 @@
-"""Benchmark: the avatar serving layer under FIFO vs EDF vs fair batching.
+"""Benchmark: the avatar serving layer under FIFO vs EDF vs fair batching,
+plus the event-heap engine at population scale.
 
 Explores a design for the codec avatar decoder once, deploys simulated
 replicas, and serves the same mixed-deadline multi-avatar workload under
 every policy on the virtual clock. Asserts the properties the serving
 layer exists to provide: full completion, meaningful utilization, EDF
-beating FIFO on deadline misses at moderate saturation, and bit-identical
-reports across runs at one seed.
+beating FIFO on deadline misses at moderate saturation, bit-identical
+reports across runs at one seed, and the heap engine reproducing the
+coroutine scheduler's report on the shared workload.
 
-``FCAD_BENCH_SERVING_REDUCED=1`` shrinks the design search for CI smoke.
+The scale study then serves a diurnal session of ~1.1M avatar requests
+(one million avatars at full size) through the event-heap engine with
+autoscaling and admission control, and gates on wall time.
+
+``FCAD_BENCH_SERVING_REDUCED=1`` shrinks the design search and the scale
+study (~110k requests) for CI smoke.
 """
 
 from __future__ import annotations
 
 import os
+import time
 
 from repro.devices.fpga import get_device
 from repro.fcad.flow import FCad
 from repro.models.zoo import get_model
 from repro.serving import (
+    AutoscalePolicy,
     ReplicaPool,
+    make_trace,
     report_to_json,
     saturation_workload,
+    serve_trace,
     serve_workload,
 )
 
@@ -29,6 +40,14 @@ from conftest import emit
 REDUCED = bool(os.environ.get("FCAD_BENCH_SERVING_REDUCED"))
 REPLICAS = 2
 POLICIES = ("fifo", "edf", "fair")
+
+# Scale-study session: a metropolis of avatars at a slow per-avatar frame
+# rate (a periodic pose refresh, not a live video stream), so the request
+# volume — not the per-avatar rate — is what stresses the engine.
+SCALE_AVATARS = 100_000 if REDUCED else 1_000_000
+SCALE_DURATION_S = 60.0 if REDUCED else 120.0
+SCALE_AVATAR_FPS = 1.0 / 30.0 if REDUCED else 1.0 / 60.0
+SCALE_WALL_BUDGET_S = 60.0
 
 
 def run_serving_study() -> dict:
@@ -58,10 +77,69 @@ def run_serving_study() -> dict:
     # Determinism check: replay one policy and compare serialized reports.
     pool = ReplicaPool(profile, replicas=REPLICAS, max_batch=8)
     replay = serve_workload(pool, workload, policy="edf")
+    # Engine-equivalence check: the event-heap engine must reproduce the
+    # coroutine scheduler's counters on the very same workload.
+    heap = serve_trace(
+        ReplicaPool(profile, replicas=REPLICAS, max_batch=8),
+        workload,
+        policy="edf",
+    )
     return {
         "reports": reports,
         "deterministic": report_to_json(replay)
         == report_to_json(reports["edf"]),
+        "heap_edf": heap,
+    }
+
+
+def run_engine_scale_study() -> dict:
+    """Serve a city's worth of avatars through the event-heap engine."""
+    result = FCad(
+        network=get_model("codec_avatar_decoder"),
+        device=get_device("ZU9CG"),
+        quant="int8",
+    ).run(
+        iterations=4 if REDUCED else 10,
+        population=24 if REDUCED else 80,
+        seed=0,
+    )
+    profile = result.frame_latency_profile(frames=8)
+
+    def session() -> tuple[str, float, float]:
+        t0 = time.perf_counter()
+        trace = make_trace(
+            SCALE_AVATARS,
+            SCALE_DURATION_S,
+            shape="diurnal",
+            avatar_fps=SCALE_AVATAR_FPS,
+            deadline_ms=200.0,
+            jitter_ms=400.0,
+            seed=42,
+        )
+        trace_s = time.perf_counter() - t0
+        spec = result.serving_group(
+            name="fleet", replicas=2, policy="edf", profile=profile
+        )
+        report = serve_trace(
+            spec,
+            trace,
+            admission=True,
+            autoscale=AutoscalePolicy(
+                check_interval_ms=1000.0,
+                warmup_ms=5000.0,
+                min_replicas=2,
+                max_replicas=64,
+            ),
+        )
+        return report_to_json(report), trace_s, time.perf_counter() - t0
+
+    first, trace_s, wall_s = session()
+    replay, _, _ = session()
+    return {
+        "report_json": first,
+        "trace_s": trace_s,
+        "wall_s": wall_s,
+        "deterministic": first == replay,
     }
 
 
@@ -93,4 +171,44 @@ def test_serving_policies(benchmark):
             <= report.latency_p99_ms
         )
     # Virtual-clock sessions are reproducible bit for bit.
+    assert study["deterministic"]
+    # The event-heap engine reproduces the coroutine scheduler's counters
+    # (latency floats agree to clock round-off; counters must be exact).
+    heap = study["heap_edf"]
+    assert heap.engine == "heap"
+    for field in ("submitted", "completed", "deadline_misses", "batches"):
+        assert getattr(heap, field) == getattr(edf, field), field
+
+
+def test_engine_scale(benchmark):
+    import json
+
+    study = benchmark.pedantic(run_engine_scale_study, rounds=1, iterations=1)
+    report = json.loads(study["report_json"])
+    emit(
+        "Event-heap engine at scale",
+        "\n".join(
+            [
+                f"avatars            {report['avatars']:>12,}",
+                f"requests submitted {report['submitted']:>12,}",
+                f"completed          {report['completed']:>12,}",
+                f"shed               {report['shed']:>12,}",
+                f"deadline misses    {report['deadline_misses']:>12,}",
+                f"peak replicas      {report['peak_replicas']:>12,}",
+                f"scale ups/downs    {report['scale_ups']:>6,} / {report['scale_downs']:,}",
+                f"trace build        {study['trace_s']:>11.2f}s",
+                f"serve wall         {study['wall_s']:>11.2f}s",
+                f"sim req/s          {report['submitted'] / study['wall_s']:>12,.0f}",
+            ]
+        ),
+    )
+    assert report["engine"] == "heap" and report["shape"] == "diurnal"
+    assert report["avatars"] == SCALE_AVATARS
+    assert report["submitted"] >= (100_000 if REDUCED else 1_000_000)
+    # Nothing vanishes: every request is either served or shed.
+    assert report["completed"] + report["shed"] == report["submitted"]
+    assert report["scale_ups"] > 0 and report["peak_replicas"] > 2
+    # The engine's reason to exist: population scale inside the budget.
+    assert study["wall_s"] < SCALE_WALL_BUDGET_S
+    # And the virtual clock keeps its promise at a million avatars.
     assert study["deterministic"]

@@ -13,7 +13,11 @@ The full production story in one script:
    everyone's screen), the listeners tolerate more. The async scheduler
    batches requests onto free replicas under three policies, and the SLO
    tracker reports what each policy did to tail latency and deadline
-   misses.
+   misses;
+4. **scale** — the same call replayed through the event-heap engine
+   (identical counters, by construction), then a flash crowd thousands of
+   avatars strong served with autoscaling: the fleet grows through the
+   spike, pays the cold-fill warm-up, and drains back down.
 
 Everything runs on a virtual clock, so the whole session is deterministic
 and finishes in seconds of wall time.
@@ -27,7 +31,14 @@ import argparse
 
 from repro import FCad, get_device
 from repro.models.codec_avatar import build_codec_avatar_decoder
-from repro.serving import AvatarWorkload, ReplicaPool, serve_workload
+from repro.serving import (
+    AutoscalePolicy,
+    AvatarWorkload,
+    ReplicaPool,
+    make_trace,
+    serve_trace,
+    serve_workload,
+)
 
 
 def main() -> None:
@@ -43,6 +54,12 @@ def main() -> None:
     parser.add_argument("--frames", type=int, default=24, help="per avatar")
     parser.add_argument("--iterations", type=int, default=4)
     parser.add_argument("--population", type=int, default=24)
+    parser.add_argument(
+        "--scale-avatars",
+        type=int,
+        default=3000,
+        help="flash-crowd size for the autoscaled event-heap session",
+    )
     args = parser.parse_args()
 
     # --- design time --------------------------------------------------
@@ -82,6 +99,47 @@ def main() -> None:
         report = serve_workload(pool, workload, policy=policy)
         print(report.render())
         print()
+
+    # --- the same call on the event-heap engine -----------------------
+    pool = ReplicaPool(profile, replicas=args.replicas, max_batch=8)
+    heap = serve_trace(pool, workload, policy="edf")
+    print(
+        f"event-heap engine replays the EDF call with identical counters: "
+        f"{heap.completed}/{heap.submitted} frames, "
+        f"{heap.deadline_misses} misses, {heap.batches} batches\n"
+    )
+
+    # --- a flash crowd, autoscaled ------------------------------------
+    # Thousands of avatars pile into the session over a few hundred
+    # milliseconds; the autoscaler grows the fleet through the spike
+    # (each new replica pays its cold fill) and drains it afterwards.
+    crowd = args.scale_avatars
+    trace = make_trace(
+        crowd,
+        20.0,
+        shape="flash",
+        avatar_fps=2.0,
+        deadline_ms=100.0,
+        jitter_ms=50.0,
+        seed=0,
+    )
+    report = serve_trace(
+        design.serving_group(
+            name="fleet", replicas=args.replicas, policy="edf",
+            profile=profile,
+        ),
+        trace,
+        admission=True,
+        autoscale=AutoscalePolicy(
+            check_interval_ms=500.0, warmup_ms=1000.0, max_replicas=32
+        ),
+    )
+    print(
+        f"flash crowd: {crowd} avatars, {report.submitted} requests — "
+        f"fleet {args.replicas} -> peak {report.peak_replicas} replicas "
+        f"(+{report.scale_ups}/-{report.scale_downs})"
+    )
+    print(report.render())
 
 
 if __name__ == "__main__":

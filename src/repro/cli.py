@@ -10,7 +10,9 @@ Subcommands cover the framework's whole surface:
 - ``simulate <model>``          — cycle-accurate validation of a saved (or
   freshly explored) configuration, with an optional utilization timeline;
 - ``serve [model]``             — deploy simulated replicas of the
-  explored design(s) and serve a multi-avatar decode workload (FIFO /
+  explored design(s) and serve a multi-avatar decode workload on the
+  coroutine scheduler or the event-heap engine (``--engine heap``, with
+  ``--shape`` traffic and ``--autoscale``) (FIFO /
   deadline-EDF / fair batching) with latency/deadline SLO reporting;
   with ``--cluster`` it serves a heterogeneous replica-group cluster
   (deadline-aware routing, optional load shedding, in-process or
@@ -47,6 +49,7 @@ from repro.models.zoo import get_model, list_models
 from repro.quant.schemes import get_scheme
 from repro.serving.policies import list_policies
 from repro.serving.router import list_routers
+from repro.serving.traffic import list_shapes
 from repro.serving.transport import list_transports
 from repro.sim.runner import simulate
 from repro.sim.timeline import render_timeline
@@ -530,6 +533,42 @@ def cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.engine == "heap":
+        if args.real_time:
+            print(
+                "error: --engine heap runs on simulated time only "
+                "(drop --real-time)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.transport != "inprocess":
+            print(
+                "error: --engine heap serves in-process replicas only "
+                "(drop --transport)",
+                file=sys.stderr,
+            )
+            return 2
+    elif args.shape or args.autoscale:
+        print(
+            "error: --shape and --autoscale need --engine heap",
+            file=sys.stderr,
+        )
+        return 2
+    if args.shape and args.duration is None:
+        print(
+            "error: --shape sizes the session by time; add --duration",
+            file=sys.stderr,
+        )
+        return 2
+    if args.churn and args.shape != "steady":
+        print(
+            "error: --churn applies to --shape steady",
+            file=sys.stderr,
+        )
+        return 2
+    if not 0.0 <= args.churn <= 1.0:
+        print("error: --churn must be in [0, 1]", file=sys.stderr)
+        return 2
 
     frames_per_avatar = args.frames
     if args.duration is not None:
@@ -560,7 +599,38 @@ def cmd_serve(args: argparse.Namespace) -> int:
             f"first frame {profile.first_frame_ms:.2f} ms, then one per "
             f"{profile.steady_interval_ms:.2f} ms"
         )
-        if args.shed:
+        if args.engine == "heap":
+            from repro.serving import pool_from_result, serve_trace
+
+            trace = _heap_trace(args, tiers, frames_per_avatar)
+            autoscale = _heap_autoscale(args)
+            if args.shed or autoscale is not None:
+                report = serve_trace(
+                    result.serving_group(
+                        replicas=args.replicas,
+                        policy=args.policy,
+                        batch_window_ms=args.batch_window_ms,
+                        max_batch=args.max_batch,
+                        profile=profile,
+                    ),
+                    trace,
+                    admission=args.shed or None,
+                    autoscale=autoscale,
+                )
+            else:
+                report = serve_trace(
+                    pool_from_result(
+                        result,
+                        replicas=args.replicas,
+                        max_batch=args.max_batch,
+                        profile=profile,
+                    ),
+                    trace,
+                    policy=args.policy,
+                    batch_window_ms=args.batch_window_ms,
+                    max_batch=args.max_batch,
+                )
+        elif args.shed:
             # Admission control needs the cluster front door; a single
             # group of the explored design keeps the rest identical.
             from repro.serving import AvatarWorkload, serve_cluster
@@ -617,6 +687,50 @@ def cmd_serve(args: argparse.Namespace) -> int:
         Path(args.json).write_text(report_to_json(report) + "\n")
         print(f"\nserving report written to {args.json}")
     return 0
+
+
+def _heap_trace(args: argparse.Namespace, tiers, frames_per_avatar: int):
+    """The request stream for a heap-engine session: shape or workload."""
+    if args.shape:
+        from repro.serving import make_trace
+
+        params = {}
+        if args.shape == "steady" and args.churn:
+            params["churn"] = args.churn
+        return make_trace(
+            avatars=args.avatars,
+            duration_s=args.duration,
+            shape=args.shape,
+            avatar_fps=args.avatar_fps,
+            deadline_ms=args.deadline_ms,
+            deadline_tiers=tiers,
+            jitter_ms=args.jitter_ms,
+            seed=args.seed,
+            **params,
+        )
+    from repro.serving import AvatarWorkload
+
+    return AvatarWorkload(
+        avatars=args.avatars,
+        frames_per_avatar=frames_per_avatar,
+        frame_interval_ms=1000.0 / args.avatar_fps,
+        deadline_ms=args.deadline_ms,
+        deadline_tiers=tiers,
+        jitter_ms=args.jitter_ms,
+        seed=args.seed,
+    )
+
+
+def _heap_autoscale(args: argparse.Namespace):
+    """The heap engine's autoscaling policy, or ``None`` when off."""
+    if not args.autoscale:
+        return None
+    from repro.serving import AutoscalePolicy
+
+    return AutoscalePolicy(
+        warmup_ms=args.autoscale_warmup_ms,
+        max_replicas=args.autoscale_max,
+    )
 
 
 def _serve_cluster_session(
@@ -676,6 +790,16 @@ def _serve_cluster_session(
                 transport=args.transport,
                 sim_frames=args.sim_frames,
             )
+        )
+    if args.engine == "heap":
+        from repro.serving import serve_trace
+
+        return serve_trace(
+            groups,
+            _heap_trace(args, tiers, frames_per_avatar),
+            router=args.router,
+            admission=args.shed or None,
+            autoscale=_heap_autoscale(args),
         )
     workload = AvatarWorkload(
         avatars=args.avatars,
@@ -868,7 +992,14 @@ def build_parser() -> argparse.ArgumentParser:
             "      requests that would miss their deadline anyway\n"
             "  repro serve --transport socket --avatars 8 --duration 1\n"
             "      serve ~1 second of traffic with the replicas hosted by\n"
-            "      a subprocess behind a local socket"
+            "      a subprocess behind a local socket\n"
+            "the event-heap engine (large sessions):\n"
+            "  repro serve --engine heap --shape diurnal --avatars 100000 \\\n"
+            "      --duration 60 --avatar-fps 1 --autoscale --shed\n"
+            "      100k avatars joining and leaving over a diurnal cycle on\n"
+            "      the vectorized event-heap engine, autoscaling the replica\n"
+            "      fleet as concurrency rises and falls; same SLO report,\n"
+            "      orders of magnitude more requests per second of wall time"
         ),
     )
     p.add_argument(
@@ -956,6 +1087,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--real-time", action="store_true",
         help="run on the wall clock instead of the virtual clock",
+    )
+    p.add_argument(
+        "--engine", default="async", choices=("async", "heap"),
+        help="serving engine: the per-avatar coroutine scheduler (async, "
+        "default) or the vectorized event-heap engine (heap) for large "
+        "sessions — same semantics, same report",
+    )
+    p.add_argument(
+        "--shape", choices=list_shapes(),
+        help="generate traffic from a named shape with session churn "
+        "instead of steady per-avatar streams (heap engine; needs "
+        "--duration)",
+    )
+    p.add_argument(
+        "--churn", type=float, default=0.0,
+        help="fraction of avatars that join late / leave early "
+        "(--shape steady only, default 0)",
+    )
+    p.add_argument(
+        "--autoscale", action="store_true",
+        help="autoscale each replica group from its offered load (heap "
+        "engine); --replicas and group counts become initial fleets",
+    )
+    p.add_argument(
+        "--autoscale-max", type=_positive_int, default=64,
+        help="autoscaling replica cap per group (default 64)",
+    )
+    p.add_argument(
+        "--autoscale-warmup-ms", type=_positive_float, default=2000.0,
+        help="provisioning delay before a scaled-up replica can serve; "
+        "it then starts cold (default 2000 ms)",
     )
     p.add_argument("--json", help="write the serving report JSON here")
     p.set_defaults(func=cmd_serve)

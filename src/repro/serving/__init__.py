@@ -23,7 +23,19 @@ decode requests from many concurrent avatars under latency SLOs —
   predicted-deadline-miss load shedding;
 - :mod:`~repro.serving.slo`       — p50/p95/p99 latency, deadline-miss
   rate, shed rate, throughput, utilization (aggregate and per group);
-- :mod:`~repro.serving.workload`  — multi-avatar frame streams.
+- :mod:`~repro.serving.workload`  — multi-avatar frame streams;
+- :mod:`~repro.serving.traffic`   — vectorized request traces and named
+  traffic shapes (steady / diurnal / flash) with session churn;
+- :mod:`~repro.serving.engine`    — the event-heap engine: the same
+  serving semantics as the coroutine path at millions of requests per
+  session, plus replica autoscaling.
+
+Two engines serve the same reports: the *coroutine* path (one asyncio
+task per avatar on the virtual clock — the reference semantics, right
+for thousands of requests) and the *event-heap* path
+(:func:`serve_trace` — one explicit event loop over array-backed
+traces, right for millions). See ``docs/serving.md`` for when to use
+which.
 
 One design, one pool::
 
@@ -55,6 +67,7 @@ from repro.fcad.flow import FcadResult
 from repro.sim.runner import FrameLatencyProfile
 from repro.serving.admission import AdmissionControl, resolve_admission
 from repro.serving.clock import VirtualClockEventLoop, run_session
+from repro.serving.engine import AutoscalePolicy, serve_trace
 from repro.serving.cluster import (
     Cluster,
     GroupSpec,
@@ -88,6 +101,12 @@ from repro.serving.slo import (
     percentile,
     report_from_json,
     report_to_json,
+)
+from repro.serving.traffic import (
+    RequestTrace,
+    list_shapes,
+    make_trace,
+    trace_from_workload,
 )
 from repro.serving.transport import (
     InProcessTransport,
@@ -216,6 +235,7 @@ def serve_from_results(
 
 __all__ = [
     "AdmissionControl",
+    "AutoscalePolicy",
     "AvatarWorkload",
     "BatchScheduler",
     "Cluster",
@@ -233,6 +253,7 @@ __all__ = [
     "ReplicaGroup",
     "ReplicaPool",
     "ReplicaTransport",
+    "RequestTrace",
     "RoundRobinRouter",
     "RoutingPolicy",
     "SchedulingPolicy",
@@ -246,7 +267,9 @@ __all__ = [
     "get_transport",
     "list_policies",
     "list_routers",
+    "list_shapes",
     "list_transports",
+    "make_trace",
     "percentile",
     "pool_from_result",
     "replay_workload",
@@ -260,5 +283,7 @@ __all__ = [
     "serve_cluster",
     "serve_from_result",
     "serve_from_results",
+    "serve_trace",
     "serve_workload",
+    "trace_from_workload",
 ]

@@ -55,14 +55,29 @@ from repro.sim.runner import FrameLatencyProfile
 
 @dataclass(frozen=True)
 class GroupSpec:
-    """One replica group: N copies of one design plus its serving knobs."""
+    """One replica group: N copies of one design plus its serving knobs.
 
+    The frozen spec a :class:`ReplicaGroup` (coroutine path) or an
+    event-heap engine group (:func:`~repro.serving.engine.serve_trace`)
+    is built from. With autoscaling, ``replicas`` is the *initial* fleet
+    size; the controller grows and shrinks it at session time.
+    """
+
+    #: Unique group name (appears in per-group SLO slices).
     name: str
+    #: Per-frame fill/steady latency model of the group's design (ms).
     profile: FrameLatencyProfile
+    #: Number of replicas deployed (initial count under autoscaling).
     replicas: int = 1
+    #: Batch-selection policy: "fifo", "edf", "fair", or an instance.
     policy: "str | SchedulingPolicy" = "edf"
+    #: How long (ms) the dispatcher holds a sub-capacity batch so
+    #: co-arriving frames can coalesce; 0 dispatches eagerly.
     batch_window_ms: float = 2.0
+    #: Most frames one batch may carry (frames, per replica dispatch).
     max_batch: int = 8
+    #: How batches reach replicas: "inprocess" or "socket" (coroutine
+    #: path only; the event-heap engine is in-process only).
     transport: "str | ReplicaTransport" = "inprocess"
 
     def __post_init__(self) -> None:

@@ -1,0 +1,710 @@
+"""Event-heap serving engine: millions of requests in seconds of wall time.
+
+The coroutine path (:mod:`repro.serving.scheduler`) is the reference
+semantics: one asyncio task per avatar, a dispatcher task per group, the
+virtual clock jumping between timers. This module re-implements the same
+serving semantics as a single explicit event loop — a ``heapq`` of timed
+events plus a presorted arrival array — with no per-request objects on
+the hot path. Same inputs, same SLO report (exactly for the integer
+counters; to float round-off for latencies, since the asyncio clock
+round-trips milliseconds through seconds), at three to four orders of
+magnitude more requests per second of wall time.
+
+What is reused, not reimplemented:
+
+- :class:`~repro.serving.replica.Replica` — warm/cold service times and
+  busy-time accounting (:meth:`Replica.service_times`);
+- :mod:`repro.serving.router` — the same router instances, fed
+  duck-typed group views;
+- :class:`~repro.serving.admission.AdmissionControl` — same bounded
+  queue + predicted-miss shedding;
+- :class:`~repro.serving.slo.ServingReport` — same output record, so
+  every report consumer (CLI, JSON, benchmarks) works unchanged.
+
+What is new here: :class:`AutoscalePolicy`, a reactive controller that
+adds replicas (after a provisioning delay, starting **cold** — the fill
+latency of the first batch on a fresh replica is charged against the
+SLOs like any other frame) and drains them when offered load falls.
+
+Every session is a pure function of its inputs: same trace + same specs
+→ the same report, bit for bit.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from heapq import heappop, heappush
+from typing import Sequence
+
+import numpy as np
+
+from repro.serving.admission import AdmissionControl, resolve_admission
+from repro.serving.cluster import GroupSpec
+from repro.serving.policies import get_policy
+from repro.serving.replica import Replica, ReplicaPool
+from repro.serving.router import RoutingPolicy, get_router
+from repro.serving.slo import GroupReport, ServingReport
+from repro.serving.traffic import RequestTrace, trace_from_workload
+from repro.serving.workload import AvatarWorkload
+
+#: Per-avatar p99 latencies are only folded into the report up to this
+#: many avatars — a million-avatar session does not want a million-entry
+#: tuple in its JSON.
+PER_AVATAR_LIMIT = 4096
+
+_FIFO, _EDF, _FAIR = 0, 1, 2
+_POLICY_KIND = {"fifo": _FIFO, "edf": _EDF, "fair": _FAIR}
+
+# Dispatcher states (mirror the coroutine dispatcher's await points).
+_IDLE, _WINDOW, _WAIT, _RUNNING = 0, 1, 2, 3
+
+# Event kinds, in tie-breaking order after (time, seq).
+_EV_WINDOW, _EV_FINISH, _EV_PROVISION, _EV_SCALE = 0, 1, 2, 3
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Reactive per-group replica autoscaling for the event-heap engine.
+
+    Every ``check_interval_ms`` the controller sizes each group from the
+    load it *observed* over the last window: ``desired = ceil(offered_fps
+    / (replica steady fps * target_utilization))``, clamped to
+    ``[min_replicas, max_replicas]`` and rate-limited to ``max_step``
+    replicas per decision. Scale-ups take ``warmup_ms`` of provisioning
+    before the new replica can serve, and it starts **cold** — its first
+    batch pays the full pipeline-fill latency, charged against the SLOs.
+    Scale-downs retire idle replicas immediately and drain busy ones at
+    their next release; a group never drains below the backlog it still
+    has to serve (no scale-down while more than ``max_batch`` frames per
+    surviving replica are queued or in flight).
+    """
+
+    #: Controller period (ms of session time).
+    check_interval_ms: float = 500.0
+    #: Provisioning delay (ms) before a scaled-up replica can serve.
+    warmup_ms: float = 2000.0
+    #: Sizing headroom: desired capacity = offered load / this.
+    target_utilization: float = 0.75
+    #: Replica count bounds per group.
+    min_replicas: int = 1
+    max_replicas: int = 64
+    #: Most replicas added or drained per decision per group.
+    max_step: int = 8
+
+    def __post_init__(self) -> None:
+        if self.check_interval_ms <= 0 or self.warmup_ms < 0:
+            raise ValueError("autoscale intervals must be positive")
+        if not 0 < self.target_utilization <= 1.0:
+            raise ValueError("target utilization must be in (0, 1]")
+        if not 1 <= self.min_replicas <= self.max_replicas:
+            raise ValueError("need 1 <= min_replicas <= max_replicas")
+        if self.max_step < 1:
+            raise ValueError("max_step must be >= 1")
+
+
+class _EngineGroup:
+    """One group's live state, duck-typing :class:`ReplicaGroup` for the
+    routers and admission control (same properties, same units)."""
+
+    def __init__(self, spec: GroupSpec, index: int, batch_limit: int) -> None:
+        policy_name = get_policy(spec.policy).name
+        if policy_name not in _POLICY_KIND:
+            raise ValueError(
+                "the event-heap engine supports the built-in policies "
+                f"(fifo, edf, fair), not {policy_name!r}"
+            )
+        if isinstance(spec.transport, str) and spec.transport != "inprocess":
+            raise ValueError(
+                "the event-heap engine serves in-process replicas only; "
+                f"group {spec.name!r} asked for transport {spec.transport!r}"
+            )
+        self.spec = spec
+        self.name = spec.name
+        self.index = index
+        self.profile = spec.profile
+        self.policy_name = policy_name
+        self.policy_kind = _POLICY_KIND[policy_name]
+        self.batch_limit = batch_limit
+        self.window_ms = spec.batch_window_ms
+        self.all_replicas: list[Replica] = []
+        self.free: deque[Replica] = deque()
+        self.live = 0  # replicas not yet retired (free + busy)
+        self.pending_drain = 0  # busy replicas marked for retirement
+        self.provisioning = 0  # replicas inside their warmup_ms delay
+        self.state = _IDLE
+        self.queue_len = 0
+        self.inflight = 0
+        # Policy-native queues (request indices, not request objects).
+        self.fifo_q: deque[int] = deque()
+        self.edf_q: list[tuple[float, int]] = []
+        self.fair_q: dict[int, deque[int]] = {}
+        self.fair_last: dict[int, float] = {}
+        # SLO counters (same meaning as SloTracker's).
+        self.submitted = 0
+        self.shed = 0
+        self.batch_sizes: list[int] = []
+        # Autoscale bookkeeping.
+        self.arrivals_since_check = 0
+        self.scale_ups = 0
+        self.scale_downs = 0
+
+    def add_replica(self) -> Replica:
+        replica = Replica(
+            replica_id=len(self.all_replicas),
+            latency=self.profile,
+            max_batch=self.spec.max_batch,
+        )
+        self.all_replicas.append(replica)
+        self.free.append(replica)
+        self.live += 1
+        return replica
+
+    def adopt_pool(self, pool: ReplicaPool) -> None:
+        """Serve on an existing pool's replicas (single-pool mode)."""
+        pool.reset()
+        self.all_replicas = list(pool.replicas)
+        self.free = deque(pool.replicas)
+        self.live = len(pool.replicas)
+
+    # -- the ReplicaGroup interface routers and admission read ----------
+    @property
+    def replicas(self) -> int:
+        """Replicas currently able to serve (live minus draining)."""
+        return max(1, self.live - self.pending_drain)
+
+    @property
+    def capacity_fps(self) -> float:
+        """Steady-state frames/second of the live replicas, warm."""
+        return self.replicas * self.profile.steady_fps
+
+    @property
+    def backlog_frames(self) -> int:
+        """Frames queued plus in flight in this group."""
+        return self.queue_len + self.inflight
+
+    def backlog_ms(self) -> float:
+        """Estimated ms until a frame admitted now starts service."""
+        return (
+            self.backlog_frames
+            * self.profile.steady_interval_ms
+            / self.replicas
+        )
+
+    def unloaded_latency_ms(self) -> float:
+        """Best-case response latency: batching window plus cold fill."""
+        return self.window_ms + self.profile.first_frame_ms
+
+    def estimated_latency_ms(self) -> float:
+        """Predicted response latency of a request admitted right now."""
+        service = (
+            self.profile.first_frame_ms
+            if self.backlog_frames == 0
+            else self.profile.steady_interval_ms
+        )
+        return self.backlog_ms() + self.window_ms + service
+
+
+class _HeapSession:
+    """One event-heap serving session over a :class:`RequestTrace`."""
+
+    def __init__(
+        self,
+        groups: list[_EngineGroup],
+        trace: RequestTrace,
+        router: RoutingPolicy,
+        admission: AdmissionControl | None,
+        autoscale: AutoscalePolicy | None,
+    ) -> None:
+        self.groups = groups
+        self.trace = trace
+        self.router = router
+        self.admission = admission
+        self.autoscale = autoscale
+        n = len(trace)
+        # Hot-path state lives in plain Python lists (faster item access
+        # than numpy scalars); finalization vectorizes from them.
+        self._arrival: list[float] = trace.arrival_ms.tolist()
+        self._avatar: list[int] = trace.avatar_id.tolist()
+        self._rel: list[float] = trace.deadline_rel_ms.tolist()
+        self._start: list[float] = [0.0] * n
+        self._finish: list[float] = [0.0] * n
+        self._group_of = bytearray(n) if len(groups) < 256 else [0] * n
+        self._shed_flag = bytearray(n)
+        self._events: list[tuple] = []
+        self._seq = 0
+        self._cursor = 0
+        self._duration = 0.0
+        self._pending = 0  # admitted but unfinished requests
+        self._peak = sum(g.live for g in groups)
+
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        events = self._events
+        arrival = self._arrival
+        n = len(arrival)
+        autoscale = self.autoscale
+        if autoscale is not None:
+            self._push(autoscale.check_interval_ms, _EV_SCALE, 0, 0, None)
+        while True:
+            i = self._cursor
+            if i < n and (not events or arrival[i] <= events[0][0]):
+                self._cursor = i + 1
+                self._on_arrival(i, arrival[i])
+                continue
+            if not events:
+                break
+            t, _, kind, gi, a, b = heappop(events)
+            if kind == _EV_FINISH:
+                self._on_finish(t, self.groups[gi], a, b)
+            elif kind == _EV_WINDOW:
+                self._on_window(t, self.groups[gi])
+            elif kind == _EV_PROVISION:
+                self._on_provision(t, self.groups[gi])
+            else:
+                self._on_scale(t)
+
+    def _push(self, t: float, kind: int, gi: int, a, b) -> None:
+        self._seq += 1
+        heappush(self._events, (t, self._seq, kind, gi, a, b))
+
+    # ------------------------------------------------------------------
+    def _on_arrival(self, i: int, t: float) -> None:
+        groups = self.groups
+        rel = self._rel[i]
+        if len(groups) == 1:
+            group = groups[0]
+        else:
+            group = groups[self.router.route(rel, t, groups)]
+        group.arrivals_since_check += 1
+        self._group_of[i] = group.index
+        if t > self._duration:
+            self._duration = t
+        if self.admission is not None and not self.admission.admit(
+            group, rel
+        ):
+            group.submitted += 1
+            group.shed += 1
+            self._shed_flag[i] = 1
+            return
+        group.submitted += 1
+        self._pending += 1
+        kind = group.policy_kind
+        if kind == _FIFO:
+            group.fifo_q.append(i)
+        elif kind == _EDF:
+            heappush(group.edf_q, (t + rel, i))
+        else:
+            queue = group.fair_q.get(self._avatar[i])
+            if queue is None:
+                group.fair_q[self._avatar[i]] = deque((i,))
+            else:
+                queue.append(i)
+        group.queue_len += 1
+        if group.state == _IDLE:
+            self._drive(group, t)
+
+    def _drive(self, group: _EngineGroup, t: float) -> None:
+        """The dispatcher loop top: park, hold the window, or dispatch.
+
+        Mirrors the coroutine dispatcher exactly: the batching window is
+        held once per loop iteration (only while the queue is non-empty
+        and below the batch limit), then a free replica is awaited, then
+        the policy picks the batch.
+        """
+        while True:
+            if group.queue_len == 0:
+                group.state = _IDLE
+                return
+            if (
+                group.queue_len < group.batch_limit
+                and group.window_ms
+            ):
+                group.state = _WINDOW
+                self._push(t + group.window_ms, _EV_WINDOW, group.index, 0, None)
+                return
+            if not group.free:
+                group.state = _WAIT
+                return
+            self._dispatch(group, t)
+
+    def _on_window(self, t: float, group: _EngineGroup) -> None:
+        # Waking from the batching window goes straight to acquire — the
+        # coroutine loop does not re-check the window condition.
+        if not group.free:
+            group.state = _WAIT
+            return
+        group.state = _RUNNING
+        self._dispatch(group, t)
+        self._drive(group, t)
+
+    def _dispatch(self, group: _EngineGroup, t: float) -> None:
+        replica = group.free.popleft()
+        limit = (
+            group.batch_limit
+            if group.batch_limit <= replica.max_batch
+            else replica.max_batch
+        )
+        kind = group.policy_kind
+        if kind == _FIFO:
+            queue = group.fifo_q
+            size = min(limit, len(queue))
+            batch = [queue.popleft() for _ in range(size)]
+        elif kind == _EDF:
+            queue = group.edf_q
+            size = min(limit, len(queue))
+            batch = [heappop(queue)[1] for _ in range(size)]
+        else:
+            batch = self._select_fair(group, t, limit)
+        size = len(batch)
+        group.queue_len -= size
+        group.inflight += size
+        group.batch_sizes.append(size)
+        finishes = replica.service_times(t, size)
+        start = self._start
+        last = size - 1
+        gi = group.index
+        for j in range(size):
+            req = batch[j]
+            start[req] = t
+            self._push(
+                finishes[j], _EV_FINISH, gi, req, replica if j == last else None
+            )
+
+    def _select_fair(
+        self, group: _EngineGroup, t: float, limit: int
+    ) -> list[int]:
+        # FairPolicy semantics: avatars ordered by (last served, id),
+        # drained round-robin one frame per turn, FIFO within an avatar.
+        fair_q = group.fair_q
+        last_served = group.fair_last
+        neg_inf = float("-inf")
+        order = sorted(
+            (a for a in fair_q if fair_q[a]),
+            key=lambda a: (last_served.get(a, neg_inf), a),
+        )
+        batch: list[int] = []
+        while len(batch) < limit:
+            took = False
+            for avatar in order:
+                queue = fair_q[avatar]
+                if queue and len(batch) < limit:
+                    batch.append(queue.popleft())
+                    took = True
+            if not took:
+                break
+        for req in batch:
+            last_served[self._avatar[req]] = t
+        return batch
+
+    def _on_finish(
+        self, t: float, group: _EngineGroup, req: int, replica
+    ) -> None:
+        self._finish[req] = t
+        group.inflight -= 1
+        self._pending -= 1
+        if t > self._duration:
+            self._duration = t
+        if replica is None:
+            return
+        # Last frame of its batch: the replica frees up (or retires).
+        if group.pending_drain > 0:
+            group.pending_drain -= 1
+            group.live -= 1
+            return
+        group.free.append(replica)
+        if group.state == _WAIT:
+            group.state = _RUNNING
+            self._dispatch(group, t)
+            self._drive(group, t)
+
+    def _on_provision(self, t: float, group: _EngineGroup) -> None:
+        group.provisioning -= 1
+        group.add_replica()  # lands cold: first batch pays the fill
+        peak = sum(g.live for g in self.groups)
+        if peak > self._peak:
+            self._peak = peak
+        if group.state == _WAIT:
+            group.state = _RUNNING
+            self._dispatch(group, t)
+            self._drive(group, t)
+
+    def _on_scale(self, t: float) -> None:
+        policy = self.autoscale
+        assert policy is not None
+        window_s = policy.check_interval_ms / 1000.0
+        for group in self.groups:
+            offered_fps = group.arrivals_since_check / window_s
+            group.arrivals_since_check = 0
+            steady_fps = group.profile.steady_fps
+            if steady_fps <= 0:
+                continue
+            desired = math.ceil(
+                offered_fps / (steady_fps * policy.target_utilization)
+            )
+            desired = min(policy.max_replicas, max(policy.min_replicas, desired))
+            serving = group.live - group.pending_drain
+            current = serving + group.provisioning
+            if desired > current:
+                step = min(policy.max_step, desired - current)
+                group.scale_ups += step
+                group.provisioning += step
+                for _ in range(step):
+                    self._push(
+                        t + policy.warmup_ms, _EV_PROVISION, group.index, 0, None
+                    )
+            elif desired < serving:
+                # Never drain below the backlog still to be served.
+                if group.backlog_frames > desired * group.spec.max_batch:
+                    continue
+                step = min(policy.max_step, serving - desired)
+                group.scale_downs += step
+                while step and group.free:
+                    group.free.pop()
+                    group.live -= 1
+                    step -= 1
+                group.pending_drain += step
+        if self._cursor < len(self._arrival) or self._pending > 0:
+            self._push(t + policy.check_interval_ms, _EV_SCALE, 0, 0, None)
+
+    # ------------------------------------------------------------------
+    def finalize(
+        self, policy: str, router: str, groups_in_report: bool
+    ) -> ServingReport:
+        trace = self.trace
+        n = len(trace)
+        arrival = trace.arrival_ms
+        rel = trace.deadline_rel_ms
+        finish = np.asarray(self._finish)
+        start = np.asarray(self._start)
+        shed = np.frombuffer(bytes(self._shed_flag), dtype=np.uint8).astype(bool)
+        if isinstance(self._group_of, bytearray):
+            group_of = np.frombuffer(
+                bytes(self._group_of), dtype=np.uint8
+            ).astype(np.int64)
+        else:
+            group_of = np.asarray(self._group_of, dtype=np.int64)
+        served = ~shed
+        duration_ms = self._duration
+
+        latencies = finish[served] - arrival[served]
+        queue_waits = start[served] - arrival[served]
+        missed = (finish > arrival + rel) & served
+
+        ordered = np.sort(latencies)
+        per_avatar: tuple[float, ...] = ()
+        if trace.avatars <= PER_AVATAR_LIMIT and len(latencies):
+            avatars_served = trace.avatar_id[served]
+            by_avatar = np.lexsort((latencies, avatars_served))
+            ids, counts = np.unique(avatars_served, return_counts=True)
+            offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+            ranks = offsets + np.maximum(
+                1, np.ceil(0.99 * counts).astype(np.int64)
+            ) - 1
+            per_avatar = tuple(latencies[by_avatar][ranks].tolist())
+
+        group_reports: tuple[GroupReport, ...] = ()
+        utilization: tuple[float, ...] = ()
+        scale_ups = sum(g.scale_ups for g in self.groups)
+        scale_downs = sum(g.scale_downs for g in self.groups)
+        for group in self.groups:
+            utilization += tuple(
+                r.utilization(duration_ms) for r in group.all_replicas
+            )
+        if groups_in_report:
+            group_reports = tuple(
+                self._group_report(g, served, missed, group_of, duration_ms)
+                for g in self.groups
+            )
+
+        all_batches = [s for g in self.groups for s in g.batch_sizes]
+        completed = int(np.count_nonzero(served))
+        return ServingReport(
+            policy=policy,
+            avatars=trace.avatars,
+            replicas=len(utilization),
+            max_batch=max(g.batch_limit for g in self.groups),
+            batch_window_ms=self.groups[0].window_ms,
+            submitted=sum(g.submitted for g in self.groups),
+            completed=completed,
+            duration_ms=duration_ms,
+            latency_p50_ms=_rank(ordered, 50),
+            latency_p95_ms=_rank(ordered, 95),
+            latency_p99_ms=_rank(ordered, 99),
+            latency_mean_ms=float(latencies.mean()) if len(latencies) else 0.0,
+            latency_max_ms=float(ordered[-1]) if len(ordered) else 0.0,
+            queue_mean_ms=(
+                float(queue_waits.mean()) if len(queue_waits) else 0.0
+            ),
+            deadline_ms=trace.deadline_ms,
+            deadline_tiers_ms=trace.deadline_tiers,
+            deadline_misses=int(np.count_nonzero(missed)),
+            batches=len(all_batches),
+            mean_batch_size=(
+                sum(all_batches) / len(all_batches) if all_batches else 0.0
+            ),
+            replica_utilization=utilization,
+            per_avatar_p99_ms=per_avatar,
+            shed=sum(g.shed for g in self.groups),
+            router=router,
+            groups=group_reports,
+            engine="heap",
+            shape=trace.shape,
+            scale_ups=scale_ups,
+            scale_downs=scale_downs,
+            peak_replicas=self._peak,
+        )
+
+    def _group_report(
+        self,
+        group: _EngineGroup,
+        served: np.ndarray,
+        missed: np.ndarray,
+        group_of: np.ndarray,
+        duration_ms: float,
+    ) -> GroupReport:
+        mine = group_of == group.index
+        mine_served = mine & served
+        finish = np.asarray(self._finish)
+        latencies = np.sort(
+            finish[mine_served] - self.trace.arrival_ms[mine_served]
+        )
+        utilizations = [
+            r.utilization(duration_ms) for r in group.all_replicas
+        ]
+        completed = int(np.count_nonzero(mine_served))
+        return GroupReport(
+            name=group.name,
+            policy=group.policy_name,
+            transport="inprocess",
+            replicas=len(group.all_replicas),
+            max_batch=group.batch_limit,
+            batch_window_ms=group.window_ms,
+            submitted=group.submitted - group.shed,
+            shed=group.shed,
+            completed=completed,
+            deadline_misses=int(np.count_nonzero(missed & mine)),
+            latency_p50_ms=_rank(latencies, 50),
+            latency_p99_ms=_rank(latencies, 99),
+            mean_batch_size=(
+                sum(group.batch_sizes) / len(group.batch_sizes)
+                if group.batch_sizes
+                else 0.0
+            ),
+            mean_utilization=(
+                sum(utilizations) / len(utilizations) if utilizations else 0.0
+            ),
+            scale_ups=group.scale_ups,
+            scale_downs=group.scale_downs,
+        )
+
+
+def _rank(ordered: np.ndarray, q: float) -> float:
+    """Nearest-rank percentile of a presorted array (same definition as
+    :func:`repro.serving.slo.percentile`)."""
+    if not len(ordered):
+        return 0.0
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return float(ordered[rank - 1])
+
+
+# ---------------------------------------------------------------------------
+# public entry point
+# ---------------------------------------------------------------------------
+def serve_trace(
+    groups: "ReplicaPool | GroupSpec | Sequence[GroupSpec]",
+    trace: RequestTrace | AvatarWorkload,
+    *,
+    router: str | RoutingPolicy = "round-robin",
+    admission: AdmissionControl | bool | None = None,
+    autoscale: AutoscalePolicy | None = None,
+    policy: str = "fifo",
+    batch_window_ms: float = 2.0,
+    max_batch: int | None = None,
+) -> ServingReport:
+    """Serve a request trace on the event-heap engine.
+
+    The heap-engine counterpart of
+    :func:`~repro.serving.workload.serve_workload` (pass a
+    :class:`~repro.serving.replica.ReplicaPool`; ``policy`` /
+    ``batch_window_ms`` / ``max_batch`` apply) and of
+    :func:`~repro.serving.cluster.serve_cluster` (pass
+    :class:`~repro.serving.cluster.GroupSpec` s; ``router`` /
+    ``admission`` / ``autoscale`` apply). ``trace`` is a
+    :class:`~repro.serving.traffic.RequestTrace` or an
+    :class:`~repro.serving.workload.AvatarWorkload` (expanded via
+    :func:`~repro.serving.traffic.trace_from_workload`).
+
+    Deterministic: same arguments, same report, bit for bit. Reports
+    carry ``engine="heap"`` plus the autoscale counters; all other
+    fields mean exactly what they mean on the coroutine path.
+    """
+    if isinstance(trace, AvatarWorkload):
+        trace = trace_from_workload(trace)
+    admission_ctl = resolve_admission(admission)
+    routing = get_router(router)
+
+    if isinstance(groups, ReplicaPool):
+        if admission_ctl is not None or autoscale is not None:
+            raise ValueError(
+                "admission control and autoscaling need replica groups; "
+                "pass GroupSpec(s) instead of a bare ReplicaPool"
+            )
+        pool = groups
+        limit = (
+            min(max_batch, pool.max_batch)
+            if max_batch is not None
+            else pool.max_batch
+        )
+        if limit < 1:
+            raise ValueError("max batch must be >= 1")
+        spec = GroupSpec(
+            name="pool",
+            profile=pool.profile,
+            replicas=len(pool),
+            policy=policy,
+            batch_window_ms=batch_window_ms,
+            max_batch=pool.max_batch,
+        )
+        group = _EngineGroup(spec, 0, batch_limit=limit)
+        group.adopt_pool(pool)
+        session = _HeapSession([group], trace, routing, None, None)
+        session.run()
+        return session.finalize(
+            policy=group.policy_name, router="", groups_in_report=False
+        )
+
+    specs = [groups] if isinstance(groups, GroupSpec) else list(groups)
+    if not specs:
+        raise ValueError("a cluster needs at least one replica group")
+    names = [spec.name for spec in specs]
+    if len(set(names)) != len(names):
+        raise ValueError(f"replica group names must be unique: {names}")
+    engine_groups = []
+    for index, spec in enumerate(specs):
+        group = _EngineGroup(spec, index, batch_limit=spec.max_batch)
+        start_replicas = spec.replicas
+        if autoscale is not None:
+            start_replicas = min(
+                max(start_replicas, autoscale.min_replicas),
+                autoscale.max_replicas,
+            )
+        for _ in range(start_replicas):
+            group.add_replica()
+        engine_groups.append(group)
+    session = _HeapSession(
+        engine_groups, trace, routing, admission_ctl, autoscale
+    )
+    session.run()
+    report_policy = (
+        engine_groups[0].policy_name
+        if len(engine_groups) == 1
+        else f"cluster({routing.name})"
+    )
+    return session.finalize(
+        policy=report_policy, router=routing.name, groups_in_report=True
+    )
+
+
+__all__ = ["AutoscalePolicy", "PER_AVATAR_LIMIT", "serve_trace"]

@@ -120,6 +120,7 @@ def get_policy(name: str | SchedulingPolicy) -> SchedulingPolicy:
 
 
 def list_policies() -> list[str]:
+    """Names of the built-in scheduling policies."""
     return sorted(_POLICIES)
 
 

@@ -71,6 +71,7 @@ class Replica:
         self.last_finish_ms = finishes[-1]
 
     def utilization(self, elapsed_ms: float) -> float:
+        """Busy-time fraction (0..1) of ``elapsed_ms`` of session time."""
         return self.busy_ms / elapsed_ms if elapsed_ms > 0 else 0.0
 
 

@@ -68,6 +68,7 @@ class DecodeResponse:
 
     @property
     def deadline_missed(self) -> bool:
+        """True when the frame finished after its absolute deadline."""
         return self.finish_ms > self.request.deadline_ms
 
 

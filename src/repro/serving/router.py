@@ -146,6 +146,7 @@ def get_router(name: str | RoutingPolicy) -> RoutingPolicy:
 
 
 def list_routers() -> list[str]:
+    """Names of the built-in routing policies."""
     return sorted(_ROUTERS)
 
 

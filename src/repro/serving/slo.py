@@ -51,6 +51,10 @@ class GroupReport:
     latency_p99_ms: float
     mean_batch_size: float
     mean_utilization: float
+    #: Replicas added / drained by autoscaling during the session (0 on
+    #: the coroutine path, which serves fixed fleets).
+    scale_ups: int = 0
+    scale_downs: int = 0
 
     @property
     def offered(self) -> int:
@@ -68,7 +72,19 @@ class GroupReport:
 
 @dataclass(frozen=True)
 class ServingReport:
-    """SLO summary of one serving session."""
+    """SLO summary of one serving session.
+
+    Units, once and for all: every ``*_ms`` field is milliseconds of
+    *session* time (virtual milliseconds on the deterministic clock);
+    ``submitted`` / ``completed`` / ``shed`` / ``deadline_misses`` count
+    individual frame requests; ``batches`` counts replica dispatches;
+    ``replica_utilization`` is busy-time fractions in ``[0, 1]``, one
+    entry per replica (every replica that ever served, under
+    autoscaling); throughput properties are frames per second. Both
+    serving engines — the coroutine scheduler and the event-heap engine
+    — produce this same record, so ``render()``, the JSON round-trip,
+    and every report consumer work identically for either.
+    """
 
     policy: str
     avatars: int
@@ -102,6 +118,20 @@ class ServingReport:
     router: str = ""
     #: Per-group SLO slices of a cluster session (empty for a single pool).
     groups: tuple[GroupReport, ...] = field(default=())
+    #: Which serving engine produced the report: "" for the coroutine
+    #: scheduler (the historical default), "heap" for the event-heap
+    #: engine (:mod:`repro.serving.engine`).
+    engine: str = ""
+    #: Traffic shape the session's trace was generated from ("" for
+    #: workload-driven sessions).
+    shape: str = ""
+    #: Autoscaling activity: replicas added / drained across all groups
+    #: (both 0 when autoscaling was off), and the peak number of
+    #: provisioned replicas alive at any instant (0 means "not tracked",
+    #: i.e. a coroutine-path report).
+    scale_ups: int = 0
+    scale_downs: int = 0
+    peak_replicas: int = 0
 
     @property
     def miss_rate(self) -> float:
@@ -150,6 +180,17 @@ class ServingReport:
                 f"{self.duration_ms:.1f} ms",
             ],
         ]
+        if self.engine:
+            label = self.engine + (f" / {self.shape}" if self.shape else "")
+            rows.append(["engine", label])
+        if self.scale_ups or self.scale_downs:
+            rows.append(
+                [
+                    "autoscale",
+                    f"+{self.scale_ups} / -{self.scale_downs} replicas "
+                    f"(peak {self.peak_replicas})",
+                ]
+            )
         if self.router:
             rows.append(["router", self.router])
         if self.shed or self.router:
@@ -216,6 +257,7 @@ class SloTracker:
         self.batch_sizes: list[int] = []
 
     def record_submit(self) -> None:
+        """One request entered the front door (admitted or later shed)."""
         self.submitted += 1
 
     def record_shed(self) -> None:
@@ -224,9 +266,11 @@ class SloTracker:
         self.shed += 1
 
     def record_batch(self, size: int) -> None:
+        """One batch of ``size`` frames dispatched to a replica."""
         self.batch_sizes.append(size)
 
     def record(self, response: DecodeResponse) -> None:
+        """One frame finished decoding (with its full timing record)."""
         self.responses.append(response)
 
     def merge(self, other: "SloTracker") -> None:
@@ -314,6 +358,12 @@ def report_to_json(report: ServingReport, indent: int = 2) -> str:
 
 
 def report_from_json(text: str) -> ServingReport:
+    """Rebuild a :class:`ServingReport` from :func:`report_to_json` output.
+
+    Tolerant of *older* payloads: fields added since (engine, shape,
+    autoscale counters, per-group slices…) fall back to their dataclass
+    defaults, so archived CI reports keep loading as the record grows.
+    """
     payload = json.loads(text)
     for derived in ("miss_rate", "shed_rate", "throughput_fps", "mean_utilization"):
         payload.pop(derived, None)

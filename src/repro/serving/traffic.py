@@ -1,0 +1,321 @@
+"""Vectorized request traces and named traffic shapes.
+
+The coroutine serving path (:mod:`repro.serving.workload`) models each
+avatar as an asyncio task — faithful, but the simulator tops out around
+thousands of requests per session. This module is the array-shaped
+counterpart: a :class:`RequestTrace` holds a whole session's arrivals as
+presorted numpy arrays (one row per request: arrival time, avatar id,
+deadline budget), cheap to generate for millions of requests and cheap
+for the event-heap engine (:mod:`repro.serving.engine`) to consume.
+
+Two ways to build a trace:
+
+- :func:`trace_from_workload` expands an
+  :class:`~repro.serving.workload.AvatarWorkload` into the exact arrival
+  stream its coroutine clients would submit — same per-avatar
+  ``random.Random`` streams, same jitter chain — which is what makes the
+  heap-vs-coroutine equivalence test possible.
+- :func:`make_trace` generates large sessions from a named *traffic
+  shape* with session churn (avatars joining and leaving mid-session):
+
+  - ``steady``  — every avatar streams for the whole session (optional
+    ``churn`` fraction with random sub-window sessions);
+  - ``diurnal`` — concurrency follows a smooth one-cycle envelope
+    (quiet → peak → quiet), each avatar present for one contiguous
+    window sized by its rank;
+  - ``flash``   — a steady baseline plus a flash crowd that joins over a
+    short ramp and leaves together after a hold.
+
+All times are milliseconds of session time; ``avatar_fps`` is frames per
+second per avatar. Generation is deterministic in ``seed``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True, eq=False)
+class RequestTrace:
+    """One serving session's request stream as flat, presorted arrays.
+
+    ``arrival_ms`` is sorted ascending; row ``i`` is the session's
+    ``i``-th submitted request. ``deadline_rel_ms`` holds each request's
+    *relative* decode budget in milliseconds (absolute deadline =
+    arrival + budget).
+    """
+
+    #: Arrival time of each request (ms of session time, sorted ascending).
+    arrival_ms: np.ndarray
+    #: Avatar id of each request (int64).
+    avatar_id: np.ndarray
+    #: Relative deadline budget of each request (ms).
+    deadline_rel_ms: np.ndarray
+    #: Size of the avatar universe (ids are ``0..avatars-1``; churny
+    #: shapes may leave some avatars with zero requests).
+    avatars: int
+    #: The flat deadline budget (ms) the session was configured with.
+    deadline_ms: float
+    #: Per-avatar deadline tiers (ms), if the session used them.
+    deadline_tiers: tuple[float, ...] = ()
+    #: Name of the generating traffic shape ("" for workload expansions).
+    shape: str = ""
+    #: Seed the trace was generated from.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        n = len(self.arrival_ms)
+        if len(self.avatar_id) != n or len(self.deadline_rel_ms) != n:
+            raise ValueError("trace arrays must have equal length")
+        if n == 0:
+            raise ValueError("a trace needs at least one request")
+
+    def __len__(self) -> int:
+        return len(self.arrival_ms)
+
+    @property
+    def requests(self) -> int:
+        """Total number of requests in the trace."""
+        return len(self.arrival_ms)
+
+    @property
+    def span_ms(self) -> float:
+        """Arrival span (ms) from the first to the last request."""
+        return float(self.arrival_ms[-1] - self.arrival_ms[0])
+
+
+def trace_from_workload(workload) -> RequestTrace:
+    """Expand an :class:`AvatarWorkload` into the trace its clients submit.
+
+    Reproduces :func:`repro.serving.workload._avatar_client` exactly —
+    per-avatar ``random.Random`` streams, the initial phase draw, and the
+    submit-then-jitter call order — so the event-heap engine sees the
+    same arrivals, in the same order, as the coroutine scheduler does.
+    """
+    n = workload.avatars * workload.frames_per_avatar
+    arrival = np.empty(n, dtype=np.float64)
+    avatar = np.empty(n, dtype=np.int64)
+    rel = np.empty(n, dtype=np.float64)
+    interval = workload.frame_interval_ms
+    jitter = workload.jitter_ms
+    pos = 0
+    for avatar_id in range(workload.avatars):
+        rng = workload.avatar_rng(avatar_id)
+        budget = workload.deadline_for(avatar_id)
+        next_arrival = rng.uniform(0.0, interval)
+        for _ in range(workload.frames_per_avatar):
+            arrival[pos] = next_arrival
+            avatar[pos] = avatar_id
+            rel[pos] = budget
+            pos += 1
+            step = rng.uniform(-jitter, jitter) if jitter else 0.0
+            next_arrival += interval + step
+    order = np.argsort(arrival, kind="stable")
+    return RequestTrace(
+        arrival_ms=arrival[order],
+        avatar_id=avatar[order],
+        deadline_rel_ms=rel[order],
+        avatars=workload.avatars,
+        deadline_ms=workload.deadline_ms,
+        deadline_tiers=workload.deadline_tiers,
+        shape="",
+        seed=workload.seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# traffic shapes: (avatars, duration_ms, interval_ms, rng) -> (join, leave)
+# ---------------------------------------------------------------------------
+def _steady_windows(
+    avatars: int,
+    duration_ms: float,
+    interval_ms: float,
+    rng: np.random.Generator,
+    churn: float = 0.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Full-session presence; ``churn`` fraction get random sub-windows."""
+    if not 0.0 <= churn <= 1.0:
+        raise ValueError("churn must be in [0, 1]")
+    join = rng.uniform(0.0, min(interval_ms, duration_ms), avatars)
+    leave = np.full(avatars, duration_ms)
+    churners = int(round(churn * avatars))
+    if churners:
+        # The last `churners` avatars join late and leave early: a random
+        # dwell of 25-50% of the session starting in its first half.
+        join_c = rng.uniform(0.0, 0.5 * duration_ms, churners)
+        dwell = rng.uniform(0.25, 0.5, churners) * duration_ms
+        join[avatars - churners :] = join_c
+        leave[avatars - churners :] = np.minimum(join_c + dwell, duration_ms)
+    return join, leave
+
+
+def _diurnal_windows(
+    avatars: int,
+    duration_ms: float,
+    interval_ms: float,
+    rng: np.random.Generator,
+    floor: float = 0.1,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One quiet→peak→quiet concurrency cycle over the session.
+
+    Avatar ``i``'s rank ``i/avatars`` decides its presence window: the
+    target concurrency at time ``t`` is
+    ``floor + (1-floor) * (1 - cos(2*pi*t/D)) / 2`` of the fleet, and an
+    avatar is present exactly while the envelope sits above its rank —
+    low ranks stream all session, high ranks only around the peak.
+    """
+    if not 0.0 <= floor < 1.0:
+        raise ValueError("diurnal floor must be in [0, 1)")
+    rank = np.arange(avatars, dtype=np.float64) / avatars
+    q = np.clip((rank - floor) / (1.0 - floor), 0.0, 1.0)
+    theta = np.arccos(1.0 - 2.0 * q)  # 0 (always on) .. pi (never on)
+    join = duration_ms * theta / (2.0 * math.pi)
+    leave = duration_ms * (1.0 - theta / (2.0 * math.pi))
+    # Desynchronize joins by up to one frame interval so same-rank-ish
+    # avatars don't all arrive on the same instant.
+    join = join + rng.uniform(0.0, interval_ms, avatars)
+    return join, np.maximum(leave, join)
+
+
+def _flash_windows(
+    avatars: int,
+    duration_ms: float,
+    interval_ms: float,
+    rng: np.random.Generator,
+    base: float = 0.2,
+    spike_at: float = 0.3,
+    ramp: float = 0.05,
+    hold: float = 0.3,
+) -> tuple[np.ndarray, np.ndarray]:
+    """A steady baseline plus a flash crowd.
+
+    ``base`` of the fleet streams the whole session; everyone else joins
+    inside a ``ramp``-long window starting at ``spike_at`` and leaves
+    after ``hold`` (all three as fractions of the session).
+    """
+    if not 0.0 < base <= 1.0:
+        raise ValueError("flash base fraction must be in (0, 1]")
+    baseline = max(1, int(round(base * avatars)))
+    join = np.empty(avatars, dtype=np.float64)
+    leave = np.full(avatars, duration_ms)
+    join[:baseline] = rng.uniform(
+        0.0, min(interval_ms, duration_ms), baseline
+    )
+    crowd = avatars - baseline
+    if crowd:
+        join_c = spike_at * duration_ms + rng.uniform(
+            0.0, max(ramp * duration_ms, 1e-9), crowd
+        )
+        join[baseline:] = join_c
+        leave[baseline:] = np.minimum(join_c + hold * duration_ms, duration_ms)
+    return join, np.maximum(leave, join)
+
+
+_SHAPES: dict[str, Callable[..., tuple[np.ndarray, np.ndarray]]] = {
+    "steady": _steady_windows,
+    "diurnal": _diurnal_windows,
+    "flash": _flash_windows,
+}
+
+
+def list_shapes() -> list[str]:
+    """Names of the built-in traffic shapes."""
+    return sorted(_SHAPES)
+
+
+def make_trace(
+    avatars: int,
+    duration_s: float,
+    shape: str = "steady",
+    avatar_fps: float = 30.0,
+    deadline_ms: float = 50.0,
+    deadline_tiers: tuple[float, ...] = (),
+    jitter_ms: float = 0.0,
+    seed: int = 0,
+    **shape_params,
+) -> RequestTrace:
+    """Generate a session trace from a named traffic shape.
+
+    Each avatar gets a presence window ``[join, leave)`` from the shape
+    and streams one frame every ``1000/avatar_fps`` ms inside it, with
+    optional uniform ±``jitter_ms`` arrival jitter per frame. Deadlines
+    follow the same tiering rule as :class:`AvatarWorkload` (avatar ``i``
+    gets ``deadline_tiers[i % len]``; no tiers means the flat
+    ``deadline_ms``). Extra keyword arguments go to the shape (e.g.
+    ``churn=`` for ``steady``, ``floor=`` for ``diurnal``, ``base=`` /
+    ``spike_at=`` / ``ramp=`` / ``hold=`` for ``flash``).
+
+    Deterministic in ``seed``: same arguments, same trace, bit for bit.
+    """
+    if avatars < 1:
+        raise ValueError("need at least one avatar")
+    if duration_s <= 0:
+        raise ValueError("duration must be positive")
+    if avatar_fps <= 0:
+        raise ValueError("avatar fps must be positive")
+    if deadline_ms <= 0:
+        raise ValueError("deadline must be positive")
+    if any(tier <= 0 for tier in deadline_tiers):
+        raise ValueError("deadline tiers must be positive")
+    interval_ms = 1000.0 / avatar_fps
+    if not 0 <= jitter_ms < interval_ms:
+        raise ValueError("jitter must be in [0, frame interval)")
+    try:
+        windows = _SHAPES[shape]
+    except KeyError:
+        known = ", ".join(sorted(_SHAPES))
+        raise KeyError(
+            f"unknown traffic shape {shape!r}; known shapes: {known}"
+        ) from None
+    duration_ms = duration_s * 1000.0
+    rng = np.random.default_rng(seed)
+    join, leave = windows(avatars, duration_ms, interval_ms, rng, **shape_params)
+
+    # One frame per interval inside [join, leave): counts, then arrivals
+    # via a flat repeat + per-avatar frame index, all vectorized.
+    spans = leave - join
+    counts = np.where(
+        spans > 0, np.ceil(spans / interval_ms), 0.0
+    ).astype(np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        raise ValueError(
+            "traffic shape produced an empty trace; "
+            "increase duration or avatar fps"
+        )
+    avatar = np.repeat(np.arange(avatars, dtype=np.int64), counts)
+    starts = np.repeat(join, counts)
+    offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    frame_index = np.arange(total, dtype=np.int64) - np.repeat(offsets, counts)
+    arrival = starts + frame_index * interval_ms
+    if jitter_ms:
+        arrival = arrival + rng.uniform(-jitter_ms, jitter_ms, total)
+        arrival = np.maximum(arrival, starts)  # never before the join
+    if deadline_tiers:
+        tiers = np.asarray(deadline_tiers, dtype=np.float64)
+        rel = tiers[avatar % len(deadline_tiers)]
+    else:
+        rel = np.full(total, deadline_ms)
+    order = np.argsort(arrival, kind="stable")
+    return RequestTrace(
+        arrival_ms=arrival[order],
+        avatar_id=avatar[order],
+        deadline_rel_ms=rel[order],
+        avatars=avatars,
+        deadline_ms=deadline_ms,
+        deadline_tiers=deadline_tiers,
+        shape=shape,
+        seed=seed,
+    )
+
+
+__all__ = [
+    "RequestTrace",
+    "list_shapes",
+    "make_trace",
+    "trace_from_workload",
+]

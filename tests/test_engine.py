@@ -1,0 +1,491 @@
+"""Event-heap engine: equivalence with the coroutine scheduler, traffic
+shapes, autoscaling, determinism, and report compatibility."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    AutoscalePolicy,
+    GroupSpec,
+    ReplicaPool,
+    canned_workload,
+    list_shapes,
+    make_trace,
+    report_from_json,
+    report_to_json,
+    saturation_workload,
+    serve_cluster,
+    serve_trace,
+    serve_workload,
+    trace_from_workload,
+)
+from repro.serving.policies import SchedulingPolicy
+from repro.sim.runner import FrameLatencyProfile
+
+FAST = FrameLatencyProfile(
+    finish_ms=(6.0, 8.0),
+    first_frame_ms=6.0,
+    steady_interval_ms=2.0,
+    frequency_mhz=200.0,
+)
+BIG = FrameLatencyProfile(
+    finish_ms=(8.0, 12.0, 16.0),
+    first_frame_ms=8.0,
+    steady_interval_ms=4.0,
+    frequency_mhz=200.0,
+)
+
+EXACT_FIELDS = (
+    "policy",
+    "avatars",
+    "replicas",
+    "max_batch",
+    "batch_window_ms",
+    "submitted",
+    "completed",
+    "shed",
+    "deadline_ms",
+    "deadline_tiers_ms",
+    "deadline_misses",
+    "batches",
+    "router",
+)
+APPROX_FIELDS = (
+    "duration_ms",
+    "latency_p50_ms",
+    "latency_p95_ms",
+    "latency_p99_ms",
+    "latency_mean_ms",
+    "latency_max_ms",
+    "queue_mean_ms",
+    "mean_batch_size",
+    "replica_utilization",
+    "per_avatar_p99_ms",
+)
+
+
+def assert_reports_match(coroutine, heap):
+    """Same SLO report up to the asyncio clock's seconds<->ms round-off.
+
+    Counters must agree exactly; latency statistics to ~1e-9 relative
+    (the coroutine path's timestamps round-trip through the event loop's
+    second-based clock, the heap engine computes in pure milliseconds).
+    """
+    for name in EXACT_FIELDS:
+        assert getattr(coroutine, name) == getattr(heap, name), name
+    for name in APPROX_FIELDS:
+        a, b = getattr(coroutine, name), getattr(heap, name)
+        assert a == pytest.approx(b, rel=1e-9, abs=1e-9), name
+    assert len(coroutine.groups) == len(heap.groups)
+    for ga, gb in zip(coroutine.groups, heap.groups):
+        for name in (
+            "name",
+            "policy",
+            "transport",
+            "replicas",
+            "max_batch",
+            "batch_window_ms",
+            "submitted",
+            "shed",
+            "completed",
+            "deadline_misses",
+        ):
+            assert getattr(ga, name) == getattr(gb, name), f"group {name}"
+        for name in (
+            "latency_p50_ms",
+            "latency_p99_ms",
+            "mean_batch_size",
+            "mean_utilization",
+        ):
+            a, b = getattr(ga, name), getattr(gb, name)
+            assert a == pytest.approx(b, rel=1e-9, abs=1e-9), f"group {name}"
+
+
+# ---------------------------------------------------------------------------
+# equivalence with the coroutine scheduler
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("policy", ["fifo", "edf", "fair"])
+def test_single_pool_equivalence(policy):
+    workload = canned_workload(
+        avatars=12,
+        frames_per_avatar=20,
+        jitter_ms=6.0,
+        deadline_tiers=(20.0, 60.0),
+        seed=3,
+    )
+    coroutine = serve_workload(
+        ReplicaPool(BIG, replicas=2, max_batch=8), workload, policy=policy
+    )
+    heap = serve_trace(
+        ReplicaPool(BIG, replicas=2, max_batch=8), workload, policy=policy
+    )
+    assert heap.engine == "heap" and coroutine.engine == ""
+    assert_reports_match(coroutine, heap)
+
+
+@pytest.mark.parametrize("policy", ["fifo", "edf", "fair"])
+def test_saturated_pool_equivalence(policy):
+    # Past capacity the queue couples every decision to every earlier
+    # one — the regime where a semantics drift would show up instantly.
+    workload = saturation_workload(BIG, replicas=2, saturation=1.3, seed=7)
+    coroutine = serve_workload(
+        ReplicaPool(BIG, replicas=2, max_batch=8), workload, policy=policy
+    )
+    heap = serve_trace(
+        ReplicaPool(BIG, replicas=2, max_batch=8), workload, policy=policy
+    )
+    assert coroutine.deadline_misses > 0
+    assert_reports_match(coroutine, heap)
+
+
+@pytest.mark.parametrize("router", ["round-robin", "least-loaded", "deadline"])
+def test_cluster_equivalence_with_admission(router):
+    workload = saturation_workload(BIG, replicas=4, saturation=1.5, seed=11)
+
+    def groups():
+        return [
+            GroupSpec(
+                "latency",
+                FAST,
+                replicas=1,
+                policy="edf",
+                batch_window_ms=0.0,
+                max_batch=4,
+            ),
+            GroupSpec(
+                "throughput",
+                BIG,
+                replicas=3,
+                policy="fifo",
+                batch_window_ms=4.0,
+            ),
+        ]
+
+    coroutine = serve_cluster(groups(), workload, router=router, admission=True)
+    heap = serve_trace(groups(), workload, router=router, admission=True)
+    assert coroutine.shed > 0
+    assert_reports_match(coroutine, heap)
+
+
+def test_trace_and_workload_inputs_agree():
+    workload = canned_workload(avatars=6, frames_per_avatar=8, jitter_ms=5.0)
+    via_workload = serve_trace(
+        ReplicaPool(BIG, replicas=1), workload, policy="edf"
+    )
+    via_trace = serve_trace(
+        ReplicaPool(BIG, replicas=1), trace_from_workload(workload), policy="edf"
+    )
+    assert report_to_json(via_workload) == report_to_json(via_trace)
+
+
+# ---------------------------------------------------------------------------
+# traffic shapes
+# ---------------------------------------------------------------------------
+def test_trace_from_workload_matches_client_streams():
+    workload = canned_workload(
+        avatars=5, frames_per_avatar=7, jitter_ms=6.0, deadline_tiers=(25.0, 80.0)
+    )
+    trace = trace_from_workload(workload)
+    assert len(trace) == workload.total_frames
+    assert np.all(np.diff(trace.arrival_ms) >= 0)
+    # Re-derive one avatar's arrivals straight from its rng stream.
+    rng = workload.avatar_rng(2)
+    expected, t = [], rng.uniform(0.0, workload.frame_interval_ms)
+    for _ in range(workload.frames_per_avatar):
+        expected.append(t)
+        t += workload.frame_interval_ms + rng.uniform(
+            -workload.jitter_ms, workload.jitter_ms
+        )
+    got = sorted(trace.arrival_ms[trace.avatar_id == 2].tolist())
+    assert got == pytest.approx(sorted(expected))
+    assert set(trace.deadline_rel_ms[trace.avatar_id == 2]) == {25.0}
+    assert set(trace.deadline_rel_ms[trace.avatar_id == 3]) == {80.0}
+
+
+def test_shapes_are_deterministic_and_sorted():
+    assert list_shapes() == ["diurnal", "flash", "steady"]
+    for shape in list_shapes():
+        a = make_trace(500, 10.0, shape=shape, avatar_fps=5.0, seed=9)
+        b = make_trace(500, 10.0, shape=shape, avatar_fps=5.0, seed=9)
+        assert np.array_equal(a.arrival_ms, b.arrival_ms)
+        assert np.array_equal(a.avatar_id, b.avatar_id)
+        assert np.all(np.diff(a.arrival_ms) >= 0)
+        assert a.shape == shape
+        assert a.arrival_ms.min() >= 0.0
+
+
+def test_steady_churn_cuts_sessions_short():
+    full = make_trace(200, 10.0, shape="steady", avatar_fps=10.0, seed=1)
+    churny = make_trace(
+        200, 10.0, shape="steady", avatar_fps=10.0, seed=1, churn=0.5
+    )
+    assert churny.requests < full.requests
+    # A churned avatar's stream neither starts at 0 nor spans the session.
+    last_avatar = churny.arrival_ms[churny.avatar_id == 199]
+    assert last_avatar.min() > 1000.0 or last_avatar.max() < 9000.0
+
+
+def test_diurnal_concurrency_peaks_mid_session():
+    trace = make_trace(2000, 60.0, shape="diurnal", avatar_fps=2.0, seed=4)
+    edges = np.linspace(0.0, 60_000.0, 7)
+    counts, _ = np.histogram(trace.arrival_ms, bins=edges)
+    middle = counts[2] + counts[3]
+    tails = counts[0] + counts[-1]
+    assert middle > 2 * tails
+
+
+def test_flash_crowd_spikes_after_ramp():
+    trace = make_trace(
+        1000, 20.0, shape="flash", avatar_fps=5.0, seed=6, base=0.2
+    )
+    before = np.count_nonzero(trace.arrival_ms < 5_000.0)
+    during = np.count_nonzero(
+        (trace.arrival_ms >= 6_000.0) & (trace.arrival_ms < 11_000.0)
+    )
+    assert during > 3 * before
+
+
+def test_make_trace_validation():
+    with pytest.raises(KeyError):
+        make_trace(10, 1.0, shape="tsunami")
+    with pytest.raises(ValueError):
+        make_trace(0, 1.0)
+    with pytest.raises(ValueError):
+        make_trace(10, 1.0, jitter_ms=1000.0, avatar_fps=30.0)
+
+
+# ---------------------------------------------------------------------------
+# autoscaling
+# ---------------------------------------------------------------------------
+def test_autoscale_grows_and_drains_the_fleet():
+    trace = make_trace(
+        4000, 20.0, shape="flash", avatar_fps=2.0, deadline_ms=100.0,
+        jitter_ms=50.0, seed=5,
+    )
+    spec = GroupSpec("fleet", BIG, replicas=1, policy="edf", max_batch=8)
+    report = serve_trace(
+        spec,
+        trace,
+        autoscale=AutoscalePolicy(
+            check_interval_ms=500.0, warmup_ms=1000.0, max_replicas=12
+        ),
+    )
+    assert report.scale_ups > 0
+    assert report.scale_downs > 0
+    assert report.peak_replicas > 1
+    assert report.completed == report.submitted  # drained, nothing lost
+    assert report.groups[0].scale_ups == report.scale_ups
+    # The report's utilization covers every replica that ever served.
+    assert report.replicas == len(report.replica_utilization)
+    assert report.replicas >= report.peak_replicas
+
+
+def test_autoscale_beats_static_underprovisioning():
+    trace = make_trace(
+        3000, 20.0, shape="flash", avatar_fps=2.0, deadline_ms=60.0,
+        jitter_ms=50.0, seed=8,
+    )
+    spec = GroupSpec("fleet", BIG, replicas=1, policy="edf", max_batch=8)
+    static = serve_trace(spec, trace)
+    scaled = serve_trace(
+        spec,
+        trace,
+        autoscale=AutoscalePolicy(check_interval_ms=500.0, warmup_ms=1000.0),
+    )
+    assert scaled.miss_rate < static.miss_rate
+
+
+def test_autoscale_warmup_is_charged():
+    # With a long provisioning delay the same overload misses more than
+    # with a short one: cold fill and warm-up are not free capacity.
+    trace = make_trace(
+        2000, 12.0, shape="flash", avatar_fps=2.0, deadline_ms=60.0,
+        jitter_ms=50.0, seed=10,
+    )
+    spec = GroupSpec("fleet", BIG, replicas=1, policy="edf", max_batch=8)
+    fast = serve_trace(
+        spec, trace,
+        autoscale=AutoscalePolicy(check_interval_ms=500.0, warmup_ms=200.0),
+    )
+    slow = serve_trace(
+        spec, trace,
+        autoscale=AutoscalePolicy(check_interval_ms=500.0, warmup_ms=6000.0),
+    )
+    assert slow.deadline_misses > fast.deadline_misses
+
+
+def test_autoscale_validation():
+    with pytest.raises(ValueError):
+        AutoscalePolicy(check_interval_ms=0.0)
+    with pytest.raises(ValueError):
+        AutoscalePolicy(target_utilization=1.5)
+    with pytest.raises(ValueError):
+        AutoscalePolicy(min_replicas=5, max_replicas=2)
+
+
+# ---------------------------------------------------------------------------
+# determinism and guard rails
+# ---------------------------------------------------------------------------
+def test_heap_sessions_are_bit_identical():
+    def run():
+        trace = make_trace(
+            5000, 15.0, shape="diurnal", avatar_fps=2.0, deadline_ms=80.0,
+            jitter_ms=100.0, seed=12,
+        )
+        spec = GroupSpec("fleet", BIG, replicas=1, policy="edf", max_batch=8)
+        return report_to_json(
+            serve_trace(
+                spec,
+                trace,
+                admission=True,
+                autoscale=AutoscalePolicy(
+                    check_interval_ms=500.0, warmup_ms=1000.0
+                ),
+            )
+        )
+
+    assert run() == run()
+
+
+def test_engine_rejects_unsupported_configurations():
+    workload = canned_workload(avatars=2, frames_per_avatar=2)
+
+    class WeirdPolicy(SchedulingPolicy):
+        name = "weird"
+
+        def select(self, queue, now_ms, limit):  # pragma: no cover
+            return list(queue)[:limit]
+
+    with pytest.raises(ValueError, match="built-in policies"):
+        serve_trace(
+            GroupSpec("g", BIG, policy=WeirdPolicy()), workload
+        )
+    with pytest.raises(ValueError, match="in-process"):
+        serve_trace(GroupSpec("g", BIG, transport="socket"), workload)
+    with pytest.raises(ValueError, match="GroupSpec"):
+        serve_trace(ReplicaPool(BIG), workload, admission=True)
+    with pytest.raises(ValueError, match="unique"):
+        serve_trace(
+            [GroupSpec("g", BIG), GroupSpec("g", FAST)], workload
+        )
+
+
+# ---------------------------------------------------------------------------
+# report JSON compatibility
+# ---------------------------------------------------------------------------
+#: A serving-report payload exactly as PR 5 serialized it — no engine,
+#: shape, or autoscale fields. Archived CI artifacts look like this and
+#: must keep loading as the record grows.
+PR5_REPORT_JSON = json.dumps(
+    {
+        "policy": "cluster(deadline)",
+        "avatars": 6,
+        "replicas": 3,
+        "max_batch": 8,
+        "batch_window_ms": 0.0,
+        "submitted": 30,
+        "completed": 30,
+        "duration_ms": 177.80121983236802,
+        "latency_p50_ms": 3.962195783627621,
+        "latency_p95_ms": 6.0,
+        "latency_p99_ms": 6.0,
+        "latency_mean_ms": 4.089158100816489,
+        "latency_max_ms": 6.0,
+        "queue_mean_ms": 0.6891581008164895,
+        "deadline_ms": 50.0,
+        "deadline_tiers_ms": [20.0, 60.0],
+        "deadline_misses": 0,
+        "batches": 29,
+        "mean_batch_size": 1.0344827586206897,
+        "replica_utilization": [0.5624258376533106, 0.0, 0.0],
+        "per_avatar_p99_ms": [
+            6.0,
+            4.724120737110255,
+            6.0,
+            5.70612977404147,
+            6.0,
+            6.0,
+        ],
+        "shed": 0,
+        "router": "deadline",
+        "groups": [
+            {
+                "name": "latency",
+                "policy": "edf",
+                "transport": "inprocess",
+                "replicas": 1,
+                "max_batch": 4,
+                "batch_window_ms": 0.0,
+                "submitted": 30,
+                "shed": 0,
+                "completed": 30,
+                "deadline_misses": 0,
+                "latency_p50_ms": 3.962195783627621,
+                "latency_p99_ms": 6.0,
+                "mean_batch_size": 1.0344827586206897,
+                "mean_utilization": 0.5624258376533106,
+                "shed_rate": 0.0,
+                "miss_rate": 0.0,
+            },
+            {
+                "name": "throughput",
+                "policy": "fifo",
+                "transport": "inprocess",
+                "replicas": 2,
+                "max_batch": 8,
+                "batch_window_ms": 4.0,
+                "submitted": 0,
+                "shed": 0,
+                "completed": 0,
+                "deadline_misses": 0,
+                "latency_p50_ms": 0.0,
+                "latency_p99_ms": 0.0,
+                "mean_batch_size": 0.0,
+                "mean_utilization": 0.0,
+                "shed_rate": 0.0,
+                "miss_rate": 0.0,
+            },
+        ],
+        "miss_rate": 0.0,
+        "shed_rate": 0.0,
+        "throughput_fps": 168.72775129599316,
+        "mean_utilization": 0.18747527921777019,
+    }
+)
+
+
+def test_pr5_report_fixture_still_loads():
+    report = report_from_json(PR5_REPORT_JSON)
+    assert report.policy == "cluster(deadline)"
+    assert report.submitted == 30 and report.shed == 0
+    assert report.groups[0].name == "latency"
+    # The fields added since default cleanly.
+    assert report.engine == "" and report.shape == ""
+    assert report.scale_ups == 0 and report.scale_downs == 0
+    assert report.peak_replicas == 0
+    assert report.groups[0].scale_ups == 0
+    # And it keeps round-tripping through the current serializer.
+    assert report_from_json(report_to_json(report)) == report
+
+
+def test_new_engine_fields_round_trip():
+    trace = make_trace(
+        500, 5.0, shape="flash", avatar_fps=5.0, jitter_ms=20.0, seed=2
+    )
+    report = serve_trace(
+        GroupSpec("fleet", BIG, replicas=1, policy="edf"),
+        trace,
+        admission=True,
+        autoscale=AutoscalePolicy(check_interval_ms=500.0, warmup_ms=500.0),
+    )
+    loaded = report_from_json(report_to_json(report))
+    assert loaded == report
+    assert loaded.engine == "heap"
+    assert loaded.shape == "flash"
+    assert loaded.scale_ups == report.scale_ups
+    assert loaded.peak_replicas == report.peak_replicas
+    assert loaded.groups[0].scale_downs == report.groups[0].scale_downs

@@ -9,10 +9,14 @@ comparable PR over PR:
   parallel run is not bit-identical to the serial one.
 - ``--suite serving`` — the avatar serving layer: explore a design once,
   deploy simulated replicas, and serve the *same* mixed-deadline workload
-  under FIFO and EDF batching. Written to ``BENCH_serving.json`` with p99
-  latency, deadline-miss rate, and throughput per policy. Exits nonzero
-  if two EDF sessions at the same seed are not bit-identical (the virtual
-  clock's determinism guarantee, checked on every PR).
+  under FIFO and EDF batching, then push the event-heap engine through a
+  million-avatar diurnal session with autoscaling. Written to
+  ``BENCH_serving.json`` with p99 latency, deadline-miss rate, and
+  throughput per policy plus the engine's scale numbers. Exits nonzero if
+  two sessions at the same seed are not bit-identical (the virtual
+  clock's determinism guarantee), if the heap engine's counters diverge
+  from the coroutine scheduler's on the shared workload, or if the scale
+  session blows its wall-time budget.
 
 Run:  PYTHONPATH=src python tools/bench_to_json.py [--suite serving] [--out F]
 (or from anywhere: the script puts ``src/`` on ``sys.path`` itself)
@@ -489,6 +493,100 @@ def run_cluster_section(latency_profile, throughput_profile) -> tuple[dict, list
     return section, gates
 
 
+#: Size of the event-heap engine's scale session: one million avatars on
+#: a slow periodic refresh over a two-minute diurnal session — ~1.1M
+#: requests, the population the engine exists to serve in one process.
+ENGINE_AVATARS = 1_000_000
+ENGINE_DURATION_S = 120.0
+ENGINE_AVATAR_FPS = 1.0 / 60.0
+
+#: The engine's wall-time budget for the full scale session (seconds) and
+#: the floor on simulated requests per wall-clock second.
+ENGINE_WALL_BUDGET_S = 60.0
+ENGINE_THROUGHPUT_FLOOR = 30_000.0
+
+
+def run_engine_section(result, profile) -> tuple[dict, list[str]]:
+    """The event-heap engine at population scale, with autoscaling.
+
+    Returns the JSON section plus a list of failed gates (empty = pass).
+    """
+    from repro.serving import AutoscalePolicy, make_trace, serve_trace
+    from repro.serving.slo import report_to_json
+
+    def session():
+        started = time.perf_counter()
+        trace = make_trace(
+            ENGINE_AVATARS,
+            ENGINE_DURATION_S,
+            shape="diurnal",
+            avatar_fps=ENGINE_AVATAR_FPS,
+            deadline_ms=200.0,
+            jitter_ms=400.0,
+            seed=42,
+        )
+        report = serve_trace(
+            result.serving_group(
+                name="fleet", replicas=2, policy="edf", profile=profile
+            ),
+            trace,
+            admission=True,
+            autoscale=AutoscalePolicy(
+                check_interval_ms=1000.0,
+                warmup_ms=5000.0,
+                min_replicas=2,
+                max_replicas=64,
+            ),
+        )
+        return report, time.perf_counter() - started
+
+    report, wall = session()
+    replay, _ = session()
+    deterministic = report_to_json(report) == report_to_json(replay)
+    rate = report.submitted / wall if wall > 0 else 0.0
+
+    gates = []
+    if report.submitted < 1_000_000:
+        gates.append(
+            f"scale session submitted only {report.submitted:,} requests "
+            f"(needs >= 1,000,000)"
+        )
+    if wall >= ENGINE_WALL_BUDGET_S:
+        gates.append(
+            f"scale session took {wall:.1f}s "
+            f"(budget {ENGINE_WALL_BUDGET_S:.0f}s)"
+        )
+    if rate < ENGINE_THROUGHPUT_FLOOR:
+        gates.append(
+            f"engine served {rate:,.0f} simulated req/s "
+            f"(floor {ENGINE_THROUGHPUT_FLOOR:,.0f})"
+        )
+    if report.completed + report.shed != report.submitted:
+        gates.append("scale session lost requests (completed + shed != submitted)")
+    if report.scale_ups <= 0:
+        gates.append("autoscaler never scaled up under the diurnal peak")
+    if not deterministic:
+        gates.append("engine sessions diverged at the same seed")
+
+    section = {
+        "avatars": ENGINE_AVATARS,
+        "duration_s": ENGINE_DURATION_S,
+        "shape": report.shape,
+        "submitted": report.submitted,
+        "completed": report.completed,
+        "shed": report.shed,
+        "deadline_misses": report.deadline_misses,
+        "scale_ups": report.scale_ups,
+        "scale_downs": report.scale_downs,
+        "peak_replicas": report.peak_replicas,
+        "wall_seconds": round(wall, 3),
+        "simulated_requests_per_second": round(rate),
+        "deterministic": deterministic,
+        "gates": gates,
+    }
+    return section, gates
+
+
 def run_serving_suite(args: argparse.Namespace) -> int:
     from repro.devices.fpga import get_device
     from repro.dse.space import Customization
@@ -588,6 +686,26 @@ def run_serving_suite(args: argparse.Namespace) -> int:
         profile, throughput_profile
     )
 
+    # The event-heap engine must reproduce the coroutine scheduler's
+    # counters on the suite's own workload before its scale numbers mean
+    # anything.
+    from repro.serving import serve_trace
+
+    heap_edf = serve_trace(
+        ReplicaPool(profile, replicas=args.replicas, max_batch=args.max_batch),
+        workload,
+        policy="edf",
+    )
+    equivalence_fields = (
+        "submitted", "completed", "deadline_misses", "batches",
+    )
+    engine_equivalent = all(
+        getattr(heap_edf, field) == getattr(edf, field)
+        for field in equivalence_fields
+    )
+
+    engine_section, engine_gates = run_engine_section(result, profile)
+
     payload = {
         "benchmark": "avatar_serving",
         "config": {
@@ -632,7 +750,9 @@ def run_serving_suite(args: argparse.Namespace) -> int:
         },
         "deterministic": deterministic,
         "single_group_cluster_identical": single_group_identical,
+        "engine_equivalent": engine_equivalent,
         "cluster": cluster_section,
+        "engine": engine_section,
     }
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
 
@@ -670,6 +790,14 @@ def run_serving_suite(args: argparse.Namespace) -> int:
         f"{over['without_shedding']['latency_p99_ms']:.1f} ms, bound "
         f"{over['p99_bound_ms']:.0f} ms"
     )
+    print(
+        f"engine: {engine_section['submitted']:,} requests over "
+        f"{ENGINE_AVATARS:,} avatars in {engine_section['wall_seconds']}s "
+        f"({engine_section['simulated_requests_per_second']:,} sim req/s), "
+        f"peak {engine_section['peak_replicas']} replicas "
+        f"(+{engine_section['scale_ups']}/-{engine_section['scale_downs']}), "
+        f"deterministic={engine_section['deterministic']}"
+    )
     if not deterministic:
         print("ERROR: serving sessions diverged at the same seed")
         return 1
@@ -679,9 +807,19 @@ def run_serving_suite(args: argparse.Namespace) -> int:
             "BatchScheduler path"
         )
         return 1
+    if not engine_equivalent:
+        print(
+            "ERROR: event-heap engine diverged from the coroutine "
+            "scheduler on the shared workload"
+        )
+        return 1
     if cluster_gates:
         for gate in cluster_gates:
             print(f"ERROR: cluster gate failed: {gate}")
+        return 1
+    if engine_gates:
+        for gate in engine_gates:
+            print(f"ERROR: engine gate failed: {gate}")
         return 1
     return 0
 

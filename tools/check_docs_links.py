@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Fail CI when an intra-repo markdown link points at nothing.
+
+Scans every tracked ``*.md`` file (README, docs/, examples, ...) for
+inline markdown links and reference definitions, resolves each relative
+target against the linking file's directory, and reports targets that do
+not exist. External schemes (http/https/mailto) and pure in-page anchors
+(``#section``) are skipped; a ``path#fragment`` link is checked for the
+path only.
+
+Run:  python tools/check_docs_links.py
+Exits nonzero listing every broken link, ``file:line`` first so editors
+can jump straight to it.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+
+#: ``[text](target)`` inline links — target stops at the first unescaped
+#: closing paren, optional ``"title"`` suffix stripped afterwards.
+INLINE_LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: ``![alt](target)`` images — checked too; a missing figure is as broken
+#: as a missing page.
+IMAGE_LINK = re.compile(r"\!\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: ``[ref]: target`` reference-style definitions at line start.
+REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files() -> list[Path]:
+    """Every tracked markdown file (falls back to rglob outside git)."""
+    try:
+        out = subprocess.run(
+            ["git", "ls-files", "*.md", "**/*.md"],
+            cwd=REPO,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+        files = [REPO / line for line in out.splitlines() if line]
+    except (OSError, subprocess.CalledProcessError):
+        files = list(REPO.rglob("*.md"))
+    return sorted(f for f in files if f.is_file())
+
+
+def targets_in(text: str) -> list[tuple[int, str]]:
+    """(line, target) pairs for every link in one markdown document."""
+    found = []
+    for pattern in (INLINE_LINK, IMAGE_LINK, REF_DEF):
+        for match in pattern.finditer(text):
+            line = text.count("\n", 0, match.start()) + 1
+            found.append((line, match.group(1)))
+    return found
+
+
+def broken_links(path: Path) -> list[str]:
+    problems = []
+    text = path.read_text(encoding="utf-8")
+    for line, target in targets_in(text):
+        if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+            continue
+        target_path = target.split("#", 1)[0]
+        if not target_path:
+            continue
+        if target_path.startswith("/"):
+            resolved = REPO / target_path.lstrip("/")
+        else:
+            resolved = path.parent / target_path
+        if not resolved.exists():
+            rel = path.relative_to(REPO)
+            problems.append(f"{rel}:{line}: broken link -> {target}")
+    return problems
+
+
+def main() -> int:
+    files = markdown_files()
+    problems = [issue for path in files for issue in broken_links(path)]
+    if problems:
+        print(f"{len(problems)} broken markdown link(s):")
+        for issue in problems:
+            print(f"  {issue}")
+        return 1
+    print(f"checked {len(files)} markdown files: all intra-repo links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
