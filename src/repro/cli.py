@@ -124,6 +124,85 @@ def _parse_numbers(text: str, cast) -> tuple:
     return tuple(cast(part) for part in text.split(","))
 
 
+def _parse_host_port(
+    text: str, flag: str, allow_port_zero: bool = False
+) -> tuple[str, int] | None:
+    """Validate a ``HOST:PORT`` flag value; None (plus stderr) if malformed."""
+    host, sep, port_text = text.rpartition(":")
+    example = "127.0.0.1:7000" if not allow_port_zero else "127.0.0.1:0"
+    if (
+        not sep
+        or not host
+        or not port_text.isdigit()
+        or int(port_text) > 65535
+        or (int(port_text) == 0 and not allow_port_zero)
+    ):
+        port_rule = (
+            "a port in 0..65535 (0 picks a free port)"
+            if allow_port_zero
+            else "a port in 1..65535"
+        )
+        print(
+            f"error: {flag} expects HOST:PORT with {port_rule}, got "
+            f"{text!r} (try: {flag} {example})",
+            file=sys.stderr,
+        )
+        return None
+    return host, int(port_text)
+
+
+def _require_token(token: str, context: str) -> bool:
+    """Fleet connections are authenticated; explain how to provide a token."""
+    if token:
+        return True
+    print(
+        f"error: {context} needs a shared auth token; pass --token "
+        f"<secret> (the same secret on every fleet member)",
+        file=sys.stderr,
+    )
+    return False
+
+
+def _parse_transport(text: str, token: str | None) -> str | None:
+    """Validate ``--transport``; None (plus stderr) if malformed.
+
+    Accepts the built-in transport names plus ``remote:HOST:PORT``, which
+    additionally needs an auth token (``--transport-token`` or the
+    ``REPRO_FLEET_TOKEN`` environment variable).
+    """
+    import os
+
+    from repro.serving.transport import REMOTE_TOKEN_ENV, parse_remote_spec
+
+    if text in list_transports():
+        return text
+    if text.startswith("remote:"):
+        try:
+            parse_remote_spec(text)
+        except ValueError:
+            print(
+                f"error: --transport remote expects remote:HOST:PORT with "
+                f"a port in 1..65535, got {text!r} "
+                f"(try: --transport remote:127.0.0.1:7000)",
+                file=sys.stderr,
+            )
+            return None
+        if not token and not os.environ.get(REMOTE_TOKEN_ENV):
+            print(
+                f"error: --transport {text} needs an auth token; pass "
+                f"--transport-token <secret> or set {REMOTE_TOKEN_ENV}",
+                file=sys.stderr,
+            )
+            return None
+        return text
+    known = ", ".join([*list_transports(), "remote:HOST:PORT"])
+    print(
+        f"error: unknown transport {text!r}; known transports: {known}",
+        file=sys.stderr,
+    )
+    return None
+
+
 #: Design presets for ``repro serve --cluster``. Each preset explores its
 #: own design point — the per-branch batch size is the paper's customization
 #: knob that actually changes the architecture — and carries the serving
@@ -498,6 +577,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
         cluster_spec = _parse_cluster_spec(args.cluster)
         if cluster_spec is None:
             return 2
+    if _parse_transport(args.transport, args.transport_token) is None:
+        return 2
+    if args.transport_token:
+        import os
+
+        from repro.serving.transport import REMOTE_TOKEN_ENV
+
+        os.environ[REMOTE_TOKEN_ENV] = args.transport_token
     tiers: tuple[float, ...] = ()
     if args.deadline_tiers is not None:
         try:
@@ -819,6 +906,128 @@ def _serve_cluster_session(
     )
 
 
+def cmd_fleet_coordinator(args: argparse.Namespace) -> int:
+    """Shard a device sweep across a worker fleet; merge deterministically."""
+    import hashlib
+    import json as json_module
+
+    from repro.dist.coordinator import FleetSpec, run_fleet_sweep
+    from repro.dist.faults import FaultPlan
+    from repro.fcad.flow import sweep_grid
+
+    if not _require_token(args.token, "repro fleet coordinator"):
+        return 2
+    listen = _parse_host_port(args.listen, "--listen", allow_port_zero=True)
+    if listen is None:
+        return 2
+    devices = _parse_sweep_devices(args.sweep)
+    if devices is None:
+        return 2
+    worker_faults = tuple(args.worker_fault or ())
+    for fault in worker_faults:
+        try:
+            FaultPlan.parse(fault)
+        except ValueError as exc:
+            print(f"error: bad --worker-fault spec: {exc}", file=sys.stderr)
+            return 2
+    quants = (
+        [q.strip() for q in args.sweep_quants.split(",")]
+        if args.sweep_quants
+        else [args.quant]
+    )
+    network = _load_network(args.model)
+    flows = sweep_grid(networks=[network], devices=devices, quants=quants)
+    # sweep_grid iterates devices × quants in order; keep matching labels.
+    labels = [(device, quant) for device in devices for quant in quants]
+    engines = [flow.prepare()[2] for flow in flows]
+    fleet = FleetSpec(
+        workers=args.workers,
+        host=listen[0],
+        port=listen[1],
+        token=args.token,
+        lease_timeout_s=args.lease_timeout,
+        checkpoint=args.checkpoint,
+        timeout_s=args.timeout,
+        worker_faults=worker_faults,
+    )
+    stats: dict[str, int] = {}
+    results = run_fleet_sweep(
+        engines,
+        fleet,
+        iterations=args.iterations,
+        population=args.population,
+        seed=args.seed,
+        stats=stats,
+    )
+    cases = []
+    for (device, quant), result in zip(labels, results):
+        config_json = config_to_json(result.best_config)
+        cases.append(
+            {
+                "device": device,
+                "quant": quant,
+                "best_fitness": result.best_fitness,
+                "fps": result.best_perf.fps,
+                "config_sha1": hashlib.sha1(
+                    config_json.encode()
+                ).hexdigest(),
+                "history": list(result.history),
+            }
+        )
+        print(
+            f"{device:>10} {quant:>6}: fitness "
+            f"{result.best_fitness:.4f}, {result.best_perf.fps:.1f} fps"
+        )
+    print(
+        f"fleet: {stats['shards']} shards, {stats['workers']} workers, "
+        f"{stats['leases']} leases ({stats['releases']} re-leased), "
+        f"{stats['cache_entries']} cache entries shared, "
+        f"{stats['resumed']} resumed from checkpoint"
+    )
+    if args.json:
+        # Deliberately excludes every timing field: two runs of the same
+        # sweep must produce byte-identical files (the CI gate cmp's them).
+        Path(args.json).write_text(
+            json_module.dumps({"cases": cases}, indent=2) + "\n"
+        )
+        print(f"sweep results written to {args.json}")
+    return 0
+
+
+def cmd_fleet_worker(args: argparse.Namespace) -> int:
+    """Join a coordinator and solve sweep shards until drained."""
+    from repro.dist.worker import run_worker
+
+    if not args.connect:
+        print(
+            "error: a worker needs its coordinator's address; pass "
+            "--connect HOST:PORT (try: --connect 127.0.0.1:7000)",
+            file=sys.stderr,
+        )
+        return 2
+    target = _parse_host_port(args.connect, "--connect")
+    if target is None:
+        return 2
+    if not _require_token(args.token, "repro fleet worker"):
+        return 2
+    return run_worker(target[0], target[1], token=args.token)
+
+
+def cmd_fleet_replicas(args: argparse.Namespace) -> int:
+    """Serve a persistent replica server for remote: transports."""
+    from repro.dist.remote_transport import serve_replicas
+
+    listen = _parse_host_port(args.listen, "--listen", allow_port_zero=True)
+    if listen is None:
+        return 2
+    if not _require_token(args.token, "repro fleet replicas"):
+        return 2
+    try:
+        return serve_replicas(listen[0], listen[1], token=args.token)
+    except KeyboardInterrupt:
+        return 0
+
+
 def cmd_generate(args: argparse.Namespace) -> int:
     """Explore a design and emit the HLS project skeleton."""
     network = _load_network(args.model)
@@ -1042,9 +1251,15 @@ def build_parser() -> argparse.ArgumentParser:
         "SLO); works with --cluster or on a single pool",
     )
     p.add_argument(
-        "--transport", default="inprocess", choices=list_transports(),
-        help="replica transport: in-process replicas or a socket-served "
-        "subprocess (default inprocess)",
+        "--transport", default="inprocess",
+        help="replica transport: in-process replicas (default), a "
+        "socket-served subprocess (socket), or a persistent remote "
+        "replica server (remote:HOST:PORT — see `repro fleet replicas`)",
+    )
+    p.add_argument(
+        "--transport-token",
+        help="shared auth secret for remote: transports (or set "
+        "REPRO_FLEET_TOKEN)",
     )
     p.add_argument(
         "--frames", type=_positive_int, default=30,
@@ -1121,6 +1336,114 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--json", help="write the serving report JSON here")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "fleet",
+        help="distributed runtime: sweep coordinator, workers, replica "
+        "servers",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "a sharded sweep on one machine (spawns 2 local workers):\n"
+            "  repro fleet coordinator codec_avatar_decoder \\\n"
+            "      --sweep Z7045,ZU9CG --workers 2 --token secret\n"
+            "the same sweep across machines:\n"
+            "  repro fleet coordinator ... --listen 0.0.0.0:7000 \\\n"
+            "      --workers 0 --token secret        # on the coordinator\n"
+            "  repro fleet worker --connect coord:7000 --token secret\n"
+            "serving against a persistent replica host:\n"
+            "  repro fleet replicas --listen 0.0.0.0:7100 --token secret\n"
+            "  repro serve --transport remote:replicahost:7100 \\\n"
+            "      --transport-token secret\n"
+            "results are bit-identical to the serial/in-process runs at "
+            "the same seed\n(see docs/distributed.md)"
+        ),
+    )
+    fleet_sub = p.add_subparsers(dest="fleet_command", required=True)
+
+    c = fleet_sub.add_parser(
+        "coordinator",
+        help="shard a device sweep across workers and merge the results",
+    )
+    c.add_argument(
+        "model",
+        nargs="?",
+        default="codec_avatar_decoder",
+        help="zoo model or network JSON (default: codec_avatar_decoder)",
+    )
+    c.add_argument(
+        "--sweep", required=True,
+        help="comma-separated device list, e.g. Z7045,ZU9CG",
+    )
+    c.add_argument(
+        "--sweep-quants",
+        help="comma-separated precisions to cross with --sweep",
+    )
+    c.add_argument("--quant", default="int8", choices=["int8", "int16"])
+    c.add_argument("--iterations", type=_positive_int, default=10)
+    c.add_argument("--population", type=_positive_int, default=80)
+    c.add_argument("--seed", type=int, default=0)
+    c.add_argument(
+        "--listen", default="127.0.0.1:0",
+        help="coordinator bind address (default 127.0.0.1:0 = loopback, "
+        "free port)",
+    )
+    c.add_argument(
+        "--token", default="",
+        help="shared auth secret workers must present",
+    )
+    c.add_argument(
+        "--workers", type=int, default=2,
+        help="local worker processes to spawn (0 = workers join from "
+        "elsewhere; default 2)",
+    )
+    c.add_argument(
+        "--lease-timeout", type=_positive_float, default=15.0,
+        help="seconds without a heartbeat before a shard is re-leased "
+        "(default 15)",
+    )
+    c.add_argument(
+        "--checkpoint",
+        help="progress file: a restarted coordinator resumes from it "
+        "without re-solving finished shards",
+    )
+    c.add_argument(
+        "--timeout", type=_positive_float, default=600.0,
+        help="wall-time ceiling for the whole sweep (default 600 s)",
+    )
+    c.add_argument(
+        "--worker-fault", action="append", metavar="SPEC",
+        help="(test hook) fault plan for the Nth spawned worker, e.g. "
+        "die-after-leases:1; repeat per worker",
+    )
+    c.add_argument("--json", help="write deterministic sweep results here")
+    c.set_defaults(func=cmd_fleet_coordinator)
+
+    w = fleet_sub.add_parser(
+        "worker", help="join a coordinator and solve sweep shards"
+    )
+    w.add_argument(
+        "--connect", help="coordinator address, HOST:PORT",
+    )
+    w.add_argument(
+        "--token", default="",
+        help="shared auth secret (must match the coordinator's)",
+    )
+    w.set_defaults(func=cmd_fleet_worker)
+
+    r = fleet_sub.add_parser(
+        "replicas",
+        help="serve a persistent replica server for remote: transports",
+    )
+    r.add_argument(
+        "--listen", default="127.0.0.1:0",
+        help="bind address (default 127.0.0.1:0; the bound port is "
+        "printed on stdout)",
+    )
+    r.add_argument(
+        "--token", default="",
+        help="shared auth secret remote transports must present",
+    )
+    r.set_defaults(func=cmd_fleet_replicas)
 
     p = sub.add_parser("generate", help="explore, then emit an HLS project")
     p.add_argument("model")

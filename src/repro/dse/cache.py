@@ -152,6 +152,19 @@ class FileEvalCache:
     work: run a sweep once, and every later run (or every other shard
     pointed at a copy of the file) starts with all of its solutions
     already solved.
+
+    **Crash consistency.** Each :meth:`flush` appends the whole dirty set
+    in a single SQLite transaction (the ``with self._conn`` block), and
+    SQLite's journal makes that transaction atomic: a process killed
+    mid-flush leaves the file holding either *all* of that flush's
+    entries or *none* of them — never a torn batch, never a corrupt
+    database. On reopen the partial transaction is rolled back
+    automatically and every entry from earlier flushes is intact. Since
+    entries are pure-function results, losing an unflushed batch costs
+    recomputation only; it can never change a search result. This is the
+    property the fleet runtime leans on when a worker dies mid-sweep
+    (:mod:`repro.dist`), and ``tests/test_dist.py`` kills a flushing
+    process on purpose to hold it.
     """
 
     def __init__(self, path: str) -> None:

@@ -196,6 +196,7 @@ class DseEngine:
         objective: Objective | str | None = None,
         rerank_oracle: MetricsOracle | str | None = None,
         rerank_top_k: int | None = None,
+        fleet: "object | None" = None,
     ) -> tuple[DseResult, ...]:
         """Run a batch of searches with shared caching and deduplication.
 
@@ -229,7 +230,30 @@ class DseEngine:
         forked once and reused across the whole sweep — no per-case pool
         startup. Evaluation is the same pure function, so the results are
         still bit-identical to serial runs.
+
+        ``fleet`` (a :class:`~repro.dist.coordinator.FleetSpec`) runs the
+        sweep across worker *processes* — spawned locally or joined over
+        the network — via :func:`~repro.dist.coordinator.run_fleet_sweep`:
+        same dedup, same per-case results bit for bit, with ``cache``
+        warmed from the fleet's pooled entries. ``workers`` is ignored in
+        fleet mode (each shard runs serially on its worker).
         """
+        if fleet is not None:
+            from repro.dist.coordinator import run_fleet_sweep
+
+            return run_fleet_sweep(
+                engines,
+                fleet,
+                iterations=iterations,
+                population=population,
+                seed=seed,
+                seeds=seeds,
+                heuristic_seed=heuristic_seed,
+                cache=cache,
+                objective=objective,
+                rerank_oracle=rerank_oracle,
+                rerank_top_k=rerank_top_k,
+            )
         engines = list(engines)
         if seeds is None:
             seeds = [seed] * len(engines)

@@ -71,7 +71,21 @@ def run_session(
     try:
         return loop.run_until_complete(coro)
     finally:
-        loop.close()
+        # Mirror asyncio.run's teardown: a session that *raised* (e.g. a
+        # replica transport failing the batch) leaves avatar clients and
+        # the dispatch loop pending. Cancel and drain them before closing
+        # so nothing is destroyed mid-await.
+        try:
+            pending = asyncio.all_tasks(loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+            loop.run_until_complete(loop.shutdown_asyncgens())
+        finally:
+            loop.close()
 
 
 #: Attribute stashed on the running loop by :func:`anchor_session_clock`.

@@ -205,6 +205,8 @@ class ReplicaGroup:
             mean_utilization=(
                 sum(utilizations) / len(utilizations) if utilizations else 0.0
             ),
+            reconnects=getattr(self.scheduler.transport, "reconnects", 0),
+            health=getattr(self.scheduler.transport, "health", ""),
         )
 
 
@@ -307,6 +309,10 @@ class Cluster:
             batch_window_ms=first.scheduler.batch_window_ms,
             router=self.router.name,
             groups=tuple(group.report(duration_ms) for group in self.groups),
+            reconnects=sum(
+                getattr(g.scheduler.transport, "reconnects", 0)
+                for g in self.groups
+            ),
         )
 
 

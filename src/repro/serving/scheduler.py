@@ -201,6 +201,12 @@ class BatchScheduler:
                 future = self._futures.pop(request.request_id, None)
                 if future is not None and not future.done():
                     future.set_exception(exc)
+                    # Mark the exception observed: awaiting clients still
+                    # re-raise it, but a client torn down before its
+                    # await (the session is already failing) must not
+                    # leave "exception was never retrieved" debris whose
+                    # GC-time handlers can fire mid-import elsewhere.
+                    future.exception()
             self._inflight_frames -= len(batch)
             self.pool.release(replica)
             return

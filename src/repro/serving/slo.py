@@ -55,6 +55,13 @@ class GroupReport:
     #: the coroutine path, which serves fixed fleets).
     scale_ups: int = 0
     scale_downs: int = 0
+    #: Transport-level reconnections during the session (only a
+    #: :class:`~repro.dist.remote_transport.RemoteTransport` can
+    #: reconnect; 0 for in-process and subprocess transports).
+    reconnects: int = 0
+    #: Final transport health ("" for transports that do not track it;
+    #: remote transports report ``connected`` / ``closed`` / ``failed``).
+    health: str = ""
 
     @property
     def offered(self) -> int:
@@ -132,6 +139,9 @@ class ServingReport:
     scale_ups: int = 0
     scale_downs: int = 0
     peak_replicas: int = 0
+    #: Transport-level reconnections across every group in the session
+    #: (0 unless a remote transport had to re-dial its replica server).
+    reconnects: int = 0
 
     @property
     def miss_rate(self) -> float:
@@ -193,6 +203,8 @@ class ServingReport:
             )
         if self.router:
             rows.append(["router", self.router])
+        if self.reconnects:
+            rows.append(["transport reconnects", str(self.reconnects)])
         if self.shed or self.router:
             rows.append(
                 ["shed", f"{self.shed} ({100 * self.shed_rate:.1f}%)"]
@@ -225,10 +237,12 @@ class ServingReport:
             ],
         ]
         for group in self.groups:
+            health = f" [{group.health}]" if group.health else ""
             rows.append(
                 [
                     f"group {group.name}",
-                    f"{group.replicas}x {group.policy}/{group.transport}: "
+                    f"{group.replicas}x {group.policy}/{group.transport}"
+                    f"{health}: "
                     f"{group.completed} done, {group.shed} shed, "
                     f"{group.deadline_misses} missed, p99 "
                     f"{group.latency_p99_ms:.2f} ms",
@@ -296,6 +310,7 @@ class SloTracker:
         batch_window_ms: float,
         router: str = "",
         groups: tuple[GroupReport, ...] = (),
+        reconnects: int = 0,
     ) -> ServingReport:
         latencies = [r.latency_ms for r in self.responses]
         queue_waits = [r.queue_ms for r in self.responses]
@@ -341,6 +356,7 @@ class SloTracker:
             shed=self.shed,
             router=router,
             groups=groups,
+            reconnects=reconnects,
         )
 
 

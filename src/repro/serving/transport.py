@@ -1,4 +1,4 @@
-"""Replica dispatch behind a protocol: in-process or over a local socket.
+"""Replica dispatch behind a protocol: in-process, subprocess, or remote.
 
 The scheduler never computes service times itself — it hands a batch to a
 :class:`ReplicaTransport` and gets back per-frame completion times. That
@@ -17,15 +17,19 @@ rewrite of the serving layer:
   newline-delimited JSON exchange, so virtual-clock sessions stay
   deterministic: the event loop blocks (in wall time, not session time)
   until the answer arrives.
+- :class:`~repro.dist.remote_transport.RemoteTransport` (name
+  ``remote:HOST:PORT``) points the same protocol at a *persistent*
+  replica server on another host, adding auth, reconnection, and request
+  resubmission — see :mod:`repro.dist.remote_transport`.
 
-The wire format round-trips floats exactly (``json`` uses shortest-repr
-floats), so a socket-served session computes the same finish times the
-in-process path would.
+Framing lives in :mod:`repro.dist.wire` — the repo's one wire format —
+and round-trips floats exactly (``json`` uses shortest-repr floats), so a
+socket-served session computes the same finish times the in-process path
+would.
 """
 
 from __future__ import annotations
 
-import json
 import os
 import socket
 import subprocess
@@ -33,6 +37,7 @@ import sys
 from pathlib import Path
 from typing import Protocol, runtime_checkable
 
+from repro.dist.wire import LineSocket, WireClosed
 from repro.serving.replica import Replica, ReplicaPool
 from repro.sim.runner import FrameLatencyProfile
 
@@ -91,9 +96,7 @@ class SocketTransport:
     def __init__(self, timeout_s: float = 30.0) -> None:
         self.timeout_s = timeout_s
         self._proc: subprocess.Popen | None = None
-        self._sock: socket.socket | None = None
-        self._rfile = None
-        self._wfile = None
+        self._conn: LineSocket | None = None
 
     def open(self, pool: ReplicaPool) -> None:
         import repro
@@ -122,13 +125,11 @@ class SocketTransport:
             raise RuntimeError(
                 f"replica server failed to start (got {port_line!r})"
             )
-        self._sock = socket.create_connection(
-            ("127.0.0.1", int(port_line)), timeout=self.timeout_s
+        self._conn = LineSocket.connect(
+            "127.0.0.1", int(port_line), timeout_s=self.timeout_s
         )
-        self._rfile = self._sock.makefile("r")
-        self._wfile = self._sock.makefile("w")
         profile = pool.profile
-        self._send(
+        self._conn.send(
             {
                 "op": "handshake",
                 "profile": {
@@ -142,18 +143,13 @@ class SocketTransport:
         )
 
     def close(self) -> None:
-        if self._wfile is not None:
+        if self._conn is not None:
             try:
-                self._send({"op": "close"})
+                self._conn.send({"op": "close"})
             except (OSError, ValueError):
                 pass
-        for handle in (self._rfile, self._wfile, self._sock):
-            if handle is not None:
-                try:
-                    handle.close()
-                except OSError:
-                    pass
-        self._rfile = self._wfile = self._sock = None
+            self._conn.close()
+            self._conn = None
         if self._proc is not None:
             try:
                 self._proc.wait(timeout=self.timeout_s)
@@ -162,27 +158,24 @@ class SocketTransport:
                 self._proc.wait()
             self._proc = None
 
-    def _send(self, message: dict) -> None:
-        assert self._wfile is not None, "transport not opened"
-        self._wfile.write(json.dumps(message) + "\n")
-        self._wfile.flush()
-
     async def decode(
         self, replica: Replica, start_ms: float, batch: int
     ) -> tuple[float, ...]:
         # Deliberately synchronous: the whole round-trip happens inside
         # one event-loop step, so no virtual-clock timer can fire while
         # the wire is in flight and session ordering stays deterministic.
-        self._send(
-            {
-                "op": "decode",
-                "replica": replica.replica_id,
-                "start_ms": start_ms,
-                "batch": batch,
-            }
-        )
-        assert self._rfile is not None
-        reply = json.loads(self._rfile.readline())
+        assert self._conn is not None, "transport not opened"
+        try:
+            reply = self._conn.request(
+                {
+                    "op": "decode",
+                    "replica": replica.replica_id,
+                    "start_ms": start_ms,
+                    "batch": batch,
+                }
+            )
+        except WireClosed as exc:
+            raise RuntimeError("replica server exited mid-session") from exc
         if "error" in reply:
             raise RuntimeError(f"replica server: {reply['error']}")
         finishes = tuple(reply["finish_ms"])
@@ -191,7 +184,24 @@ class SocketTransport:
 
 
 #: Transport names accepted by :func:`get_transport` (and ``--transport``).
+#: ``remote:HOST:PORT`` — not listed because it carries an address — is
+#: also accepted and builds a :class:`~repro.dist.remote_transport.RemoteTransport`.
 TRANSPORTS = ("inprocess", "socket")
+
+#: Environment variable ``remote:`` transports read their auth token from.
+REMOTE_TOKEN_ENV = "REPRO_FLEET_TOKEN"
+
+
+def parse_remote_spec(name: str) -> tuple[str, int]:
+    """Split ``remote:HOST:PORT`` into a validated ``(host, port)``."""
+    _, _, address = name.partition(":")
+    host, _, port_text = address.rpartition(":")
+    if not host or not port_text.isdigit() or not 0 < int(port_text) < 65536:
+        raise ValueError(
+            f"bad remote transport {name!r}: expected remote:HOST:PORT "
+            f"with a port in 1..65535"
+        )
+    return host, int(port_text)
 
 
 def get_transport(name: str | ReplicaTransport) -> ReplicaTransport:
@@ -202,7 +212,14 @@ def get_transport(name: str | ReplicaTransport) -> ReplicaTransport:
         return InProcessTransport()
     if name == "socket":
         return SocketTransport()
-    known = ", ".join(TRANSPORTS)
+    if name.startswith("remote:"):
+        from repro.dist.remote_transport import RemoteTransport
+
+        host, port = parse_remote_spec(name)
+        return RemoteTransport(
+            host, port, token=os.environ.get(REMOTE_TOKEN_ENV, "")
+        )
+    known = ", ".join(TRANSPORTS + ("remote:HOST:PORT",))
     raise KeyError(
         f"unknown replica transport {name!r}; known transports: {known}"
     )
@@ -219,35 +236,33 @@ def serve(host: str = "127.0.0.1") -> int:
     """Serve one client connection; prints the bound port on stdout."""
     listener = socket.create_server((host, 0))
     print(listener.getsockname()[1], flush=True)
-    conn, _ = listener.accept()
+    raw, _ = listener.accept()
     listener.close()
-    rfile = conn.makefile("r")
-    wfile = conn.makefile("w")
+    conn = LineSocket(raw)
     profile: FrameLatencyProfile | None = None
     max_batch = 8
     replicas: dict[int, Replica] = {}
     try:
-        for line in rfile:
-            message = json.loads(line)
+        while True:
+            message = conn.recv()
+            if message is None:
+                break
             op = message.get("op")
             if op == "close":
                 break
             if op == "handshake":
-                raw = message["profile"]
+                raw_profile = message["profile"]
                 profile = FrameLatencyProfile(
-                    finish_ms=tuple(raw["finish_ms"]),
-                    first_frame_ms=raw["first_frame_ms"],
-                    steady_interval_ms=raw["steady_interval_ms"],
-                    frequency_mhz=raw["frequency_mhz"],
+                    finish_ms=tuple(raw_profile["finish_ms"]),
+                    first_frame_ms=raw_profile["first_frame_ms"],
+                    steady_interval_ms=raw_profile["steady_interval_ms"],
+                    frequency_mhz=raw_profile["frequency_mhz"],
                 )
                 max_batch = int(message["max_batch"])
                 replicas.clear()
                 continue
             if op != "decode" or profile is None:
-                wfile.write(
-                    json.dumps({"error": f"bad request: {message!r}"}) + "\n"
-                )
-                wfile.flush()
+                conn.send({"error": f"bad request: {message!r}"})
                 continue
             replica_id = int(message["replica"])
             replica = replicas.get(replica_id)
@@ -260,24 +275,21 @@ def serve(host: str = "127.0.0.1") -> int:
             finishes = replica.service_times(
                 message["start_ms"], int(message["batch"])
             )
-            wfile.write(json.dumps({"finish_ms": list(finishes)}) + "\n")
-            wfile.flush()
+            conn.send({"finish_ms": list(finishes)})
     finally:
-        for handle in (rfile, wfile, conn):
-            try:
-                handle.close()
-            except OSError:
-                pass
+        conn.close()
     return 0
 
 
 __all__ = [
     "InProcessTransport",
+    "REMOTE_TOKEN_ENV",
     "ReplicaTransport",
     "SocketTransport",
     "TRANSPORTS",
     "get_transport",
     "list_transports",
+    "parse_remote_spec",
     "serve",
 ]
 

@@ -275,7 +275,14 @@ async def _avatar_client(
             else 0.0
         )
         next_arrival += workload.frame_interval_ms + jitter
-    await asyncio.gather(*pending)
+    # return_exceptions + explicit re-raise: when a replica fails a whole
+    # batch, every frame's future holds the error. Retrieving all of them
+    # before raising keeps the failure loud *and* clean — no "exception
+    # was never retrieved" debris from the frames behind the first one.
+    outcomes = await asyncio.gather(*pending, return_exceptions=True)
+    for outcome in outcomes:
+        if isinstance(outcome, BaseException):
+            raise outcome
 
 
 async def run_serving_session(
@@ -317,6 +324,7 @@ async def run_serving_session(
         replica_utilization=pool.utilizations(duration_ms),
         max_batch=scheduler.max_batch,
         batch_window_ms=scheduler.batch_window_ms,
+        reconnects=getattr(scheduler.transport, "reconnects", 0),
     )
 
 

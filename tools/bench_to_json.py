@@ -275,6 +275,231 @@ def run_dse_suite(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# suite: dist
+# ---------------------------------------------------------------------------
+#: Wall-time ceiling for the sharded fleet sweep (seconds). The sweep is
+#: tiny; the budget mostly bounds coordinator/worker plumbing overhead —
+#: interpreter startup for the spawned workers dominates it.
+DIST_WALL_BUDGET_S = 120.0
+
+#: Devices the reduced fleet sweep shards across.
+DIST_SWEEP_DEVICES = ("Z7045", "ZU9CG")
+
+
+def _dist_result_fields(result) -> dict:
+    return {
+        "best_fitness": result.best_fitness,
+        "history": list(result.history),
+    }
+
+
+def run_dist_suite(args: argparse.Namespace) -> int:
+    """The distributed fleet runtime: identity, loss-lessness, reconnects.
+
+    Four gates, all hard failures:
+
+    - a sweep sharded across 2 spawned worker processes over loopback is
+      bit-identical to solving the same cases serially in-process;
+    - killing a worker mid-sweep (deterministic ``die-after-leases:1``
+      fault) re-leases its shard and still merges bit-identically;
+    - the whole fleet sweep stays inside its wall-time budget;
+    - serving through ``RemoteTransport`` with a forced mid-session
+      disconnect reconnects (``reconnects == 1``) and reports the same
+      SLOs as in-process serving, bit for bit.
+    """
+    import dataclasses
+    import threading
+
+    from repro.dist.coordinator import FleetSpec, run_fleet_sweep
+    from repro.dist.faults import FaultInjector, FaultPlan
+    from repro.dist.remote_transport import RemoteTransport, serve_replicas
+    from repro.dse.engine import DseEngine
+    from repro.fcad.flow import sweep_grid
+    from repro.models.zoo import get_model
+    from repro.serving import ReplicaPool, canned_workload, serve_workload
+
+    network = get_model(args.model)
+    flows = sweep_grid(
+        networks=[network], devices=list(DIST_SWEEP_DEVICES), quants=["int8"]
+    )
+    engines = [flow.prepare()[2] for flow in flows]
+    size = dict(iterations=args.iterations, population=args.population, seed=0)
+
+    serial = DseEngine.search_many(engines, **size)
+
+    def fleet_run(worker_faults=()):
+        stats: dict[str, int] = {}
+        started = time.perf_counter()
+        results = run_fleet_sweep(
+            engines,
+            FleetSpec(
+                workers=2,
+                token="bench",
+                timeout_s=DIST_WALL_BUDGET_S,
+                worker_faults=worker_faults,
+            ),
+            **size,
+            stats=stats,
+        )
+        return results, stats, time.perf_counter() - started
+
+    clean, clean_stats, clean_wall = fleet_run()
+    killed, killed_stats, killed_wall = fleet_run(
+        worker_faults=("die-after-leases:1",)
+    )
+
+    def identical(results) -> bool:
+        return all(
+            fleet.best_fitness == base.best_fitness
+            and fleet.best_config == base.best_config
+            and fleet.history == base.history
+            for fleet, base in zip(results, serial)
+        )
+
+    sharded_identical = identical(clean)
+    killed_identical = identical(killed)
+
+    # Remote serving with a forced mid-session disconnect.
+    from repro.sim.runner import FrameLatencyProfile
+
+    profile = FrameLatencyProfile(
+        finish_ms=(8.0, 12.0, 16.0),
+        first_frame_ms=8.0,
+        steady_interval_ms=4.0,
+        frequency_mhz=200.0,
+    )
+    workload = canned_workload(avatars=4, frames_per_avatar=6)
+    inprocess = serve_workload(
+        ReplicaPool(profile, replicas=2, max_batch=8), workload, policy="edf"
+    )
+
+    stop = threading.Event()
+    ready = threading.Event()
+    port_box: dict[str, int] = {}
+
+    def on_ready(bound_port: int) -> None:
+        port_box["port"] = bound_port
+        ready.set()
+
+    server = threading.Thread(
+        target=serve_replicas,
+        kwargs=dict(
+            port=0,
+            token="bench",
+            fault=FaultInjector(FaultPlan(drop_conn_after_decodes=3)),
+            ready=on_ready,
+            stop=stop,
+            announce=False,
+        ),
+        daemon=True,
+    )
+    server.start()
+    ready.wait(10)
+    transport = RemoteTransport(
+        "127.0.0.1",
+        port_box["port"],
+        token="bench",
+        backoff_s=0.01,
+        backoff_max_s=0.05,
+    )
+    remote = serve_workload(
+        ReplicaPool(profile, replicas=2, max_batch=8),
+        workload,
+        policy="edf",
+        transport=transport,
+    )
+    stop.set()
+    server.join(timeout=10)
+    remote_identical = (
+        dataclasses.replace(remote, reconnects=0) == inprocess
+    )
+
+    gates = []
+    if not sharded_identical:
+        gates.append("sharded sweep diverged from the serial results")
+    if not killed_identical:
+        gates.append("sweep with a killed worker diverged from serial")
+    if killed_stats.get("releases", 0) < 1:
+        gates.append(
+            "the killed worker's shard was never re-leased "
+            f"(stats: {killed_stats})"
+        )
+    if clean_wall >= DIST_WALL_BUDGET_S:
+        gates.append(
+            f"fleet sweep took {clean_wall:.1f}s "
+            f"(budget {DIST_WALL_BUDGET_S:.0f}s)"
+        )
+    if transport.reconnects != 1:
+        gates.append(
+            f"forced disconnect produced {transport.reconnects} reconnects "
+            f"(expected exactly 1)"
+        )
+    if not remote_identical:
+        gates.append(
+            "remote serving report diverged from in-process after the "
+            "forced reconnect"
+        )
+
+    payload = {
+        "benchmark": "distributed_fleet",
+        "config": {
+            "model": args.model,
+            "devices": list(DIST_SWEEP_DEVICES),
+            "quant": "int8",
+            "iterations": args.iterations,
+            "population": args.population,
+            "workers": 2,
+        },
+        "environment": environment(),
+        "serial": [_dist_result_fields(result) for result in serial],
+        "fleet": {
+            "wall_seconds": round(clean_wall, 3),
+            "stats": clean_stats,
+            "identical_to_serial": sharded_identical,
+        },
+        "fleet_with_killed_worker": {
+            "wall_seconds": round(killed_wall, 3),
+            "stats": killed_stats,
+            "identical_to_serial": killed_identical,
+        },
+        "remote_serving": {
+            "reconnects": transport.reconnects,
+            "report_identical_modulo_reconnects": remote_identical,
+            "completed": remote.completed,
+            "deadline_misses": remote.deadline_misses,
+        },
+        "wall_budget_seconds": DIST_WALL_BUDGET_S,
+        "gates": gates,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+
+    out_dir = REPO / "benchmarks" / "out"
+    out_dir.mkdir(exist_ok=True)
+    (out_dir / "dist-smoke.txt").write_text(
+        f"### Distributed fleet smoke (reduced size)\n"
+        f"clean fleet: {clean_stats}\n"
+        f"killed-worker fleet: {killed_stats}\n"
+        f"remote serving reconnects: {transport.reconnects}\n"
+    )
+
+    print(f"wrote {args.out}")
+    print(
+        f"fleet sweep over {len(engines)} shards x 2 workers: "
+        f"clean {clean_wall:.2f}s "
+        f"({clean_stats['leases']} leases), killed-worker "
+        f"{killed_wall:.2f}s ({killed_stats['releases']} re-leased), "
+        f"identical={sharded_identical and killed_identical}"
+    )
+    print(
+        f"remote serving: {transport.reconnects} reconnect(s), "
+        f"identical={remote_identical}"
+    )
+    for gate in gates:
+        print(f"ERROR: dist gate failed: {gate}")
+    return 1 if gates else 0
+
+
+# ---------------------------------------------------------------------------
 # suite: serving
 # ---------------------------------------------------------------------------
 def summarize_serving(report) -> dict:
@@ -829,7 +1054,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--suite",
         default="dse",
-        choices=["dse", "serving"],
+        choices=["dse", "serving", "dist"],
         help="which benchmark smoke to run (default: dse)",
     )
     parser.add_argument("--device", default="ZU9CG")
@@ -867,6 +1092,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.suite == "serving":
         return run_serving_suite(args)
+    if args.suite == "dist":
+        return run_dist_suite(args)
     return run_dse_suite(args)
 
 
