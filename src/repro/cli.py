@@ -151,16 +151,29 @@ def _parse_host_port(
     return host, int(port_text)
 
 
-def _require_token(token: str, context: str) -> bool:
-    """Fleet connections are authenticated; explain how to provide a token."""
+def _resolve_token(token: str, context: str) -> str | None:
+    """Fleet connections are authenticated; resolve the shared token.
+
+    ``--token`` wins; otherwise fall back to the ``REPRO_FLEET_TOKEN``
+    environment variable (the same one ``remote:`` transports read), so
+    one exported secret covers a whole fleet. Returns ``None`` (plus a
+    friendly stderr message) when neither is set — callers fail fast
+    instead of surfacing a raw auth error mid-connect.
+    """
+    import os
+
+    from repro.serving.transport import REMOTE_TOKEN_ENV
+
+    token = token or os.environ.get(REMOTE_TOKEN_ENV, "")
     if token:
-        return True
+        return token
     print(
         f"error: {context} needs a shared auth token; pass --token "
-        f"<secret> (the same secret on every fleet member)",
+        f"<secret> or set {REMOTE_TOKEN_ENV} (the same secret on every "
+        f"fleet member)",
         file=sys.stderr,
     )
-    return False
+    return None
 
 
 def _parse_transport(text: str, token: str | None) -> str | None:
@@ -585,6 +598,44 @@ def cmd_serve(args: argparse.Namespace) -> int:
         from repro.serving.transport import REMOTE_TOKEN_ENV
 
         os.environ[REMOTE_TOKEN_ENV] = args.transport_token
+    if args.transport_timeout is not None and args.transport == "inprocess":
+        print(
+            "error: --transport-timeout bounds a wire; it needs "
+            "--transport socket or --transport remote:HOST:PORT",
+            file=sys.stderr,
+        )
+        return 2
+    chaos = None
+    if args.chaos is not None:
+        from repro.serving import ChaosPlan
+
+        try:
+            chaos = ChaosPlan.parse(args.chaos)
+        except ValueError as exc:
+            print(f"error: bad --chaos spec: {exc}", file=sys.stderr)
+            return 2
+    if args.max_retries is not None and args.max_retries < 0:
+        print("error: --max-retries must be >= 0", file=sys.stderr)
+        return 2
+    recovery = None
+    if (
+        chaos is not None
+        or args.hedge
+        or args.max_retries is not None
+        or args.replace_after_ms is not None
+    ):
+        from repro.serving import RecoveryPolicy
+
+        defaults = RecoveryPolicy()
+        recovery = RecoveryPolicy(
+            max_retries=(
+                defaults.max_retries
+                if args.max_retries is None
+                else args.max_retries
+            ),
+            hedge=args.hedge,
+            replace_after_ms=args.replace_after_ms,
+        )
     tiers: tuple[float, ...] = ()
     if args.deadline_tiers is not None:
         try:
@@ -703,6 +754,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
                     trace,
                     admission=args.shed or None,
                     autoscale=autoscale,
+                    chaos=chaos,
+                    recovery=recovery,
                 )
             else:
                 report = serve_trace(
@@ -716,6 +769,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
                     policy=args.policy,
                     batch_window_ms=args.batch_window_ms,
                     max_batch=args.max_batch,
+                    chaos=chaos,
+                    recovery=recovery,
                 )
         elif args.shed:
             # Admission control needs the cluster front door; a single
@@ -729,7 +784,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
                         policy=args.policy,
                         batch_window_ms=args.batch_window_ms,
                         max_batch=args.max_batch,
-                        transport=args.transport,
+                        transport=_serve_transport(args),
                         profile=profile,
                     )
                 ],
@@ -744,6 +799,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 ),
                 admission=True,
                 real_time=args.real_time,
+                chaos=chaos,
+                recovery=recovery,
             )
         else:
             report = serve_from_result(
@@ -761,12 +818,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 real_time=args.real_time,
                 profile=profile,
-                transport=args.transport,
+                transport=_serve_transport(args),
+                chaos=chaos,
+                recovery=recovery,
             )
     else:
         report = _serve_cluster_session(
             args, network, num_branches, cluster_spec, tiers,
-            frames_per_avatar,
+            frames_per_avatar, chaos, recovery,
         )
     print()
     print(report.render())
@@ -774,6 +833,21 @@ def cmd_serve(args: argparse.Namespace) -> int:
         Path(args.json).write_text(report_to_json(report) + "\n")
         print(f"\nserving report written to {args.json}")
     return 0
+
+
+def _serve_transport(args: argparse.Namespace):
+    """The transport ``repro serve`` dispatches through.
+
+    With ``--transport-timeout`` set this builds a fresh instance per
+    call (each scheduler owns its wire — cluster groups must not share a
+    socket); otherwise the name passes through and each scheduler builds
+    its own default-timeout transport.
+    """
+    if args.transport_timeout is None:
+        return args.transport
+    from repro.serving import get_transport
+
+    return get_transport(args.transport, timeout_s=args.transport_timeout)
 
 
 def _heap_trace(args: argparse.Namespace, tiers, frames_per_avatar: int):
@@ -827,6 +901,8 @@ def _serve_cluster_session(
     cluster_spec: list[tuple[str, int, str | None]],
     tiers: tuple[float, ...],
     frames_per_avatar: int,
+    chaos=None,
+    recovery=None,
 ):
     """Explore one design per cluster preset and serve the mixed cluster."""
     from repro.serving import AvatarWorkload, serve_cluster
@@ -874,7 +950,7 @@ def _serve_cluster_session(
                     else args.batch_window_ms
                 ),
                 max_batch=args.max_batch,
-                transport=args.transport,
+                transport=_serve_transport(args),
                 sim_frames=args.sim_frames,
             )
         )
@@ -887,6 +963,8 @@ def _serve_cluster_session(
             router=args.router,
             admission=args.shed or None,
             autoscale=_heap_autoscale(args),
+            chaos=chaos,
+            recovery=recovery,
         )
     workload = AvatarWorkload(
         avatars=args.avatars,
@@ -903,6 +981,8 @@ def _serve_cluster_session(
         router=args.router,
         admission=args.shed or None,
         real_time=args.real_time,
+        chaos=chaos,
+        recovery=recovery,
     )
 
 
@@ -915,7 +995,8 @@ def cmd_fleet_coordinator(args: argparse.Namespace) -> int:
     from repro.dist.faults import FaultPlan
     from repro.fcad.flow import sweep_grid
 
-    if not _require_token(args.token, "repro fleet coordinator"):
+    token = _resolve_token(args.token, "repro fleet coordinator")
+    if token is None:
         return 2
     listen = _parse_host_port(args.listen, "--listen", allow_port_zero=True)
     if listen is None:
@@ -944,7 +1025,7 @@ def cmd_fleet_coordinator(args: argparse.Namespace) -> int:
         workers=args.workers,
         host=listen[0],
         port=listen[1],
-        token=args.token,
+        token=token,
         lease_timeout_s=args.lease_timeout,
         checkpoint=args.checkpoint,
         timeout_s=args.timeout,
@@ -1008,9 +1089,10 @@ def cmd_fleet_worker(args: argparse.Namespace) -> int:
     target = _parse_host_port(args.connect, "--connect")
     if target is None:
         return 2
-    if not _require_token(args.token, "repro fleet worker"):
+    token = _resolve_token(args.token, "repro fleet worker")
+    if token is None:
         return 2
-    return run_worker(target[0], target[1], token=args.token)
+    return run_worker(target[0], target[1], token=token)
 
 
 def cmd_fleet_replicas(args: argparse.Namespace) -> int:
@@ -1020,10 +1102,11 @@ def cmd_fleet_replicas(args: argparse.Namespace) -> int:
     listen = _parse_host_port(args.listen, "--listen", allow_port_zero=True)
     if listen is None:
         return 2
-    if not _require_token(args.token, "repro fleet replicas"):
+    token = _resolve_token(args.token, "repro fleet replicas")
+    if token is None:
         return 2
     try:
-        return serve_replicas(listen[0], listen[1], token=args.token)
+        return serve_replicas(listen[0], listen[1], token=token)
     except KeyboardInterrupt:
         return 0
 
@@ -1202,6 +1285,13 @@ def build_parser() -> argparse.ArgumentParser:
             "  repro serve --transport socket --avatars 8 --duration 1\n"
             "      serve ~1 second of traffic with the replicas hosted by\n"
             "      a subprocess behind a local socket\n"
+            "chaos engineering (deterministic fault injection):\n"
+            "  repro serve --replicas 4 --chaos die-at:0:200,die-at:1:400 \\\n"
+            "      --max-retries 2 --replace-after-ms 500 --seed 0\n"
+            "      kill two replicas mid-session; in-flight frames retry\n"
+            "      within their deadline budget, cold replacements heal\n"
+            "      capacity, and the report counts every fault — the same\n"
+            "      seed reproduces the same faulty run bit for bit\n"
             "the event-heap engine (large sessions):\n"
             "  repro serve --engine heap --shape diurnal --avatars 100000 \\\n"
             "      --duration 60 --avatar-fps 1 --autoscale --shed\n"
@@ -1260,6 +1350,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--transport-token",
         help="shared auth secret for remote: transports (or set "
         "REPRO_FLEET_TOKEN)",
+    )
+    p.add_argument(
+        "--transport-timeout", type=_positive_float, metavar="SECONDS",
+        help="wire timeout for socket/remote transports: connection "
+        "setup and each decode round-trip (default 30)",
+    )
+    p.add_argument(
+        "--chaos", metavar="SPEC",
+        help="deterministic fault plan: comma-separated clauses "
+        "crash-at:REP:N (crash serving its Nth batch), die-at:REP:T "
+        "(dead from T ms), stall:REP:N:D (Nth batch +D ms, then "
+        "recovers), degrade:REP:N:M (xM latency from batch N); REP is "
+        "a replica index, GROUP/INDEX with --cluster "
+        "(see docs/serving.md)",
+    )
+    p.add_argument(
+        "--max-retries", type=int, metavar="N",
+        help="re-enqueue a frame whose replica died up to N times "
+        "within its original deadline (default 2; 0 fails on first "
+        "fault)",
+    )
+    p.add_argument(
+        "--hedge", action="store_true",
+        help="duplicate a batch predicted to miss its deadline onto a "
+        "free replica; first response wins, both occupancies charged",
+    )
+    p.add_argument(
+        "--replace-after-ms", type=_positive_float, metavar="MS",
+        help="provision a cold replacement replica this long after one "
+        "dies (reuses the autoscale warm-up path; default: capacity "
+        "stays lost)",
     )
     p.add_argument(
         "--frames", type=_positive_int, default=30,

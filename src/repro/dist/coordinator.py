@@ -123,6 +123,10 @@ class FleetSpec:
     #: declared orphaned and re-leased.
     lease_timeout_s: float = 15.0
     heartbeat_interval_s: float = 0.5
+    #: How often the coordinator scans for orphaned leases. Worst-case
+    #: death detection is ``lease_timeout_s + monitor_interval_s`` after
+    #: the last heartbeat (see docs/distributed.md).
+    monitor_interval_s: float = 0.25
     #: Checkpoint file for resumable coordinators (None = not persisted).
     checkpoint: str | Path | None = None
     #: Hard wall-time ceiling for the whole sweep.
@@ -223,7 +227,7 @@ class SweepCoordinator:
 
     def _monitor(self) -> None:
         """Re-lease shards whose worker stopped heartbeating."""
-        while not self._stop.wait(0.25):
+        while not self._stop.wait(self.spec.monitor_interval_s):
             now = time.monotonic()
             with self._lock:
                 expired = sorted(

@@ -32,9 +32,10 @@ Objectives:
 - :class:`PaperObjective` — Sec. VI-B1, bit-identical to the historical
   ``fitness_score``: priority-weighted FPS minus ``alpha`` times the
   branch-FPS population variance.
-- :class:`SloObjective` — maximize ``-(p99 + miss_weight x miss_rate)``
-  when serving metrics are present; falls back to the paper objective as a
-  cheap proxy on analytical metrics (stage 1 of a staged search).
+- :class:`SloObjective` — maximize ``-(p99 + miss_weight x (miss_rate +
+  shed_rate + failed_rate))`` when serving metrics are present; falls
+  back to the paper objective as a cheap proxy on analytical metrics
+  (stage 1 of a staged search).
 - :class:`CompositeObjective` — a weight-normalized blend of objectives.
 
 The expensive oracles are not run on every candidate: the search scores
@@ -85,6 +86,11 @@ class BranchMetrics:
     #: (``None`` when the replay ran without shedding). Kept alongside
     #: the miss rate so an objective cannot be gamed by dropping frames.
     shed_rate: float | None = None
+    #: Fraction of the replayed workload that resolved as *failed* —
+    #: frames whose replica died past the retry budget. ``None`` on
+    #: fault-free replays; charged like a miss so a chaos replay cannot
+    #: game the score by abandoning the frames it cannot recover.
+    failed_rate: float | None = None
 
     @property
     def shortfall(self) -> int:
@@ -157,11 +163,12 @@ class SloObjective:
     """Serving-driven fitness: minimize p99-under-load and deadline misses.
 
     On metrics that carry serving SLOs the fitness is
-    ``-(p99_ms + miss_weight x (miss_rate + shed_rate))`` — a
-    deadline-miss rate of 10 % costs as much as ``0.1 x miss_weight``
-    milliseconds of p99, and a *shed* frame costs exactly as much as a
-    late one (otherwise a shedding cluster replay could game the score
-    by dropping the traffic it cannot serve). On purely analytical
+    ``-(p99_ms + miss_weight x (miss_rate + shed_rate + failed_rate))``
+    — a deadline-miss rate of 10 % costs as much as ``0.1 x miss_weight``
+    milliseconds of p99, and a *shed* or *failed* (unrecovered after a
+    replica fault) frame costs exactly as much as a late one (otherwise
+    a shedding or chaos replay could game the score by dropping the
+    traffic it cannot serve). On purely analytical
     metrics (stage 1 of a staged search, before any replay has
     happened) it falls back to the paper objective as a cheap proxy:
     higher weighted steady-state FPS correlates with lower latency under
@@ -189,10 +196,14 @@ class SloObjective:
                 metrics, priorities
             )
         miss_rate = metrics.deadline_miss_rate or 0.0
-        # getattr: metrics unpickled from a pre-shed-rate cache file may
-        # lack the field entirely.
+        # getattr: metrics unpickled from a cache file written before a
+        # field existed may lack it entirely.
         shed_rate = getattr(metrics, "shed_rate", None) or 0.0
-        return -(metrics.p99_ms + self.miss_weight * (miss_rate + shed_rate))
+        failed_rate = getattr(metrics, "failed_rate", None) or 0.0
+        return -(
+            metrics.p99_ms
+            + self.miss_weight * (miss_rate + shed_rate + failed_rate)
+        )
 
 
 @dataclass(frozen=True)
@@ -489,6 +500,7 @@ class ServingOracle:
             deadline_miss_rate=report.miss_rate,
             throughput_fps=report.throughput_fps,
             shed_rate=report.shed_rate if self.shed else None,
+            failed_rate=report.failed_rate if report.failed else None,
         )
 
 

@@ -66,6 +66,12 @@ from __future__ import annotations
 from repro.fcad.flow import FcadResult
 from repro.sim.runner import FrameLatencyProfile
 from repro.serving.admission import AdmissionControl, resolve_admission
+from repro.serving.chaos import (
+    ChaosFault,
+    ChaosPlan,
+    CircuitBreaker,
+    RecoveryPolicy,
+)
 from repro.serving.clock import VirtualClockEventLoop, run_session
 from repro.serving.engine import AutoscalePolicy, serve_trace
 from repro.serving.cluster import (
@@ -83,13 +89,19 @@ from repro.serving.policies import (
     get_policy,
     list_policies,
 )
-from repro.serving.replica import Replica, ReplicaPool, pool_from_result
+from repro.serving.replica import (
+    Replica,
+    ReplicaPool,
+    health_summary,
+    pool_from_result,
+)
 from repro.serving.request import DecodeRequest, DecodeResponse
 from repro.serving.router import (
     DeadlineTieredRouter,
     LeastLoadedRouter,
     RoundRobinRouter,
     RoutingPolicy,
+    failover_route,
     get_router,
     list_routers,
 )
@@ -141,7 +153,9 @@ def serve_from_result(
     sim_frames: int = 8,
     real_time: bool = False,
     profile: "FrameLatencyProfile | None" = None,
-    transport: str = "inprocess",
+    transport: str | ReplicaTransport = "inprocess",
+    chaos: ChaosPlan | None = None,
+    recovery: RecoveryPolicy | None = None,
 ) -> ServingReport:
     """``FCad.run`` → serving report, in one call.
 
@@ -176,6 +190,8 @@ def serve_from_result(
         max_batch=max_batch,
         real_time=real_time,
         transport=transport,
+        chaos=chaos,
+        recovery=recovery,
     )
 
 
@@ -192,6 +208,8 @@ def serve_from_results(
     seed: int = 0,
     sim_frames: int = 8,
     real_time: bool = False,
+    chaos: ChaosPlan | None = None,
+    recovery: RecoveryPolicy | None = None,
 ) -> ServingReport:
     """Serve one workload on a heterogeneous cluster of explored designs.
 
@@ -230,6 +248,8 @@ def serve_from_results(
         router=router,
         admission=admission,
         real_time=real_time,
+        chaos=chaos,
+        recovery=recovery,
     )
 
 
@@ -238,6 +258,9 @@ __all__ = [
     "AutoscalePolicy",
     "AvatarWorkload",
     "BatchScheduler",
+    "ChaosFault",
+    "ChaosPlan",
+    "CircuitBreaker",
     "Cluster",
     "DeadlineTieredRouter",
     "DecodeRequest",
@@ -249,6 +272,7 @@ __all__ = [
     "GroupSpec",
     "InProcessTransport",
     "LeastLoadedRouter",
+    "RecoveryPolicy",
     "Replica",
     "ReplicaGroup",
     "ReplicaPool",
@@ -262,9 +286,11 @@ __all__ = [
     "SocketTransport",
     "VirtualClockEventLoop",
     "canned_workload",
+    "failover_route",
     "get_policy",
     "get_router",
     "get_transport",
+    "health_summary",
     "list_policies",
     "list_routers",
     "list_shapes",

@@ -42,11 +42,12 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.serving.admission import AdmissionControl, resolve_admission
+from repro.serving.chaos import ChaosPlan, RecoveryPolicy
 from repro.serving.clock import anchor_session_clock, now_ms, run_session
 from repro.serving.policies import SchedulingPolicy
-from repro.serving.replica import ReplicaPool
+from repro.serving.replica import ReplicaPool, health_summary
 from repro.serving.request import DecodeResponse
-from repro.serving.router import RoutingPolicy, get_router
+from repro.serving.router import RoutingPolicy, failover_route, get_router
 from repro.serving.scheduler import BatchScheduler
 from repro.serving.slo import GroupReport, ServingReport, SloTracker
 from repro.serving.transport import ReplicaTransport
@@ -101,12 +102,26 @@ class ReplicaGroup:
 
     @property
     def replicas(self) -> int:
-        return len(self.pool)
+        """Replicas the routing/admission math should count on.
+
+        The *live* fleet (never below one so backlog math stays finite)
+        — dead replicas stop counting the moment their failure is
+        detected, exactly like the heap engine's live-fleet accounting.
+        Fault-free this is simply every deployed replica.
+        """
+        return max(1, self.pool.alive)
 
     @property
     def capacity_fps(self) -> float:
         """Steady-state frames/second of the whole group, pipelines warm."""
         return self.pool.capacity_fps
+
+    @property
+    def available(self) -> bool:
+        """Whether the front door may route new traffic here."""
+        if self.scheduler is None:
+            return True
+        return self.scheduler.available
 
     @property
     def backlog_frames(self) -> int:
@@ -155,7 +170,13 @@ class ReplicaGroup:
         return self.backlog_ms() + self.spec.batch_window_ms + service
 
     # ------------------------------------------------------------------
-    def start(self, deadline_ms: float, deadline_tiers: tuple[float, ...]) -> None:
+    def start(
+        self,
+        deadline_ms: float,
+        deadline_tiers: tuple[float, ...],
+        chaos: ChaosPlan | None = None,
+        recovery: RecoveryPolicy | None = None,
+    ) -> None:
         """Open the group for one serving session (inside a session loop)."""
         self.tracker = SloTracker(
             deadline_ms=deadline_ms, deadline_tiers_ms=deadline_tiers
@@ -168,6 +189,8 @@ class ReplicaGroup:
             tracker=self.tracker,
             transport=self.spec.transport,
             group=self.name,
+            chaos=chaos,
+            recovery=recovery,
         )
         self.scheduler.start()
 
@@ -182,11 +205,13 @@ class ReplicaGroup:
         from repro.serving.slo import percentile
 
         utilizations = self.pool.utilizations(duration_ms)
+        transport_health = getattr(self.scheduler.transport, "health", "")
+        pool_health = health_summary(self.pool.replicas)
         return GroupReport(
             name=self.name,
             policy=self.scheduler.policy.name,
             transport=self.scheduler.transport.name,
-            replicas=self.replicas,
+            replicas=len(self.pool),
             max_batch=self.scheduler.max_batch,
             batch_window_ms=self.scheduler.batch_window_ms,
             submitted=self.tracker.submitted - self.tracker.shed,
@@ -206,7 +231,17 @@ class ReplicaGroup:
                 sum(utilizations) / len(utilizations) if utilizations else 0.0
             ),
             reconnects=getattr(self.scheduler.transport, "reconnects", 0),
-            health=getattr(self.scheduler.transport, "health", ""),
+            health=", ".join(
+                part for part in (transport_health, pool_health) if part
+            ),
+            failed=self.tracker.failed,
+            retries=self.tracker.retries,
+            hedges=self.tracker.hedges,
+            hedge_wins=self.tracker.hedge_wins,
+            failovers=self.tracker.failovers,
+            replicas_lost=self.tracker.replicas_lost,
+            replicas_replaced=self.tracker.replicas_replaced,
+            degraded_time_ms=self.tracker.degraded_time_ms,
         )
 
 
@@ -218,6 +253,8 @@ class Cluster:
         groups: Sequence[GroupSpec | ReplicaGroup],
         router: str | RoutingPolicy = "round-robin",
         admission: AdmissionControl | bool | None = None,
+        chaos: ChaosPlan | None = None,
+        recovery: RecoveryPolicy | None = None,
     ) -> None:
         if not groups:
             raise ValueError("a cluster needs at least one replica group")
@@ -230,6 +267,8 @@ class Cluster:
             raise ValueError(f"replica group names must be unique: {names}")
         self.router = get_router(router)
         self.admission = resolve_admission(admission)
+        self.chaos = chaos
+        self.recovery = recovery
 
     def __len__(self) -> int:
         return len(self.groups)
@@ -245,7 +284,12 @@ class Cluster:
     ) -> None:
         """Open every group for one serving session."""
         for group in self.groups:
-            group.start(deadline_ms, deadline_tiers)
+            group.start(
+                deadline_ms,
+                deadline_tiers,
+                chaos=self.chaos,
+                recovery=self.recovery,
+            )
 
     def submit_nowait(
         self, avatar_id: int, frame_index: int, deadline_rel_ms: float
@@ -255,11 +299,35 @@ class Cluster:
         Duck-type compatible with
         :meth:`~repro.serving.scheduler.BatchScheduler.submit_nowait`, so
         the same avatar clients drive a plain scheduler or a cluster.
+
+        Routing is failure-aware: when the chosen group's circuit
+        breaker is open or its pool is exhausted, the request fails over
+        to the best available group (counted as a ``failover`` on the
+        receiving group); when no group is available it fails at the
+        front door — resolved ``None``, counted ``failed``, never a
+        hang.
         """
-        group = self.groups[
-            self.router.route(deadline_rel_ms, now_ms(), self.groups)
-        ]
+        preferred = self.router.route(deadline_rel_ms, now_ms(), self.groups)
+        index = failover_route(
+            preferred,
+            deadline_rel_ms,
+            self.groups,
+            [g.available for g in self.groups],
+        )
+        if index is None:
+            home = self.groups[preferred]
+            assert home.tracker is not None
+            home.tracker.record_submit()
+            home.tracker.record_failed()
+            dead: asyncio.Future[DecodeResponse | None] = (
+                asyncio.get_running_loop().create_future()
+            )
+            dead.set_result(None)
+            return dead
+        group = self.groups[index]
         assert group.scheduler is not None and group.tracker is not None
+        if index != preferred:
+            group.tracker.record_failover()
         if self.admission is not None and not self.admission.admit(
             group, deadline_rel_ms
         ):
@@ -343,14 +411,22 @@ def serve_cluster(
     router: str | RoutingPolicy = "round-robin",
     admission: AdmissionControl | bool | None = None,
     real_time: bool = False,
+    chaos: ChaosPlan | None = None,
+    recovery: RecoveryPolicy | None = None,
 ) -> ServingReport:
     """Run a whole cluster serving session; deterministic on the virtual clock.
 
-    Pass a prebuilt :class:`Cluster` (its router/admission win) or a list
-    of group specs plus ``router=``/``admission=``.
+    Pass a prebuilt :class:`Cluster` (its router/admission/chaos win) or
+    a list of group specs plus ``router=``/``admission=``/``chaos=``.
     """
     if not isinstance(groups, Cluster):
-        groups = Cluster(groups, router=router, admission=admission)
+        groups = Cluster(
+            groups,
+            router=router,
+            admission=admission,
+            chaos=chaos,
+            recovery=recovery,
+        )
     return run_session(
         run_cluster_session(groups, workload), real_time=real_time
     )

@@ -26,6 +26,18 @@ adds replicas (after a provisioning delay, starting **cold** — the fill
 latency of the first batch on a fresh replica is charged against the
 SLOs like any other frame) and drains them when offered load falls.
 
+Faults and recovery mirror the coroutine path event for event: a
+:class:`~repro.serving.chaos.ChaosPlan` injects the same deterministic
+replica faults at dispatch time, a crashed batch fails at its would-be
+finish (an ``_EV_FAIL`` event at the detection latency), frames
+re-enqueue within their retry budget keeping their original arrival and
+deadline, the per-group :class:`~repro.serving.chaos.CircuitBreaker`
+trips and diverts arrivals through the shared
+:func:`~repro.serving.router.failover_route`, and dead replicas
+provision cold replacements through the same ``_EV_PROVISION`` events
+autoscaling uses. The equivalence guarantee extends to faulty runs:
+same trace + same chaos plan → the same counters on both engines.
+
 Every session is a pure function of its inputs: same trace + same specs
 → the same report, bit for bit.
 """
@@ -41,10 +53,11 @@ from typing import Sequence
 import numpy as np
 
 from repro.serving.admission import AdmissionControl, resolve_admission
+from repro.serving.chaos import ChaosPlan, CircuitBreaker, RecoveryPolicy
 from repro.serving.cluster import GroupSpec
 from repro.serving.policies import get_policy
-from repro.serving.replica import Replica, ReplicaPool
-from repro.serving.router import RoutingPolicy, get_router
+from repro.serving.replica import Replica, ReplicaPool, health_summary
+from repro.serving.router import RoutingPolicy, failover_route, get_router
 from repro.serving.slo import GroupReport, ServingReport
 from repro.serving.traffic import RequestTrace, trace_from_workload
 from repro.serving.workload import AvatarWorkload
@@ -60,8 +73,14 @@ _POLICY_KIND = {"fifo": _FIFO, "edf": _EDF, "fair": _FAIR}
 # Dispatcher states (mirror the coroutine dispatcher's await points).
 _IDLE, _WINDOW, _WAIT, _RUNNING = 0, 1, 2, 3
 
-# Event kinds, in tie-breaking order after (time, seq).
+# Event kinds. Ordering at equal times is by ``seq`` (creation order),
+# which dominates ``kind`` in the tuple comparison — the kind is a tag,
+# not a tie-breaker.
 _EV_WINDOW, _EV_FINISH, _EV_PROVISION, _EV_SCALE = 0, 1, 2, 3
+_EV_FAIL, _EV_RELEASE = 4, 5
+
+# ``_EV_RELEASE`` payload flags (the ``a`` slot).
+_REL_RESTORE = 1  # stall over: degraded health returns to "up"
 
 
 @dataclass(frozen=True)
@@ -108,7 +127,14 @@ class _EngineGroup:
     """One group's live state, duck-typing :class:`ReplicaGroup` for the
     routers and admission control (same properties, same units)."""
 
-    def __init__(self, spec: GroupSpec, index: int, batch_limit: int) -> None:
+    def __init__(
+        self,
+        spec: GroupSpec,
+        index: int,
+        batch_limit: int,
+        recovery: RecoveryPolicy | None = None,
+        chaos_states: "dict | None" = None,
+    ) -> None:
         policy_name = get_policy(spec.policy).name
         if policy_name not in _POLICY_KIND:
             raise ValueError(
@@ -149,6 +175,20 @@ class _EngineGroup:
         self.arrivals_since_check = 0
         self.scale_ups = 0
         self.scale_downs = 0
+        # Faults and recovery (mirrors BatchScheduler's per-group state).
+        self.recovery = recovery if recovery is not None else RecoveryPolicy()
+        self.breaker = CircuitBreaker(self.recovery.breaker_threshold)
+        self.chaos_states = chaos_states or None
+        self.exhausted = False
+        self.replacing = 0  # replacement replicas inside their delay
+        self.failed = 0
+        self.retries = 0
+        self.hedges = 0
+        self.hedge_wins = 0
+        self.failovers = 0
+        self.replicas_lost = 0
+        self.replicas_replaced = 0
+        self.degraded_time_ms = 0.0
 
     def add_replica(self) -> Replica:
         replica = Replica(
@@ -216,12 +256,26 @@ class _HeapSession:
         router: RoutingPolicy,
         admission: AdmissionControl | None,
         autoscale: AutoscalePolicy | None,
+        recovery: RecoveryPolicy | None = None,
+        chaos_active: bool = False,
+        cluster: bool = True,
     ) -> None:
         self.groups = groups
         self.trace = trace
         self.router = router
         self.admission = admission
         self.autoscale = autoscale
+        self._recovery = recovery if recovery is not None else RecoveryPolicy()
+        self._chaos_active = chaos_active
+        self._cluster = cluster
+        self._attempts: dict[int, int] = {}
+        if chaos_active:
+            # Retried frames keep their original arrival, so insertion
+            # order no longer matches FIFO order: the fifo queue becomes
+            # a heap keyed (arrival_ms, index) — exactly the coroutine
+            # FifoPolicy's sort key.
+            for group in groups:
+                group.fifo_q = []  # type: ignore[assignment]
         n = len(trace)
         # Hot-path state lives in plain Python lists (faster item access
         # than numpy scalars); finalization vectorizes from them.
@@ -232,6 +286,7 @@ class _HeapSession:
         self._finish: list[float] = [0.0] * n
         self._group_of = bytearray(n) if len(groups) < 256 else [0] * n
         self._shed_flag = bytearray(n)
+        self._failed_flag = bytearray(n)
         self._events: list[tuple] = []
         self._seq = 0
         self._cursor = 0
@@ -261,9 +316,13 @@ class _HeapSession:
             elif kind == _EV_WINDOW:
                 self._on_window(t, self.groups[gi])
             elif kind == _EV_PROVISION:
-                self._on_provision(t, self.groups[gi])
-            else:
+                self._on_provision(t, self.groups[gi], a)
+            elif kind == _EV_SCALE:
                 self._on_scale(t)
+            elif kind == _EV_FAIL:
+                self._on_fail(t, self.groups[gi], a, b)
+            else:
+                self._on_release(t, self.groups[gi], a, b)
 
     def _push(self, t: float, kind: int, gi: int, a, b) -> None:
         self._seq += 1
@@ -274,9 +333,34 @@ class _HeapSession:
         groups = self.groups
         rel = self._rel[i]
         if len(groups) == 1:
-            group = groups[0]
+            preferred = 0
         else:
-            group = groups[self.router.route(rel, t, groups)]
+            preferred = self.router.route(rel, t, groups)
+        group = groups[preferred]
+        if self._chaos_active:
+            # Failure-aware front door, same decisions as the coroutine
+            # cluster: divert from tripped/exhausted groups via the
+            # shared failover_route; no group available → the frame
+            # fails at the door, charged to the preferred group.
+            if self._cluster:
+                index = failover_route(
+                    preferred,
+                    rel,
+                    groups,
+                    [
+                        not g.breaker.open and not g.exhausted
+                        for g in groups
+                    ],
+                )
+                if index is None:
+                    self._fail_at_door(i, t, group)
+                    return
+                if index != preferred:
+                    groups[index].failovers += 1
+                group = groups[index]
+            elif group.exhausted:
+                self._fail_at_door(i, t, group)
+                return
         group.arrivals_since_check += 1
         self._group_of[i] = group.index
         if t > self._duration:
@@ -292,7 +376,10 @@ class _HeapSession:
         self._pending += 1
         kind = group.policy_kind
         if kind == _FIFO:
-            group.fifo_q.append(i)
+            if self._chaos_active:
+                heappush(group.fifo_q, (t, i))
+            else:
+                group.fifo_q.append(i)
         elif kind == _EDF:
             heappush(group.edf_q, (t + rel, i))
         else:
@@ -332,6 +419,11 @@ class _HeapSession:
     def _on_window(self, t: float, group: _EngineGroup) -> None:
         # Waking from the batching window goes straight to acquire — the
         # coroutine loop does not re-check the window condition.
+        if group.exhausted or not group.queue_len:
+            # Exhaustion drained the queue mid-window (every replica
+            # dead, no replacement coming): the dispatcher retires.
+            group.state = _IDLE
+            return
         if not group.free:
             group.state = _WAIT
             return
@@ -350,7 +442,10 @@ class _HeapSession:
         if kind == _FIFO:
             queue = group.fifo_q
             size = min(limit, len(queue))
-            batch = [queue.popleft() for _ in range(size)]
+            if self._chaos_active:
+                batch = [heappop(queue)[1] for _ in range(size)]
+            else:
+                batch = [queue.popleft() for _ in range(size)]
         elif kind == _EDF:
             queue = group.edf_q
             size = min(limit, len(queue))
@@ -360,17 +455,105 @@ class _HeapSession:
         size = len(batch)
         group.queue_len -= size
         group.inflight += size
+        gi = group.index
+        outcome = None
+        if group.chaos_states is not None:
+            state = group.chaos_states.get(replica.replica_id)
+            if state is not None:
+                outcome = state.on_dispatch(t)
+                replica.latency_factor = outcome.latency_factor
+                if outcome.crashed:
+                    # The batch fails at its would-be finish time — the
+                    # failure-*detection* latency. The replica serves
+                    # nothing: no batch counted, no busy time charged.
+                    detect = replica.preview_service(t, size)[-1]
+                    self._push(detect, _EV_FAIL, gi, batch, replica)
+                    return
+                if outcome.latency_factor != 1.0 and replica.health == "up":
+                    replica.health = "degraded"
         group.batch_sizes.append(size)
         finishes = replica.service_times(t, size)
+        if outcome is not None and outcome.latency_factor != 1.0:
+            group.degraded_time_ms += finishes[-1] - t
+        stall_ms = outcome.stall_ms if outcome is not None else 0.0
+        hedge_replica = None
+        hedge_finishes = None
+        if self._recovery.hedge:
+            arrival = self._arrival
+            rel = self._rel
+            if any(
+                finishes[j] > arrival[batch[j]] + rel[batch[j]]
+                for j in range(size)
+            ) and group.free:
+                hedge_replica = group.free.popleft()
+                hedge_finishes = self._dispatch_hedge(
+                    group, hedge_replica, t, size
+                )
+                if hedge_finishes is None:
+                    hedge_replica = None  # the hedge itself crashed
+        eff = finishes
+        if hedge_finishes is not None:
+            eff = list(finishes)
+            for j in range(size):
+                if hedge_finishes[j] < eff[j]:
+                    eff[j] = hedge_finishes[j]
+                    group.hedge_wins += 1
         start = self._start
         last = size - 1
-        gi = group.index
+        plain = hedge_replica is None and not stall_ms
         for j in range(size):
             req = batch[j]
             start[req] = t
             self._push(
-                finishes[j], _EV_FINISH, gi, req, replica if j == last else None
+                eff[j],
+                _EV_FINISH,
+                gi,
+                req,
+                replica if plain and j == last else None,
             )
+        if plain:
+            return
+        # Completion decoupled from release: the breaker's success lands
+        # when the batch's last frame resolves, then each replica returns
+        # to rotation at its own time (stalled primary late, hedge at its
+        # own finish) — same order as the coroutine's sorted releases.
+        if self._chaos_active:
+            self._push(eff[last], _EV_RELEASE, gi, 0, None)
+        if stall_ms:
+            group.degraded_time_ms += stall_ms
+            if replica.health == "up":
+                replica.health = "degraded"
+        releases = [
+            (finishes[last] + stall_ms, _REL_RESTORE if stall_ms else 0, replica)
+        ]
+        if hedge_replica is not None:
+            releases.append((hedge_finishes[last], 0, hedge_replica))
+        releases.sort(key=lambda item: item[0])
+        for at, flags, freed in releases:
+            self._push(at, _EV_RELEASE, gi, flags, freed)
+
+    def _dispatch_hedge(
+        self, group: _EngineGroup, hedge: Replica, t: float, size: int
+    ) -> tuple[float, ...] | None:
+        """Duplicate a batch onto ``hedge``; ``None`` if the hedge died.
+
+        Mirrors the coroutine's hedge: a crashed hedge costs only the
+        replica (detected at its would-be finish), no retry, no breaker
+        failure; a served hedge is charged its full occupancy.
+        """
+        if group.chaos_states is not None:
+            state = group.chaos_states.get(hedge.replica_id)
+            if state is not None:
+                outcome = state.on_dispatch(t)
+                hedge.latency_factor = outcome.latency_factor
+                if outcome.crashed:
+                    detect = hedge.preview_service(t, size)[-1]
+                    self._push(detect, _EV_FAIL, group.index, None, hedge)
+                    return None
+                if outcome.latency_factor != 1.0 and hedge.health == "up":
+                    hedge.health = "degraded"
+        group.hedges += 1
+        return hedge.service_times(t, size)
 
     def _select_fair(
         self, group: _EngineGroup, t: float, limit: int
@@ -404,11 +587,16 @@ class _HeapSession:
         self._finish[req] = t
         group.inflight -= 1
         self._pending -= 1
+        if self._chaos_active:
+            self._attempts.pop(req, None)
         if t > self._duration:
             self._duration = t
         if replica is None:
             return
-        # Last frame of its batch: the replica frees up (or retires).
+        # Last frame of its batch: the batch succeeded (the breaker
+        # closes), and the replica frees up (or retires).
+        if self._chaos_active:
+            group.breaker.record_success()
         if group.pending_drain > 0:
             group.pending_drain -= 1
             group.live -= 1
@@ -419,9 +607,17 @@ class _HeapSession:
             self._dispatch(group, t)
             self._drive(group, t)
 
-    def _on_provision(self, t: float, group: _EngineGroup) -> None:
+    def _on_provision(self, t: float, group: _EngineGroup, marker) -> None:
         group.provisioning -= 1
         group.add_replica()  # lands cold: first batch pays the fill
+        if marker:
+            # A chaos replacement, not an autoscale decision: same
+            # provisioning machinery, its own counter — and it extends
+            # the session like the coroutine's replacement task does.
+            group.replacing -= 1
+            group.replicas_replaced += 1
+            if t > self._duration:
+                self._duration = t
         peak = sum(g.live for g in self.groups)
         if peak > self._peak:
             self._peak = peak
@@ -429,6 +625,139 @@ class _HeapSession:
             group.state = _RUNNING
             self._dispatch(group, t)
             self._drive(group, t)
+
+    # -- failure detection, retry, release -----------------------------
+    def _on_fail(self, t: float, group: _EngineGroup, batch, replica) -> None:
+        """A dispatched batch failed at ``t`` and took its replica.
+
+        ``batch`` is ``None`` for a crashed *hedge* — the primary still
+        serves every frame, so the loss costs only the replica (no
+        breaker failure, no retries).
+        """
+        if t > self._duration:
+            self._duration = t
+        if replica.health != "dead":
+            replica.health = "dead"
+            group.live -= 1
+            group.replicas_lost += 1
+            if group.recovery.replace_after_ms is not None:
+                group.replacing += 1
+                group.provisioning += 1
+                self._push(
+                    t + group.recovery.replace_after_ms,
+                    _EV_PROVISION,
+                    group.index,
+                    1,
+                    None,
+                )
+        if batch is None:
+            self._check_exhausted(group)
+            return
+        group.breaker.record_failure()
+        size = len(batch)
+        group.inflight -= size
+        recoverable = group.live > 0 or group.replacing > 0
+        max_retries = group.recovery.max_retries
+        for req in batch:
+            attempts = self._attempts.get(req, 0) + 1
+            if recoverable and attempts <= max_retries:
+                self._attempts[req] = attempts
+                group.retries += 1
+                self._requeue(group, req)
+            else:
+                self._fail_request(group, req)
+        self._check_exhausted(group)
+        if group.queue_len and recoverable and group.state == _IDLE:
+            self._drive(group, t)
+
+    def _on_release(self, t: float, group: _EngineGroup, flags, replica) -> None:
+        if t > self._duration:
+            self._duration = t
+        if replica is None:
+            # Marker event: the batch's last frame just resolved.
+            group.breaker.record_success()
+            return
+        if (
+            flags & _REL_RESTORE
+            and replica.health == "degraded"
+            and replica.latency_factor == 1.0
+        ):
+            replica.health = "up"
+        if replica.health == "dead":
+            return  # a dead replica never rejoins the rotation
+        if group.pending_drain > 0:
+            group.pending_drain -= 1
+            group.live -= 1
+            return
+        group.free.append(replica)
+        if group.state == _WAIT:
+            group.state = _RUNNING
+            self._dispatch(group, t)
+            self._drive(group, t)
+
+    def _fail_at_door(self, i: int, t: float, group: _EngineGroup) -> None:
+        """No group can take this arrival: it fails, charged to ``group``."""
+        group.arrivals_since_check += 1
+        self._group_of[i] = group.index
+        if t > self._duration:
+            self._duration = t
+        group.submitted += 1
+        group.failed += 1
+        self._failed_flag[i] = 1
+
+    def _requeue(self, group: _EngineGroup, req: int) -> None:
+        """Re-enqueue a failed frame with its original arrival/deadline."""
+        kind = group.policy_kind
+        if kind == _FIFO:
+            heappush(group.fifo_q, (self._arrival[req], req))
+        elif kind == _EDF:
+            heappush(
+                group.edf_q, (self._arrival[req] + self._rel[req], req)
+            )
+        else:
+            avatar = self._avatar[req]
+            queue = group.fair_q.get(avatar)
+            if queue is None:
+                group.fair_q[avatar] = deque((req,))
+            else:
+                # FIFO-within-avatar order is (arrival, index); the
+                # retried frame is older than anything still queued, but
+                # insert at its exact sorted slot to be safe.
+                key = (self._arrival[req], req)
+                pos = 0
+                for existing in queue:
+                    if (self._arrival[existing], existing) < key:
+                        pos += 1
+                    else:
+                        break
+                queue.insert(pos, req)
+        group.queue_len += 1
+
+    def _fail_request(self, group: _EngineGroup, req: int) -> None:
+        self._attempts.pop(req, None)
+        group.failed += 1
+        self._failed_flag[req] = 1
+        self._pending -= 1
+
+    def _check_exhausted(self, group: _EngineGroup) -> None:
+        if group.exhausted or group.live > 0 or group.replacing > 0:
+            return
+        group.exhausted = True
+        kind = group.policy_kind
+        if kind == _FIFO:
+            drained = [item[1] for item in group.fifo_q]
+            group.fifo_q.clear()
+        elif kind == _EDF:
+            drained = [item[1] for item in group.edf_q]
+            group.edf_q.clear()
+        else:
+            drained = [
+                req for queue in group.fair_q.values() for req in queue
+            ]
+            group.fair_q.clear()
+        for req in drained:
+            self._fail_request(group, req)
+        group.queue_len = 0
 
     def _on_scale(self, t: float) -> None:
         policy = self.autoscale
@@ -479,13 +808,16 @@ class _HeapSession:
         finish = np.asarray(self._finish)
         start = np.asarray(self._start)
         shed = np.frombuffer(bytes(self._shed_flag), dtype=np.uint8).astype(bool)
+        failed = np.frombuffer(
+            bytes(self._failed_flag), dtype=np.uint8
+        ).astype(bool)
         if isinstance(self._group_of, bytearray):
             group_of = np.frombuffer(
                 bytes(self._group_of), dtype=np.uint8
             ).astype(np.int64)
         else:
             group_of = np.asarray(self._group_of, dtype=np.int64)
-        served = ~shed
+        served = ~shed & ~failed
         duration_ms = self._duration
 
         latencies = finish[served] - arrival[served]
@@ -554,6 +886,14 @@ class _HeapSession:
             scale_ups=scale_ups,
             scale_downs=scale_downs,
             peak_replicas=self._peak,
+            failed=sum(g.failed for g in self.groups),
+            retries=sum(g.retries for g in self.groups),
+            hedges=sum(g.hedges for g in self.groups),
+            hedge_wins=sum(g.hedge_wins for g in self.groups),
+            failovers=sum(g.failovers for g in self.groups),
+            replicas_lost=sum(g.replicas_lost for g in self.groups),
+            replicas_replaced=sum(g.replicas_replaced for g in self.groups),
+            degraded_time_ms=sum(g.degraded_time_ms for g in self.groups),
         )
 
     def _group_report(
@@ -597,6 +937,15 @@ class _HeapSession:
             ),
             scale_ups=group.scale_ups,
             scale_downs=group.scale_downs,
+            health=health_summary(group.all_replicas),
+            failed=group.failed,
+            retries=group.retries,
+            hedges=group.hedges,
+            hedge_wins=group.hedge_wins,
+            failovers=group.failovers,
+            replicas_lost=group.replicas_lost,
+            replicas_replaced=group.replicas_replaced,
+            degraded_time_ms=group.degraded_time_ms,
         )
 
 
@@ -622,6 +971,8 @@ def serve_trace(
     policy: str = "fifo",
     batch_window_ms: float = 2.0,
     max_batch: int | None = None,
+    chaos: ChaosPlan | None = None,
+    recovery: RecoveryPolicy | None = None,
 ) -> ServingReport:
     """Serve a request trace on the event-heap engine.
 
@@ -638,12 +989,16 @@ def serve_trace(
 
     Deterministic: same arguments, same report, bit for bit. Reports
     carry ``engine="heap"`` plus the autoscale counters; all other
-    fields mean exactly what they mean on the coroutine path.
+    fields mean exactly what they mean on the coroutine path. A
+    ``chaos`` plan and ``recovery`` policy inject the same faults and
+    run the same recovery stack as the coroutine engines — counters
+    exactly equal, latencies to clock round-off.
     """
     if isinstance(trace, AvatarWorkload):
         trace = trace_from_workload(trace)
     admission_ctl = resolve_admission(admission)
     routing = get_router(router)
+    chaos_active = bool(chaos)
 
     if isinstance(groups, ReplicaPool):
         if admission_ctl is not None or autoscale is not None:
@@ -667,9 +1022,26 @@ def serve_trace(
             batch_window_ms=batch_window_ms,
             max_batch=pool.max_batch,
         )
-        group = _EngineGroup(spec, 0, batch_limit=limit)
+        # The single-pool coroutine path runs its scheduler with the
+        # empty group name — chaos clauses resolve against "".
+        group = _EngineGroup(
+            spec,
+            0,
+            batch_limit=limit,
+            recovery=recovery,
+            chaos_states=chaos.states("") if chaos else None,
+        )
         group.adopt_pool(pool)
-        session = _HeapSession([group], trace, routing, None, None)
+        session = _HeapSession(
+            [group],
+            trace,
+            routing,
+            None,
+            None,
+            recovery=recovery,
+            chaos_active=chaos_active,
+            cluster=False,
+        )
         session.run()
         return session.finalize(
             policy=group.policy_name, router="", groups_in_report=False
@@ -683,7 +1055,13 @@ def serve_trace(
         raise ValueError(f"replica group names must be unique: {names}")
     engine_groups = []
     for index, spec in enumerate(specs):
-        group = _EngineGroup(spec, index, batch_limit=spec.max_batch)
+        group = _EngineGroup(
+            spec,
+            index,
+            batch_limit=spec.max_batch,
+            recovery=recovery,
+            chaos_states=chaos.states(spec.name) if chaos else None,
+        )
         start_replicas = spec.replicas
         if autoscale is not None:
             start_replicas = min(
@@ -694,7 +1072,13 @@ def serve_trace(
             group.add_replica()
         engine_groups.append(group)
     session = _HeapSession(
-        engine_groups, trace, routing, admission_ctl, autoscale
+        engine_groups,
+        trace,
+        routing,
+        admission_ctl,
+        autoscale,
+        recovery=recovery,
+        chaos_active=chaos_active,
     )
     session.run()
     report_policy = (

@@ -38,11 +38,23 @@ class Replica:
     frames_served: int = 0
     batches_served: int = 0
     last_finish_ms: float = field(default=float("-inf"))
+    #: ``up`` / ``degraded`` / ``dead`` — chaos faults and transport
+    #: failures move this; a dead replica never returns to the free list.
+    health: str = "up"
+    #: Chaos degradation: service times stretch by this factor (1.0 =
+    #: healthy). Set by the scheduler/engine from the session's chaos
+    #: state before each dispatch.
+    latency_factor: float = 1.0
 
-    def service_times(self, start_ms: float, batch: int) -> tuple[float, ...]:
-        """Completion time of each frame of a batch started at ``start_ms``.
+    def preview_service(
+        self, start_ms: float, batch: int
+    ) -> tuple[float, ...]:
+        """Would-be completion times, *without* advancing the accounting.
 
-        Also advances the replica's accounting (busy time, warm window).
+        The failure path uses this: a batch dispatched to a crashing
+        replica fails at its would-be finish time (the detection
+        latency), but the replica serves nothing and must not be charged
+        busy time or a warm window.
         """
         if not 1 <= batch <= self.max_batch:
             raise ValueError(
@@ -52,6 +64,19 @@ class Replica:
             start_ms - self.last_finish_ms <= self.latency.steady_interval_ms
         )
         finishes = self.latency.batch_finish_ms(start_ms, batch, warm=warm)
+        if self.latency_factor != 1.0:
+            finishes = tuple(
+                start_ms + (finish - start_ms) * self.latency_factor
+                for finish in finishes
+            )
+        return finishes
+
+    def service_times(self, start_ms: float, batch: int) -> tuple[float, ...]:
+        """Completion time of each frame of a batch started at ``start_ms``.
+
+        Also advances the replica's accounting (busy time, warm window).
+        """
+        finishes = self.preview_service(start_ms, batch)
         self.record_service(start_ms, finishes)
         return finishes
 
@@ -92,12 +117,24 @@ class ReplicaPool:
             for i in range(replicas)
         ]
         self.max_batch = max_batch
-        self._free: asyncio.Queue[Replica] | None = None
+        self._initial_replicas = replicas
+        self._free: asyncio.Queue[Replica | None] | None = None
 
     @property
     def capacity_fps(self) -> float:
-        """Steady-state decode rate of the whole pool, all replicas warm."""
-        return len(self.replicas) * self.profile.steady_fps
+        """Steady-state decode rate of the live pool, all replicas warm.
+
+        Counts only replicas that are not dead (never below one so
+        routing/admission math stays finite), matching the heap engine's
+        live-fleet accounting; on a fault-free session this is simply
+        every replica.
+        """
+        return max(1, self.alive) * self.profile.steady_fps
+
+    @property
+    def alive(self) -> int:
+        """Replicas that can still serve (``up`` or ``degraded``)."""
+        return sum(1 for r in self.replicas if r.health != "dead")
 
     def __len__(self) -> int:
         return len(self.replicas)
@@ -115,25 +152,87 @@ class ReplicaPool:
         for replica in self.replicas:
             self._free.put_nowait(replica)
 
-    async def acquire(self) -> Replica:
+    async def acquire(self) -> Replica | None:
+        """Next free replica, or ``None`` once the pool is poisoned.
+
+        ``None`` only ever surfaces after :meth:`poison` — i.e. when
+        every replica is dead and no replacement is coming — so callers
+        on the happy path can treat the result as a replica.
+        """
         assert self._free is not None, "pool not opened inside a session"
         return await self._free.get()
 
+    def try_acquire(self) -> Replica | None:
+        """A free replica right now, or ``None`` — never blocks.
+
+        The hedging path uses this: a hedge is only worth dispatching if
+        spare capacity is sitting idle at this instant.
+        """
+        assert self._free is not None, "pool not opened inside a session"
+        try:
+            replica = self._free.get_nowait()
+        except asyncio.QueueEmpty:
+            return None
+        if replica is None:  # poison sentinel — leave it for acquire()
+            self._free.put_nowait(None)
+            return None
+        return replica
+
     def release(self, replica: Replica) -> None:
         assert self._free is not None
+        if replica.health == "dead":
+            return  # a dead replica never rejoins the rotation
         self._free.put_nowait(replica)
+
+    def mark_dead(self, replica: Replica) -> None:
+        """Take a replica out of service permanently."""
+        replica.health = "dead"
+
+    def add_replica(self) -> Replica:
+        """Provision a cold replacement replica into the rotation."""
+        replica = Replica(
+            replica_id=len(self.replicas),
+            latency=self.profile,
+            max_batch=self.max_batch,
+        )
+        self.replicas.append(replica)
+        if self._free is not None:
+            self._free.put_nowait(replica)
+        return replica
+
+    def poison(self) -> None:
+        """Wake a blocked ``acquire`` with ``None`` (pool exhausted)."""
+        assert self._free is not None
+        self._free.put_nowait(None)
 
     def utilizations(self, elapsed_ms: float) -> tuple[float, ...]:
         return tuple(r.utilization(elapsed_ms) for r in self.replicas)
 
     def reset(self) -> None:
         """Forget all serving state (``open`` calls this per session)."""
+        del self.replicas[self._initial_replicas :]
         for replica in self.replicas:
             replica.busy_ms = 0.0
             replica.frames_served = 0
             replica.batches_served = 0
             replica.last_finish_ms = float("-inf")
+            replica.health = "up"
+            replica.latency_factor = 1.0
         self._free = None
+
+
+def health_summary(replicas) -> str:
+    """Human-readable fleet health, or ``""`` while everything is up.
+
+    One shared formatter for both engines, so a group's ``health``
+    string in the report is identical whichever engine served it.
+    """
+    up = sum(1 for r in replicas if r.health == "up")
+    degraded = sum(1 for r in replicas if r.health == "degraded")
+    dead = sum(1 for r in replicas if r.health == "dead")
+    if not degraded and not dead:
+        return ""
+    return f"{up} up/{degraded} degraded/{dead} dead"
 
 
 def design_max_batch(config) -> int:
@@ -170,4 +269,10 @@ def pool_from_result(
     return ReplicaPool(latency=profile, replicas=replicas, max_batch=max_batch)
 
 
-__all__ = ["Replica", "ReplicaPool", "design_max_batch", "pool_from_result"]
+__all__ = [
+    "Replica",
+    "ReplicaPool",
+    "design_max_batch",
+    "health_summary",
+    "pool_from_result",
+]

@@ -125,6 +125,38 @@ class DeadlineTieredRouter:
         return min(range(len(groups)), key=lambda i: (unloaded[i], i))
 
 
+def failover_route(
+    preferred: int,
+    deadline_rel_ms: float,
+    groups: Sequence["ReplicaGroup"],
+    available: Sequence[bool],
+) -> int | None:
+    """Failure-aware rerouting on top of any router's choice.
+
+    When the ``preferred`` group is available the answer is the
+    preferred group — failover never perturbs a healthy cluster. When it
+    is not (circuit breaker open, pool exhausted), the request diverts
+    with :class:`DeadlineTieredRouter` semantics restricted to the
+    available groups: the highest-capacity one whose unloaded latency
+    fits the budget, else the quickest one. ``None`` means *no* group
+    can serve — the front door fails the frame rather than queueing it
+    nowhere.
+
+    Shared verbatim by the coroutine cluster front door and the heap
+    engine, so failover decisions are identical across engines.
+    """
+    if available[preferred]:
+        return preferred
+    candidates = [i for i, ok in enumerate(available) if ok]
+    if not candidates:
+        return None
+    unloaded = {i: groups[i].unloaded_latency_ms() for i in candidates}
+    feasible = [i for i in candidates if unloaded[i] <= deadline_rel_ms]
+    if feasible:
+        return max(feasible, key=lambda i: (groups[i].capacity_fps, -i))
+    return min(candidates, key=lambda i: (unloaded[i], i))
+
+
 _ROUTERS: dict[str, Callable[[], RoutingPolicy]] = {
     "round-robin": RoundRobinRouter,
     "least-loaded": LeastLoadedRouter,
@@ -155,6 +187,7 @@ __all__ = [
     "LeastLoadedRouter",
     "RoundRobinRouter",
     "RoutingPolicy",
+    "failover_route",
     "get_router",
     "list_routers",
 ]

@@ -62,6 +62,16 @@ class GroupReport:
     #: Final transport health ("" for transports that do not track it;
     #: remote transports report ``connected`` / ``closed`` / ``failed``).
     health: str = ""
+    #: Chaos/recovery accounting (all zero on a fault-free session —
+    #: older JSON payloads without these fields keep loading).
+    failed: int = 0  # frames that exhausted retries (or had no replica)
+    retries: int = 0  # re-enqueues after a batch failure
+    hedges: int = 0  # duplicate dispatches to a second replica
+    hedge_wins: int = 0  # hedges that finished before the primary
+    failovers: int = 0  # frames diverted *to* this group from another
+    replicas_lost: int = 0  # replicas that died mid-session
+    replicas_replaced: int = 0  # cold replacements provisioned
+    degraded_time_ms: float = 0.0  # stall time + degraded service time
 
     @property
     def offered(self) -> int:
@@ -75,6 +85,11 @@ class GroupReport:
     @property
     def miss_rate(self) -> float:
         return self.deadline_misses / self.completed if self.completed else 0.0
+
+    @property
+    def failed_rate(self) -> float:
+        """Fraction of admitted requests that were never served."""
+        return self.failed / self.submitted if self.submitted else 0.0
 
 
 @dataclass(frozen=True)
@@ -142,6 +157,23 @@ class ServingReport:
     #: Transport-level reconnections across every group in the session
     #: (0 unless a remote transport had to re-dial its replica server).
     reconnects: int = 0
+    #: Chaos/recovery accounting, summed across groups (all zero on a
+    #: fault-free session; see :class:`GroupReport` for the per-field
+    #: meanings). ``completed + shed + failed == submitted`` in a fully
+    #: drained session — no frame ever hangs.
+    failed: int = 0
+    retries: int = 0
+    hedges: int = 0
+    hedge_wins: int = 0
+    failovers: int = 0
+    replicas_lost: int = 0
+    replicas_replaced: int = 0
+    degraded_time_ms: float = 0.0
+
+    @property
+    def failed_rate(self) -> float:
+        """Fraction of submitted requests that were never served."""
+        return self.failed / self.submitted if self.submitted else 0.0
 
     @property
     def miss_rate(self) -> float:
@@ -209,6 +241,26 @@ class ServingReport:
             rows.append(
                 ["shed", f"{self.shed} ({100 * self.shed_rate:.1f}%)"]
             )
+        if self.failed or self.retries or self.hedges or self.failovers:
+            rows.append(
+                ["failed", f"{self.failed} ({100 * self.failed_rate:.1f}%)"]
+            )
+            rows.append(
+                [
+                    "recovery",
+                    f"{self.retries} retries, {self.hedges} hedges "
+                    f"({self.hedge_wins} won), {self.failovers} failovers",
+                ]
+            )
+        if self.replicas_lost or self.replicas_replaced:
+            rows.append(
+                [
+                    "replicas lost/replaced",
+                    f"{self.replicas_lost} / {self.replicas_replaced}",
+                ]
+            )
+        if self.degraded_time_ms:
+            rows.append(["degraded time", f"{self.degraded_time_ms:.1f} ms"])
         rows += [
             ["throughput", f"{self.throughput_fps:.1f} FPS"],
             [
@@ -238,6 +290,13 @@ class ServingReport:
         ]
         for group in self.groups:
             health = f" [{group.health}]" if group.health else ""
+            chaos = ""
+            if group.failed or group.replicas_lost or group.replicas_replaced:
+                chaos = (
+                    f", {group.failed} failed, "
+                    f"-{group.replicas_lost}/+{group.replicas_replaced} "
+                    f"replicas"
+                )
             rows.append(
                 [
                     f"group {group.name}",
@@ -245,7 +304,7 @@ class ServingReport:
                     f"{health}: "
                     f"{group.completed} done, {group.shed} shed, "
                     f"{group.deadline_misses} missed, p99 "
-                    f"{group.latency_p99_ms:.2f} ms",
+                    f"{group.latency_p99_ms:.2f} ms{chaos}",
                 ]
             )
         return render_table(
@@ -269,6 +328,14 @@ class SloTracker:
         self.submitted = 0
         self.shed = 0
         self.batch_sizes: list[int] = []
+        self.failed = 0
+        self.retries = 0
+        self.hedges = 0
+        self.hedge_wins = 0
+        self.failovers = 0
+        self.replicas_lost = 0
+        self.replicas_replaced = 0
+        self.degraded_time_ms = 0.0
 
     def record_submit(self) -> None:
         """One request entered the front door (admitted or later shed)."""
@@ -287,6 +354,32 @@ class SloTracker:
         """One frame finished decoding (with its full timing record)."""
         self.responses.append(response)
 
+    def record_failed(self) -> None:
+        """One admitted request permanently failed (retries exhausted)."""
+        self.failed += 1
+
+    def record_retry(self) -> None:
+        self.retries += 1
+
+    def record_hedge(self) -> None:
+        self.hedges += 1
+
+    def record_hedge_win(self) -> None:
+        self.hedge_wins += 1
+
+    def record_failover(self) -> None:
+        """One request diverted here from its preferred (broken) group."""
+        self.failovers += 1
+
+    def record_replica_lost(self) -> None:
+        self.replicas_lost += 1
+
+    def record_replica_replaced(self) -> None:
+        self.replicas_replaced += 1
+
+    def add_degraded_time(self, ms: float) -> None:
+        self.degraded_time_ms += ms
+
     def merge(self, other: "SloTracker") -> None:
         """Fold another tracker's session into this one.
 
@@ -299,6 +392,14 @@ class SloTracker:
         self.submitted += other.submitted
         self.shed += other.shed
         self.batch_sizes.extend(other.batch_sizes)
+        self.failed += other.failed
+        self.retries += other.retries
+        self.hedges += other.hedges
+        self.hedge_wins += other.hedge_wins
+        self.failovers += other.failovers
+        self.replicas_lost += other.replicas_lost
+        self.replicas_replaced += other.replicas_replaced
+        self.degraded_time_ms += other.degraded_time_ms
 
     def report(
         self,
@@ -357,6 +458,14 @@ class SloTracker:
             router=router,
             groups=groups,
             reconnects=reconnects,
+            failed=self.failed,
+            retries=self.retries,
+            hedges=self.hedges,
+            hedge_wins=self.hedge_wins,
+            failovers=self.failovers,
+            replicas_lost=self.replicas_lost,
+            replicas_replaced=self.replicas_replaced,
+            degraded_time_ms=self.degraded_time_ms,
         )
 
 
@@ -365,11 +474,13 @@ def report_to_json(report: ServingReport, indent: int = 2) -> str:
     payload = asdict(report)
     payload["miss_rate"] = report.miss_rate
     payload["shed_rate"] = report.shed_rate
+    payload["failed_rate"] = report.failed_rate
     payload["throughput_fps"] = report.throughput_fps
     payload["mean_utilization"] = report.mean_utilization
     for group_payload, group in zip(payload["groups"], report.groups):
         group_payload["shed_rate"] = group.shed_rate
         group_payload["miss_rate"] = group.miss_rate
+        group_payload["failed_rate"] = group.failed_rate
     return json.dumps(payload, indent=indent)
 
 
@@ -381,7 +492,13 @@ def report_from_json(text: str) -> ServingReport:
     defaults, so archived CI reports keep loading as the record grows.
     """
     payload = json.loads(text)
-    for derived in ("miss_rate", "shed_rate", "throughput_fps", "mean_utilization"):
+    for derived in (
+        "miss_rate",
+        "shed_rate",
+        "failed_rate",
+        "throughput_fps",
+        "mean_utilization",
+    ):
         payload.pop(derived, None)
     payload["replica_utilization"] = tuple(payload["replica_utilization"])
     payload["deadline_tiers_ms"] = tuple(
@@ -395,6 +512,7 @@ def report_from_json(text: str) -> ServingReport:
         group_payload = dict(group_payload)
         group_payload.pop("shed_rate", None)
         group_payload.pop("miss_rate", None)
+        group_payload.pop("failed_rate", None)
         groups.append(GroupReport(**group_payload))
     payload["groups"] = tuple(groups)
     return ServingReport(**payload)

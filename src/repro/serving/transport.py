@@ -204,21 +204,51 @@ def parse_remote_spec(name: str) -> tuple[str, int]:
     return host, int(port_text)
 
 
-def get_transport(name: str | ReplicaTransport) -> ReplicaTransport:
-    """Look a transport up by name (or pass an instance through)."""
+def require_fleet_token(context: str) -> str:
+    """The fleet auth token from the environment, or a friendly error.
+
+    Everything that talks to a remote replica or fleet endpoint
+    (``remote:HOST:PORT`` transports, ``repro fleet worker|replicas``)
+    authenticates with the shared secret in :data:`REMOTE_TOKEN_ENV`.
+    Checking it up front turns a confusing mid-session auth failure into
+    an immediate, actionable message.
+    """
+    token = os.environ.get(REMOTE_TOKEN_ENV, "")
+    if not token:
+        raise RuntimeError(
+            f"{context} needs the fleet auth token: set {REMOTE_TOKEN_ENV} "
+            f"to the shared secret the replica server was started with "
+            f"(e.g. export {REMOTE_TOKEN_ENV}=...)"
+        )
+    return token
+
+
+def get_transport(
+    name: str | ReplicaTransport, timeout_s: float | None = None
+) -> ReplicaTransport:
+    """Look a transport up by name (or pass an instance through).
+
+    ``timeout_s`` bounds how long the socket/remote transports wait on
+    the wire (connection setup and each decode round-trip); ``None``
+    keeps each transport's default. In-process serving has no wire and
+    ignores it.
+    """
     if not isinstance(name, str):
         return name
     if name == "inprocess":
         return InProcessTransport()
     if name == "socket":
+        if timeout_s is not None:
+            return SocketTransport(timeout_s=timeout_s)
         return SocketTransport()
     if name.startswith("remote:"):
         from repro.dist.remote_transport import RemoteTransport
 
         host, port = parse_remote_spec(name)
-        return RemoteTransport(
-            host, port, token=os.environ.get(REMOTE_TOKEN_ENV, "")
-        )
+        token = require_fleet_token(f"transport {name!r}")
+        if timeout_s is not None:
+            return RemoteTransport(host, port, token=token, timeout_s=timeout_s)
+        return RemoteTransport(host, port, token=token)
     known = ", ".join(TRANSPORTS + ("remote:HOST:PORT",))
     raise KeyError(
         f"unknown replica transport {name!r}; known transports: {known}"
@@ -290,6 +320,7 @@ __all__ = [
     "get_transport",
     "list_transports",
     "parse_remote_spec",
+    "require_fleet_token",
     "serve",
 ]
 

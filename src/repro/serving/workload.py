@@ -292,6 +292,8 @@ async def run_serving_session(
     batch_window_ms: float = 2.0,
     max_batch: int | None = None,
     transport: str = "inprocess",
+    chaos=None,
+    recovery=None,
 ) -> ServingReport:
     """Serve one workload on an open event loop and report the SLOs."""
     anchor_session_clock()
@@ -306,6 +308,8 @@ async def run_serving_session(
         max_batch=max_batch,
         tracker=tracker,
         transport=transport,
+        chaos=chaos,
+        recovery=recovery,
     )
     scheduler.start()
     clients = [
@@ -336,6 +340,8 @@ def serve_workload(
     max_batch: int | None = None,
     real_time: bool = False,
     transport: str = "inprocess",
+    chaos=None,
+    recovery=None,
 ) -> ServingReport:
     """Run a whole serving session; deterministic on the virtual clock."""
     return run_session(
@@ -346,6 +352,8 @@ def serve_workload(
             batch_window_ms=batch_window_ms,
             max_batch=max_batch,
             transport=transport,
+            chaos=chaos,
+            recovery=recovery,
         ),
         real_time=real_time,
     )

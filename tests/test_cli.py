@@ -334,6 +334,63 @@ class TestServe:
         assert main(["serve", "--cluster", spec]) == 2
         assert message in capsys.readouterr().err
 
+    def test_serve_chaos_session_counts_faults(self, capsys, tmp_path):
+        from repro.serving import report_from_json
+
+        path = tmp_path / "chaos.json"
+        out = run_cli(
+            capsys,
+            *self.SERVE,
+            "--chaos", "die-at:0:40",
+            "--max-retries", "1",
+            "--replace-after-ms", "100",
+            "--json", str(path),
+        )
+        assert "replicas lost/replaced" in out
+        report = report_from_json(path.read_text())
+        assert report.replicas_lost == 1
+        assert report.replicas_replaced == 1
+        assert (
+            report.completed + report.shed + report.failed
+            == report.submitted
+        )
+
+    @pytest.mark.parametrize(
+        "argv, message",
+        [
+            (["--chaos", "explode:0:1"], "bad --chaos spec"),
+            (["--chaos", "crash-at:0:0"], "positive integer"),
+            (["--max-retries", "-1"], "--max-retries"),
+            (["--transport-timeout", "5"], "--transport-timeout"),
+        ],
+    )
+    def test_serve_rejects_bad_chaos_flags(self, capsys, argv, message):
+        # Validated before any design search runs; --transport-timeout
+        # without a wire transport is meaningless.
+        assert main(["serve", *argv]) == 2
+        assert message in capsys.readouterr().err
+
+    def test_serve_rejects_nonpositive_transport_timeout(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--transport", "socket", "--transport-timeout", "0"])
+        assert "positive number" in capsys.readouterr().err
+
+    def test_worker_without_token_fails_fast(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_FLEET_TOKEN", raising=False)
+        assert main(["fleet", "worker", "--connect", "127.0.0.1:7000"]) == 2
+        err = capsys.readouterr().err
+        assert "REPRO_FLEET_TOKEN" in err and "--token" in err
+
+    def test_replicas_without_token_fails_fast(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_FLEET_TOKEN", raising=False)
+        assert main(["fleet", "replicas", "--listen", "127.0.0.1:0"]) == 2
+        assert "REPRO_FLEET_TOKEN" in capsys.readouterr().err
+
+    def test_serve_remote_without_token_fails_fast(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_FLEET_TOKEN", raising=False)
+        assert main(["serve", "--transport", "remote:127.0.0.1:7000"]) == 2
+        assert "REPRO_FLEET_TOKEN" in capsys.readouterr().err
+
     def test_serve_mixed_cluster_with_shedding(self, capsys, tmp_path):
         from repro.serving import report_from_json
 

@@ -53,8 +53,16 @@ EXACT_FIELDS = (
     "deadline_misses",
     "batches",
     "router",
+    "failed",
+    "retries",
+    "hedges",
+    "hedge_wins",
+    "failovers",
+    "replicas_lost",
+    "replicas_replaced",
 )
 APPROX_FIELDS = (
+    "degraded_time_ms",
     "duration_ms",
     "latency_p50_ms",
     "latency_p95_ms",
@@ -93,6 +101,13 @@ def assert_reports_match(coroutine, heap):
             "shed",
             "completed",
             "deadline_misses",
+            "failed",
+            "retries",
+            "hedges",
+            "hedge_wins",
+            "failovers",
+            "replicas_lost",
+            "replicas_replaced",
         ):
             assert getattr(ga, name) == getattr(gb, name), f"group {name}"
         for name in (
@@ -468,6 +483,17 @@ def test_pr5_report_fixture_still_loads():
     assert report.scale_ups == 0 and report.scale_downs == 0
     assert report.peak_replicas == 0
     assert report.groups[0].scale_ups == 0
+    # Chaos-era counters (this PR) default too: a pre-chaos payload is a
+    # fault-free run.
+    assert report.failed == 0 and report.retries == 0
+    assert report.hedges == 0 and report.hedge_wins == 0
+    assert report.failovers == 0
+    assert report.replicas_lost == 0 and report.replicas_replaced == 0
+    assert report.degraded_time_ms == 0.0
+    assert report.groups[0].failed == 0
+    assert report.groups[0].retries == 0
+    assert report.groups[0].replicas_lost == 0
+    assert report.groups[0].degraded_time_ms == 0.0
     # And it keeps round-tripping through the current serializer.
     assert report_from_json(report_to_json(report)) == report
 

@@ -3,8 +3,10 @@
 The contract under test: serving through ``remote:HOST:PORT`` is
 bit-identical to in-process serving — including across a forced
 disconnect/reconnect, because the server's per-session reply cache makes
-resubmission idempotent — and an unrecoverably dead server fails the
-session *loudly* (``RemoteReplicaError`` on the futures), never a hang.
+resubmission idempotent — and an unrecoverably dead server surfaces as
+*replica-level* faults: the session completes with the unserved frames
+counted ``failed`` and the replicas marked lost, never a hang and never
+a silently dropped frame.
 """
 
 from __future__ import annotations
@@ -18,7 +20,6 @@ import pytest
 from repro.dist.faults import FaultInjector, FaultPlan
 from repro.dist.protocol import AuthError
 from repro.dist.remote_transport import (
-    RemoteReplicaError,
     RemoteTransport,
     profile_from_wire,
     profile_to_wire,
@@ -119,11 +120,17 @@ class TestRemoteServing:
         assert report.reconnects == 1  # surfaced into the report
         assert dataclasses.replace(report, reconnects=0) == inprocess_report
 
-    def test_dead_server_fails_loudly_not_hangs(self):
+    def test_dead_server_fails_frames_not_session(self):
+        """A server gone past its reconnect budget is a replica fault:
+        the session still completes, every unserved frame resolves as
+        ``failed``, and the lost replicas land in the report."""
         fault = FaultInjector(FaultPlan(kill_server_after_decodes=2))
         with replica_server(fault=fault) as port:
-            with pytest.raises(RemoteReplicaError):
-                remote_report(port, max_retries=2)
+            report, _ = remote_report(port, max_retries=2)
+        assert report.failed > 0
+        assert report.replicas_lost == 2  # both proxies hit the dead server
+        assert report.completed + report.failed == report.submitted
+        assert any("dead" in g.health for g in report.groups) or not report.groups
 
     def test_wrong_token_is_an_auth_error(self):
         with replica_server(token="right") as port:

@@ -548,7 +548,9 @@ CLUSTER_SATURATION = 1.05
 SHED_OVERLOAD = 1.5
 
 
-def _cluster_workload(profile, saturation: float, seed: int = 0):
+def _cluster_workload(
+    profile, saturation: float, seed: int = 0, budget: int = CLUSTER_BUDGET
+):
     """The mixed-deadline cluster benchmark workload, sized off capacity.
 
     The tight tier budget sits between the latency group's and the
@@ -561,7 +563,7 @@ def _cluster_workload(profile, saturation: float, seed: int = 0):
 
     from repro.serving import AvatarWorkload
 
-    capacity_fps = CLUSTER_BUDGET * profile.steady_fps
+    capacity_fps = budget * profile.steady_fps
     avatars = max(4, round(saturation * capacity_fps / 30.0))
     tight_ms = round(profile.first_frame_ms + 15.0, 1)
     tiers = (tight_ms,) + (2.0 * tight_ms,) * (math.ceil(avatars / 3) - 1)
@@ -713,6 +715,192 @@ def run_cluster_section(latency_profile, throughput_profile) -> tuple[dict, list
             ),
         },
         "deterministic": deterministic,
+        "gates": gates,
+    }
+    return section, gates
+
+
+#: The chaos benchmark: a five-replica cluster whose entire latency tier
+#: (1 of 5 replicas — 20% of the fleet) dies mid-session, with no
+#: admission control so the damage cannot hide behind shedding. The
+#: shielded run (retries + failover + replacement) must hold its
+#: combined deadline-miss + failure rate within 2x of the fault-free
+#: run; the unshielded run (no retries, no replacement) eats the dead
+#: replica's in-flight frames as failures and then runs the rest of the
+#: session past capacity, so its misses grow without bound.
+CHAOS_BUDGET = 5
+CHAOS_SATURATION = 0.85
+CHAOS_KILL = "die-at:latency/0:250"
+CHAOS_REPLACE_AFTER_MS = 80.0
+#: Absolute floor on the shielded bound so a fault-free run that misses
+#: nothing does not demand a literally perfect faulty run.
+CHAOS_DEGRADED_FLOOR = 0.02
+
+
+def summarize_chaos(report) -> dict:
+    payload = summarize_serving(report)
+    payload.update(
+        {
+            "failed": report.failed,
+            "failed_rate": round(report.failed_rate, 4),
+            "retries": report.retries,
+            "hedges": report.hedges,
+            "failovers": report.failovers,
+            "replicas_lost": report.replicas_lost,
+            "replicas_replaced": report.replicas_replaced,
+            "degraded_time_ms": round(report.degraded_time_ms, 3),
+        }
+    )
+    return payload
+
+
+def _chaos_groups(latency_profile, throughput_profile):
+    from repro.serving import GroupSpec
+
+    return [
+        GroupSpec(
+            "latency",
+            latency_profile,
+            replicas=1,
+            policy="edf",
+            batch_window_ms=0.0,
+            max_batch=4,
+        ),
+        GroupSpec(
+            "throughput",
+            throughput_profile,
+            replicas=CHAOS_BUDGET - 1,
+            policy="fifo",
+            batch_window_ms=4.0,
+            max_batch=8,
+        ),
+    ]
+
+
+def run_chaos_section(latency_profile, throughput_profile) -> tuple[dict, list[str]]:
+    """Chaos resilience: 20% replica loss, shielded vs unshielded.
+
+    Returns the JSON section plus a list of failed gates (empty = pass).
+    """
+    from repro.serving import (
+        ChaosPlan,
+        RecoveryPolicy,
+        report_to_json,
+        serve_cluster,
+        serve_trace,
+        trace_from_workload,
+    )
+
+    workload = _cluster_workload(
+        latency_profile, CHAOS_SATURATION, budget=CHAOS_BUDGET
+    )
+    groups = _chaos_groups(latency_profile, throughput_profile)
+    chaos = ChaosPlan.parse(CHAOS_KILL)
+    shielded_policy = RecoveryPolicy(
+        max_retries=2,
+        breaker_threshold=1,
+        replace_after_ms=CHAOS_REPLACE_AFTER_MS,
+    )
+    unshielded_policy = RecoveryPolicy(max_retries=0, breaker_threshold=0)
+
+    def session(plan, recovery):
+        return serve_cluster(
+            groups,
+            workload,
+            router="deadline",
+            chaos=plan,
+            recovery=recovery,
+        )
+
+    fault_free = session(None, None)
+    shielded = session(chaos, shielded_policy)
+    shielded_again = session(chaos, shielded_policy)
+    unshielded = session(chaos, unshielded_policy)
+    heap = serve_trace(
+        groups,
+        trace_from_workload(workload),
+        router="deadline",
+        chaos=chaos,
+        recovery=shielded_policy,
+    )
+
+    def degraded(report):
+        return report.miss_rate + report.failed_rate
+
+    bound = max(2.0 * degraded(fault_free), CHAOS_DEGRADED_FLOOR)
+    deterministic = report_to_json(shielded) == report_to_json(shielded_again)
+    counter_fields = (
+        "submitted", "completed", "failed", "shed", "deadline_misses",
+        "retries", "hedges", "failovers", "replicas_lost",
+        "replicas_replaced",
+    )
+    engine_equivalent = all(
+        getattr(heap, field) == getattr(shielded, field)
+        for field in counter_fields
+    )
+
+    gates = []
+    if degraded(shielded) > bound:
+        gates.append(
+            f"shielded run degraded to miss+fail {degraded(shielded):.4f} "
+            f"at {1 / CHAOS_BUDGET:.0%} replica loss (bound {bound:.4f})"
+        )
+    if degraded(unshielded) <= degraded(shielded):
+        gates.append(
+            f"unshielded run (miss+fail {degraded(unshielded):.4f}) did "
+            f"not collapse past the shielded run "
+            f"({degraded(shielded):.4f}) — the recovery stack bought "
+            f"nothing"
+        )
+    if unshielded.failed <= 0:
+        gates.append("unshielded run failed no frames at 20% replica loss")
+    if shielded.retries <= 0:
+        gates.append("shielded run never retried a failed frame")
+    if shielded.failovers <= 0:
+        gates.append(
+            "shielded run never failed traffic over to the surviving group"
+        )
+    if shielded.replicas_replaced <= 0:
+        gates.append("shielded run never replaced its dead replica")
+    if shielded.replicas_lost != 1:
+        gates.append(
+            f"shielded run lost {shielded.replicas_lost} replicas "
+            f"(chaos plan kills exactly 1)"
+        )
+    for name, report in (
+        ("fault-free", fault_free),
+        ("shielded", shielded),
+        ("unshielded", unshielded),
+    ):
+        if report.completed + report.shed + report.failed != report.submitted:
+            gates.append(
+                f"{name} chaos run lost frames "
+                f"(completed + shed + failed != submitted)"
+            )
+    if not deterministic:
+        gates.append("shielded chaos sessions diverged at the same seed")
+    if not engine_equivalent:
+        gates.append(
+            "event-heap engine diverged from the coroutine scheduler "
+            "under faults"
+        )
+
+    section = {
+        "replica_budget": CHAOS_BUDGET,
+        "saturation": CHAOS_SATURATION,
+        "chaos": CHAOS_KILL,
+        "replica_loss_fraction": round(1.0 / CHAOS_BUDGET, 2),
+        "recovery": {
+            "max_retries": shielded_policy.max_retries,
+            "breaker_threshold": shielded_policy.breaker_threshold,
+            "replace_after_ms": shielded_policy.replace_after_ms,
+        },
+        "fault_free": summarize_chaos(fault_free),
+        "shielded": summarize_chaos(shielded),
+        "unshielded": summarize_chaos(unshielded),
+        "degraded_bound": round(bound, 4),
+        "deterministic": deterministic,
+        "engine_equivalent": engine_equivalent,
         "gates": gates,
     }
     return section, gates
@@ -910,6 +1098,9 @@ def run_serving_suite(args: argparse.Namespace) -> int:
     cluster_section, cluster_gates = run_cluster_section(
         profile, throughput_profile
     )
+    chaos_section, chaos_gates = run_chaos_section(
+        profile, throughput_profile
+    )
 
     # The event-heap engine must reproduce the coroutine scheduler's
     # counters on the suite's own workload before its scale numbers mean
@@ -977,6 +1168,7 @@ def run_serving_suite(args: argparse.Namespace) -> int:
         "single_group_cluster_identical": single_group_identical,
         "engine_equivalent": engine_equivalent,
         "cluster": cluster_section,
+        "chaos": chaos_section,
         "engine": engine_section,
     }
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
@@ -1015,6 +1207,18 @@ def run_serving_suite(args: argparse.Namespace) -> int:
         f"{over['without_shedding']['latency_p99_ms']:.1f} ms, bound "
         f"{over['p99_bound_ms']:.0f} ms"
     )
+    shielded = chaos_section["shielded"]
+    unshielded = chaos_section["unshielded"]
+    print(
+        f"chaos ({CHAOS_KILL}, {1 / CHAOS_BUDGET:.0%} loss): shielded "
+        f"miss+fail "
+        f"{100 * (shielded['deadline_miss_rate'] + shielded['failed_rate']):.1f}% "
+        f"(bound {100 * chaos_section['degraded_bound']:.1f}%) vs "
+        f"unshielded "
+        f"{100 * (unshielded['deadline_miss_rate'] + unshielded['failed_rate']):.1f}%, "
+        f"retries {shielded['retries']}, failovers "
+        f"{shielded['failovers']}, replaced {shielded['replicas_replaced']}"
+    )
     print(
         f"engine: {engine_section['submitted']:,} requests over "
         f"{ENGINE_AVATARS:,} avatars in {engine_section['wall_seconds']}s "
@@ -1041,6 +1245,10 @@ def run_serving_suite(args: argparse.Namespace) -> int:
     if cluster_gates:
         for gate in cluster_gates:
             print(f"ERROR: cluster gate failed: {gate}")
+        return 1
+    if chaos_gates:
+        for gate in chaos_gates:
+            print(f"ERROR: chaos gate failed: {gate}")
         return 1
     if engine_gates:
         for gate in engine_gates:
