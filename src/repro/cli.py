@@ -40,6 +40,7 @@ from repro.arch.serialize import config_from_json, config_to_json
 from repro.devices.asic import AsicSpec
 from repro.devices.fpga import get_device, list_devices
 from repro.dse.objective import OBJECTIVES, RERANK_ORACLES
+from repro.dse.surrogate import DEFAULT_MIN_SAMPLES, SURROGATE_MODES
 from repro.dse.space import Customization
 from repro.fcad.flow import FCad
 from repro.fcad.report import render_markdown_report
@@ -386,14 +387,16 @@ def _sweep_summary(results) -> str:
 
 
 @contextmanager
-def _search_profiler(enabled: bool):
+def _search_profiler(enabled: bool, out: str | None = None):
     """cProfile the wrapped search and print the top-20 cumulative hotspots.
 
     This is how perf work on the DSE should start: measure first. The
     table makes it obvious whether time goes to Algorithm-2 solves, cache
     bookkeeping, or pool dispatch before anyone reaches for a fix.
+    ``out`` additionally dumps the full raw :mod:`pstats` data to a file
+    for offline digging (``python -m pstats <file>``, snakeviz, etc.).
     """
-    if not enabled:
+    if not enabled and out is None:
         yield
         return
     import cProfile
@@ -408,9 +411,13 @@ def _search_profiler(enabled: bool):
         profiler.disable()
         stream = io.StringIO()
         stats = pstats.Stats(profiler, stream=stream)
-        stats.sort_stats("cumulative").print_stats(20)
-        print("\n--- search profile (top 20 by cumulative time) ---")
-        print(stream.getvalue().rstrip())
+        if out is not None:
+            stats.dump_stats(out)
+            print(f"search profile written to {out}")
+        if enabled:
+            stats.sort_stats("cumulative").print_stats(20)
+            print("\n--- search profile (top 20 by cumulative time) ---")
+            print(stream.getvalue().rstrip())
 
 
 def cmd_explore(args: argparse.Namespace) -> int:
@@ -445,7 +452,7 @@ def cmd_explore(args: argparse.Namespace) -> int:
                 if args.sweep_quants
                 else [args.quant]
             )
-            with _search_profiler(args.profile):
+            with _search_profiler(args.profile, args.profile_out):
                 results = run_sweep(
                     sweep_grid(
                         networks=[network],
@@ -462,8 +469,24 @@ def cmd_explore(args: argparse.Namespace) -> int:
                     objective=args.objective,
                     rerank_oracle=args.rerank,
                     rerank_top_k=args.rerank_top_k,
+                    surrogate=args.surrogate,
+                    surrogate_min_samples=args.surrogate_min_samples,
                 )
             print(_sweep_summary(results))
+            stats = [
+                r.dse.surrogate_stats
+                for r in results
+                if r.dse.surrogate_stats is not None
+            ]
+            if stats:
+                print(
+                    f"surrogate ({stats[0].mode}): "
+                    f"{sum(s.pruned_candidates for s in stats)} candidates "
+                    f"pruned ({sum(s.pruned_buckets for s in stats)} bucket "
+                    f"solves skipped), "
+                    f"{sum(s.false_prunes for s in stats)} false prunes "
+                    f"across {len(stats)} searched cases"
+                )
             if args.save_config or args.report:
                 print(
                     "(--save-config/--report apply to single-case "
@@ -477,7 +500,7 @@ def cmd_explore(args: argparse.Namespace) -> int:
             customization=customization,
             alpha=args.alpha,
         )
-        with _search_profiler(args.profile):
+        with _search_profiler(args.profile, args.profile_out):
             result = flow.run(
                 iterations=args.iterations,
                 population=args.population,
@@ -487,6 +510,8 @@ def cmd_explore(args: argparse.Namespace) -> int:
                 objective=args.objective,
                 rerank_oracle=args.rerank,
                 rerank_top_k=args.rerank_top_k,
+                surrogate=args.surrogate,
+                surrogate_min_samples=args.surrogate_min_samples,
             )
         print(result.render())
         dse = result.dse
@@ -502,6 +527,15 @@ def cmd_explore(args: argparse.Namespace) -> int:
             f"{dse.cache_seconds:.2f}s, pool overhead "
             f"{dse.overhead_seconds:.2f}s"
         )
+        if dse.surrogate_stats is not None:
+            ss = dse.surrogate_stats
+            print(
+                f"surrogate ({ss.mode}): {ss.pruned_candidates} candidates "
+                f"pruned ({ss.pruned_buckets} bucket solves skipped, "
+                f"{ss.solved_buckets} solved), {ss.predictions} predictions, "
+                f"{ss.false_prunes}/{ss.audited} audited false prunes, "
+                f"model {ss.model_samples} samples / {ss.refits} refits"
+            )
         print(
             f"objective: {dse.objective}; oracle stages: "
             + "; ".join(
@@ -1194,7 +1228,14 @@ def build_parser() -> argparse.ArgumentParser:
             "      --rerank serving --rerank-top-k 4\n"
             "      score every candidate analytically, replay each\n"
             "      generation's top 4 through the serving layer, and pick\n"
-            "      the design with the best p99/deadline-miss under load"
+            "      the design with the best p99/deadline-miss under load\n"
+            "surrogate-accelerated search:\n"
+            "  repro explore codec_avatar_decoder --cache-file evals.db \\\n"
+            "      --surrogate prune\n"
+            "      fit a cheap cost model on the warm cache and skip\n"
+            "      Algorithm-2 solves for candidates it confidently rules\n"
+            "      out; --surrogate verify only prunes trajectory-safe\n"
+            "      candidates (final design identical to --surrogate off)"
         ),
     )
     p.add_argument("model")
@@ -1220,6 +1261,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile",
         action="store_true",
         help="cProfile the search and print the top-20 cumulative hotspots",
+    )
+    p.add_argument(
+        "--profile-out",
+        metavar="PATH",
+        help="dump the full raw pstats profile of the search to this file "
+        "(works with or without --profile)",
+    )
+    p.add_argument(
+        "--surrogate",
+        default="off",
+        choices=list(SURROGATE_MODES),
+        help="learned cost-model filter on the eval path: 'prune' skips "
+        "Algorithm-2 solves for candidates confidently below the "
+        "incumbent best (fastest; swarm trajectory may drift within the "
+        "audited margin), 'verify' prunes only trajectory-safe "
+        "candidates so the final design is identical to 'off'",
+    )
+    p.add_argument(
+        "--surrogate-min-samples",
+        type=_positive_int,
+        default=DEFAULT_MIN_SAMPLES,
+        help="training-set size (cached bucket solves) the surrogate "
+        "needs before it starts predicting; below it the filter "
+        "passes everything through to the exact solver",
     )
     p.add_argument(
         "--objective",

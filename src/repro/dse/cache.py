@@ -82,6 +82,10 @@ class LocalEvalCache:
     def items(self) -> Iterable[tuple[Hashable, Any]]:
         return self._store.items()
 
+    def harvest(self, digest: str) -> list[tuple[int, tuple[int, int, int], Any]]:
+        """One spec's entries as surrogate training rows (sorted)."""
+        return harvest_entries(self, digest)
+
     def clear(self) -> None:
         self._store.clear()
 
@@ -132,6 +136,10 @@ class DeltaEvalCache:
         for key, value in self.base.items():
             if key not in seen:
                 yield key, value
+
+    def harvest(self, digest: str) -> list[tuple[int, tuple[int, int, int], Any]]:
+        """One spec's entries (delta over base) as sorted training rows."""
+        return harvest_entries(self, digest)
 
     def __len__(self) -> int:
         return len(self._delta) + sum(
@@ -193,6 +201,15 @@ class FileEvalCache:
 
     def items(self) -> Iterable[tuple[Hashable, Any]]:
         return self._store.items()
+
+    def harvest(self, digest: str) -> list[tuple[int, tuple[int, int, int], Any]]:
+        """One spec's persisted entries as sorted training rows.
+
+        Because the file is the training set, a warm start warms the
+        surrogate *model* along with the solution memo — no separate
+        model artifact to version or ship.
+        """
+        return harvest_entries(self, digest)
 
     def __len__(self) -> int:
         return len(self._store)
@@ -328,6 +345,40 @@ class SharedEvalCache:
         self._undrained = {}
 
 
+# ---------------------------------------------------------------------------
+# surrogate training harvest
+# ---------------------------------------------------------------------------
+def harvest_entries(
+    cache: EvalCache, digest: str
+) -> list[tuple[int, tuple[int, int, int], Any]]:
+    """One spec's analytical entries as sorted surrogate training rows.
+
+    Filters the cache down to the ``(digest, branch index, bucket)``
+    analytical keys of one problem spec — re-rank entries (their second
+    element is the string ``"rerank"``) and other specs' entries are
+    skipped — and returns ``(branch, bucket, solution)`` rows sorted by
+    ``(branch, bucket)``. The sort makes the harvest order a pure
+    function of the cache's *contents*: training a model from a file
+    cache, from the same entries held locally, or from a merged shard
+    file yields the identical model.
+
+    Works on every backend through the shared ``items()`` interface, so
+    a persistent :class:`FileEvalCache` warm-starts the surrogate model
+    exactly as it warm-starts the solution memo — for free, from the
+    same file.
+    """
+    rows = [
+        (key[1], key[2], value)
+        for key, value in cache.items()
+        if isinstance(key, tuple)
+        and len(key) == 3
+        and key[0] == digest
+        and isinstance(key[1], int)
+    ]
+    rows.sort(key=lambda row: (row[0], row[1]))
+    return rows
+
+
 #: Backend names accepted by :func:`make_cache` (and the CLI).
 CACHE_BACKENDS = ("local", "file", "manager")
 
@@ -362,5 +413,6 @@ __all__ = [
     "FileEvalCache",
     "LocalEvalCache",
     "SharedEvalCache",
+    "harvest_entries",
     "make_cache",
 ]

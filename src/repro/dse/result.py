@@ -1,13 +1,28 @@
-"""DSE result container and rendering."""
+"""DSE result container, rendering, and a stable JSON codec.
+
+The codec (:func:`result_to_dict` / :func:`result_from_dict`) exists so
+results survive as plain-JSON artifacts — bench archives, fleet
+checkpoints, regression fixtures — without pickle's coupling to class
+layout. It is forward-tolerant: fields added after a payload was written
+(e.g. ``surrogate_stats``) simply take their defaults on load, which the
+pinned fixture under ``tests/data/`` holds.
+"""
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
+from typing import Any
 
-from repro.arch.config import AcceleratorConfig
+from repro.arch.config import AcceleratorConfig, ConfigError
+from repro.arch.serialize import config_from_dict, config_to_dict
 from repro.dse.objective import BranchMetrics, OracleStats
-from repro.perf.estimator import AcceleratorPerf
+from repro.dse.surrogate import SurrogateStats
+from repro.perf.estimator import AcceleratorPerf, BranchPerf, StagePerf
+from repro.perf.resources import StageResources
 from repro.utils.tables import render_table
+
+RESULT_FORMAT_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -43,6 +58,10 @@ class DseResult:
     # (analytical for a plain search, the re-rank oracle for a staged one;
     # serving-oracle metrics carry the replayed p99 / deadline-miss SLOs).
     best_metrics: BranchMetrics | None = None
+    # Surrogate-filter accounting (pruned/solved/false-prune counts, model
+    # size, fit time). None on surrogate-off searches — and on every
+    # payload written before the surrogate existed.
+    surrogate_stats: SurrogateStats | None = None
 
     @property
     def iterations(self) -> int:
@@ -118,3 +137,227 @@ class DseResult:
             rows,
             title="F-CAD generated accelerator",
         )
+
+
+# ---------------------------------------------------------------------------
+# JSON codec
+# ---------------------------------------------------------------------------
+def _perf_to_dict(perf: AcceleratorPerf) -> dict[str, Any]:
+    return {
+        "frequency_mhz": perf.frequency_mhz,
+        "quant_name": perf.quant_name,
+        "branches": [
+            {
+                "index": b.index,
+                "output_name": b.output_name,
+                "batch_size": b.batch_size,
+                "fps": b.fps,
+                "efficiency": b.efficiency,
+                "dsp": b.dsp,
+                "bram": b.bram,
+                "bandwidth_gbps": b.bandwidth_gbps,
+                "gops": b.gops,
+                "bottleneck_stage": b.bottleneck_stage,
+                "stages": [
+                    {
+                        "name": s.name,
+                        "latency_cycles": s.latency_cycles,
+                        "resources": {
+                            "dsp": s.resources.dsp,
+                            "bram": s.resources.bram,
+                            "stream_bytes_per_frame": (
+                                s.resources.stream_bytes_per_frame
+                            ),
+                            "weights_resident": s.resources.weights_resident,
+                        },
+                    }
+                    for s in b.stages
+                ],
+            }
+            for b in perf.branches
+        ],
+    }
+
+
+def _perf_from_dict(data: dict[str, Any]) -> AcceleratorPerf:
+    return AcceleratorPerf(
+        frequency_mhz=data["frequency_mhz"],
+        quant_name=data["quant_name"],
+        branches=tuple(
+            BranchPerf(
+                index=b["index"],
+                output_name=b["output_name"],
+                batch_size=b["batch_size"],
+                fps=b["fps"],
+                efficiency=b["efficiency"],
+                dsp=b["dsp"],
+                bram=b["bram"],
+                bandwidth_gbps=b["bandwidth_gbps"],
+                gops=b["gops"],
+                bottleneck_stage=b["bottleneck_stage"],
+                stages=tuple(
+                    StagePerf(
+                        name=s["name"],
+                        latency_cycles=s["latency_cycles"],
+                        resources=StageResources(
+                            dsp=s["resources"]["dsp"],
+                            bram=s["resources"]["bram"],
+                            stream_bytes_per_frame=(
+                                s["resources"]["stream_bytes_per_frame"]
+                            ),
+                            weights_resident=s["resources"]["weights_resident"],
+                        ),
+                    )
+                    for s in b["stages"]
+                ),
+            )
+            for b in data["branches"]
+        ),
+    )
+
+
+def _metrics_to_dict(metrics: BranchMetrics) -> dict[str, Any]:
+    return {
+        "fps": list(metrics.fps),
+        "meets_batch": list(metrics.meets_batch),
+        "oracle": metrics.oracle,
+        "p99_ms": metrics.p99_ms,
+        "deadline_miss_rate": metrics.deadline_miss_rate,
+        "throughput_fps": metrics.throughput_fps,
+        "shed_rate": metrics.shed_rate,
+        "failed_rate": metrics.failed_rate,
+    }
+
+
+def _metrics_from_dict(data: dict[str, Any]) -> BranchMetrics:
+    return BranchMetrics(
+        fps=tuple(data["fps"]),
+        meets_batch=tuple(bool(ok) for ok in data["meets_batch"]),
+        oracle=data.get("oracle", "analytical"),
+        p99_ms=data.get("p99_ms"),
+        deadline_miss_rate=data.get("deadline_miss_rate"),
+        throughput_fps=data.get("throughput_fps"),
+        shed_rate=data.get("shed_rate"),
+        failed_rate=data.get("failed_rate"),
+    )
+
+
+def result_to_dict(result: DseResult) -> dict[str, Any]:
+    """Serialize a result to plain dicts/lists (stable JSON shape)."""
+    payload: dict[str, Any] = {
+        "version": RESULT_FORMAT_VERSION,
+        "best_config": config_to_dict(result.best_config),
+        "best_perf": _perf_to_dict(result.best_perf),
+        "best_fitness": result.best_fitness,
+        "history": list(result.history),
+        "convergence_iteration": result.convergence_iteration,
+        "runtime_seconds": result.runtime_seconds,
+        "evaluations": result.evaluations,
+        "cache_hits": result.cache_hits,
+        "workers": result.workers,
+        "stage_hits": result.stage_hits,
+        "stage_lookups": result.stage_lookups,
+        "eval_seconds": result.eval_seconds,
+        "cache_seconds": result.cache_seconds,
+        "overhead_seconds": result.overhead_seconds,
+        "objective": result.objective,
+        "oracle_stats": [
+            {
+                "name": s.name,
+                "invocations": s.invocations,
+                "cache_hits": s.cache_hits,
+            }
+            for s in result.oracle_stats
+        ],
+        "best_metrics": (
+            _metrics_to_dict(result.best_metrics)
+            if result.best_metrics is not None
+            else None
+        ),
+    }
+    if result.surrogate_stats is not None:
+        payload["surrogate_stats"] = {
+            "mode": result.surrogate_stats.mode,
+            "pruned_candidates": result.surrogate_stats.pruned_candidates,
+            "pruned_buckets": result.surrogate_stats.pruned_buckets,
+            "solved_buckets": result.surrogate_stats.solved_buckets,
+            "predictions": result.surrogate_stats.predictions,
+            "false_prunes": result.surrogate_stats.false_prunes,
+            "audited": result.surrogate_stats.audited,
+            "model_samples": result.surrogate_stats.model_samples,
+            "refits": result.surrogate_stats.refits,
+            "fit_seconds": result.surrogate_stats.fit_seconds,
+        }
+    return payload
+
+
+def result_from_dict(data: dict[str, Any]) -> DseResult:
+    """Rebuild a result serialized by :func:`result_to_dict`.
+
+    Payloads written before a field existed load fine: absent optional
+    keys (notably ``surrogate_stats``) fall back to the dataclass
+    defaults.
+    """
+    version = data.get("version", RESULT_FORMAT_VERSION)
+    if version != RESULT_FORMAT_VERSION:
+        raise ConfigError(f"unsupported result format version {version}")
+    try:
+        surrogate = None
+        raw_surrogate = data.get("surrogate_stats")
+        if raw_surrogate is not None:
+            surrogate = SurrogateStats(
+                mode=raw_surrogate["mode"],
+                pruned_candidates=raw_surrogate.get("pruned_candidates", 0),
+                pruned_buckets=raw_surrogate.get("pruned_buckets", 0),
+                solved_buckets=raw_surrogate.get("solved_buckets", 0),
+                predictions=raw_surrogate.get("predictions", 0),
+                false_prunes=raw_surrogate.get("false_prunes", 0),
+                audited=raw_surrogate.get("audited", 0),
+                model_samples=raw_surrogate.get("model_samples", 0),
+                refits=raw_surrogate.get("refits", 0),
+                fit_seconds=raw_surrogate.get("fit_seconds", 0.0),
+            )
+        raw_metrics = data.get("best_metrics")
+        return DseResult(
+            best_config=config_from_dict(data["best_config"]),
+            best_perf=_perf_from_dict(data["best_perf"]),
+            best_fitness=data["best_fitness"],
+            history=tuple(data["history"]),
+            convergence_iteration=data["convergence_iteration"],
+            runtime_seconds=data["runtime_seconds"],
+            evaluations=data["evaluations"],
+            cache_hits=data["cache_hits"],
+            workers=data.get("workers", 1),
+            stage_hits=data.get("stage_hits", 0),
+            stage_lookups=data.get("stage_lookups", 0),
+            eval_seconds=data.get("eval_seconds", 0.0),
+            cache_seconds=data.get("cache_seconds", 0.0),
+            overhead_seconds=data.get("overhead_seconds", 0.0),
+            objective=data.get("objective", "paper(alpha=0.05)"),
+            oracle_stats=tuple(
+                OracleStats(
+                    name=s["name"],
+                    invocations=s["invocations"],
+                    cache_hits=s["cache_hits"],
+                )
+                for s in data.get("oracle_stats", [])
+            ),
+            best_metrics=(
+                _metrics_from_dict(raw_metrics)
+                if raw_metrics is not None
+                else None
+            ),
+            surrogate_stats=surrogate,
+        )
+    except (KeyError, TypeError) as exc:
+        raise ConfigError(f"malformed result payload: {exc}") from exc
+
+
+def result_to_json(result: DseResult, indent: int | None = 2) -> str:
+    """Serialize a result to a JSON string."""
+    return json.dumps(result_to_dict(result), indent=indent)
+
+
+def result_from_json(text: str) -> DseResult:
+    """Rebuild a result from its JSON string form."""
+    return result_from_dict(json.loads(text))

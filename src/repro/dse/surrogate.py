@@ -1,0 +1,600 @@
+"""Learned surrogate over the evaluation cache: prune solves pre-dispatch.
+
+Every Algorithm-2 solve the search runs leaves an objective-independent
+``(branch, budget bucket) -> BranchSolution`` entry in the evaluation
+cache — exactly the training data a cheap regressor needs to predict
+which PSO positions are not worth solving at all. This module turns that
+by-product into a pre-solve filter:
+
+1. **Harvest** — :func:`repro.dse.cache.harvest_entries` reads a cache's
+   accumulated analytical entries back as sorted feature rows (branch
+   index + the three quantized budget coordinates) with latency/resource
+   targets (per-branch FPS, batch feasibility). A warm
+   :class:`~repro.dse.cache.FileEvalCache` therefore warm-starts the
+   *model* as well as the cache.
+2. **Predict** — a per-branch k-nearest-neighbour regressor over
+   standardized bucket coordinates (pure numpy, fixed hyperparameters,
+   stable tie-breaks) predicts FPS and feasibility for unseen buckets.
+   PSO positions are continuous, so converged swarms revisit *nearby*
+   buckets far more often than exact ones — the regime where k-NN is
+   accurate and exact-match memoization is not (see ``BENCH_dse.json``:
+   the bucket cache hits <1% of lookups while ``eval_seconds`` is ~86%
+   of serial wall time).
+3. **Prune** — :class:`SurrogateFilter` sits in the generation dedup
+   path of :class:`~repro.dse.worker.GenerationEvaluator`. A candidate
+   is pruned when its *optimistic score bound* (predicted score plus a
+   safety margin calibrated online from this search's own observed
+   prediction residuals) falls below the only thresholds that matter to
+   the PSO update: its particle's best fitness and the global best. A
+   pruned candidate's assigned score sits below both by construction, so
+   it can never update a particle best or the global best — which is
+   what makes ``verify`` mode's guarantee structural: a candidate that
+   could become a generation winner is never pruned, and the returned
+   design always comes from exact Algorithm-2 solves.
+
+Modes (``surrogate=``):
+
+- ``"off"`` — the default; the evaluator never consults a model and the
+  search is bit-identical to the historical one at the same seed.
+- ``"prune"`` — aggressive margins, plus pruning of candidates whose
+  branches are unanimously predicted infeasible by all k neighbours.
+  Trajectories may diverge slightly from ``off`` (the bench gates the
+  final fitness to within 1%), but runs are deterministic: same seed,
+  same cache state, same results, bit for bit.
+- ``"verify"`` — conservative margins, no infeasibility rule, and more
+  required residual observations before the first prune. Any candidate
+  whose bound could reach a best-update threshold is exactly re-solved,
+  so the final design matches ``off`` exactly (the bench asserts it).
+
+Everything is deterministic: fixed hyperparameters, sorted initial
+harvest, insertion-ordered incremental training rows, stable argsorts,
+and no randomness beyond the seeded search itself. Wall clock is only
+*measured* (model fit time in :class:`SurrogateStats`), never consulted.
+
+The module also hosts the cross-run calibration harvest:
+:func:`calibration_from_cache` pairs cached re-rank measurements (sim or
+serving replays) with their analytical counterparts and fits the
+per-branch residual the fig. 6/7 machinery measures, producing the
+:class:`~repro.dse.objective.ResidualCalibration` a
+:class:`~repro.dse.objective.CalibratedOracle` applies.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.dse.cache import EvalCache, harvest_entries
+from repro.dse.objective import (
+    BranchMetrics,
+    Objective,
+    ResidualCalibration,
+    penalized_score,
+)
+
+if TYPE_CHECKING:
+    from repro.dse.worker import EvalKey, EvalSpec
+
+#: Modes accepted by the engine, the flow, and ``--surrogate``.
+SURROGATE_MODES = ("off", "prune", "verify")
+
+#: Fewer cache entries than this and the model never fits — the filter
+#: degrades to a no-op (zero pruning) instead of guessing from noise.
+DEFAULT_MIN_SAMPLES = 64
+
+#: Neighbours per prediction. Small: the informative training points are
+#: the near-revisits of a converging swarm, not the far corners.
+_KNN_K = 4
+
+#: Refit when the training set has grown by this factor since the last
+#: fit (the first fit happens at ``min_samples``). Fits are cheap — the
+#: model is instance-based — but arrays are rebuilt per fit, so a little
+#: hysteresis keeps the bookkeeping off the per-generation path.
+_REFIT_GROWTH = 1.125
+
+#: Per-mode pruning conservatism: ``factor`` scales the windowed
+#: residual statistic, ``rel_slack`` adds slack proportional to the
+#: predicted score, ``min_observations`` delays the first prune until
+#: the margin has data, ``quantile`` picks the residual statistic
+#: (1.0 = the window max), and ``window`` bounds how long one bad
+#: residual stays in the margin. The ``verify`` row is deliberately
+#: conservative and is paired with strict per-particle thresholds in
+#: the optimizer — its contract is final-design identity with
+#: surrogate-off, and the ``finalize`` audit counts any violation —
+#: while ``prune`` thresholds against the global best only and
+#: tolerates occasional margin violations (the bench gates its best
+#: fitness to within 1% of exact).
+@dataclass(frozen=True)
+class _Policy:
+    factor: float
+    rel_slack: float
+    min_observations: int
+    quantile: float
+    window: int
+
+
+_MODE_POLICY = {
+    "prune": _Policy(
+        factor=1.0, rel_slack=0.01, min_observations=8, quantile=0.75,
+        window=128,
+    ),
+    "verify": _Policy(
+        factor=1.5, rel_slack=0.02, min_observations=16, quantile=0.95,
+        window=128,
+    ),
+}
+
+#: Query chunk size for the distance matrix, bounding its memory to
+#: ``chunk x len(training set)`` floats even against huge warm files.
+_PREDICT_CHUNK = 64
+
+
+def resolve_surrogate_mode(mode: str | None) -> str:
+    """Validate a mode name (``None`` means ``"off"``)."""
+    if mode is None:
+        return "off"
+    if mode not in SURROGATE_MODES:
+        raise ValueError(
+            f"unknown surrogate mode {mode!r}; pick one of {SURROGATE_MODES}"
+        )
+    return mode
+
+
+@dataclass(frozen=True)
+class SurrogateStats:
+    """One search's surrogate accounting, reported in ``DseResult``.
+
+    ``false_prunes`` is measured by the end-of-search audit: every pruned
+    candidate whose buckets were later solved anyway (converging swarms
+    revisit their neighbourhoods) is re-scored exactly and counted when
+    its true score would have beaten the threshold it was pruned under —
+    real signal about margin quality, at zero extra solve cost.
+    """
+
+    mode: str
+    pruned_candidates: int = 0
+    pruned_buckets: int = 0
+    solved_buckets: int = 0
+    predictions: int = 0
+    false_prunes: int = 0
+    audited: int = 0
+    model_samples: int = 0
+    refits: int = 0
+    fit_seconds: float = 0.0
+
+
+class _BranchModel:
+    """k-NN regressor for one branch over standardized bucket coords."""
+
+    def __init__(self, buckets: np.ndarray, fps: np.ndarray, feasible: np.ndarray) -> None:
+        self._mean = buckets.mean(axis=0)
+        std = buckets.std(axis=0)
+        std[std == 0.0] = 1.0
+        self._std = std
+        self._points = (buckets - self._mean) / self._std
+        self._fps = fps
+        self._feasible = feasible
+
+    def predict(self, buckets: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Predicted (fps, feasible fraction) for a (q, 3) bucket array.
+
+        Inverse-distance-weighted mean of the k nearest training points;
+        ``argsort(kind="stable")`` breaks distance ties by training-row
+        insertion order, which is itself deterministic (sorted harvest,
+        then generation fold order) — so predictions never depend on
+        anything but the cache state.
+        """
+        queries = (buckets - self._mean) / self._std
+        k = min(_KNN_K, len(self._points))
+        fps = np.empty(len(queries))
+        feasible = np.empty(len(queries))
+        for start in range(0, len(queries), _PREDICT_CHUNK):
+            chunk = queries[start : start + _PREDICT_CHUNK]
+            deltas = chunk[:, None, :] - self._points[None, :, :]
+            distances = np.sqrt((deltas * deltas).sum(axis=-1))
+            nearest = np.argsort(distances, axis=1, kind="stable")[:, :k]
+            weights = 1.0 / (np.take_along_axis(distances, nearest, axis=1) + 1e-9)
+            fps[start : start + _PREDICT_CHUNK] = (
+                weights * self._fps[nearest]
+            ).sum(axis=1) / weights.sum(axis=1)
+            feasible[start : start + _PREDICT_CHUNK] = self._feasible[
+                nearest
+            ].mean(axis=1)
+        return fps, feasible
+
+
+@dataclass
+class _Prediction:
+    """One candidate's pre-solve prediction (kept until rehydration)."""
+
+    keys: tuple
+    #: Score assuming every predicted branch is feasible — an optimistic
+    #: base for the upper bound (the infeasibility penalty only ever
+    #: subtracts, so assuming it away can only overestimate).
+    optimistic_score: float
+    #: Score with the infeasibility penalty applied to branches whose k
+    #: neighbours are *unanimously* infeasible (prune mode only).
+    pessimistic_score: float
+    metrics: BranchMetrics
+    cached_hits: int
+
+
+@dataclass(frozen=True)
+class PrunedVerdict:
+    """What the evaluator records for a candidate it will not solve."""
+
+    score: float
+    metrics: BranchMetrics
+
+
+class SurrogateFilter:
+    """Per-search pre-solve filter the generation evaluator consults.
+
+    Owns the training rows, the per-branch models, the online residual
+    calibration, the prune decisions, and the end-of-search false-prune
+    audit. One filter serves one search; warm starts come from harvesting
+    the (possibly shared or persistent) cache it searches against.
+    """
+
+    def __init__(
+        self,
+        spec: "EvalSpec",
+        objective: Objective,
+        mode: str,
+        min_samples: int = DEFAULT_MIN_SAMPLES,
+    ) -> None:
+        mode = resolve_surrogate_mode(mode)
+        if mode == "off":
+            raise ValueError("a surrogate filter needs an active mode")
+        if min_samples < 1:
+            raise ValueError("surrogate min_samples must be at least 1")
+        self.spec = spec
+        self.objective = objective
+        self.mode = mode
+        self.min_samples = min_samples
+        self._policy = _MODE_POLICY[mode]
+        self._rows: dict[int, list[tuple[tuple[int, int, int], float, bool]]] = {}
+        self._seen: set[tuple[int, tuple[int, int, int]]] = set()
+        self._samples = 0
+        self._fitted_samples = 0
+        self._models: dict[int, _BranchModel] = {}
+        # Online score-space calibration: a sliding window of observed
+        # under-predictions (true - predicted, clamped at 0) of the
+        # optimistic score. Margins scale from a quantile of the window,
+        # so one catastrophic early residual (a prediction made from a
+        # sparse model in an unexplored region) widens the margin for a
+        # while instead of disabling pruning for the rest of the search.
+        self._residuals: list[float] = []
+        self._observations = 0
+        # (keys, threshold) per pruned candidate, for the final audit.
+        self._prune_log: list[tuple[tuple, float]] = []
+        self.pruned_candidates = 0
+        self.pruned_buckets = 0
+        self.solved_buckets = 0
+        self.predictions = 0
+        self.false_prunes = 0
+        self.audited = 0
+        self.refits = 0
+        self.fit_seconds = 0.0
+
+    # -- training data --------------------------------------------------
+    def _ingest(
+        self, rows: Sequence[tuple[int, tuple[int, int, int], object]]
+    ) -> None:
+        for branch, bucket, solution in rows:
+            if solution is None:
+                continue
+            mark = (branch, bucket)
+            if mark in self._seen:
+                continue
+            self._seen.add(mark)
+            self._rows.setdefault(branch, []).append(
+                (bucket, solution.fps, solution.meets_batch_target)
+            )
+            self._samples += 1
+
+    def warm_from_cache(self, cache: EvalCache) -> None:
+        """Seed the training set from a cache's accumulated entries."""
+        self._ingest(harvest_entries(cache, self.spec.digest))
+
+    def record_solutions(
+        self, rows: Sequence[tuple[int, tuple[int, int, int], object]]
+    ) -> None:
+        """Fold one generation's freshly solved buckets into the model."""
+        self._ingest(rows)
+
+    def prepare(self) -> None:
+        """Refit the per-branch models if the training set grew enough."""
+        if self._samples < self.min_samples:
+            return
+        if self._models and self._samples < self._fitted_samples * _REFIT_GROWTH:
+            return
+        started = time.perf_counter()
+        self._models = {}
+        for branch, rows in sorted(self._rows.items()):
+            buckets = np.array([row[0] for row in rows], dtype=np.float64)
+            fps = np.array([row[1] for row in rows], dtype=np.float64)
+            feasible = np.array([row[2] for row in rows], dtype=np.float64)
+            self._models[branch] = _BranchModel(buckets, fps, feasible)
+        self._fitted_samples = self._samples
+        self.refits += 1
+        self.fit_seconds += time.perf_counter() - started
+
+    # -- prediction -----------------------------------------------------
+    def ready(self) -> bool:
+        """Whether the filter may prune at all this generation."""
+        return bool(self._models)
+
+    def predict_candidates(
+        self,
+        keys_per_candidate: Sequence[Sequence["EvalKey"]],
+        cache: EvalCache,
+    ) -> dict[int, _Prediction]:
+        """Predict every candidate that has at least one unseen bucket.
+
+        Cached branches contribute their exact FPS/feasibility; only the
+        unseen buckets are predicted (deduplicated across the generation,
+        one k-NN query per unique bucket per branch). Candidates whose
+        every bucket is cached are left to the exact path — there is
+        nothing to save. Candidates with an unseen bucket on a branch the
+        model has no training rows for are unpredictable and skipped.
+        """
+        unseen_by_branch: dict[int, list[tuple[int, int, int]]] = {}
+        unseen_index: dict[tuple[int, tuple[int, int, int]], int] = {}
+        candidates: dict[int, list[tuple]] = {}
+        for i, keys in enumerate(keys_per_candidate):
+            parts: list[tuple] = []
+            misses = 0
+            predictable = True
+            for key in keys:
+                branch, bucket = key[1], key[2]
+                solution = cache.get(key)
+                if solution is not None:
+                    parts.append(
+                        ("exact", solution.fps, solution.meets_batch_target)
+                    )
+                    continue
+                misses += 1
+                if branch not in self._models:
+                    predictable = False
+                    break
+                mark = (branch, bucket)
+                if mark not in unseen_index:
+                    unseen_index[mark] = len(
+                        unseen_by_branch.setdefault(branch, [])
+                    )
+                    unseen_by_branch[branch].append(bucket)
+                parts.append(("predicted", branch, bucket))
+            if predictable and misses:
+                candidates[i] = parts
+
+        by_branch: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        for branch, buckets in unseen_by_branch.items():
+            by_branch[branch] = self._models[branch].predict(
+                np.array(buckets, dtype=np.float64)
+            )
+
+        out: dict[int, _Prediction] = {}
+        priorities = self.spec.customization.priorities
+        for i, parts in candidates.items():
+            fps: list[float] = []
+            optimistic: list[bool] = []
+            pessimistic: list[bool] = []
+            cached_hits = 0
+            for part in parts:
+                if part[0] == "exact":
+                    fps.append(part[1])
+                    optimistic.append(part[2])
+                    pessimistic.append(part[2])
+                    cached_hits += 1
+                else:
+                    branch, bucket = part[1], part[2]
+                    row = unseen_index[(branch, bucket)]
+                    branch_fps, branch_feasible = by_branch[branch]
+                    fps.append(float(branch_fps[row]))
+                    feasible_fraction = float(branch_feasible[row])
+                    optimistic.append(True)
+                    # Unanimous neighbour verdicts only: one feasible
+                    # neighbour is enough doubt to withhold the penalty.
+                    pessimistic.append(feasible_fraction > 0.0)
+            metrics = BranchMetrics(
+                fps=tuple(fps),
+                meets_batch=tuple(pessimistic),
+                oracle="surrogate",
+            )
+            optimistic_metrics = BranchMetrics(
+                fps=tuple(fps), meets_batch=tuple(optimistic), oracle="surrogate"
+            )
+            out[i] = _Prediction(
+                keys=tuple(keys_per_candidate[i]),
+                optimistic_score=penalized_score(
+                    self.objective, optimistic_metrics, priorities
+                ),
+                pessimistic_score=penalized_score(
+                    self.objective, metrics, priorities
+                ),
+                metrics=metrics,
+                cached_hits=cached_hits,
+            )
+        self.predictions += len(out)
+        return out
+
+    # -- decisions ------------------------------------------------------
+    def _margin(self, score: float) -> float:
+        window = self._residuals
+        if self._policy.quantile >= 1.0:
+            base = max(window) if window else 0.0
+        else:
+            ordered = sorted(window)
+            base = ordered[
+                min(
+                    len(ordered) - 1,
+                    int(self._policy.quantile * len(ordered)),
+                )
+            ]
+        return (
+            self._policy.factor * base
+            + self._policy.rel_slack * max(1.0, abs(score))
+            + 1e-9
+        )
+
+    def decide(
+        self, prediction: _Prediction, threshold: float
+    ) -> PrunedVerdict | None:
+        """Prune verdict for one predicted candidate, or ``None`` to solve.
+
+        ``threshold`` comes from the optimizer at dispatch time:
+        ``min(particle best, global best + tolerance)`` in verify mode,
+        the global-best term alone in prune mode. Either way it only
+        rises while the generation folds, so a bound below the
+        dispatch-time threshold is below the live one too. The
+        optimistic bound ignores predicted infeasibility (the
+        penalty can only subtract); prune mode may additionally prune on
+        the pessimistic score when every neighbour of a branch is
+        infeasible — ``verify`` mode never does, because one mispredicted
+        penalty would be a 1e6-sized bound error.
+        """
+        if self._observations < self._policy.min_observations:
+            return None
+        bound = prediction.optimistic_score + self._margin(
+            prediction.optimistic_score
+        )
+        if bound >= threshold and self.mode == "prune":
+            bound = prediction.pessimistic_score + self._margin(
+                prediction.pessimistic_score
+            )
+        if bound >= threshold:
+            return None
+        self._prune_log.append((prediction.keys, threshold))
+        self.pruned_candidates += 1
+        return PrunedVerdict(
+            score=prediction.pessimistic_score, metrics=prediction.metrics
+        )
+
+    def observe(self, prediction: _Prediction, true_score: float) -> None:
+        """Calibrate the margin from a candidate that was solved exactly."""
+        self._observations += 1
+        self._residuals.append(
+            max(0.0, true_score - prediction.optimistic_score)
+        )
+        if len(self._residuals) > self._policy.window:
+            del self._residuals[0]
+
+    def note_generation(self, pruned_buckets: int, solved_buckets: int) -> None:
+        self.pruned_buckets += pruned_buckets
+        self.solved_buckets += solved_buckets
+
+    # -- audit ----------------------------------------------------------
+    def finalize(self, cache: EvalCache) -> None:
+        """Audit pruned candidates whose buckets got solved later anyway."""
+        priorities = self.spec.customization.priorities
+        for keys, threshold in self._prune_log:
+            solutions = [cache.get(key) for key in keys]
+            if any(solution is None for solution in solutions):
+                continue
+            self.audited += 1
+            metrics = BranchMetrics(
+                fps=tuple(s.fps for s in solutions),
+                meets_batch=tuple(s.meets_batch_target for s in solutions),
+            )
+            true_score = penalized_score(self.objective, metrics, priorities)
+            if true_score >= threshold:
+                self.false_prunes += 1
+
+    def stats(self) -> SurrogateStats:
+        return SurrogateStats(
+            mode=self.mode,
+            pruned_candidates=self.pruned_candidates,
+            pruned_buckets=self.pruned_buckets,
+            solved_buckets=self.solved_buckets,
+            predictions=self.predictions,
+            false_prunes=self.false_prunes,
+            audited=self.audited,
+            model_samples=self._samples,
+            refits=self.refits,
+            fit_seconds=self.fit_seconds,
+        )
+
+
+# ---------------------------------------------------------------------------
+# cross-run oracle calibration (the fig. 6/7 residual, harvested)
+# ---------------------------------------------------------------------------
+def calibration_from_cache(
+    cache: EvalCache,
+    digest: str,
+    oracle_key: str | None = None,
+    min_pairs: int = 3,
+) -> ResidualCalibration:
+    """Fit the analytical-vs-measured FPS residual from cached re-ranks.
+
+    Every re-rank entry a staged search left behind pairs an expensive
+    measurement (sim or serving replay) with the analytical solutions of
+    the same buckets — the per-candidate version of the error fig. 6/7
+    reports per benchmark. This walks those pairs (sorted, so the fit is
+    deterministic) and least-squares a per-branch multiplicative scale
+    through the origin; branches with fewer than ``min_pairs`` pairs keep
+    the identity scale. ``oracle_key`` restricts the harvest to one
+    oracle's measurements (default: all non-analytical entries).
+
+    The result feeds a :class:`~repro.dse.objective.CalibratedOracle`, so
+    re-rank data accumulated across runs in a persistent cache pulls the
+    analytical oracle toward cycle-accurate truth — without running the
+    expensive oracle again.
+    """
+    pairs: dict[int, list[tuple[float, float]]] = {}
+    rerank_rows = []
+    for key, metrics in cache.items():
+        if not (isinstance(key, tuple) and len(key) == 4):
+            continue
+        if key[0] != digest or key[1] != "rerank":
+            continue
+        if oracle_key is not None and key[2] != oracle_key:
+            continue
+        rerank_rows.append((key[2], key[3], metrics))
+    rerank_rows.sort(key=lambda row: (row[0], row[1]))
+    branches = 0
+    for _, buckets, measured in rerank_rows:
+        branches = max(branches, len(buckets))
+        for branch, bucket in enumerate(buckets):
+            solution = cache.get((digest, branch, bucket))
+            if solution is None or branch >= len(measured.fps):
+                continue
+            pairs.setdefault(branch, []).append(
+                (solution.fps, measured.fps[branch])
+            )
+    if not pairs:
+        return ResidualCalibration.identity(branches)
+    branches = max(branches, max(pairs) + 1)
+    scales = []
+    total = 0
+    for branch in range(branches):
+        branch_pairs = pairs.get(branch, [])
+        total += len(branch_pairs)
+        if len(branch_pairs) < min_pairs:
+            scales.append(1.0)
+            continue
+        analytical = np.array([a for a, _ in branch_pairs])
+        measured = np.array([m for _, m in branch_pairs])
+        denominator = float((analytical * analytical).sum())
+        scales.append(
+            float((analytical * measured).sum() / denominator)
+            if denominator > 0.0
+            else 1.0
+        )
+    return ResidualCalibration(
+        scales=tuple(scales), samples=total, source="cache"
+    )
+
+
+__all__ = [
+    "DEFAULT_MIN_SAMPLES",
+    "PrunedVerdict",
+    "SURROGATE_MODES",
+    "SurrogateFilter",
+    "SurrogateStats",
+    "calibration_from_cache",
+    "resolve_surrogate_mode",
+]

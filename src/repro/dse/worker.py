@@ -48,7 +48,7 @@ from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Callable, Iterator, Sequence
+from typing import TYPE_CHECKING, Callable, Iterator, Sequence
 
 from repro.construction.reorg import PipelinePlan
 from repro.devices.budget import ResourceBudget
@@ -69,6 +69,12 @@ from repro.dse.inbranch import (
 )
 from repro.dse.space import Customization
 from repro.quant.schemes import QuantScheme
+
+if TYPE_CHECKING:
+    # The surrogate layer imports this module for keys and specs; the
+    # runtime dependency points only that way (the evaluator takes an
+    # already-built filter), so the import here is type-only.
+    from repro.dse.surrogate import SurrogateFilter
 
 #: Quantization grid for candidate evaluation: per-branch budgets are
 #: snapped DOWN to this grid before Algorithm 2 runs, so every budget in a
@@ -130,6 +136,10 @@ class CandidateEval:
     solutions: tuple[BranchSolution, ...]
     evaluations: int
     cache_hits: int
+    #: True when the surrogate filter skipped this candidate's solves:
+    #: ``score`` / ``metrics`` are then *predictions* (bounded below the
+    #: candidate's best-update thresholds) and ``solutions`` is empty.
+    pruned: bool = False
 
 
 def quantize_rd(rd: ResourceBudget) -> tuple[int, int, int]:
@@ -451,11 +461,13 @@ class GenerationEvaluator:
         submit: SubmitFn | None = None,
         workers: int = 1,
         objective: Objective | None = None,
+        surrogate: "SurrogateFilter | None" = None,
     ) -> None:
         self.spec = spec
         self.cache = cache
         self.workers = max(1, workers)
         self.objective = objective if objective is not None else PaperObjective()
+        self.surrogate = surrogate
         self._submit = submit
         self.timings = EvalTimings()
         self.stage_hits = 0
@@ -488,19 +500,58 @@ class GenerationEvaluator:
         )
 
     def __call__(
-        self, positions: Sequence[Sequence[float]]
+        self,
+        positions: Sequence[Sequence[float]],
+        thresholds: Sequence[float] | None = None,
     ) -> list[CandidateEval]:
+        """Evaluate one generation; optionally prune against ``thresholds``.
+
+        ``thresholds[i]`` is the lowest score that could still matter for
+        candidate ``i`` — ``min(particle best, global best + tolerance)``
+        at dispatch time (see
+        :meth:`~repro.dse.crossbranch.CrossBranchOptimizer.search`). When
+        a surrogate filter is attached and thresholds are given, the
+        filter may skip solving candidates whose calibrated score bound
+        falls below their threshold: their unseen buckets never reach
+        Algorithm 2. Without a filter (or thresholds), the path is the
+        historical one, bit for bit.
+        """
         bucket_started = time.perf_counter()
         keys_per_candidate = [
             candidate_keys(self.spec, position) for position in positions
         ]
+
+        pruned: dict[int, "object"] = {}
+        predictions: dict[int, "object"] = {}
+        if self.surrogate is not None and thresholds is not None:
+            self.surrogate.prepare()
+            if self.surrogate.ready():
+                predictions = self.surrogate.predict_candidates(
+                    keys_per_candidate, self.cache
+                )
+                for i, prediction in predictions.items():
+                    verdict = self.surrogate.decide(prediction, thresholds[i])
+                    if verdict is not None:
+                        pruned[i] = verdict
+
         todo: list[EvalKey] = []
         todo_set: set[EvalKey] = set()
-        for keys in keys_per_candidate:
+        for i, keys in enumerate(keys_per_candidate):
+            if i in pruned:
+                continue
             for key in keys:
                 if key not in todo_set and self.cache.get(key) is None:
                     todo_set.add(key)
                     todo.append(key)
+        if self.surrogate is not None:
+            # The buckets pruning actually saved: unseen, and referenced
+            # by no surviving candidate this generation.
+            skipped: set[EvalKey] = set()
+            for i in pruned:
+                for key in keys_per_candidate[i]:
+                    if key not in todo_set and self.cache.get(key) is None:
+                        skipped.add(key)
+            self.surrogate.note_generation(len(skipped), len(todo))
         self.timings.cache_seconds += time.perf_counter() - bucket_started
 
         if todo:
@@ -509,11 +560,31 @@ class GenerationEvaluator:
                 self._solve_inline(todo)
             else:
                 self._solve_pooled(todo)
+            if self.surrogate is not None:
+                self.surrogate.record_solutions(
+                    [
+                        (key[1], key[2], self.cache.get(key))
+                        for key in todo
+                    ]
+                )
 
         rehydrate_started = time.perf_counter()
         out: list[CandidateEval] = []
         claimed: set[EvalKey] = set()
-        for keys in keys_per_candidate:
+        for i, keys in enumerate(keys_per_candidate):
+            verdict = pruned.get(i)
+            if verdict is not None:
+                out.append(
+                    CandidateEval(
+                        score=verdict.score,
+                        metrics=verdict.metrics,
+                        solutions=(),
+                        evaluations=0,
+                        cache_hits=0,
+                        pruned=True,
+                    )
+                )
+                continue
             solutions = []
             evaluations = 0
             cache_hits = 0
@@ -527,13 +598,18 @@ class GenerationEvaluator:
                 assert solution is not None, f"bucket never solved: {key}"
                 solutions.append(solution)
             metrics = metrics_from_solutions(solutions)
+            score = penalized_score(
+                self.objective, metrics, self.spec.customization.priorities
+            )
+            prediction = predictions.get(i)
+            if prediction is not None:
+                # Predicted, then solved anyway: the exact score is a
+                # free residual observation that tightens (or widens)
+                # the filter's safety margin.
+                self.surrogate.observe(prediction, score)
             out.append(
                 CandidateEval(
-                    score=penalized_score(
-                        self.objective,
-                        metrics,
-                        self.spec.customization.priorities,
-                    ),
+                    score=score,
                     metrics=metrics,
                     solutions=tuple(solutions),
                     evaluations=evaluations,
@@ -598,6 +674,7 @@ def candidate_runner(
     workers: int = 1,
     pool: SweepWorkerPool | None = None,
     objective: Objective | None = None,
+    surrogate: "SurrogateFilter | None" = None,
 ) -> Iterator[GenerationEvaluator]:
     """Yield the generation evaluator for one search.
 
@@ -608,7 +685,9 @@ def candidate_runner(
     search, so no promotion or drain-back dance is needed). ``workers >
     1`` forks a pool for the search's lifetime; a live
     :class:`SweepWorkerPool` takes precedence, and its lifetime belongs
-    to the sweep that owns it.
+    to the sweep that owns it. ``surrogate`` attaches a pre-solve filter
+    (:class:`~repro.dse.surrogate.SurrogateFilter`) that the evaluator
+    consults when the caller passes per-candidate thresholds.
     """
     if pool is not None:
         yield GenerationEvaluator(
@@ -617,11 +696,14 @@ def candidate_runner(
             submit=lambda keys: pool.solve(spec, keys),
             workers=pool.workers,
             objective=objective,
+            surrogate=surrogate,
         )
         return
 
     if workers <= 1:
-        yield GenerationEvaluator(spec, cache, objective=objective)
+        yield GenerationEvaluator(
+            spec, cache, objective=objective, surrogate=surrogate
+        )
         return
 
     with ProcessPoolExecutor(
@@ -634,7 +716,12 @@ def candidate_runner(
             return list(executor.map(_run_chunk, tasks))
 
         yield GenerationEvaluator(
-            spec, cache, submit=submit, workers=workers, objective=objective
+            spec,
+            cache,
+            submit=submit,
+            workers=workers,
+            objective=objective,
+            surrogate=surrogate,
         )
 
 

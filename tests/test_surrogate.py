@@ -1,0 +1,332 @@
+"""Learned surrogate filter: pruning modes, calibration, result codec."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from types import SimpleNamespace
+
+import pytest
+
+from repro.arch.config import ConfigError
+from repro.construction.reorg import build_pipeline_plan
+from repro.devices.fpga import get_device
+from repro.dse.cache import FileEvalCache, LocalEvalCache, harvest_entries
+from repro.dse.engine import DseEngine
+from repro.dse.objective import (
+    BranchMetrics,
+    CalibratedOracle,
+    ResidualCalibration,
+)
+from repro.dse.result import (
+    RESULT_FORMAT_VERSION,
+    result_from_dict,
+    result_from_json,
+    result_to_dict,
+    result_to_json,
+)
+from repro.dse.space import Customization
+from repro.dse.surrogate import (
+    SURROGATE_MODES,
+    SurrogateFilter,
+    calibration_from_cache,
+    resolve_surrogate_mode,
+)
+from repro.quant.schemes import INT8
+from tests.conftest import make_tiny_decoder
+
+FIXTURES = Path(__file__).parent / "data"
+
+#: Search size that reliably engages pruning on the tiny decoder in both
+#: active modes while staying fast (probed: prune skips ~40% of solves,
+#: verify a handful, identical best fitness).
+SEARCH = dict(iterations=8, population=24, seed=0)
+MIN_SAMPLES = 24
+
+
+@pytest.fixture(scope="module")
+def tiny_plan():
+    return build_pipeline_plan(make_tiny_decoder())
+
+
+def make_engine(plan):
+    return DseEngine(
+        plan=plan,
+        budget=get_device("Z7045").budget(),
+        customization=Customization.uniform(plan.num_branches),
+        quant=INT8,
+    )
+
+
+def search(plan, mode, min_samples=MIN_SAMPLES, **overrides):
+    kwargs = dict(SEARCH, **overrides)
+    return make_engine(plan).search(
+        surrogate=mode, surrogate_min_samples=min_samples, **kwargs
+    )
+
+
+def _stable_stats(stats):
+    """Surrogate stats with the wall-clock field zeroed for comparison."""
+    return dataclasses.replace(stats, fit_seconds=0.0)
+
+
+class TestModeResolution:
+    def test_valid_modes(self):
+        for mode in SURROGATE_MODES:
+            assert resolve_surrogate_mode(mode) == mode
+
+    def test_none_is_off(self):
+        assert resolve_surrogate_mode(None) == "off"
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError, match="unknown surrogate mode"):
+            resolve_surrogate_mode("guess")
+
+    def test_engine_validates_mode(self, tiny_plan):
+        with pytest.raises(ValueError, match="unknown surrogate mode"):
+            make_engine(tiny_plan).search(surrogate="bogus", **SEARCH)
+
+    def test_filter_rejects_off(self, tiny_plan):
+        engine = make_engine(tiny_plan)
+        with pytest.raises(ValueError, match="active mode"):
+            SurrogateFilter(engine.spec, engine.resolved_objective("paper"), "off")
+
+    def test_rerank_conflict_raises(self, tiny_plan):
+        with pytest.raises(ValueError, match="re-rank"):
+            make_engine(tiny_plan).search(
+                surrogate="prune", rerank_oracle="sim", **SEARCH
+            )
+
+
+class TestPruneMode:
+    def test_prunes_and_stays_within_tolerance(self, tiny_plan):
+        off = search(tiny_plan, "off")
+        prune = search(tiny_plan, "prune")
+        stats = prune.surrogate_stats
+        assert off.surrogate_stats is None
+        assert stats is not None and stats.mode == "prune"
+        # The whole point: pruning engages and solves go down.
+        assert stats.pruned_candidates > 0
+        assert prune.evaluations < off.evaluations
+        # The accuracy contract the bench gates at 1%.
+        assert prune.best_fitness == pytest.approx(
+            off.best_fitness, rel=0.01
+        )
+
+    def test_two_runs_bit_identical(self, tiny_plan):
+        first = search(tiny_plan, "prune")
+        second = search(tiny_plan, "prune")
+        assert first.surrogate_stats.pruned_candidates > 0
+        assert first.best_fitness == second.best_fitness
+        assert first.best_config == second.best_config
+        assert first.history == second.history
+        assert first.evaluations == second.evaluations
+        assert first.cache_hits == second.cache_hits
+        assert _stable_stats(first.surrogate_stats) == _stable_stats(
+            second.surrogate_stats
+        )
+
+    def test_warm_cache_deterministic(self, tiny_plan):
+        """Same warm cache state -> same pruning decisions, bit for bit."""
+
+        def run():
+            cache = LocalEvalCache()
+            search(tiny_plan, "off", cache=cache, seed=1)
+            return search(tiny_plan, "prune", cache=cache)
+
+        first, second = run(), run()
+        assert first.best_fitness == second.best_fitness
+        assert first.evaluations == second.evaluations
+        assert _stable_stats(first.surrogate_stats) == _stable_stats(
+            second.surrogate_stats
+        )
+
+
+class TestVerifyMode:
+    def test_identical_to_off(self, tiny_plan):
+        off = search(tiny_plan, "off")
+        verify = search(tiny_plan, "verify")
+        assert verify.surrogate_stats.mode == "verify"
+        assert verify.surrogate_stats.pruned_candidates > 0
+        assert verify.best_fitness == off.best_fitness
+        assert verify.best_config == off.best_config
+        assert verify.history == off.history
+        assert verify.convergence_iteration == off.convergence_iteration
+        assert verify.evaluations < off.evaluations
+
+    def test_no_false_prunes(self, tiny_plan):
+        verify = search(tiny_plan, "verify")
+        assert verify.surrogate_stats.false_prunes == 0
+
+
+class TestMinSamplesFallback:
+    def test_below_min_samples_is_a_noop(self, tiny_plan):
+        """Too little training data: graceful fallback to the exact path."""
+        off = search(tiny_plan, "off")
+        prune = search(tiny_plan, "prune", min_samples=10_000)
+        stats = prune.surrogate_stats
+        assert stats is not None
+        assert stats.pruned_candidates == 0
+        assert stats.pruned_buckets == 0
+        assert stats.refits == 0
+        assert prune.best_fitness == off.best_fitness
+        assert prune.best_config == off.best_config
+        assert prune.history == off.history
+        assert prune.evaluations == off.evaluations
+
+    def test_min_samples_must_be_positive(self, tiny_plan):
+        engine = make_engine(tiny_plan)
+        with pytest.raises(ValueError, match="min_samples"):
+            SurrogateFilter(
+                engine.spec,
+                engine.resolved_objective("paper"),
+                "prune",
+                min_samples=0,
+            )
+
+
+class TestHarvest:
+    def test_harvest_matches_across_backends(self, tiny_plan, tmp_path):
+        local = LocalEvalCache()
+        search(tiny_plan, "off", cache=local)
+        digest = make_engine(tiny_plan).spec.digest
+        rows = harvest_entries(local, digest)
+        assert rows
+        # Sorted by (branch, bucket): the model fit is a pure function
+        # of cache contents, independent of insertion order.
+        assert rows == sorted(rows, key=lambda row: (row[0], row[1]))
+        assert all(
+            isinstance(branch, int) and len(bucket) == 3
+            for branch, bucket, _ in rows
+        )
+        # Foreign digests harvest nothing.
+        assert harvest_entries(local, "not-a-digest") == []
+
+        path = tmp_path / "evals.db"
+        persistent = FileEvalCache(path)
+        search(tiny_plan, "off", cache=persistent)
+        persistent.close()
+        # A reopened file cache harvests the same training set: warm
+        # caches warm the model.
+        reopened = FileEvalCache(path)
+        try:
+            persisted = [
+                (branch, bucket, solution.fps)
+                for branch, bucket, solution in reopened.harvest(digest)
+            ]
+        finally:
+            reopened.close()
+        assert persisted == [
+            (branch, bucket, solution.fps)
+            for branch, bucket, solution in rows
+        ]
+
+
+class TestCalibration:
+    def test_identity(self):
+        calibration = ResidualCalibration.identity(3)
+        assert calibration.scales == (1.0, 1.0, 1.0)
+        assert calibration.scale(0) == 1.0
+        assert calibration.scale(99) == 1.0  # identity past the known end
+        metrics = BranchMetrics(fps=(10.0, 20.0), meets_batch=(True, True))
+        assert calibration.apply(metrics) == metrics
+
+    def test_apply_scales_fps_only(self):
+        calibration = ResidualCalibration(scales=(0.5, 2.0), samples=4)
+        metrics = BranchMetrics(
+            fps=(10.0, 20.0), meets_batch=(True, False), p99_ms=7.5
+        )
+        scaled = calibration.apply(metrics)
+        assert scaled.fps == (5.0, 40.0)
+        assert scaled.meets_batch == metrics.meets_batch
+        assert scaled.p99_ms == metrics.p99_ms
+
+    def test_from_cache_fits_per_branch_scales(self):
+        cache = LocalEvalCache()
+        digest = "spec-digest"
+        buckets = ((10, 5, 3), (12, 6, 4), (14, 7, 5))
+        for i, bucket in enumerate(buckets):
+            for branch in (0, 1):
+                cache.put(
+                    (digest, branch, bucket),
+                    SimpleNamespace(
+                        fps=100.0 + 10.0 * i, meets_batch_target=True
+                    ),
+                )
+            # Branch 0 measures 20% slower than analytical; branch 1 is
+            # spot on.
+            cache.put(
+                (digest, "rerank", "sim", (bucket, bucket)),
+                BranchMetrics(
+                    fps=(0.8 * (100.0 + 10.0 * i), 100.0 + 10.0 * i),
+                    meets_batch=(True, True),
+                    oracle="sim",
+                ),
+            )
+        calibration = calibration_from_cache(cache, digest)
+        assert calibration.source == "cache"
+        assert calibration.samples == 6
+        assert calibration.scales[0] == pytest.approx(0.8)
+        assert calibration.scales[1] == pytest.approx(1.0)
+        # Too few pairs per branch -> identity scales.
+        strict = calibration_from_cache(cache, digest, min_pairs=10)
+        assert strict.scales == (1.0, 1.0)
+
+    def test_from_empty_cache_is_identity(self):
+        calibration = calibration_from_cache(LocalEvalCache(), "digest")
+        assert calibration.source == "identity"
+        assert calibration.samples == 0
+
+    def test_calibrated_oracle_key_and_measure(self, tiny_plan):
+        calibration = ResidualCalibration(scales=(0.9, 1.1), samples=6)
+        oracle = CalibratedOracle(calibration)
+        assert oracle.name == "calibrated"
+        assert oracle.key == "calibrated(scales=[0.9,1.1])"
+        spec = make_engine(tiny_plan).spec
+        solutions = [
+            SimpleNamespace(fps=100.0, meets_batch_target=True),
+            SimpleNamespace(fps=50.0, meets_batch_target=True),
+        ]
+        metrics = oracle.measure(spec, [0.5] * 4, solutions)
+        assert metrics.fps == pytest.approx((90.0, 55.0))
+        assert metrics.oracle == "calibrated"
+
+
+class TestResultCodec:
+    def test_round_trip_with_surrogate_stats(self, tiny_plan):
+        result = search(tiny_plan, "prune")
+        assert result.surrogate_stats is not None
+        clone = result_from_json(result_to_json(result))
+        assert clone == result
+        # And the dict shape is JSON-stable.
+        assert result_to_dict(clone) == result_to_dict(result)
+
+    def test_off_payload_omits_surrogate_key(self, tiny_plan):
+        result = search(tiny_plan, "off")
+        payload = result_to_dict(result)
+        assert "surrogate_stats" not in payload
+        assert result_from_dict(payload).surrogate_stats is None
+
+    def test_pinned_pre_surrogate_payload_loads(self):
+        """Old archived payloads (no surrogate_stats key) keep loading."""
+        text = (FIXTURES / "dse_result_pre_surrogate.json").read_text()
+        assert "surrogate_stats" not in json.loads(text)
+        result = result_from_json(text)
+        assert result.surrogate_stats is None
+        assert result.best_fitness > 0
+        assert result.iterations == len(result.history) == 3
+        # Round-trips losslessly through the current codec.
+        assert result_from_json(result_to_json(result)) == result
+
+    def test_unknown_version_raises(self):
+        payload = json.loads(
+            (FIXTURES / "dse_result_pre_surrogate.json").read_text()
+        )
+        payload["version"] = RESULT_FORMAT_VERSION + 1
+        with pytest.raises(ConfigError, match="version"):
+            result_from_dict(payload)
+
+    def test_malformed_payload_raises(self):
+        with pytest.raises(ConfigError, match="malformed"):
+            result_from_dict({"version": RESULT_FORMAT_VERSION})

@@ -38,11 +38,41 @@ sys.path.insert(0, str(REPO / "src"))
 from repro.experiments.convergence import ConvergenceResult, run_convergence  # noqa: E402
 
 
+def physical_core_count() -> int | None:
+    """Physical cores from /proc/cpuinfo (``None`` where unreadable).
+
+    ``os.cpu_count()`` reports hyperthreads; the speedup gate's story
+    ("parallel should beat serial on a multi-core box") is about real
+    cores, so the payload records both.
+    """
+    try:
+        text = Path("/proc/cpuinfo").read_text()
+    except OSError:
+        return None
+    cores: set[tuple[str, str]] = set()
+    physical_id = "0"
+    for line in text.splitlines():
+        if ":" not in line:
+            continue
+        key, _, value = line.partition(":")
+        key = key.strip()
+        if key == "physical id":
+            physical_id = value.strip()
+        elif key == "core id":
+            cores.add((physical_id, value.strip()))
+    return len(cores) or None
+
+
 def environment() -> dict:
     return {
         "python": platform.python_version(),
         "platform": platform.platform(),
         "cpu_count": os.cpu_count(),
+        "physical_cores": physical_core_count(),
+        # CI pins the parallel run's worker count through this variable;
+        # recording it makes payloads from differently-pinned runners
+        # distinguishable.
+        "FCAD_BENCH_WORKERS": os.environ.get("FCAD_BENCH_WORKERS"),
     }
 
 
@@ -172,6 +202,108 @@ def compare_to_baseline(
     return deltas
 
 
+#: Minimum fraction of Algorithm-2 bucket solves the prune-mode
+#: surrogate must skip relative to the surrogate-off run, and the bound
+#: on how far its best fitness may drift from exact.
+SURROGATE_SOLVE_REDUCTION_GATE = 0.30
+SURROGATE_FITNESS_TOLERANCE = 0.01
+
+
+def _surrogate_run_fields(result: ConvergenceResult, wall: float) -> dict:
+    return {
+        "wall_seconds": round(wall, 3),
+        "best_fitness": result.best_fitness,
+        "best_fitness_per_search": [s.best_fitness for s in result.searches],
+        "evaluations": result.total_evaluations,
+        "pruned_candidates": result.total_pruned_candidates,
+        "pruned_buckets": result.total_pruned_buckets,
+        "false_prunes": result.total_false_prunes,
+    }
+
+
+def run_surrogate_section(
+    run_kwargs: dict, serial: ConvergenceResult
+) -> tuple[dict, list[str]]:
+    """Surrogate modes vs the exact (surrogate-off) serial run.
+
+    Four hard gates: prune mode must skip at least 30% of the off run's
+    Algorithm-2 bucket solves while landing within 1% of its best
+    fitness; two prune runs at one seed must be bit-identical; verify
+    mode must reproduce the off run's per-search best fitness and design
+    exactly.
+    """
+    from repro.dse.worker import clear_process_caches
+
+    def timed(mode):
+        clear_process_caches()
+        started = time.perf_counter()
+        result = run_convergence(**run_kwargs, workers=1, surrogate=mode)
+        return result, time.perf_counter() - started
+
+    prune, prune_wall = timed("prune")
+    prune_again, _ = timed("prune")
+    verify, verify_wall = timed("verify")
+
+    off_evals = serial.total_evaluations
+    reduction = (
+        (off_evals - prune.total_evaluations) / off_evals if off_evals else 0.0
+    )
+    fitness_drift = (
+        abs(prune.best_fitness - serial.best_fitness)
+        / abs(serial.best_fitness)
+        if serial.best_fitness
+        else 0.0
+    )
+    prune_deterministic = _surrogate_run_fields(
+        prune, 0.0
+    ) == _surrogate_run_fields(prune_again, 0.0) and [
+        s.best_config for s in prune.searches
+    ] == [s.best_config for s in prune_again.searches]
+    verify_identical = [
+        (s.best_fitness, s.best_config) for s in verify.searches
+    ] == [(s.best_fitness, s.best_config) for s in serial.searches]
+
+    gates = []
+    if reduction < SURROGATE_SOLVE_REDUCTION_GATE:
+        gates.append(
+            f"prune mode skipped only {reduction:.1%} of Algorithm-2 "
+            f"solves ({off_evals} -> {prune.total_evaluations}, gate "
+            f"{SURROGATE_SOLVE_REDUCTION_GATE:.0%})"
+        )
+    if fitness_drift > SURROGATE_FITNESS_TOLERANCE:
+        gates.append(
+            f"prune mode best fitness drifted {fitness_drift:.2%} from "
+            f"exact ({serial.best_fitness} -> {prune.best_fitness}, "
+            f"tolerance {SURROGATE_FITNESS_TOLERANCE:.0%})"
+        )
+    if not prune_deterministic:
+        gates.append("two prune-mode runs diverged at the same seeds")
+    if not verify_identical:
+        gates.append(
+            "verify mode did not reproduce the surrogate-off per-search "
+            "results exactly"
+        )
+    if verify.total_evaluations > off_evals:
+        gates.append(
+            f"verify mode solved more buckets than surrogate-off "
+            f"({verify.total_evaluations} > {off_evals})"
+        )
+
+    section = {
+        "off_evaluations": off_evals,
+        "prune": _surrogate_run_fields(prune, prune_wall),
+        "verify": _surrogate_run_fields(verify, verify_wall),
+        "solve_reduction": round(reduction, 4),
+        "solve_reduction_gate": SURROGATE_SOLVE_REDUCTION_GATE,
+        "fitness_drift": round(fitness_drift, 6),
+        "fitness_tolerance": SURROGATE_FITNESS_TOLERANCE,
+        "prune_deterministic": prune_deterministic,
+        "verify_identical_to_off": verify_identical,
+        "gates": gates,
+    }
+    return section, gates
+
+
 def run_dse_suite(args: argparse.Namespace) -> int:
     run_kwargs = dict(
         device_name=args.device,
@@ -203,20 +335,56 @@ def run_dse_suite(args: argparse.Namespace) -> int:
         s.best_fitness for s in parallel.searches
     ]
 
+    # Gates that cannot run on this machine/config land here as
+    # machine-readable records instead of stringly-typed gate values.
+    gate_skips: list[dict] = []
     multi_core = (os.cpu_count() or 1) > 1
     if objective_note is not None:
-        gate = "skipped-objective-mismatch"
+        gate = "skipped"
+        gate_skips.append({"gate": "speedup", "reason": objective_note})
         print(f"speedup gate: SKIPPED — {objective_note}")
     elif not multi_core:
-        gate = "skipped-single-core"
-        print(
-            "speedup gate: SKIPPED — single-core runner, parallel wall "
-            "time is expected to trail serial here"
+        gate = "skipped"
+        reason = (
+            "single-core runner, parallel wall time is expected to "
+            "trail serial here"
         )
+        gate_skips.append({"gate": "speedup", "reason": reason})
+        print(f"speedup gate: SKIPPED — {reason}")
     elif parallel_wall <= serial_wall * SPEEDUP_GATE_TOLERANCE:
         gate = "passed"
     else:
         gate = "failed"
+
+    surrogate_section, surrogate_gates = run_surrogate_section(
+        run_kwargs, serial
+    )
+    # The off run itself must stay on the committed trajectory: the
+    # surrogate machinery sits on the eval path, and "off" promises that
+    # path is untouched.
+    off_identical = None
+    if baseline is not None:
+        base_fitness = baseline.get("serial", {}).get(
+            "best_fitness_per_search"
+        )
+        if base_fitness is not None:
+            off_identical = base_fitness == [
+                s.best_fitness for s in serial.searches
+            ]
+            if not off_identical:
+                surrogate_gates.append(
+                    f"surrogate-off serial run diverged from the committed "
+                    f"baseline ({base_fitness} -> "
+                    f"{[s.best_fitness for s in serial.searches]})"
+                )
+    if off_identical is None:
+        gate_skips.append(
+            {
+                "gate": "surrogate-off-baseline-identity",
+                "reason": "no comparable committed baseline",
+            }
+        )
+    surrogate_section["off_identical_to_baseline"] = off_identical
 
     payload = {
         "benchmark": "dse_convergence",
@@ -229,6 +397,8 @@ def run_dse_suite(args: argparse.Namespace) -> int:
         else None,
         "deterministic": deterministic,
         "speedup_gate": gate,
+        "gate_skips": gate_skips,
+        "surrogate": surrogate_section,
     }
     payload["baseline_comparison"] = compare_to_baseline(
         baseline, payload, objective_note
@@ -261,6 +431,16 @@ def run_dse_suite(args: argparse.Namespace) -> int:
         f"{parallel_phases['cache_seconds']}s, pool overhead "
         f"{parallel_phases['pool_overhead_seconds']}s"
     )
+    print(
+        f"surrogate: prune skipped "
+        f"{surrogate_section['solve_reduction']:.1%} of "
+        f"{surrogate_section['off_evaluations']} solves "
+        f"({surrogate_section['prune']['pruned_candidates']} candidates, "
+        f"{surrogate_section['prune']['false_prunes']} false prunes), "
+        f"fitness drift {surrogate_section['fitness_drift']:.2%}; verify "
+        f"identical={surrogate_section['verify_identical_to_off']}, "
+        f"prune deterministic={surrogate_section['prune_deterministic']}"
+    )
     if not deterministic:
         print("ERROR: parallel search diverged from serial results")
         return 1
@@ -270,6 +450,10 @@ def run_dse_suite(args: argparse.Namespace) -> int:
             f"({os.cpu_count()} cores): parallel {parallel_wall:.2f}s > "
             f"serial {serial_wall:.2f}s x {SPEEDUP_GATE_TOLERANCE}"
         )
+        return 1
+    if surrogate_gates:
+        for failed in surrogate_gates:
+            print(f"ERROR: surrogate gate failed: {failed}")
         return 1
     return 0
 
@@ -1281,8 +1465,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--workers",
         type=int,
-        default=max(1, min(4, os.cpu_count() or 1)),
-        help="workers for the parallel run (default: up to 4)",
+        default=int(
+            os.environ.get("FCAD_BENCH_WORKERS")
+            or max(1, min(4, os.cpu_count() or 1))
+        ),
+        help="workers for the parallel run (default: $FCAD_BENCH_WORKERS "
+        "if set, else up to 4)",
     )
     # serving-suite knobs
     parser.add_argument("--model", default="codec_avatar_decoder")
