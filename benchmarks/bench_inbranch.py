@@ -1,0 +1,182 @@
+"""Microbenchmark: scalar Algorithm 2 vs the batched generation kernel.
+
+Replays a generation-shaped stream of deduplicated budget buckets (random
+splits of the device budget, snapped to the evaluation cache's
+quantization grid — the exact traffic :class:`GenerationEvaluator` sees)
+through both solvers:
+
+- **scalar** — ``optimize_branch`` per bucket against a cold
+  :class:`BranchEvalTable`, the pre-kernel hot path;
+- **batched** — one ``solve_buckets`` pass per branch against an equally
+  cold table, recording the ladder/growth/measure phase split.
+
+The two must produce byte-for-byte identical pickles (the kernel's core
+guarantee); the speedup is the number the ``kernel`` section of
+``BENCH_dse.json`` gates on. Importable by ``tools/bench_to_json.py``
+and runnable standalone::
+
+    PYTHONPATH=src python benchmarks/bench_inbranch.py [--buckets N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pickle
+import random
+import sys
+import time
+
+from repro.construction.reorg import build_pipeline_plan
+from repro.devices.fpga import get_device
+from repro.dse.inbranch import BranchEvalTable, optimize_branch
+from repro.dse.kernel import KernelTimings, solve_buckets
+from repro.dse.worker import canonical_rd, quantize_rd
+from repro.experiments import paper_constants as paper
+from repro.models.codec_avatar import build_codec_avatar_decoder
+from repro.quant.schemes import get_scheme
+
+
+def bucket_stream(
+    budget, branches: int, per_branch: int, seed: int
+) -> list[list]:
+    """Deduplicated canonical budgets per branch, DSE-traffic shaped.
+
+    Each sample splits the device budget with independent uniform
+    fractions (what a PSO position does), quantizes to the cache grid,
+    and dedups — the stream the generation evaluator actually solves.
+    """
+    rng = random.Random(seed)
+    streams: list[list] = []
+    for _ in range(branches):
+        seen = set()
+        rds = []
+        while len(rds) < per_branch:
+            bucket = quantize_rd(
+                type(budget)(
+                    compute=int(budget.compute * rng.random()),
+                    memory=int(budget.memory * rng.random()),
+                    bandwidth_gbps=budget.bandwidth_gbps * rng.random(),
+                )
+            )
+            if bucket not in seen:
+                seen.add(bucket)
+                rds.append(canonical_rd(bucket))
+        streams.append(rds)
+    return streams
+
+
+def run_microbench(
+    buckets_per_branch: int = 512,
+    seed: int = 0,
+    device_name: str = "ZU9CG",
+    quant_name: str = "int8",
+) -> dict:
+    """Time scalar vs batched Algorithm 2 on one bucket stream.
+
+    Returns the ``kernel`` payload section: bucket counts, both wall
+    times, the batched phase split, the speedup, and whether the two
+    solvers' solutions pickled byte-for-byte identical.
+    """
+    plan = build_pipeline_plan(build_codec_avatar_decoder())
+    device = get_device(device_name)
+    quant = get_scheme(quant_name)
+    batch_sizes = paper.TABLE4_BATCH_SIZES
+    frequency_mhz = device.default_frequency_mhz
+    streams = bucket_stream(
+        device.budget(), len(plan.branches), buckets_per_branch, seed
+    )
+
+    def fresh_tables() -> list[BranchEvalTable]:
+        # Cold tables for each measured side: the comparison is
+        # first-solve cost, the regime a new search generation is in.
+        return [
+            BranchEvalTable(branch, quant, frequency_mhz)
+            for branch in plan.branches
+        ]
+
+    tables = fresh_tables()
+    started = time.perf_counter()
+    scalar = [
+        [
+            optimize_branch(
+                branch, rd, batch_sizes[b], quant, frequency_mhz, table=table
+            )
+            for rd in streams[b]
+        ]
+        for b, (branch, table) in enumerate(zip(plan.branches, tables))
+    ]
+    scalar_seconds = time.perf_counter() - started
+
+    tables = fresh_tables()
+    timings = KernelTimings()
+    started = time.perf_counter()
+    batched = [
+        solve_buckets(table, streams[b], batch_sizes[b], timings)
+        for b, table in enumerate(tables)
+    ]
+    batched_seconds = time.perf_counter() - started
+
+    # Per-solution pickles: the batched solver returns *shared* memoized
+    # objects for repeated (batch, state) pairs, so an aggregate pickle
+    # would differ by memo back-references alone even when every solution
+    # matches byte for byte.
+    identical = all(
+        pickle.dumps(s) == pickle.dumps(b)
+        for s_row, b_row in zip(scalar, batched)
+        for s, b in zip(s_row, b_row)
+    )
+    return {
+        "device": device_name,
+        "quant": quant_name,
+        "seed": seed,
+        "branches": len(plan.branches),
+        "buckets_per_branch": buckets_per_branch,
+        "scalar_seconds": round(scalar_seconds, 4),
+        "batched_seconds": round(batched_seconds, 4),
+        "batched_phases": {
+            "ladder_seconds": round(timings.ladder_seconds, 4),
+            "growth_seconds": round(timings.growth_seconds, 4),
+            "measure_seconds": round(timings.measure_seconds, 4),
+        },
+        "speedup": round(scalar_seconds / batched_seconds, 3)
+        if batched_seconds > 0
+        else None,
+        "identical": identical,
+    }
+
+
+def test_kernel_microbench(benchmark):
+    from conftest import emit
+
+    result = benchmark.pedantic(run_microbench, rounds=1, iterations=1)
+    emit(
+        "Batched Algorithm-2 kernel vs scalar",
+        "\n".join(f"{key}: {value}" for key, value in result.items()),
+    )
+    assert result["identical"], "batched kernel diverged from the scalar solver"
+    assert result["speedup"] and result["speedup"] > 1.0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--buckets", type=int, default=512)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--device", default="ZU9CG")
+    parser.add_argument("--quant", default="int8")
+    args = parser.parse_args(argv)
+    result = run_microbench(
+        buckets_per_branch=args.buckets,
+        seed=args.seed,
+        device_name=args.device,
+        quant_name=args.quant,
+    )
+    for key, value in result.items():
+        print(f"{key}: {value}")
+    if not result["identical"]:
+        print("ERROR: batched kernel diverged from the scalar solver")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

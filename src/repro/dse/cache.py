@@ -62,9 +62,31 @@ class EvalCache(Protocol):
 
     def put(self, key: Hashable, value: Any) -> None: ...
 
+    def put_many(
+        self, entries: Iterable[tuple[Hashable, Any]]
+    ) -> None: ...
+
     def items(self) -> Iterable[tuple[Hashable, Any]]: ...
 
     def __len__(self) -> int: ...
+
+
+def put_entries(
+    cache: EvalCache, entries: Iterable[tuple[Hashable, Any]]
+) -> None:
+    """Bulk-insert entries, tolerating caches without ``put_many``.
+
+    The batched kernel produces whole generations of solutions at once;
+    every in-tree backend takes them in one :meth:`put_many` call, while
+    duck-typed caches from external drivers fall back to per-entry
+    ``put`` with identical results.
+    """
+    put_many = getattr(cache, "put_many", None)
+    if put_many is not None:
+        put_many(entries)
+        return
+    for key, value in entries:
+        cache.put(key, value)
 
 
 class LocalEvalCache:
@@ -78,6 +100,9 @@ class LocalEvalCache:
 
     def put(self, key: Hashable, value: Any) -> None:
         self._store[key] = value
+
+    def put_many(self, entries: Iterable[tuple[Hashable, Any]]) -> None:
+        self._store.update(entries)
 
     def items(self) -> Iterable[tuple[Hashable, Any]]:
         return self._store.items()
@@ -115,6 +140,9 @@ class DeltaEvalCache:
 
     def put(self, key: Hashable, value: Any) -> None:
         self._delta[key] = value
+
+    def put_many(self, entries: Iterable[tuple[Hashable, Any]]) -> None:
+        self._delta.update(entries)
 
     def new_entries(self) -> list[tuple[Hashable, Any]]:
         """The delta: entries put here that the base never saw."""
@@ -198,6 +226,11 @@ class FileEvalCache:
         # just in memory (merging a corrected shard file must stick).
         self._dirty[key] = value
         self._store[key] = value
+
+    def put_many(self, entries: Iterable[tuple[Hashable, Any]]) -> None:
+        for key, value in entries:
+            self._dirty[key] = value
+            self._store[key] = value
 
     def items(self) -> Iterable[tuple[Hashable, Any]]:
         return self._store.items()
@@ -291,6 +324,13 @@ class SharedEvalCache:
         self._l1[key] = value
         self._store[key] = value
         self._undrained[key] = value
+
+    def put_many(self, entries: Iterable[tuple[Hashable, Any]]) -> None:
+        # One proxy round-trip per entry either way (Manager dicts have no
+        # efficient bulk update through the proxy's update() that avoids
+        # re-sending the whole mapping), so this is put() in a loop.
+        for key, value in entries:
+            self.put(key, value)
 
     def preload(self, entries: Iterable[tuple[Hashable, Any]]) -> None:
         """Seed the shared store (e.g. from a warm local cache).
@@ -415,4 +455,5 @@ __all__ = [
     "SharedEvalCache",
     "harvest_entries",
     "make_cache",
+    "put_entries",
 ]

@@ -201,6 +201,9 @@ class DseEngine:
             eval_seconds=timings.eval_seconds,
             cache_seconds=timings.cache_seconds,
             overhead_seconds=timings.overhead_seconds,
+            ladder_seconds=timings.ladder_seconds,
+            growth_seconds=timings.growth_seconds,
+            measure_seconds=timings.measure_seconds,
             objective=resolved.key,
             oracle_stats=tuple(oracle_stats),
             best_metrics=optimizer.best_metrics,

@@ -27,7 +27,9 @@ for almost every distribution.
 from __future__ import annotations
 
 import math
+import weakref
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.arch.config import BranchConfig, StageConfig
 from repro.construction.reorg import BranchPipeline
@@ -38,22 +40,42 @@ from repro.perf.estimator import BranchPerf, evaluate_branch
 from repro.perf.resources import stage_resources, stage_stream_bytes
 from repro.quant.schemes import QuantScheme
 
+if TYPE_CHECKING:
+    from repro.dse.kernel import BranchLadder
+
 #: Planning margin on external bandwidth: designs are sized against 90 % of
 #: the nominal budget because sustained DDR throughput never reaches peak
 #: (the cycle-accurate simulator models ~93 % efficiency).
 BW_PLANNING_MARGIN = 0.90
 
-#: Process-wide counters over every BranchEvalTable: memoized inner-step
-#: lookups and how many were served without recomputation. Snapshot with
-#: :func:`stage_memo_stats` before/after a batch of work to attribute the
-#: delta (workers do exactly that and ship the delta home per chunk).
-_STAGE_HITS = 0
-_STAGE_LOOKUPS = 0
+# Stage-memo accounting is *per table* (each BranchEvalTable counts its own
+# lookups and hits), aggregated at snapshot time: the process-wide totals
+# are the sum over live tables plus the counts retired by tables that have
+# been garbage-collected. That keeps :func:`stage_memo_stats` monotone
+# non-decreasing — the property the workers' delta-shipping relies on —
+# without any mutable module globals on the solve hot path.
+_LIVE_TABLES: "weakref.WeakSet[BranchEvalTable]" = weakref.WeakSet()
+_RETIRED_COUNTS = [0, 0]  # [hits, lookups] from collected tables
+
+
+def _retire_counters(counters: list[int]) -> None:
+    _RETIRED_COUNTS[0] += counters[0]
+    _RETIRED_COUNTS[1] += counters[1]
 
 
 def stage_memo_stats() -> tuple[int, int]:
-    """(hits, lookups) served by stage-level memo tables so far."""
-    return _STAGE_HITS, _STAGE_LOOKUPS
+    """(hits, lookups) served by stage-level memo tables so far.
+
+    Snapshot before/after a batch of work to attribute the delta (workers
+    do exactly that and ship the delta home per chunk). The totals only
+    ever grow: live tables are summed directly, and a table's final counts
+    are folded into the retired accumulator when it is collected.
+    """
+    hits, lookups = _RETIRED_COUNTS
+    for table in list(_LIVE_TABLES):
+        hits += table._counters[0]
+        lookups += table._counters[1]
+    return hits, lookups
 
 
 @dataclass(frozen=True)
@@ -149,11 +171,54 @@ class BranchEvalTable:
         self._stage_eval: list[dict[StageConfig, tuple[int, int, int]]] = [
             {} for _ in stages
         ]
+        # Per-table memo accounting ([hits, lookups]); aggregated across
+        # tables by stage_memo_stats(). The finalizer keeps the list (not
+        # the table) alive, so a collected table's counts retire exactly
+        # once.
+        self._counters = [0, 0]
+        self._ladder: "BranchLadder | None" = None
+        _LIVE_TABLES.add(self)
+        weakref.finalize(self, _retire_counters, self._counters)
+
+    @property
+    def stage_hits(self) -> int:
+        """Memoized inner-step lookups this table served without recompute."""
+        return self._counters[0]
+
+    @property
+    def stage_lookups(self) -> int:
+        """Memoized inner-step lookups this table has seen."""
+        return self._counters[1]
+
+    def ladder(self) -> "BranchLadder":
+        """The branch's precomputed halving/growth ladder (built lazily).
+
+        The batched kernel (:mod:`repro.dse.kernel`) solves whole
+        generations of budget buckets against this struct-of-arrays view
+        of the GetPF chains; the scalar path never needs it.
+        """
+        if self._ladder is None:
+            from repro.dse.kernel import BranchLadder
+
+            self._ladder = BranchLadder(self)
+        return self._ladder
+
+    def credit_memo(self, hits: int, lookups: int) -> None:
+        """Fold externally served memo traffic into this table's counters.
+
+        The batched kernel serves realizations and stage evaluations from
+        its precomputed ladder instead of these memo dicts; it reports
+        that traffic here (as hits — the ladder is a warm memo by
+        construction) so ``stage_memo_stats()`` keeps describing the
+        evaluation path's memo activity regardless of which solver ran.
+        """
+        self._counters[0] += hits
+        self._counters[1] += lookups
 
     def realize(self, idx: int, target: int) -> StageConfig:
         """GetPF for stage ``idx``, memoized per parallelism target."""
-        global _STAGE_HITS, _STAGE_LOOKUPS
-        _STAGE_LOOKUPS += 1
+        counters = self._counters
+        counters[1] += 1
         memo = self._realize[idx]
         cfg = memo.get(target)
         if cfg is None:
@@ -162,13 +227,13 @@ class BranchEvalTable:
             )
             memo[target] = cfg
         else:
-            _STAGE_HITS += 1
+            counters[0] += 1
         return cfg
 
     def stage_eval(self, idx: int, cfg: StageConfig) -> tuple[int, int, int]:
         """(latency cycles, DSP, BRAM) of stage ``idx`` under ``cfg``."""
-        global _STAGE_HITS, _STAGE_LOOKUPS
-        _STAGE_LOOKUPS += 1
+        counters = self._counters
+        counters[1] += 1
         memo = self._stage_eval[idx]
         entry = memo.get(cfg)
         if entry is None:
@@ -180,7 +245,7 @@ class BranchEvalTable:
             )
             memo[cfg] = entry
         else:
-            _STAGE_HITS += 1
+            counters[0] += 1
         return entry
 
 
@@ -227,7 +292,15 @@ def optimize_branch(
     def replicas_supported(
         c_sum: int, m_sum: int, latencies: list[int]
     ) -> int:
-        """Lines 16-18: batchsize = min(C/Σc, M/Σm, BW/Σbw)."""
+        """Lines 16-18: batchsize = min(C/Σc, M/Σm, BW/Σbw).
+
+        A zero ``c_sum`` / ``m_sum`` / ``bw_replica`` means the pipeline
+        consumes none of that resource (e.g. a quantization that maps all
+        MACs to LUTs uses zero DSPs), so that resource can never be the
+        limiter: its term falls back to ``batch_target``, the largest
+        replica count the search ever asks for, leaving the decision to
+        the resources the pipeline does consume.
+        """
         fps_single = frequency_mhz * 1e6 / max(latencies)
         bw_replica = table.dram_bytes * fps_single / 1e9
         return min(
@@ -273,7 +346,9 @@ def optimize_branch(
     # resource sums and the latency list are updated incrementally.
     if batch >= 1:
         while True:
-            bottleneck = latencies.index(max(latencies))
+            # Single-pass argmax (first maximum, like list.index(max(...))
+            # but without scanning the list twice).
+            bottleneck = max(range(len(latencies)), key=latencies.__getitem__)
             current = configs[bottleneck]
             grown = table.realize(bottleneck, current.pf * 2)
             if grown == current:

@@ -49,6 +49,13 @@ class DseResult:
     eval_seconds: float = 0.0
     cache_seconds: float = 0.0
     overhead_seconds: float = 0.0
+    # The batched Algorithm-2 kernel's phase split of eval_seconds: rung
+    # descent over the precomputed ladder, bottleneck-doubling growth, and
+    # final branch measurement. Zero on payloads written before the kernel
+    # existed.
+    ladder_seconds: float = 0.0
+    growth_seconds: float = 0.0
+    measure_seconds: float = 0.0
     # The objective the search maximized (its stable key, parameters
     # included) and the per-stage oracle accounting: stage 1 is always the
     # analytical oracle; a staged search appends its re-rank oracle.
@@ -260,6 +267,9 @@ def result_to_dict(result: DseResult) -> dict[str, Any]:
         "eval_seconds": result.eval_seconds,
         "cache_seconds": result.cache_seconds,
         "overhead_seconds": result.overhead_seconds,
+        "ladder_seconds": result.ladder_seconds,
+        "growth_seconds": result.growth_seconds,
+        "measure_seconds": result.measure_seconds,
         "objective": result.objective,
         "oracle_stats": [
             {
@@ -333,6 +343,9 @@ def result_from_dict(data: dict[str, Any]) -> DseResult:
             eval_seconds=data.get("eval_seconds", 0.0),
             cache_seconds=data.get("cache_seconds", 0.0),
             overhead_seconds=data.get("overhead_seconds", 0.0),
+            ladder_seconds=data.get("ladder_seconds", 0.0),
+            growth_seconds=data.get("growth_seconds", 0.0),
+            measure_seconds=data.get("measure_seconds", 0.0),
             objective=data.get("objective", "paper(alpha=0.05)"),
             oracle_stats=tuple(
                 OracleStats(

@@ -18,8 +18,9 @@ by-product into a pre-solve filter:
    PSO positions are continuous, so converged swarms revisit *nearby*
    buckets far more often than exact ones — the regime where k-NN is
    accurate and exact-match memoization is not (see ``BENCH_dse.json``:
-   the bucket cache hits <1% of lookups while ``eval_seconds`` is ~86%
-   of serial wall time).
+   the bucket cache hits <1% of lookups while ``eval_seconds`` stays
+   the dominant phase of serial wall time even after the batched kernel
+   halved it).
 3. **Prune** — :class:`SurrogateFilter` sits in the generation dedup
    path of :class:`~repro.dse.worker.GenerationEvaluator`. A candidate
    is pruned when its *optimistic score bound* (predicted score plus a

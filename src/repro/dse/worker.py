@@ -52,7 +52,13 @@ from typing import TYPE_CHECKING, Callable, Iterator, Sequence
 
 from repro.construction.reorg import PipelinePlan
 from repro.devices.budget import ResourceBudget
-from repro.dse.cache import DeltaEvalCache, EvalCache, LocalEvalCache
+from repro.dse.cache import (
+    DeltaEvalCache,
+    EvalCache,
+    LocalEvalCache,
+    put_entries,
+)
+from repro.dse.kernel import KernelTimings, solve_buckets
 from repro.dse.objective import (
     INFEASIBILITY_PENALTY,
     BranchMetrics,
@@ -273,6 +279,36 @@ def solve_bucket(spec: EvalSpec, branch: int, bucket: tuple[int, int, int]) -> B
     )
 
 
+def solve_key_batch(
+    spec: EvalSpec,
+    keys: Sequence[EvalKey],
+    timings: KernelTimings | None = None,
+) -> dict[EvalKey, BranchSolution]:
+    """Solve a batch of cache keys through the batched Algorithm-2 kernel.
+
+    Groups the keys by branch and hands each branch's budget buckets to
+    :func:`repro.dse.kernel.solve_buckets` as one vectorized pass — the
+    hot path of every generation. Bit-identical to calling
+    :func:`solve_bucket` per key (the kernel's core guarantee), just
+    without the per-bucket Python loops. Duplicate keys are tolerated and
+    resolve to one mapping entry.
+    """
+    by_branch: dict[int, list[EvalKey]] = {}
+    for key in keys:
+        by_branch.setdefault(key[1], []).append(key)
+    solved: dict[EvalKey, BranchSolution] = {}
+    for branch in sorted(by_branch):
+        branch_keys = by_branch[branch]
+        solutions = solve_buckets(
+            branch_table(spec, branch),
+            [canonical_rd(key[2]) for key in branch_keys],
+            spec.customization.batch_sizes[branch],
+            timings,
+        )
+        solved.update(zip(branch_keys, solutions))
+    return solved
+
+
 def evaluate_candidate(
     spec: EvalSpec,
     position: Sequence[float],
@@ -317,35 +353,49 @@ def evaluate_candidate(
 # ---------------------------------------------------------------------------
 @dataclass(frozen=True)
 class ChunkResult:
-    """One worker's answer for a chunk: the cache delta plus statistics."""
+    """One worker's answer for a chunk: the cache delta plus statistics.
+
+    ``solve_seconds`` is CPU time (scheduling-robust); the kernel phase
+    split (``ladder`` / ``growth`` / ``measure``) is wall time from the
+    batched solver, attributing *where* inside Algorithm 2 the solve time
+    went rather than re-measuring its total.
+    """
 
     entries: tuple[tuple[EvalKey, BranchSolution], ...]
     solve_seconds: float
     stage_hits: int
     stage_lookups: int
+    ladder_seconds: float = 0.0
+    growth_seconds: float = 0.0
+    measure_seconds: float = 0.0
 
 
 def solve_chunk(spec: EvalSpec, keys: Sequence[EvalKey]) -> ChunkResult:
     """Solve a chunk of ``(branch, bucket)`` subproblems, returning deltas.
 
-    Runs in the worker process. Solutions are computed through a
-    :class:`DeltaEvalCache` over the process-local L1, so repeated keys
-    (possible only with custom drivers — the engine dedups) cost nothing,
-    and every requested key comes back in ``entries`` either way.
+    Runs in the worker process. The chunk's unseen keys are solved in one
+    batched-kernel pass per branch through a :class:`DeltaEvalCache` over
+    the process-local L1, so repeated keys (possible only with custom
+    drivers — the engine dedups) cost nothing, and every requested key
+    comes back in ``entries`` either way.
     """
     hits_before, lookups_before = stage_memo_stats()
     # CPU time, not wall: on an oversubscribed machine a worker's wall
     # clock includes time it spent scheduled out, which would overstate
     # the solve cost by the contention factor.
     started = time.process_time()
+    kernel_timings = KernelTimings()
     delta = DeltaEvalCache(_WORKER_L1)
-    entries = []
+    todo = []
+    todo_set = set()
     for key in keys:
-        solution = delta.get(key)
-        if solution is None:
-            solution = solve_bucket(spec, key[1], key[2])
-            delta.put(key, solution)
-        entries.append((key, solution))
+        if key not in todo_set and delta.get(key) is None:
+            todo_set.add(key)
+            todo.append(key)
+    if todo:
+        solved = solve_key_batch(spec, todo, kernel_timings)
+        put_entries(delta, [(key, solved[key]) for key in todo])
+    entries = [(key, delta.get(key)) for key in keys]
     if len(_WORKER_L1) >= _WORKER_L1_CAP:
         _WORKER_L1.clear()
     delta.merge()
@@ -355,6 +405,9 @@ def solve_chunk(spec: EvalSpec, keys: Sequence[EvalKey]) -> ChunkResult:
         solve_seconds=time.process_time() - started,
         stage_hits=hits_after - hits_before,
         stage_lookups=lookups_after - lookups_before,
+        ladder_seconds=kernel_timings.ladder_seconds,
+        growth_seconds=kernel_timings.growth_seconds,
+        measure_seconds=kernel_timings.measure_seconds,
     )
 
 
@@ -420,16 +473,29 @@ class EvalTimings:
     cost: pickling, scheduling, result transport, and core contention —
     the dispatch wall minus the solve time's ideal share per worker,
     clamped at zero.
+
+    The ``ladder`` / ``growth`` / ``measure`` fields split the batched
+    kernel's share of ``eval_seconds`` by Algorithm-2 phase (rung
+    descent, bottleneck doubling, final branch measurement). They are
+    wall-clock inside the solving process, so under heavy core
+    contention their sum can drift from the CPU-time ``eval_seconds``;
+    they attribute where the solve went, they do not re-measure it.
     """
 
     eval_seconds: float = 0.0
     cache_seconds: float = 0.0
     overhead_seconds: float = 0.0
+    ladder_seconds: float = 0.0
+    growth_seconds: float = 0.0
+    measure_seconds: float = 0.0
 
     def add(self, other: "EvalTimings") -> None:
         self.eval_seconds += other.eval_seconds
         self.cache_seconds += other.cache_seconds
         self.overhead_seconds += other.overhead_seconds
+        self.ladder_seconds += other.ladder_seconds
+        self.growth_seconds += other.growth_seconds
+        self.measure_seconds += other.measure_seconds
 
 
 #: A submit callback ships unique unseen keys to workers and returns their
@@ -473,31 +539,47 @@ class GenerationEvaluator:
         self.stage_hits = 0
         self.stage_lookups = 0
 
-    def _solve_inline(self, todo: Sequence[EvalKey]) -> None:
+    def _solve_inline(
+        self, todo: Sequence[EvalKey]
+    ) -> dict[EvalKey, BranchSolution]:
         hits_before, lookups_before = stage_memo_stats()
         started = time.perf_counter()
-        for key in todo:
-            self.cache.put(key, solve_bucket(self.spec, key[1], key[2]))
+        kernel_timings = KernelTimings()
+        solved = solve_key_batch(self.spec, todo, kernel_timings)
+        put_entries(self.cache, [(key, solved[key]) for key in todo])
         self.timings.eval_seconds += time.perf_counter() - started
+        self.timings.ladder_seconds += kernel_timings.ladder_seconds
+        self.timings.growth_seconds += kernel_timings.growth_seconds
+        self.timings.measure_seconds += kernel_timings.measure_seconds
         hits_after, lookups_after = stage_memo_stats()
         self.stage_hits += hits_after - hits_before
         self.stage_lookups += lookups_after - lookups_before
+        return solved
 
-    def _solve_pooled(self, todo: Sequence[EvalKey]) -> None:
+    def _solve_pooled(
+        self, todo: Sequence[EvalKey]
+    ) -> dict[EvalKey, BranchSolution]:
         dispatched = time.perf_counter()
         results = self._submit(todo)
         dispatch_wall = time.perf_counter() - dispatched
         solve_seconds = 0.0
+        solved: dict[EvalKey, BranchSolution] = {}
+        fold: list[tuple[EvalKey, BranchSolution]] = []
         for result in results:
-            for key, solution in result.entries:
-                self.cache.put(key, solution)
+            fold.extend(result.entries)
             solve_seconds += result.solve_seconds
             self.stage_hits += result.stage_hits
             self.stage_lookups += result.stage_lookups
+            self.timings.ladder_seconds += result.ladder_seconds
+            self.timings.growth_seconds += result.growth_seconds
+            self.timings.measure_seconds += result.measure_seconds
+        put_entries(self.cache, fold)
+        solved.update(fold)
         self.timings.eval_seconds += solve_seconds
         self.timings.overhead_seconds += max(
             0.0, dispatch_wall - solve_seconds / self.workers
         )
+        return solved
 
     def __call__(
         self,
@@ -557,15 +639,14 @@ class GenerationEvaluator:
         if todo:
             # Tiny generations are not worth a round-trip to the pool.
             if self._submit is None or len(todo) < self.workers:
-                self._solve_inline(todo)
+                solved = self._solve_inline(todo)
             else:
-                self._solve_pooled(todo)
+                solved = self._solve_pooled(todo)
             if self.surrogate is not None:
+                # Solutions feed the model straight from the solve batch
+                # (no cache round-trip), in dedup order as before.
                 self.surrogate.record_solutions(
-                    [
-                        (key[1], key[2], self.cache.get(key))
-                        for key in todo
-                    ]
+                    [(key[1], key[2], solved[key]) for key in todo]
                 )
 
         rehydrate_started = time.perf_counter()
@@ -743,5 +824,6 @@ __all__ = [
     "rerank_key",
     "solve_bucket",
     "solve_chunk",
+    "solve_key_batch",
     "split_budget",
 ]

@@ -90,6 +90,18 @@ class ConvergenceResult:
         return sum(s.overhead_seconds for s in self.searches)
 
     @property
+    def ladder_seconds(self) -> float:
+        return sum(s.ladder_seconds for s in self.searches)
+
+    @property
+    def growth_seconds(self) -> float:
+        return sum(s.growth_seconds for s in self.searches)
+
+    @property
+    def measure_seconds(self) -> float:
+        return sum(s.measure_seconds for s in self.searches)
+
+    @property
     def total_runtime_seconds(self) -> float:
         return sum(s.runtime_seconds for s in self.searches)
 

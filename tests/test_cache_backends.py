@@ -21,6 +21,7 @@ from repro.dse.cache import (
     LocalEvalCache,
     SharedEvalCache,
     make_cache,
+    put_entries,
 )
 from repro.dse.engine import DseEngine
 from repro.dse.space import Customization
@@ -90,6 +91,21 @@ class TestConformance:
         backend.put(key, value)
         assert backend.get(key) == value
 
+    def test_put_many_equals_put_loop(self, backend):
+        """Bulk insert is observationally identical to a put() loop."""
+        entries = [
+            (("bulk", i, (i, i, i)), f"solution-{i}") for i in range(5)
+        ]
+        put_entries(backend, entries)
+        for key, value in entries:
+            assert backend.get(key) == value
+
+    def test_put_many_overwrites_like_put(self, backend):
+        key = ("bulk-overwrite", 0, (0, 0, 0))
+        backend.put(key, "old")
+        put_entries(backend, [(key, "new")])
+        assert backend.get(key) == "new"
+
 
 class TestMakeCache:
     def test_backend_names(self, tmp_path):
@@ -144,6 +160,14 @@ class TestDeltaCache:
         entries = dict(delta.items())
         assert entries == {"k": "delta", "only": 1}
         assert len(delta) == 2
+
+    def test_put_many_lands_in_the_delta(self):
+        """Bulk inserts must ship home with the chunk like put() does."""
+        base = LocalEvalCache()
+        delta = DeltaEvalCache(base)
+        put_entries(delta, [("a", 1), ("b", 2)])
+        assert sorted(delta.new_entries()) == [("a", 1), ("b", 2)]
+        assert base.get("a") is None  # not merged yet
 
 
 class TestFileCache:

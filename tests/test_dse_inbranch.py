@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.devices.budget import ResourceBudget
-from repro.dse.inbranch import optimize_branch
+from repro.dse.inbranch import BranchEvalTable, optimize_branch
 from repro.perf.analytical import stage_latency_cycles
 from repro.quant.schemes import INT8, INT16
 
@@ -98,3 +98,47 @@ class TestQuality:
         a = optimize_branch(decoder_plan.branches[1], TIGHT, 2, INT8)
         b = optimize_branch(decoder_plan.branches[1], TIGHT, 2, INT8)
         assert a.config == b.config
+
+
+class TestZeroSumFallback:
+    """``replicas_supported``'s semantics when a resource is unconsumed.
+
+    A pipeline whose stages report zero DSPs and zero BRAMs (e.g. a
+    quantization that maps every MAC to LUTs) can never be limited by
+    compute or memory: those terms fall back to ``batch_target`` rather
+    than dividing by zero or reading a zero budget as "no replicas fit".
+    """
+
+    @staticmethod
+    def _zero_resource_table(pipeline):
+        """A real eval table whose stages report zero DSPs and BRAMs."""
+        table = BranchEvalTable(pipeline, INT8)
+        real_eval = table.stage_eval
+
+        def stage_eval(idx, cfg):
+            return (real_eval(idx, cfg)[0], 0, 0)
+
+        table.stage_eval = stage_eval
+        return table
+
+    def test_zero_resource_stages_ignore_compute_and_memory(
+        self, decoder_plan
+    ):
+        pipeline = decoder_plan.branches[2]
+        table = self._zero_resource_table(pipeline)
+        budget = ResourceBudget(compute=0, memory=0, bandwidth_gbps=12.8)
+        sol = optimize_branch(pipeline, budget, 2, INT8, table=table)
+        # Only bandwidth can limit; a generous allocation meets the batch
+        # even though the compute/memory budgets are literally zero.
+        assert sol.meets_batch_target
+        assert sol.config.batch_size == 2
+
+    def test_zero_resource_stages_still_bandwidth_limited(
+        self, decoder_plan
+    ):
+        pipeline = decoder_plan.branches[2]
+        table = self._zero_resource_table(pipeline)
+        starved = ResourceBudget(compute=0, memory=0, bandwidth_gbps=0.0)
+        sol = optimize_branch(pipeline, starved, 2, INT8, table=table)
+        assert not sol.meets_batch_target
+        assert sol.config.batch_size == 0

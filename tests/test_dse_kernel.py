@@ -1,0 +1,273 @@
+"""Bit-identity of the batched Algorithm-2 kernel vs the scalar solver.
+
+The kernel's contract is absolute: for any sequence of budget buckets,
+``solve_buckets`` returns solutions whose pickles are byte-for-byte
+identical to calling ``optimize_branch`` per bucket. The randomized
+suites here hammer that over thousands of budgets per branch (including
+zero-resource and saturating edge budgets and the customization's
+``max_h`` / ``max_pf`` constraints), and the end-to-end tests pin the
+seeded search results across the surrogate modes that ride on top of the
+kernel-routed evaluation path.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import numpy as np
+import pytest
+
+from repro.devices.budget import ResourceBudget
+from repro.dse.inbranch import BranchEvalTable, optimize_branch
+from repro.dse.kernel import (
+    KernelTimings,
+    _replicas_supported,
+    solve_buckets,
+)
+from repro.dse.worker import canonical_rd, clear_process_caches, quantize_rd
+from repro.quant.schemes import INT8
+
+#: Edge budgets every randomized stream includes: fully starved, the
+#: smallest nonzero grid point, and a budget far past any saturation.
+EDGE_BUDGETS = (
+    ResourceBudget(compute=0, memory=0, bandwidth_gbps=0.0),
+    ResourceBudget(compute=4, memory=4, bandwidth_gbps=0.05),
+    ResourceBudget(compute=100_000, memory=100_000, bandwidth_gbps=1000.0),
+)
+
+
+def random_budgets(seed: int, count: int) -> list[ResourceBudget]:
+    """Grid-snapped random budgets, with zero-heavy tails mixed in."""
+    rng = random.Random(seed)
+    budgets = list(EDGE_BUDGETS)
+    while len(budgets) < count:
+        # One axis in five is forced to zero so the zero-resource and
+        # zero-bandwidth code paths stay continuously exercised.
+        compute = 0 if rng.random() < 0.2 else rng.randrange(0, 3000)
+        memory = 0 if rng.random() < 0.2 else rng.randrange(0, 3000)
+        bandwidth = 0.0 if rng.random() < 0.2 else rng.uniform(0.0, 16.0)
+        budgets.append(
+            canonical_rd(
+                quantize_rd(
+                    ResourceBudget(
+                        compute=compute,
+                        memory=memory,
+                        bandwidth_gbps=bandwidth,
+                    )
+                )
+            )
+        )
+    return budgets
+
+
+def assert_bit_identical(pipeline, budgets, batch_target, **table_kwargs):
+    table = BranchEvalTable(pipeline, INT8, **table_kwargs)
+    batched = solve_buckets(table, budgets, batch_target)
+    for rd, batch_sol in zip(budgets, batched):
+        scalar_sol = optimize_branch(
+            pipeline,
+            rd,
+            batch_target,
+            INT8,
+            table_kwargs.get("frequency_mhz", 200.0),
+            max_h=table_kwargs.get("max_h"),
+            max_pf=table_kwargs.get("max_pf"),
+            table=table,
+        )
+        assert pickle.dumps(batch_sol) == pickle.dumps(scalar_sol), (
+            f"kernel diverged from scalar at rd={rd}, "
+            f"batch_target={batch_target}"
+        )
+
+
+class TestRandomizedIdentity:
+    @pytest.mark.parametrize("branch_idx", [0, 1, 2])
+    def test_batched_matches_scalar(self, decoder_plan, branch_idx):
+        """3000+ random budgets per branch, batch targets 1/2/4."""
+        budgets = random_budgets(seed=branch_idx, count=3000)
+        pipeline = decoder_plan.branches[branch_idx]
+        for batch_target, chunk in zip(
+            (1, 2, 4),
+            (budgets[0::3], budgets[1::3], budgets[2::3]),
+        ):
+            assert_bit_identical(
+                pipeline, list(chunk) + list(EDGE_BUDGETS), batch_target
+            )
+
+    def test_constrained_customizations(self, decoder_plan):
+        """The max_h / max_pf clamps flow through the ladder identically."""
+        budgets = random_budgets(seed=99, count=400)
+        pipeline = decoder_plan.branches[0]
+        assert_bit_identical(pipeline, budgets, 2, max_h=1)
+        assert_bit_identical(pipeline, budgets, 2, max_pf=64)
+        assert_bit_identical(pipeline, budgets, 1, max_h=1, max_pf=16)
+
+    def test_single_stage_branch(self, decoder_plan):
+        budgets = random_budgets(seed=7, count=500)
+        assert_bit_identical(decoder_plan.branches[2], budgets, 4)
+
+    def test_empty_and_single_bucket(self, decoder_plan):
+        table = BranchEvalTable(decoder_plan.branches[0], INT8)
+        assert solve_buckets(table, [], 1) == []
+        [sol] = solve_buckets(table, [EDGE_BUDGETS[2]], 1)
+        assert sol.meets_batch_target
+
+    def test_repeated_buckets_share_solutions(self, decoder_plan):
+        """Duplicate buckets resolve to one memoized solution object."""
+        table = BranchEvalTable(decoder_plan.branches[0], INT8)
+        rd = ResourceBudget(compute=800, memory=800, bandwidth_gbps=6.0)
+        a, b = solve_buckets(table, [rd, rd], 1)
+        assert a is b
+
+    def test_timings_accumulate(self, decoder_plan):
+        table = BranchEvalTable(decoder_plan.branches[0], INT8)
+        timings = KernelTimings()
+        solve_buckets(table, random_budgets(3, 64), 1, timings)
+        assert timings.ladder_seconds > 0.0
+        assert timings.growth_seconds >= 0.0
+        assert timings.measure_seconds > 0.0
+
+
+class TestReplicasSupportedFallback:
+    """The vectorized min(C/Σc, M/Σm, BW/Σbw) and its zero-sum semantics."""
+
+    def test_zero_sums_fall_back_to_batch_target(self):
+        # A pipeline consuming no DSPs/BRAMs (all-LUT mapping) must never
+        # be limited by compute/memory — even under a zero budget.
+        out = _replicas_supported(
+            c_sum=np.array([0], dtype=np.int64),
+            m_sum=np.array([0], dtype=np.int64),
+            maxlat=np.array([1000], dtype=np.int64),
+            compute=np.array([0], dtype=np.int64),
+            memory=np.array([0], dtype=np.int64),
+            bw_margin=np.array([1e9], dtype=np.float64),
+            batch_target=8,
+            dram_bytes=1.0,
+            freq_hz=2e8,
+        )
+        assert out[0] == 8
+
+    def test_zero_bw_replica_falls_back_to_batch_target(self):
+        # dram_bytes == 0 means the pipeline touches no external memory:
+        # bandwidth can never be the limiter.
+        out = _replicas_supported(
+            c_sum=np.array([10], dtype=np.int64),
+            m_sum=np.array([10], dtype=np.int64),
+            maxlat=np.array([1000], dtype=np.int64),
+            compute=np.array([100], dtype=np.int64),
+            memory=np.array([55], dtype=np.int64),
+            bw_margin=np.array([0.0], dtype=np.float64),
+            batch_target=16,
+            dram_bytes=0.0,
+            freq_hz=2e8,
+        )
+        assert out[0] == 5  # memory is the binding term (55 // 10)
+
+    def test_min_over_terms(self):
+        out = _replicas_supported(
+            c_sum=np.array([4, 4], dtype=np.int64),
+            m_sum=np.array([2, 2], dtype=np.int64),
+            maxlat=np.array([100, 100], dtype=np.int64),
+            compute=np.array([40, 8], dtype=np.int64),
+            memory=np.array([100, 100], dtype=np.int64),
+            bw_margin=np.array([1e6, 1e6], dtype=np.float64),
+            batch_target=64,
+            dram_bytes=1.0,
+            freq_hz=2e8,
+        )
+        assert out[0] == 10  # compute-bound: 40 // 4
+        assert out[1] == 2  # tighter compute: 8 // 4
+
+
+class TestEndToEndIdentity:
+    """Seeded search identity across the kernel-routed evaluation path."""
+
+    def _run(self, surrogate: str):
+        from repro.experiments.convergence import run_convergence
+
+        clear_process_caches()
+        return run_convergence(
+            searches=2,
+            iterations=3,
+            population=12,
+            workers=1,
+            surrogate=surrogate,
+        )
+
+    @pytest.fixture(scope="class")
+    def off_run(self):
+        from repro.experiments.convergence import run_convergence
+
+        clear_process_caches()
+        return run_convergence(
+            searches=2, iterations=3, population=12, workers=1
+        )
+
+    def test_generation_evaluator_matches_scalar_path(self):
+        """The batched generation path ≡ the per-candidate scalar loop."""
+        from repro.dse.cache import LocalEvalCache
+        from repro.dse.worker import (
+            EvalSpec,
+            GenerationEvaluator,
+            evaluate_candidate,
+        )
+        from repro.construction.reorg import build_pipeline_plan
+        from repro.devices.fpga import get_device
+        from repro.dse.space import Customization
+        from repro.models.codec_avatar import build_codec_avatar_decoder
+        from repro.quant.schemes import get_scheme
+
+        plan = build_pipeline_plan(build_codec_avatar_decoder())
+        device = get_device("ZU9CG")
+        spec = EvalSpec(
+            plan=plan,
+            budget=device.budget(),
+            customization=Customization(
+                batch_sizes=(1, 1, 2), priorities=(1.0, 1.0, 1.0)
+            ),
+            quant=get_scheme("int8"),
+            frequency_mhz=device.default_frequency_mhz,
+        )
+        rng = random.Random(17)
+        B = plan.num_branches
+        positions = [
+            [rng.random() for _ in range(3 * B)] for _ in range(40)
+        ]
+        batched = GenerationEvaluator(spec, LocalEvalCache())(positions)
+        scalar_cache = LocalEvalCache()
+        scalar = [
+            evaluate_candidate(spec, position, scalar_cache)
+            for position in positions
+        ]
+        for b, s in zip(batched, scalar):
+            assert b.score == s.score
+            assert b.metrics == s.metrics
+            assert pickle.dumps(b.solutions) == pickle.dumps(s.solutions)
+
+    def test_verify_mode_reproduces_off(self, off_run):
+        verify = self._run("verify")
+        assert [
+            (s.best_fitness, s.best_config) for s in verify.searches
+        ] == [(s.best_fitness, s.best_config) for s in off_run.searches]
+
+    def test_prune_mode_deterministic(self, off_run):
+        prune_a = self._run("prune")
+        prune_b = self._run("prune")
+        assert [
+            (s.best_fitness, s.best_config, s.history)
+            for s in prune_a.searches
+        ] == [
+            (s.best_fitness, s.best_config, s.history)
+            for s in prune_b.searches
+        ]
+
+    def test_off_run_repeats_bit_identically(self, off_run):
+        again = self._run("off")
+        assert [
+            (s.best_fitness, s.best_config, s.history)
+            for s in again.searches
+        ] == [
+            (s.best_fitness, s.best_config, s.history)
+            for s in off_run.searches
+        ]

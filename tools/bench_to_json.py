@@ -104,6 +104,11 @@ def summarize(result: ConvergenceResult, wall_seconds: float) -> dict:
             "eval_seconds": round(result.eval_seconds, 3),
             "cache_seconds": round(result.cache_seconds, 3),
             "pool_overhead_seconds": round(result.overhead_seconds, 3),
+            # The batched kernel's share of eval_seconds, split by
+            # Algorithm-2 phase (wall time inside the solving process).
+            "ladder_seconds": round(result.ladder_seconds, 3),
+            "growth_seconds": round(result.growth_seconds, 3),
+            "measure_seconds": round(result.measure_seconds, 3),
         },
     }
 
@@ -304,6 +309,49 @@ def run_surrogate_section(
     return section, gates
 
 
+#: Minimum speedup of the batched Algorithm-2 kernel over the scalar
+#: solver on the committed microbenchmark config, and the stream size the
+#: gate is measured at. The speedup comes from vectorization, not
+#: parallelism, so the gate holds on single-core runners too.
+KERNEL_SPEEDUP_GATE = 2.0
+KERNEL_BUCKETS = 512
+
+
+def run_kernel_section(args: argparse.Namespace) -> tuple[dict, list[str]]:
+    """The batched-kernel microbenchmark: identity and speedup gates.
+
+    Replays a generation-shaped stream of budget buckets through the
+    scalar solver and the batched kernel (``benchmarks/bench_inbranch``).
+    Two hard gates: the solutions must be byte-for-byte identical, and
+    the batched pass must beat the scalar loop by ``KERNEL_SPEEDUP_GATE``.
+    """
+    sys.path.insert(0, str(REPO / "benchmarks"))
+    from bench_inbranch import run_microbench
+
+    section = run_microbench(
+        buckets_per_branch=KERNEL_BUCKETS,
+        seed=0,
+        device_name=args.device,
+        quant_name=args.quant,
+    )
+    section["speedup_gate"] = KERNEL_SPEEDUP_GATE
+    gates = []
+    if not section["identical"]:
+        gates.append(
+            "batched kernel solutions are not byte-identical to the "
+            "scalar solver's"
+        )
+    if not section["speedup"] or section["speedup"] < KERNEL_SPEEDUP_GATE:
+        gates.append(
+            f"batched kernel speedup {section['speedup']}x is below the "
+            f"{KERNEL_SPEEDUP_GATE}x gate "
+            f"(scalar {section['scalar_seconds']}s vs batched "
+            f"{section['batched_seconds']}s)"
+        )
+    section["gates"] = gates
+    return section, gates
+
+
 def run_dse_suite(args: argparse.Namespace) -> int:
     run_kwargs = dict(
         device_name=args.device,
@@ -356,6 +404,8 @@ def run_dse_suite(args: argparse.Namespace) -> int:
     else:
         gate = "failed"
 
+    kernel_section, kernel_gates = run_kernel_section(args)
+
     surrogate_section, surrogate_gates = run_surrogate_section(
         run_kwargs, serial
     )
@@ -398,6 +448,7 @@ def run_dse_suite(args: argparse.Namespace) -> int:
         "deterministic": deterministic,
         "speedup_gate": gate,
         "gate_skips": gate_skips,
+        "kernel": kernel_section,
         "surrogate": surrogate_section,
     }
     payload["baseline_comparison"] = compare_to_baseline(
@@ -431,6 +482,17 @@ def run_dse_suite(args: argparse.Namespace) -> int:
         f"{parallel_phases['cache_seconds']}s, pool overhead "
         f"{parallel_phases['pool_overhead_seconds']}s"
     )
+    kernel_phases = kernel_section["batched_phases"]
+    print(
+        f"kernel: scalar {kernel_section['scalar_seconds']}s -> batched "
+        f"{kernel_section['batched_seconds']}s (x{kernel_section['speedup']},"
+        f" gate x{KERNEL_SPEEDUP_GATE}) over "
+        f"{kernel_section['buckets_per_branch']} buckets/branch; ladder "
+        f"{kernel_phases['ladder_seconds']}s, growth "
+        f"{kernel_phases['growth_seconds']}s, measure "
+        f"{kernel_phases['measure_seconds']}s, "
+        f"identical={kernel_section['identical']}"
+    )
     print(
         f"surrogate: prune skipped "
         f"{surrogate_section['solve_reduction']:.1%} of "
@@ -450,6 +512,10 @@ def run_dse_suite(args: argparse.Namespace) -> int:
             f"({os.cpu_count()} cores): parallel {parallel_wall:.2f}s > "
             f"serial {serial_wall:.2f}s x {SPEEDUP_GATE_TOLERANCE}"
         )
+        return 1
+    if kernel_gates:
+        for failed in kernel_gates:
+            print(f"ERROR: kernel gate failed: {failed}")
         return 1
     if surrogate_gates:
         for failed in surrogate_gates:
